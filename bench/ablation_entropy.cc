@@ -1,0 +1,117 @@
+// Ablation: what would payload visibility buy? (paper §II / SSD-Insider++)
+//
+// The paper chooses header-only behavioral features because content
+// inspection is costly inside a drive and entropy — the classic content
+// signal — cannot tell ciphertext from compression. This bench makes that
+// argument quantitative with the EntropyTracker module: synthetic payload
+// models for each workload class, their per-slice write entropy, and the
+// separability (or not) against a ransomware's ciphertext.
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "core/entropy.h"
+
+namespace {
+
+using namespace insider;
+
+std::vector<std::byte> Ciphertext(Rng& rng, std::size_t n) {
+  std::vector<std::byte> out(n);
+  for (auto& b : out) b = static_cast<std::byte>(rng.Below(256));
+  return out;
+}
+
+std::vector<std::byte> OfficeDocument(Rng& rng, std::size_t n) {
+  // Text-like: a small alphabet with a skewed distribution.
+  static const char kAlpha[] = " etaoinshrdlucmfwypvbgkqjxz.,\n";
+  std::vector<std::byte> out(n);
+  for (auto& b : out) {
+    std::size_t idx = rng.Below(rng.Below(sizeof(kAlpha) - 1) + 1);
+    b = static_cast<std::byte>(kAlpha[idx]);
+  }
+  return out;
+}
+
+std::vector<std::byte> CompressedArchive(Rng& rng, std::size_t n) {
+  // Deflate output is nearly uniform with light framing structure.
+  std::vector<std::byte> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = (i % 512 < 4) ? std::byte{0x78}
+                           : static_cast<std::byte>(rng.Below(256));
+  }
+  return out;
+}
+
+std::vector<std::byte> DatabasePage(Rng& rng, std::size_t n) {
+  // Records: repetitive structure with embedded integers/strings.
+  std::vector<std::byte> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i % 64 < 40) {
+      out[i] = static_cast<std::byte>('A' + (i % 16));
+    } else {
+      out[i] = static_cast<std::byte>(rng.Below(64));
+    }
+  }
+  return out;
+}
+
+std::vector<std::byte> MediaStream(Rng& rng, std::size_t n) {
+  // Already-encoded video: close to uniform.
+  std::vector<std::byte> out(n);
+  for (auto& b : out) b = static_cast<std::byte>(rng.Below(250));
+  return out;
+}
+
+double MeanSliceEntropy(
+    const std::function<std::vector<std::byte>(Rng&, std::size_t)>& gen,
+    std::uint64_t seed) {
+  Rng rng(seed);
+  core::EntropyTracker tracker(Seconds(1));
+  SimTime t = 0;
+  for (int slice = 0; slice < 20; ++slice) {
+    for (int w = 0; w < 16; ++w) {
+      tracker.OnWrite(t, gen(rng, 4096));
+      t += Milliseconds(50);
+    }
+  }
+  tracker.AdvanceTo(t + Seconds(1));
+  return tracker.RecentMean(20);
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Ablation: per-slice write-payload entropy by workload class");
+  struct Row {
+    const char* name;
+    std::function<std::vector<std::byte>(Rng&, std::size_t)> gen;
+  };
+  std::vector<Row> rows = {
+      {"ransomware (ciphertext)", Ciphertext},
+      {"compression (archive)", CompressedArchive},
+      {"video encode (media)", MediaStream},
+      {"office documents (text)", OfficeDocument},
+      {"database pages", DatabasePage},
+  };
+  std::printf("%-28s %18s\n", "write content", "entropy (bits/B)");
+  double cipher = 0, archive = 0, text = 0;
+  for (const Row& r : rows) {
+    double e = MeanSliceEntropy(r.gen, 99);
+    std::printf("%-28s %18.3f\n", r.name, e);
+    if (r.name[0] == 'r') cipher = e;
+    if (r.name[0] == 'c' && r.name[1] == 'o') archive = e;
+    if (r.name[0] == 'o') text = e;
+  }
+  std::printf(
+      "\nEntropy separates ciphertext from documents by %.1f bits/B, but\n"
+      "from compression by only %.2f bits/B — the paper's reason to build\n"
+      "the detector on overwriting behavior instead of content, and why\n"
+      "the follow-up (SSD-Insider++) uses entropy only as a secondary\n"
+      "signal.\n",
+      cipher - text, cipher - archive);
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Ablation: the paper fixes the time slice at 1 s and the window at N = 10
+// slices (threshold 3). This bench sweeps both and reports detection
+// latency and accuracy on a small scenario subset, showing why the paper's
+// operating point is sensible (shorter windows detect faster but
+// false-alarm more; longer slices delay detection).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "host/experiment.h"
+
+int main() {
+  using namespace insider;
+  core::DecisionTree tree = bench::TrainPaperTree();
+
+  std::vector<host::ScenarioSpec> attack_specs = {
+      {wl::AppKind::kNone, "WannaCry", "RansomOnly"},
+      {wl::AppKind::kVideoEncode, "Jaff", "CPU-intensive"},
+  };
+  std::vector<host::ScenarioSpec> benign_specs = {
+      {wl::AppKind::kDataWiping, "", "DataWiping"},
+      {wl::AppKind::kDatabase, "", "Database"},
+  };
+  std::size_t reps = bench::RepsFromEnv(3);
+
+  bench::PrintHeader("Ablation: window size N (slice fixed at 1 s, "
+                     "threshold = ceil(0.3*N))");
+  std::printf("%-10s %12s %12s %12s\n", "N", "FRR %", "FAR %",
+              "mean lat (s)");
+  for (std::size_t n : {5u, 10u, 20u}) {
+    host::AccuracyConfig ac;
+    ac.scenario = bench::BenchScenario();
+    ac.repetitions = reps;
+    ac.detector.window_slices = n;
+    ac.detector.score_threshold = static_cast<int>((3 * n + 9) / 10);
+
+    std::size_t misses = 0, attacks = 0, fas = 0, benigns = 0;
+    double lat_sum = 0;
+    std::size_t lat_n = 0;
+    std::uint64_t seed = 900;
+    for (const host::ScenarioSpec& spec : attack_specs) {
+      for (std::size_t rep = 0; rep < reps; ++rep) {
+        host::BuiltScenario b =
+            host::BuildScenario(spec, ac.scenario, seed++);
+        host::DetectionRun run = host::RunDetection(
+            tree, ac.detector, b.merged, b.ransom.active_begin);
+        ++attacks;
+        if (!run.alarm_time) {
+          ++misses;
+        } else {
+          lat_sum += ToSeconds(*run.alarm_time - b.ransom.active_begin);
+          ++lat_n;
+        }
+      }
+    }
+    for (const host::ScenarioSpec& spec : benign_specs) {
+      for (std::size_t rep = 0; rep < reps; ++rep) {
+        host::BuiltScenario b =
+            host::BuildScenario(spec, ac.scenario, seed++);
+        host::DetectionRun run =
+            host::RunDetection(tree, ac.detector, b.merged);
+        ++benigns;
+        if (run.max_score >= ac.detector.score_threshold) ++fas;
+      }
+    }
+    std::printf("%-10zu %12.1f %12.1f %12.2f\n", n,
+                100.0 * misses / attacks, 100.0 * fas / benigns,
+                lat_n ? lat_sum / lat_n : 0.0);
+  }
+
+  bench::PrintHeader("Ablation: slice length (N = 10, threshold 3)");
+  std::printf("%-10s %12s %12s %12s\n", "slice(ms)", "FRR %", "FAR %",
+              "mean lat (s)");
+  for (SimTime slice : {Milliseconds(500), Seconds(1), Seconds(2)}) {
+    host::AccuracyConfig ac;
+    ac.scenario = bench::BenchScenario();
+    ac.repetitions = reps;
+    ac.detector.slice_length = slice;
+
+    std::size_t misses = 0, attacks = 0, fas = 0, benigns = 0;
+    double lat_sum = 0;
+    std::size_t lat_n = 0;
+    std::uint64_t seed = 1700;
+    for (const host::ScenarioSpec& spec : attack_specs) {
+      for (std::size_t rep = 0; rep < reps; ++rep) {
+        host::BuiltScenario b =
+            host::BuildScenario(spec, ac.scenario, seed++);
+        host::DetectionRun run = host::RunDetection(
+            tree, ac.detector, b.merged, b.ransom.active_begin);
+        ++attacks;
+        if (!run.alarm_time) {
+          ++misses;
+        } else {
+          lat_sum += ToSeconds(*run.alarm_time - b.ransom.active_begin);
+          ++lat_n;
+        }
+      }
+    }
+    for (const host::ScenarioSpec& spec : benign_specs) {
+      for (std::size_t rep = 0; rep < reps; ++rep) {
+        host::BuiltScenario b =
+            host::BuildScenario(spec, ac.scenario, seed++);
+        host::DetectionRun run =
+            host::RunDetection(tree, ac.detector, b.merged);
+        ++benigns;
+        if (run.max_score >= ac.detector.score_threshold) ++fas;
+      }
+    }
+    std::printf("%-10lld %12.1f %12.1f %12.2f\n",
+                static_cast<long long>(slice / 1000),
+                100.0 * misses / attacks, 100.0 * fas / benigns,
+                lat_n ? lat_sum / lat_n : 0.0);
+  }
+  std::printf("\nNote: the trained tree's thresholds are calibrated for 1-s "
+              "slices;\nother slice lengths shift the feature scales, which "
+              "is exactly the\nsensitivity this ablation demonstrates.\n");
+  return 0;
+}

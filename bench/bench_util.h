@@ -1,0 +1,55 @@
+// Shared helpers for the benchmark/reproduction binaries.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/decision_tree.h"
+#include "host/scenario.h"
+#include "host/train.h"
+
+namespace insider::bench {
+
+/// Environment-tunable repetition count so CI can run the benches fast
+/// while a full reproduction uses the paper's 20 repetitions:
+///   INSIDER_BENCH_REPS=20 ./fig7_accuracy
+inline std::size_t RepsFromEnv(std::size_t def) {
+  if (const char* env = std::getenv("INSIDER_BENCH_REPS")) {
+    long v = std::atol(env);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return def;
+}
+
+/// Scenario sizing shared by the reproduction benches.
+inline host::ScenarioConfig BenchScenario() {
+  host::ScenarioConfig c;
+  c.duration = Seconds(40);
+  c.ransom_start = Seconds(12);
+  c.fileset_files = 1200;
+  return c;
+}
+
+/// Train the deployed tree exactly as the paper does (Table I training
+/// rows through ID3). Falls back to more seeds for stability.
+inline core::DecisionTree TrainPaperTree() {
+  host::TrainConfig tc;
+  tc.scenario = BenchScenario();
+  tc.seeds_per_scenario = 3;
+  std::fprintf(stderr, "[bench] training ID3 tree on Table I scenarios...\n");
+  core::DecisionTree tree = host::TrainDefaultTree(tc);
+  std::fprintf(stderr, "[bench] tree: %zu nodes, depth %zu\n",
+               tree.NodeCount(), tree.Depth());
+  return tree;
+}
+
+inline void PrintHeader(const char* title) {
+  std::printf("==============================================================="
+              "=\n%s\n"
+              "==============================================================="
+              "=\n",
+              title);
+}
+
+}  // namespace insider::bench

@@ -1,0 +1,70 @@
+// Fig. 9 reproduction: GC page copies, conventional FTL vs SSD-Insider FTL,
+// on the Table I testing traces at 90% utilization (worst case), plus the
+// 70% (average case) comparison the paper reports as ~0% overhead.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "host/experiment.h"
+
+int main() {
+  using namespace insider;
+
+  host::ScenarioConfig sc = bench::BenchScenario();
+  // Long enough that the write-heavy traces (Compression, VideoEncode,
+  // WannaCry — the ones the paper says dominate GC) chew through the free
+  // pool; a large file set so WannaCry keeps writing the whole time.
+  sc.duration = Seconds(60);
+  sc.fileset_files = 6000;
+  // Keep workload LBAs inside the simulated device (1-GB geometry,
+  // ~236k exported LBAs at 90%).
+  host::GcExperimentConfig gc_cfg;
+  nand::Geometry geo = gc_cfg.geometry;
+  sc.lba_space = static_cast<Lba>(geo.TotalPages() * 0.9);
+
+  for (double fill : {0.9, 0.7}) {
+    bench::PrintHeader(fill == 0.9
+                           ? "Fig. 9: GC page copies @ 90% utilization "
+                             "(worst case)"
+                           : "GC page copies @ 70% utilization (average "
+                             "case)");
+    std::printf("%-28s %14s %14s %10s\n", "trace (app+ransomware)",
+                "conventional", "ssd-insider", "overhead");
+    double overhead_sum = 0;
+    int overhead_n = 0;
+    int traces = 0;
+    for (const host::ScenarioSpec& spec : host::TestingScenarios()) {
+      host::BuiltScenario built = host::BuildScenario(spec, sc, 55);
+      host::GcExperimentConfig cfg;
+      cfg.fill_fraction = fill;
+      // Scale the retention window to the simulated device: the paper's
+      // 512-GB drive keeps 10 s of backups in a sliver of its
+      // over-provisioning; on a 1-GB simulated device the same *fraction*
+      // of OP corresponds to ~1 s of heavy-write backups.
+      cfg.retention_window = Seconds(1);
+      host::GcResult r = host::RunGcExperiment(built, cfg);
+      std::string label = spec.label +
+                          (spec.ransomware.empty() ? "" : "+" +
+                           spec.ransomware);
+      std::printf("%-28s %14llu %14llu %9.1f%%\n", label.c_str(),
+                  static_cast<unsigned long long>(r.copies_conventional),
+                  static_cast<unsigned long long>(r.copies_insider),
+                  r.OverheadPercent());
+      ++traces;
+      if (r.copies_conventional > 0) {
+        overhead_sum += r.OverheadPercent();
+        ++overhead_n;
+      }
+    }
+    if (overhead_n > 0) {
+      std::printf("%-28s %14s %14s %9.1f%%\n", "AVERAGE (traces with GC)",
+                  "", "", overhead_sum / overhead_n);
+      std::printf("%-28s %14s %14s %9.1f%%\n", "AVERAGE (all traces)", "",
+                  "", overhead_sum / traces);
+    }
+    std::printf("\n");
+  }
+  std::printf("Expected shape: ~0%% extra copies at 70%% utilization; a "
+              "bounded\npremium (paper: 22%% average) at 90%% on "
+              "write-heavy traces.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Table II reproduction: repeated attack -> detect -> rollback -> fsck
+// trials. The paper runs its custom ransomware 100 times and reports, per
+// corruption type, how often fsck saw it, that all were resolved, and that
+// no encrypted files remained.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/pretrained.h"
+#include "host/experiment.h"
+
+int main() {
+  using namespace insider;
+  std::size_t trials = bench::RepsFromEnv(20);
+
+  host::ConsistencyTrialConfig base;  // 256-MB device, 200 small documents
+
+  std::size_t detected = 0, recovered_all = 0;
+  std::size_t no_corruption = 0, wrong_free_block = 0, wrong_inode_block = 0,
+               bitmap = 0, other = 0, unresolved = 0;
+  std::size_t files_total = 0, files_intact = 0, files_encrypted = 0,
+               files_corrupt = 0;
+  double worst_latency = 0, worst_rollback = 0;
+
+  for (std::size_t t = 0; t < trials; ++t) {
+    host::ConsistencyTrialConfig cfg = base;
+    cfg.seed = t + 1;
+    host::ConsistencyTrialResult r =
+        host::RunConsistencyTrial(core::PretrainedTree(), cfg);
+    if (!r.detected) {
+      std::printf("trial %zu: NOT DETECTED\n", t + 1);
+      continue;
+    }
+    ++detected;
+    worst_latency = std::max(worst_latency, ToSeconds(r.detection_latency));
+    worst_rollback = std::max(worst_rollback, ToSeconds(r.rollback_duration));
+
+    const fs::FsckReport& b = r.fsck_before;
+    bool any = false;
+    if (b.wrong_free_block_count) { ++wrong_free_block; any = true; }
+    if (b.wrong_inode_block_count) { ++wrong_inode_block; any = true; }
+    if (b.bitmap_mismatches) { ++bitmap; any = true; }
+    if (b.dangling_dir_entries || b.orphan_inodes || b.bad_pointers ||
+        b.double_claimed_blocks || b.wrong_free_inode_count) {
+      ++other;
+      any = true;
+    }
+    if (!any) ++no_corruption;
+    if (!r.clean_after_repair) ++unresolved;
+
+    files_total += r.files_total;
+    files_intact += r.files_intact;
+    files_encrypted += r.files_encrypted;
+    files_corrupt += r.files_corrupt;
+    if (r.files_intact == r.files_total) ++recovered_all;
+  }
+
+  bench::PrintHeader("Table II: file-system consistency after recovery");
+  std::printf("trials: %zu   detected: %zu   fully recovered: %zu\n\n",
+              trials, detected, recovered_all);
+  std::printf("%-28s %12s %12s\n", "type of corruption", "occurrences",
+              "unresolved");
+  std::printf("%-28s %12zu %12s\n", "No corruption", no_corruption, "-");
+  std::printf("%-28s %12zu %12zu\n", "Wrong free-block count",
+              wrong_free_block, unresolved);
+  std::printf("%-28s %12zu %12zu\n", "Wrong inode-block count",
+              wrong_inode_block, unresolved);
+  std::printf("%-28s %12zu %12zu\n", "Free-space bitmap", bitmap, unresolved);
+  std::printf("%-28s %12zu %12zu\n", "Other (orphans/dangling)", other,
+              unresolved);
+  std::printf("\nfiles: %zu total, %zu intact, %zu left encrypted, "
+              "%zu corrupt\n",
+              files_total, files_intact, files_encrypted, files_corrupt);
+  std::printf("worst detection latency: %.2f s (paper: <10 s)\n",
+              worst_latency);
+  std::printf("worst rollback duration: %.4f s (paper: <1 s)\n",
+              worst_rollback);
+  std::printf("\nExpected shape: every trial detected, all corruption "
+              "resolved by fsck,\n0 files left encrypted (paper: 0%% data "
+              "loss after 100 runs).\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Quickstart: the SSD-Insider pipeline in ~80 lines.
+//
+//   1. Assemble a simulated SSD with the in-firmware detector.
+//   2. Write user data; let it age past the recovery window.
+//   3. Unleash a WannaCry-style attack against the raw block device.
+//   4. Watch the alarm fire, latch the device read-only, roll the mapping
+//      table back, and verify every pre-attack block is intact.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/pretrained.h"
+#include "host/scenario.h"
+#include "host/ssd.h"
+
+using namespace insider;
+
+int main() {
+  // 1. A small SSD: 4 chips x 160 blocks x 64 pages of 4 KB (~160 MB).
+  host::SsdConfig config;
+  config.ftl.geometry.channels = 2;
+  config.ftl.geometry.ways = 2;
+  config.ftl.geometry.blocks_per_chip = 160;
+  config.ftl.geometry.pages_per_block = 64;
+  host::Ssd ssd(config, core::PretrainedTree());
+  std::printf("SSD ready: %llu exported 4-KB blocks, detector armed\n",
+              static_cast<unsigned long long>(ssd.Ftl().ExportedLbas()));
+
+  // 2. A user's documents: 16000 blocks (~64 MB) stamped with their LBA.
+  const Lba kDocs = 16000;
+  for (Lba lba = 0; lba < kDocs; ++lba) {
+    ssd.Submit({Seconds(1), lba, 1, IoMode::kWrite}, lba);
+  }
+  ssd.IdleUntil(Seconds(20));  // data ages out of the recovery window
+  std::printf("wrote %llu document blocks, idled to t=20s\n",
+              static_cast<unsigned long long>(kDocs));
+
+  // 3. The attack: a synthetic WannaCry working through a file set laid
+  //    over those blocks — read, encrypt, overwrite.
+  Rng rng(7);
+  wl::FileSet::Params fsp;
+  fsp.file_count = 1700;
+  fsp.region_blocks = kDocs;
+  wl::FileSet files = wl::FileSet::Generate(fsp, rng);
+  wl::RansomwareRunParams rp;
+  rp.start_time = Seconds(20);
+  rp.scratch_start = kDocs + 100;
+  wl::RansomwareTrace attack = wl::GenerateRansomware(
+      wl::RansomwareProfileByName("WannaCry"), files, rp, rng);
+  std::printf("attack: %llu files, %llu blocks to encrypt, starting t=20s\n",
+              static_cast<unsigned long long>(attack.files_attacked),
+              static_cast<unsigned long long>(attack.blocks_encrypted));
+
+  std::size_t served = 0;
+  for (const IoRequest& r : attack.requests) {
+    if (ssd.AlarmActive()) break;  // the drive has already shut the door
+    ssd.Submit(r, /*stamp_base=*/0xDEAD0000);
+    ++served;
+  }
+  ssd.IdleUntil(ssd.Clock().Now() + Seconds(1));
+
+  if (!ssd.AlarmActive()) {
+    std::printf("!! attack finished without detection\n");
+    return 1;
+  }
+  double latency = ToSeconds(*ssd.FirstAlarmTime() - attack.active_begin);
+  std::printf("ALARM at t=%.1fs — %.1f s after the attack began "
+              "(served %zu/%zu attack requests, score %d/10)\n",
+              ToSeconds(*ssd.FirstAlarmTime()), latency, served,
+              attack.requests.size(), ssd.Detector().Score());
+
+  // 4. Recovery: rollback is just mapping-table updates.
+  ftl::RollbackReport report = ssd.RollBackNow();
+  std::printf("rollback: %zu backup entries replayed in %.4f s (no data "
+              "copies)\n",
+              report.entries_reverted, ToSeconds(report.duration));
+
+  std::size_t intact = 0;
+  for (Lba lba = 0; lba < kDocs; ++lba) {
+    ftl::FtlResult r = ssd.Ftl().ReadPage(lba, ssd.Clock().Now());
+    if (r.ok() && r.data.stamp == lba) ++intact;
+  }
+  std::printf("verification: %zu/%llu document blocks intact -> %s\n",
+              intact, static_cast<unsigned long long>(kDocs),
+              intact == kDocs ? "PERFECT RECOVERY" : "DATA LOSS");
+  return intact == kDocs ? 0 : 1;
+}

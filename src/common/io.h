@@ -1,0 +1,30 @@
+// The block-I/O request header — the *only* information SSD-Insider's
+// detector is allowed to see (paper §II-B): arrival time, starting LBA,
+// request type, and length in 4-KB blocks. No payload.
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.h"
+
+namespace insider {
+
+using Lba = std::uint64_t;
+inline constexpr Lba kInvalidLba = static_cast<Lba>(-1);
+
+enum class IoMode : std::uint8_t {
+  kRead,
+  kWrite,
+  kTrim,  ///< host discard/delete; Class-C ransomware deletes files
+};
+
+struct IoRequest {
+  SimTime time = 0;   ///< submission time (virtual)
+  Lba lba = 0;        ///< starting logical block address (4-KB units)
+  std::uint32_t length = 1;  ///< number of 4-KB blocks
+  IoMode mode = IoMode::kRead;
+
+  friend bool operator==(const IoRequest&, const IoRequest&) = default;
+};
+
+}  // namespace insider

@@ -1,0 +1,52 @@
+// Minimal leveled logger.
+//
+// The simulator is a library first: logging defaults to warnings-and-above on
+// stderr so tests and benches stay quiet, and the examples turn verbosity up.
+#pragma once
+
+#include <sstream>
+#include <string_view>
+
+namespace insider {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global threshold; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace detail {
+void Emit(LogLevel level, std::string_view msg);
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, bool enabled) : level_(level), enabled_(enabled) {}
+  ~LogLine() {
+    if (enabled_) Emit(level_, os_.str());
+  }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    if (enabled_) os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+inline detail::LogLine Log(LogLevel level) {
+  return detail::LogLine(level, level >= GetLogLevel());
+}
+
+#define INSIDER_LOG_DEBUG ::insider::Log(::insider::LogLevel::kDebug)
+#define INSIDER_LOG_INFO ::insider::Log(::insider::LogLevel::kInfo)
+#define INSIDER_LOG_WARN ::insider::Log(::insider::LogLevel::kWarn)
+#define INSIDER_LOG_ERROR ::insider::Log(::insider::LogLevel::kError)
+
+}  // namespace insider

@@ -1,0 +1,80 @@
+#include "common/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace insider {
+
+std::uint64_t Rng::Below(std::uint64_t bound) {
+  assert(bound > 0);
+  // Lemire's method: multiply into 128 bits, reject the biased low range.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::Between(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  // span == 0 means the full 64-bit range [INT64_MIN, INT64_MAX].
+  if (span == 0) return static_cast<std::int64_t>((*this)());
+  return lo + static_cast<std::int64_t>(Below(span));
+}
+
+double Rng::Uniform() {
+  // 53 random bits into [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return Uniform() < p;
+}
+
+double Rng::Exponential(double mean) {
+  assert(mean > 0.0);
+  double u;
+  do {
+    u = Uniform();
+  } while (u <= 0.0);
+  return -mean * std::log(u);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  double u, v, s;
+  do {
+    u = 2.0 * Uniform() - 1.0;
+    v = 2.0 * Uniform() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  return mean + stddev * u * std::sqrt(-2.0 * std::log(s) / s);
+}
+
+double Rng::Pareto(double xm, double alpha) {
+  assert(xm > 0.0 && alpha > 0.0);
+  double u;
+  do {
+    u = Uniform();
+  } while (u <= 0.0);
+  return xm / std::pow(u, 1.0 / alpha);
+}
+
+Rng Rng::Fork() {
+  // Two draws give the child a state decorrelated from the parent's
+  // continuation stream.
+  std::uint64_t a = (*this)();
+  std::uint64_t b = (*this)();
+  return Rng(a ^ (b << 1) ^ 0xD6E8FEB86659FD93ull);
+}
+
+}  // namespace insider

@@ -1,0 +1,58 @@
+// Small statistics helpers shared by the experiment harness and benches.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace insider {
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void Add(double x);
+  void Merge(const RunningStats& other);
+
+  std::size_t Count() const { return n_; }
+  double Mean() const { return n_ ? mean_ : 0.0; }
+  double Variance() const;  ///< Sample variance (n-1 denominator).
+  double Stddev() const;
+  double Min() const { return n_ ? min_ : 0.0; }
+  double Max() const { return n_ ? max_ : 0.0; }
+  double Sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Fixed-bucket histogram over [lo, hi) with out-of-range clamping; used for
+/// latency distributions in benches.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void Add(double x);
+  std::size_t TotalCount() const { return total_; }
+  /// Value at the given quantile q in [0,1], linearly interpolated within the
+  /// winning bucket. Returns lo for an empty histogram.
+  double Quantile(double q) const;
+  std::string ToString() const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Pearson correlation of two equally sized series; the paper's Fig. 1/2
+/// argue feature quality via correlation with ransomware active periods.
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+}  // namespace insider

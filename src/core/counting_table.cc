@@ -1,0 +1,278 @@
+#include "core/counting_table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace insider::core {
+
+CountingTable::CountingTable() : CountingTable(Config{}) {}
+
+CountingTable::CountingTable(const Config& config) : config_(config) {
+  assert(config_.max_entries > 0);
+}
+
+CountingTable::EntryMap::iterator CountingTable::FindRunContaining(Lba lba) {
+  auto it = entries_.upper_bound(lba);
+  if (it == entries_.begin()) return entries_.end();
+  --it;
+  const CountingEntry& e = it->second;
+  if (lba >= e.lba && lba < e.lba + e.rl) return it;
+  return entries_.end();
+}
+
+void CountingTable::EraseEntry(EntryMap::iterator it) {
+  const CountingEntry& e = it->second;
+  for (Lba b = e.lba; b < e.lba + e.rl; ++b) index_.erase(b);
+  by_time_.erase(e.time_it);
+  entries_.erase(it);
+}
+
+void CountingTable::TouchEntry(EntryMap::iterator it, SliceIndex slice) {
+  CountingEntry& e = it->second;
+  if (e.time == slice) return;
+  by_time_.erase(e.time_it);
+  e.time = slice;
+  e.time_it = by_time_.emplace(slice, e.lba);
+}
+
+void CountingTable::EvictOldest() {
+  if (entries_.empty()) return;
+  auto oldest = entries_.find(by_time_.begin()->second);
+  assert(oldest != entries_.end());
+  EraseEntry(oldest);
+}
+
+void CountingTable::RekeyRange(Lba from, std::uint32_t count, Lba new_start) {
+  for (Lba b = from; b < from + count; ++b) {
+    auto it = index_.find(b);
+    assert(it != index_.end());
+    it->second.run_start = new_start;
+  }
+}
+
+void CountingTable::MaybeMergeWithNext(EntryMap::iterator it) {
+  auto next = std::next(it);
+  if (next == entries_.end()) return;
+  CountingEntry& left = it->second;
+  CountingEntry& right = next->second;
+  if (left.lba + left.rl != right.lba) return;
+  // Only merge when at most one side has an overwrite run in flight, so WL
+  // keeps measuring one contiguous overwritten stretch per entry.
+  if (left.wl > 0 && right.wl > 0) return;
+  if (right.time > left.time) {
+    by_time_.erase(left.time_it);
+    left.time = right.time;
+    left.time_it = by_time_.emplace(left.time, left.lba);
+  }
+  if (left.wl == 0) left.ow_next = right.ow_next;
+  left.wl += right.wl;
+  RekeyRange(right.lba, right.rl, left.lba);
+  left.rl += right.rl;
+  by_time_.erase(right.time_it);
+  entries_.erase(next);
+}
+
+void CountingTable::HandleReadBlock(Lba lba, SliceIndex slice) {
+  auto key_it = index_.find(lba);
+  if (key_it != index_.end()) {
+    // Re-read of a tracked block: re-arm it so the next write counts as a
+    // fresh overwrite (the ransomware read-encrypt-overwrite cycle). The
+    // block leaves the "overwritten" population, so WL gives it back —
+    // keeping the invariant that WL counts currently-overwritten blocks.
+    auto entry_it = entries_.find(key_it->second.run_start);
+    assert(entry_it != entries_.end());
+    if (key_it->second.state == BlockState::kOverwritten &&
+        entry_it->second.wl > 0) {
+      --entry_it->second.wl;
+      if (entry_it->second.wl == 0) entry_it->second.ow_next = kInvalidLba;
+    }
+    key_it->second.state = BlockState::kReadTracked;
+    key_it->second.read_slice = slice;
+    TouchEntry(entry_it, slice);
+    return;
+  }
+
+  // Extend a run whose tail is exactly this block (UpdateEntryR).
+  auto it = entries_.upper_bound(lba);
+  if (it != entries_.begin()) {
+    auto prev = std::prev(it);
+    CountingEntry& e = prev->second;
+    if (e.lba + e.rl == lba) {
+      ++e.rl;
+      TouchEntry(prev, slice);
+      index_.emplace(lba, Key{e.lba, BlockState::kReadTracked, slice});
+      MaybeMergeWithNext(prev);
+      return;
+    }
+  }
+
+  // NewEntry.
+  while (entries_.size() >= config_.max_entries) EvictOldest();
+  auto [entry_it, inserted] =
+      entries_.emplace(lba, CountingEntry{slice, lba, 1, 0, kInvalidLba});
+  assert(inserted);
+  entry_it->second.time_it = by_time_.emplace(slice, lba);
+  index_.emplace(lba, Key{lba, BlockState::kReadTracked, slice});
+  MaybeMergeWithNext(entry_it);
+  // Soft hash-capacity cap: shed least-recently-active runs, but never the
+  // only remaining one.
+  while (index_.size() > config_.max_hash_keys && entries_.size() > 1) {
+    EvictOldest();
+  }
+}
+
+void CountingTable::HandleWriteBlock(Lba lba, SliceIndex slice) {
+  auto key_it = index_.find(lba);
+  if (key_it == index_.end()) return;          // plain write, not tracked
+  if (key_it->second.state == BlockState::kOverwritten) return;  // counted
+  // Paper footnote 1: only writes to blocks read within the last N slices
+  // count as overwrites. A stale tracked block neither counts nor keeps its
+  // run alive.
+  if (slice - key_it->second.read_slice >=
+      static_cast<SliceIndex>(config_.window_slices)) {
+    return;
+  }
+
+  key_it->second.state = BlockState::kOverwritten;
+  ++counters_.overwrites;
+
+  auto entry_it = entries_.find(key_it->second.run_start);
+  assert(entry_it != entries_.end());
+  TouchEntry(entry_it, slice);
+  CountingEntry& e = entry_it->second;
+
+  if (e.wl == 0 || lba == e.ow_next) {
+    // Start or contiguously extend the overwrite run (UpdateEntryW).
+    if (e.wl < e.rl) ++e.wl;
+    e.ow_next = lba + 1;
+    return;
+  }
+  if (lba == e.lba) {
+    // Overwrite restarted at the run head; fold into the same entry.
+    if (e.wl < e.rl) ++e.wl;
+    e.ow_next = lba + 1;
+    return;
+  }
+
+  // SplitEntry: a non-contiguous overwrite lands mid-run. Carve the tail
+  // [lba, end) into its own entry so each entry's WL stays one contiguous
+  // overwritten stretch.
+  std::uint32_t left_len = static_cast<std::uint32_t>(lba - e.lba);
+  std::uint32_t right_len = e.rl - left_len;
+  e.rl = left_len;
+  // The old contiguous overwrite run spans [ow_next - wl, ow_next) when it
+  // has stayed contiguous; head-restarts and re-read give-backs can blur
+  // that, so attribute WL to the side the frontier sits on and clamp both
+  // sides to their capacity (WL <= RL is a table invariant).
+  Lba old_ow_start = e.ow_next >= e.wl ? e.ow_next - e.wl : 0;
+  std::uint32_t left_wl =
+      (old_ow_start >= lba) ? 0 : std::min(e.wl, left_len);
+  std::uint32_t right_wl = std::min(e.wl - left_wl, right_len - 1);
+  e.wl = left_wl;
+  if (left_wl == 0) e.ow_next = kInvalidLba;
+  auto [right_it, inserted] = entries_.emplace(
+      lba, CountingEntry{slice, lba, right_len,
+                         static_cast<std::uint32_t>(right_wl + 1), lba + 1});
+  assert(inserted);
+  right_it->second.time_it = by_time_.emplace(slice, lba);
+  RekeyRange(lba, right_len, lba);
+  while (entries_.size() > config_.max_entries) EvictOldest();
+}
+
+void CountingTable::OnRead(Lba lba, std::uint32_t length, SliceIndex slice) {
+  counters_.read_blocks += length;
+  for (std::uint32_t i = 0; i < length; ++i) HandleReadBlock(lba + i, slice);
+}
+
+void CountingTable::OnWrite(Lba lba, std::uint32_t length, SliceIndex slice) {
+  counters_.write_blocks += length;
+  for (std::uint32_t i = 0; i < length; ++i) HandleWriteBlock(lba + i, slice);
+}
+
+SliceCounters CountingTable::EndSlice() {
+  SliceCounters out = counters_;
+  counters_ = SliceCounters{};
+  return out;
+}
+
+void CountingTable::DropOlderThan(SliceIndex min_slice) {
+  while (!by_time_.empty() && by_time_.begin()->first < min_slice) {
+    auto victim = entries_.find(by_time_.begin()->second);
+    assert(victim != entries_.end());
+    EraseEntry(victim);
+  }
+}
+
+double CountingTable::AverageOverwriteRunLength() const {
+  std::uint64_t sum = 0;
+  std::uint64_t count = 0;
+  for (const auto& [start, e] : entries_) {
+    if (e.wl > 0) {
+      sum += e.wl;
+      ++count;
+    }
+  }
+  if (count == 0) return 0.0;
+  return static_cast<double>(sum) / static_cast<double>(count);
+}
+
+std::string CountingTable::CheckInvariants() const {
+  std::ostringstream err;
+  std::size_t covered = 0;
+  Lba prev_end = 0;
+  bool first = true;
+  for (const auto& [start, e] : entries_) {
+    if (start != e.lba) {
+      err << "entry key " << start << " != entry lba " << e.lba;
+      return err.str();
+    }
+    if (e.rl == 0) {
+      err << "entry " << start << " has zero read-run length";
+      return err.str();
+    }
+    if (e.wl > e.rl) {
+      err << "entry " << start << " wl " << e.wl << " > rl " << e.rl;
+      return err.str();
+    }
+    if (!first && start < prev_end) {
+      err << "entry " << start << " overlaps previous run ending at "
+          << prev_end;
+      return err.str();
+    }
+    first = false;
+    prev_end = start + e.rl;
+    covered += e.rl;
+    for (Lba b = e.lba; b < e.lba + e.rl; ++b) {
+      auto it = index_.find(b);
+      if (it == index_.end()) {
+        err << "block " << b << " of run " << start << " missing from index";
+        return err.str();
+      }
+      if (it->second.run_start != start) {
+        err << "block " << b << " indexed to wrong run "
+            << it->second.run_start << " (expected " << start << ")";
+        return err.str();
+      }
+    }
+  }
+  if (covered != index_.size()) {
+    err << "index holds " << index_.size() << " keys but runs cover "
+        << covered << " blocks";
+    return err.str();
+  }
+  if (by_time_.size() != entries_.size()) {
+    err << "time index size " << by_time_.size() << " != entry count "
+        << entries_.size();
+    return err.str();
+  }
+  for (const auto& [start, e] : entries_) {
+    if (e.time_it->first != e.time || e.time_it->second != e.lba) {
+      err << "entry " << start << " has a stale time-index handle";
+      return err.str();
+    }
+  }
+  return {};
+}
+
+}  // namespace insider::core

@@ -1,0 +1,107 @@
+#include "core/detector.h"
+
+#include <cassert>
+#include <numeric>
+
+namespace insider::core {
+
+namespace {
+CountingTable::Config TableConfigFor(const DetectorConfig& config) {
+  CountingTable::Config table = config.table;
+  // The table's footnote-1 read-recency horizon mirrors the window.
+  table.window_slices = config.window_slices;
+  return table;
+}
+}  // namespace
+
+Detector::Detector(const DetectorConfig& config, DecisionTree tree)
+    : config_(config), tree_(std::move(tree)),
+      table_(TableConfigFor(config)) {
+  assert(config_.slice_length > 0);
+  assert(config_.window_slices > 0);
+}
+
+void Detector::OnRequest(const IoRequest& request) {
+  AdvanceTo(request.time);
+  switch (request.mode) {
+    case IoMode::kRead:
+      table_.OnRead(request.lba, request.length, current_slice_);
+      break;
+    case IoMode::kWrite:
+      table_.OnWrite(request.lba, request.length, current_slice_);
+      break;
+    case IoMode::kTrim:
+      // The paper's IOMode is R/W only; discards are invisible to the
+      // detector (Class-C ransomware is caught by the overwrites it still
+      // must perform to destroy the plaintext).
+      break;
+  }
+}
+
+void Detector::AdvanceTo(SimTime now) {
+  while ((current_slice_ + 1) * config_.slice_length <= now) {
+    CloseSlice();
+  }
+}
+
+FeatureVector Detector::ComputeFeatures(const SliceCounters& counters) const {
+  FeatureVector fv;
+  double owio = static_cast<double>(counters.overwrites);
+  double writes = static_cast<double>(counters.write_blocks);
+  double reads = static_cast<double>(counters.read_blocks);
+  double pwio = static_cast<double>(
+      std::accumulate(owio_hist_.begin(), owio_hist_.end(), std::uint64_t{0}));
+
+  fv[FeatureId::kOwIo] = owio;
+  fv[FeatureId::kOwSt] = writes > 0 ? owio / writes : 0.0;
+  fv[FeatureId::kPwIo] = pwio;
+  fv[FeatureId::kAvgWIo] = table_.AverageOverwriteRunLength();
+  double avg_prev = pwio / static_cast<double>(config_.window_slices);
+  fv[FeatureId::kOwSlope] =
+      avg_prev > 0 ? owio / avg_prev
+                   : (owio > 0 ? static_cast<double>(config_.window_slices)
+                               : 0.0);
+  fv[FeatureId::kIo] = reads + writes;
+  return fv;
+}
+
+void Detector::CloseSlice() {
+  SliceCounters counters = table_.EndSlice();
+  FeatureVector fv = ComputeFeatures(counters);
+  bool vote = tree_.Classify(fv);
+
+  votes_.push_back(vote);
+  score_ += vote ? 1 : 0;
+  if (votes_.size() > config_.window_slices) {
+    score_ -= votes_.front() ? 1 : 0;
+    votes_.pop_front();
+  }
+
+  owio_hist_.push_back(counters.overwrites);
+  if (owio_hist_.size() > config_.window_slices) owio_hist_.pop_front();
+
+  SimTime end_time = (current_slice_ + 1) * config_.slice_length;
+  if (!first_alarm_ && score_ >= config_.score_threshold) {
+    first_alarm_ = end_time;
+  }
+  history_.push_back(SliceRecord{current_slice_, end_time, fv, vote, score_});
+
+  ++current_slice_;
+  // Slide the window: entries last touched more than N slices ago leave the
+  // counting table (Algorithm 1 line 6).
+  SliceIndex min_slice =
+      current_slice_ - static_cast<SliceIndex>(config_.window_slices) + 1;
+  if (min_slice > 0) table_.DropOlderThan(min_slice);
+}
+
+void Detector::Reset() {
+  table_ = CountingTable(TableConfigFor(config_));
+  current_slice_ = 0;
+  votes_.clear();
+  owio_hist_.clear();
+  score_ = 0;
+  first_alarm_.reset();
+  history_.clear();
+}
+
+}  // namespace insider::core

@@ -1,0 +1,71 @@
+#include "core/entropy.h"
+
+#include <array>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace insider::core {
+
+double ShannonEntropy(std::span<const std::byte> data) {
+  if (data.empty()) return 0.0;
+  std::array<std::uint64_t, 256> counts{};
+  for (std::byte b : data) ++counts[static_cast<std::uint8_t>(b)];
+  double total = static_cast<double>(data.size());
+  double entropy = 0.0;
+  for (std::uint64_t c : counts) {
+    if (c == 0) continue;
+    double p = static_cast<double>(c) / total;
+    entropy -= p * std::log2(p);
+  }
+  return entropy;
+}
+
+EntropyTracker::EntropyTracker(SimTime slice_length)
+    : slice_length_(slice_length) {
+  assert(slice_length_ > 0);
+}
+
+void EntropyTracker::OnWrite(SimTime t, std::span<const std::byte> payload) {
+  AdvanceTo(t);
+  for (std::byte b : payload) ++histogram_[static_cast<std::uint8_t>(b)];
+  bytes_ += payload.size();
+}
+
+void EntropyTracker::AdvanceTo(SimTime now) {
+  while ((current_slice_ + 1) * slice_length_ <= now) {
+    CloseSlice();
+  }
+}
+
+void EntropyTracker::CloseSlice() {
+  SliceEntropy rec;
+  rec.end_time = (current_slice_ + 1) * slice_length_;
+  rec.bytes = bytes_;
+  if (bytes_ > 0) {
+    double total = static_cast<double>(bytes_);
+    for (std::uint64_t c : histogram_) {
+      if (c == 0) continue;
+      double p = static_cast<double>(c) / total;
+      rec.mean_entropy -= p * std::log2(p);
+    }
+  }
+  history_.push_back(rec);
+  histogram_.fill(0);
+  bytes_ = 0;
+  ++current_slice_;
+}
+
+double EntropyTracker::RecentMean(std::size_t n) const {
+  double sum = 0.0;
+  std::size_t counted = 0;
+  for (auto it = history_.rbegin(); it != history_.rend() && counted < n;
+       ++it) {
+    if (it->bytes == 0) continue;
+    sum += it->mean_entropy;
+    ++counted;
+  }
+  return counted ? sum / static_cast<double>(counted) : 0.0;
+}
+
+}  // namespace insider::core

@@ -1,0 +1,58 @@
+// Content-entropy assist (extension, not part of the paper's detector).
+//
+// The paper's §II surveys content-based detection: encrypted payloads have
+// near-maximal Shannon entropy, which is a strong ransomware indicator but
+// expensive (it requires looking at data, not just headers) and confusable
+// with compression. The follow-up work (SSD-Insider++) adds exactly this
+// signal inside the drive. We provide it as an optional module so the
+// `ablation_entropy` bench can quantify what payload visibility would buy
+// the header-only detector.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/time.h"
+
+namespace insider::core {
+
+/// Shannon entropy of a byte buffer, in bits per byte (0 = constant,
+/// 8 = uniform random). Empty input yields 0.
+double ShannonEntropy(std::span<const std::byte> data);
+
+/// Per-slice aggregation of write-payload entropy, mirroring the detector's
+/// slice cadence. Cheap streaming design: a byte histogram per slice.
+class EntropyTracker {
+ public:
+  explicit EntropyTracker(SimTime slice_length = Seconds(1));
+
+  /// Account one written payload at time `t` (time must be non-decreasing).
+  void OnWrite(SimTime t, std::span<const std::byte> payload);
+
+  /// Close every slice ending at or before `now`.
+  void AdvanceTo(SimTime now);
+
+  struct SliceEntropy {
+    SimTime end_time = 0;
+    double mean_entropy = 0.0;   ///< entropy of the slice's combined bytes
+    std::uint64_t bytes = 0;     ///< payload volume observed
+  };
+  const std::vector<SliceEntropy>& History() const { return history_; }
+
+  /// Mean entropy over the most recent `n` closed slices that carried data.
+  double RecentMean(std::size_t n) const;
+
+ private:
+  void CloseSlice();
+
+  SimTime slice_length_;
+  std::int64_t current_slice_ = 0;
+  std::array<std::uint64_t, 256> histogram_{};
+  std::uint64_t bytes_ = 0;
+  std::vector<SliceEntropy> history_;
+};
+
+}  // namespace insider::core

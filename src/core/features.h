@@ -1,0 +1,86 @@
+// The six invariant ransomware features (paper §III-A).
+//
+// All six are computed from block-I/O request headers alone, over a sliding
+// time window of N slices (paper: N = 10 slices of 1 s each):
+//
+//   OWIO    — overwritten blocks during the current slice. An LBA counts as
+//             overwritten when it is written after having been read within
+//             the window, at most once per read (re-arming on a new read).
+//   OWST    — OWIO / (write blocks in the current slice). Data-wiping tools
+//             write each block ~7 times per read (DoD 5220.22-M), so their
+//             OWST is low while ransomware's is near 1.
+//   PWIO    — overwritten blocks accumulated over the previous N slices;
+//             catches slow ransomware (Jaff) that background load disperses.
+//   AVGWIO  — average length of *contiguous* overwrite runs in the window;
+//             ransomware targets scattered small files, wiping/defrag/DB
+//             touch long runs.
+//   OWSLOPE — OWIO relative to the per-slice average over the previous
+//             window; captures abrupt surges of overwriting.
+//   IO      — total read+write blocks in the current slice (Fig. 3's
+//             operational definition).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <sstream>
+#include <string>
+
+namespace insider::core {
+
+inline constexpr std::size_t kFeatureCount = 6;
+
+enum class FeatureId : std::size_t {
+  kOwIo = 0,
+  kOwSt = 1,
+  kPwIo = 2,
+  kAvgWIo = 3,
+  kOwSlope = 4,
+  kIo = 5,
+};
+
+inline const char* FeatureName(FeatureId id) {
+  switch (id) {
+    case FeatureId::kOwIo: return "OWIO";
+    case FeatureId::kOwSt: return "OWST";
+    case FeatureId::kPwIo: return "PWIO";
+    case FeatureId::kAvgWIo: return "AVGWIO";
+    case FeatureId::kOwSlope: return "OWSLOPE";
+    case FeatureId::kIo: return "IO";
+  }
+  return "?";
+}
+
+struct FeatureVector {
+  std::array<double, kFeatureCount> values{};
+
+  double& operator[](FeatureId id) {
+    return values[static_cast<std::size_t>(id)];
+  }
+  double operator[](FeatureId id) const {
+    return values[static_cast<std::size_t>(id)];
+  }
+
+  double owio() const { return (*this)[FeatureId::kOwIo]; }
+  double owst() const { return (*this)[FeatureId::kOwSt]; }
+  double pwio() const { return (*this)[FeatureId::kPwIo]; }
+  double avgwio() const { return (*this)[FeatureId::kAvgWIo]; }
+  double owslope() const { return (*this)[FeatureId::kOwSlope]; }
+  double io() const { return (*this)[FeatureId::kIo]; }
+
+  std::string ToString() const {
+    std::ostringstream os;
+    for (std::size_t i = 0; i < kFeatureCount; ++i) {
+      if (i) os << ' ';
+      os << FeatureName(static_cast<FeatureId>(i)) << '=' << values[i];
+    }
+    return os.str();
+  }
+};
+
+/// One labeled training example for the ID3 learner.
+struct Sample {
+  FeatureVector features;
+  bool ransomware = false;
+};
+
+}  // namespace insider::core

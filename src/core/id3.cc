@@ -1,0 +1,137 @@
+#include "core/id3.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace insider::core {
+
+double BinaryEntropy(std::size_t positives, std::size_t total) {
+  if (total == 0 || positives == 0 || positives == total) return 0.0;
+  double p = static_cast<double>(positives) / static_cast<double>(total);
+  return -p * std::log2(p) - (1.0 - p) * std::log2(1.0 - p);
+}
+
+namespace {
+
+struct BestSplit {
+  bool found = false;
+  FeatureId feature{};
+  double threshold = 0.0;
+  double gain = 0.0;
+};
+
+std::size_t CountPositives(std::span<const Sample> samples,
+                           const std::vector<std::size_t>& idx) {
+  std::size_t pos = 0;
+  for (std::size_t i : idx) {
+    if (samples[i].ransomware) ++pos;
+  }
+  return pos;
+}
+
+BestSplit FindBestSplit(std::span<const Sample> samples,
+                        const std::vector<std::size_t>& idx,
+                        std::size_t min_leaf) {
+  BestSplit best;
+  std::size_t n = idx.size();
+  std::size_t total_pos = CountPositives(samples, idx);
+  double parent_entropy = BinaryEntropy(total_pos, n);
+  if (parent_entropy == 0.0) return best;
+
+  std::vector<std::size_t> order(idx);
+  for (std::size_t f = 0; f < kFeatureCount; ++f) {
+    auto fid = static_cast<FeatureId>(f);
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return samples[a].features[fid] < samples[b].features[fid];
+    });
+    // Sweep: left side grows one sample at a time; candidate thresholds sit
+    // between adjacent distinct values.
+    std::size_t left_pos = 0;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      if (samples[order[i]].ransomware) ++left_pos;
+      double v = samples[order[i]].features[fid];
+      double v_next = samples[order[i + 1]].features[fid];
+      if (v == v_next) continue;
+      std::size_t left_n = i + 1;
+      std::size_t right_n = n - left_n;
+      if (left_n < min_leaf || right_n < min_leaf) continue;
+      double child_entropy =
+          (static_cast<double>(left_n) / n) * BinaryEntropy(left_pos, left_n) +
+          (static_cast<double>(right_n) / n) *
+              BinaryEntropy(total_pos - left_pos, right_n);
+      double gain = parent_entropy - child_entropy;
+      if (gain > best.gain) {
+        best.found = true;
+        best.feature = fid;
+        best.threshold = v + (v_next - v) / 2.0;
+        best.gain = gain;
+      }
+    }
+  }
+  return best;
+}
+
+std::int32_t Build(std::span<const Sample> samples,
+                   const std::vector<std::size_t>& idx, std::size_t depth,
+                   const Id3Config& config, DecisionTree& tree) {
+  std::size_t pos = CountPositives(samples, idx);
+  bool majority = pos * 2 >= idx.size();
+  if (pos == 0 || pos == idx.size() || depth >= config.max_depth ||
+      idx.size() < 2 * config.min_samples_leaf) {
+    return tree.AddLeaf(majority);
+  }
+  BestSplit split = FindBestSplit(samples, idx, config.min_samples_leaf);
+  if (!split.found || split.gain < config.min_gain) {
+    return tree.AddLeaf(majority);
+  }
+  std::vector<std::size_t> left_idx, right_idx;
+  for (std::size_t i : idx) {
+    if (samples[i].features[split.feature] <= split.threshold) {
+      left_idx.push_back(i);
+    } else {
+      right_idx.push_back(i);
+    }
+  }
+  std::int32_t left = Build(samples, left_idx, depth + 1, config, tree);
+  std::int32_t right = Build(samples, right_idx, depth + 1, config, tree);
+  return tree.AddSplit(split.feature, split.threshold, left, right);
+}
+
+}  // namespace
+
+DecisionTree TrainId3(std::span<const Sample> samples,
+                      const Id3Config& config) {
+  if (samples.empty()) return DecisionTree{};
+  std::vector<std::size_t> idx(samples.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  DecisionTree tree;
+  std::int32_t root = Build(samples, idx, 0, config, tree);
+  // Build() appends the root last; rotate it to index 0, which Classify()
+  // expects, by swapping and fixing child indices.
+  if (root != 0) {
+    std::vector<DecisionTree::Node> nodes = tree.Nodes();
+    std::swap(nodes[0], nodes[static_cast<std::size_t>(root)]);
+    for (DecisionTree::Node& n : nodes) {
+      if (n.is_leaf) continue;
+      if (n.left == 0) n.left = root;
+      else if (n.left == root) n.left = 0;
+      if (n.right == 0) n.right = root;
+      else if (n.right == root) n.right = 0;
+    }
+    tree = DecisionTree(std::move(nodes));
+  }
+  return tree;
+}
+
+double Accuracy(const DecisionTree& tree, std::span<const Sample> samples) {
+  if (samples.empty()) return 1.0;
+  std::size_t correct = 0;
+  for (const Sample& s : samples) {
+    if (tree.Classify(s.features) == s.ransomware) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(samples.size());
+}
+
+}  // namespace insider::core

@@ -1,0 +1,33 @@
+// ID3 decision-tree induction (Quinlan 1986), the paper's training
+// algorithm, adapted to continuous attributes in the standard way: each
+// node considers binary splits `feature <= threshold` with thresholds at
+// midpoints between adjacent distinct values, and picks the split with the
+// highest information gain.
+#pragma once
+
+#include <span>
+
+#include "core/decision_tree.h"
+#include "core/features.h"
+
+namespace insider::core {
+
+struct Id3Config {
+  std::size_t max_depth = 8;
+  std::size_t min_samples_leaf = 2;
+  /// Stop splitting when the best gain falls below this (pre-pruning).
+  double min_gain = 1e-6;
+};
+
+/// Shannon entropy of a binary class distribution.
+double BinaryEntropy(std::size_t positives, std::size_t total);
+
+/// Train a tree on labeled feature vectors. An empty sample set yields an
+/// empty (always-benign) tree.
+DecisionTree TrainId3(std::span<const Sample> samples,
+                      const Id3Config& config = Id3Config{});
+
+/// Fraction of samples the tree classifies correctly.
+double Accuracy(const DecisionTree& tree, std::span<const Sample> samples);
+
+}  // namespace insider::core

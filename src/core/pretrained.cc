@@ -1,0 +1,47 @@
+#include "core/pretrained.h"
+
+#include "core/features.h"
+
+namespace insider::core {
+
+DecisionTree PretrainedTree() {
+  DecisionTree t;
+  // Leaves.
+  std::int32_t benign = t.AddLeaf(false);
+  std::int32_t ransom = t.AddLeaf(true);
+  // Slow-attack branch: sustained overwriting across the window with short
+  // contiguous overwrite runs (documents/images, not wiping) where the
+  // overwrites also dominate the writes (a database's hot-page rewrites and
+  // WAL appends keep its OWST low).
+  std::int32_t owst_slow =
+      t.AddSplit(FeatureId::kOwSt, 0.3, benign, ransom);
+  std::int32_t short_runs =
+      t.AddSplit(FeatureId::kAvgWIo, 48.0, owst_slow, benign);
+  std::int32_t sustained =
+      t.AddSplit(FeatureId::kPwIo, 1500.0, benign, short_runs);
+  // Fast-attack branch: heavy overwriting in this slice alone. Two guards:
+  // overwrites must be a solid share of writes (wiping's 7 passes per read
+  // give OWST ~ 0.14; out-of-place ransomware that writes a ciphertext
+  // copy sits near 0.5, hence the gate at 0.4), and the overwrite runs
+  // must be short (DB checkpoints and stress-tool sweeps overwrite long
+  // contiguous stretches).
+  std::int32_t fast_runs =
+      t.AddSplit(FeatureId::kAvgWIo, 48.0, ransom, benign);
+  std::int32_t owst_gate =
+      t.AddSplit(FeatureId::kOwSt, 0.4, sustained, fast_runs);
+  std::int32_t root = t.AddSplit(FeatureId::kOwIo, 512.0, sustained, owst_gate);
+
+  // Rotate the root to index 0 (Classify starts there).
+  std::vector<DecisionTree::Node> nodes = t.Nodes();
+  std::swap(nodes[0], nodes[static_cast<std::size_t>(root)]);
+  for (DecisionTree::Node& n : nodes) {
+    if (n.is_leaf) continue;
+    if (n.left == 0) n.left = root;
+    else if (n.left == root) n.left = 0;
+    if (n.right == 0) n.right = root;
+    else if (n.right == root) n.right = 0;
+  }
+  return DecisionTree(std::move(nodes));
+}
+
+}  // namespace insider::core

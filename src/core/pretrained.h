@@ -1,0 +1,22 @@
+// A small pretrained decision tree for out-of-the-box deployments.
+//
+// Production use trains a tree with TrainId3() on the Table-I scenario
+// catalog (see insider::host::TrainDefaultTree). This hand-audited fallback
+// encodes the same qualitative rules the trained trees converge to and is
+// what the quickstart example ships with:
+//
+//   * a burst of overwrites dominating the slice's writes -> ransomware
+//     (high OWIO with high OWST),
+//   * sustained window-level overwriting with short overwrite runs ->
+//     slow ransomware under background load (PWIO high, AVGWIO small),
+//   * everything else -> benign (wiping fails the OWST test, DB/defrag
+//     fail the AVGWIO test, ordinary apps fail the volume tests).
+#pragma once
+
+#include "core/decision_tree.h"
+
+namespace insider::core {
+
+DecisionTree PretrainedTree();
+
+}  // namespace insider::core

@@ -1,0 +1,71 @@
+// Block-device abstraction the filesystem sits on.
+//
+// The real deployment is insider::host::Ssd (detector + FTL + NAND); unit
+// tests use MemBlockDevice. Blocks are 4096 bytes, matching the NAND page
+// and the paper's 4-KB I/O granularity.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <span>
+#include <vector>
+
+namespace insider::fs {
+
+inline constexpr std::size_t kBlockSize = 4096;
+
+class BlockDevice {
+ public:
+  virtual ~BlockDevice() = default;
+
+  virtual std::uint64_t BlockCount() const = 0;
+
+  /// Read a whole block into `out` (must be kBlockSize bytes). A block that
+  /// was never written reads back as zeros. Returns false on I/O error.
+  virtual bool ReadBlock(std::uint64_t lba, std::span<std::byte> out) = 0;
+
+  /// Write a whole block. Returns false on I/O error (e.g., device latched
+  /// read-only after a ransomware alarm).
+  virtual bool WriteBlock(std::uint64_t lba,
+                          std::span<const std::byte> data) = 0;
+
+  /// Discard a block (maps to SSD trim). Optional; default is a no-op.
+  virtual bool TrimBlock(std::uint64_t lba) {
+    (void)lba;
+    return true;
+  }
+};
+
+/// RAM-backed device for filesystem unit tests.
+class MemBlockDevice final : public BlockDevice {
+ public:
+  explicit MemBlockDevice(std::uint64_t blocks)
+      : data_(blocks * kBlockSize, std::byte{0}), blocks_(blocks) {}
+
+  std::uint64_t BlockCount() const override { return blocks_; }
+
+  bool ReadBlock(std::uint64_t lba, std::span<std::byte> out) override {
+    if (lba >= blocks_ || out.size() != kBlockSize) return false;
+    std::memcpy(out.data(), data_.data() + lba * kBlockSize, kBlockSize);
+    return true;
+  }
+
+  bool WriteBlock(std::uint64_t lba,
+                  std::span<const std::byte> data) override {
+    if (lba >= blocks_ || data.size() != kBlockSize) return false;
+    std::memcpy(data_.data() + lba * kBlockSize, data.data(), kBlockSize);
+    return true;
+  }
+
+  bool TrimBlock(std::uint64_t lba) override {
+    if (lba >= blocks_) return false;
+    std::memset(data_.data() + lba * kBlockSize, 0, kBlockSize);
+    return true;
+  }
+
+ private:
+  std::vector<std::byte> data_;
+  std::uint64_t blocks_;
+};
+
+}  // namespace insider::fs

@@ -1,0 +1,56 @@
+// fsck for InsiderFS.
+//
+// After SSD-Insider rolls the mapping table back, the filesystem looks as if
+// power was cut 10 seconds before the attack: an operation may have hit the
+// device half-way (inode stored but directory entry missing, data blocks
+// written but bitmap/superblock not yet flushed, ...). fsck walks the
+// directory tree from the root, recomputes all derived metadata, and repairs
+// exactly the corruption classes the paper's Table II reports:
+//
+//   * wrong free-block count   (superblock vs recomputed)
+//   * wrong inode-block count  (per-inode i_blocks vs actual allocation)
+//   * free-space bitmap        (bits disagreeing with reachable blocks)
+//
+// plus the supporting repairs any real fsck performs: dangling directory
+// entries, orphaned inodes, and out-of-range or doubly-claimed block
+// pointers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fs/block_device.h"
+
+namespace insider::fs {
+
+struct FsckReport {
+  bool valid_superblock = false;
+
+  // Paper Table II corruption classes.
+  std::uint64_t wrong_free_block_count = 0;  ///< 0 or 1
+  std::uint64_t wrong_free_inode_count = 0;  ///< 0 or 1
+  std::uint64_t wrong_inode_block_count = 0; ///< inodes with stale i_blocks
+  std::uint64_t bitmap_mismatches = 0;       ///< blocks with a wrong bit
+
+  // Supporting repairs.
+  std::uint64_t dangling_dir_entries = 0;  ///< entries to free/bad inodes
+  std::uint64_t orphan_inodes = 0;         ///< allocated but unreachable
+  std::uint64_t bad_pointers = 0;          ///< out-of-range block pointers
+  std::uint64_t double_claimed_blocks = 0; ///< block owned by two files
+
+  bool Clean() const {
+    return valid_superblock && wrong_free_block_count == 0 &&
+           wrong_free_inode_count == 0 && wrong_inode_block_count == 0 &&
+           bitmap_mismatches == 0 && dangling_dir_entries == 0 &&
+           orphan_inodes == 0 && bad_pointers == 0 &&
+           double_claimed_blocks == 0;
+  }
+
+  std::string ToString() const;
+};
+
+/// Check the filesystem; with `repair` also fix everything found. A repair
+/// pass followed by a check pass must come back Clean().
+FsckReport Fsck(BlockDevice& device, bool repair);
+
+}  // namespace insider::fs

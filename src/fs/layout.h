@@ -1,0 +1,96 @@
+// On-disk layout of InsiderFS, the ext2-style filesystem used for the
+// paper's Table II consistency experiments.
+//
+//   block 0                     superblock
+//   blocks [bitmap_start, ...)  block bitmap, 1 bit per device block
+//   blocks [inode_start, ...)   inode table, 32 inodes of 128 B per block
+//   blocks [data_start, ...)    file and directory data
+//
+// The structures deliberately mirror the metadata ext4's fsck repairs in the
+// paper's Table II: a free-block count and free-inode count in the
+// superblock, a per-inode block count, and a free-space bitmap.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "fs/block_device.h"
+
+namespace insider::fs {
+
+inline constexpr std::uint32_t kFsMagic = 0x55DDF5AA;
+inline constexpr std::uint32_t kInodeSize = 128;
+inline constexpr std::uint32_t kInodesPerBlock = kBlockSize / kInodeSize;
+inline constexpr std::uint32_t kDirectPointers = 12;
+/// 4-byte block pointers in the indirect blocks.
+inline constexpr std::uint32_t kPointersPerBlock = kBlockSize / 4;
+inline constexpr std::uint32_t kDirEntrySize = 64;
+inline constexpr std::uint32_t kDirEntriesPerBlock = kBlockSize / kDirEntrySize;
+inline constexpr std::uint32_t kMaxNameLen = kDirEntrySize - 5;  // NUL + inode
+inline constexpr std::uint32_t kInvalidInode = 0xFFFFFFFFu;
+inline constexpr std::uint32_t kRootInode = 0;
+
+enum class InodeMode : std::uint32_t {
+  kFree = 0,
+  kFile = 1,
+  kDir = 2,
+};
+
+struct SuperBlock {
+  std::uint32_t magic = kFsMagic;
+  std::uint64_t total_blocks = 0;
+  std::uint32_t inode_count = 0;
+  std::uint32_t bitmap_start = 0;
+  std::uint32_t bitmap_blocks = 0;
+  std::uint32_t inode_start = 0;
+  std::uint32_t inode_blocks = 0;
+  std::uint64_t data_start = 0;
+  std::uint64_t free_blocks = 0;   ///< Table II: "wrong free-block count"
+  std::uint32_t free_inodes = 0;
+
+  void SerializeTo(std::span<std::byte> block) const;
+  static bool DeserializeFrom(std::span<const std::byte> block,
+                              SuperBlock& out);
+};
+
+struct Inode {
+  InodeMode mode = InodeMode::kFree;
+  std::uint32_t links = 0;
+  std::uint64_t size = 0;
+  /// Allocated blocks including indirect pointer blocks (ext2's i_blocks;
+  /// Table II: "wrong inode-block count").
+  std::uint32_t block_count = 0;
+  std::array<std::uint32_t, kDirectPointers> direct{};
+  std::uint32_t indirect = 0;         ///< single-indirect pointer block
+  std::uint32_t double_indirect = 0;  ///< double-indirect pointer block
+
+  void SerializeTo(std::span<std::byte> dest) const;  ///< dest: kInodeSize
+  static Inode DeserializeFrom(std::span<const std::byte> src);
+
+  /// Blocks a file of this inode's size addresses (data blocks only).
+  static std::uint64_t DataBlocksForSize(std::uint64_t size_bytes) {
+    return (size_bytes + kBlockSize - 1) / kBlockSize;
+  }
+  /// Largest supported file, bytes (12 direct + 1 K indirect + 1 M double).
+  static std::uint64_t MaxFileSize() {
+    return (static_cast<std::uint64_t>(kDirectPointers) + kPointersPerBlock +
+            static_cast<std::uint64_t>(kPointersPerBlock) *
+                kPointersPerBlock) *
+           kBlockSize;
+  }
+};
+
+struct DirEntry {
+  std::uint32_t inode = kInvalidInode;
+  char name[kMaxNameLen + 1] = {};  ///< NUL-terminated
+
+  bool InUse() const { return inode != kInvalidInode; }
+  void SerializeTo(std::span<std::byte> dest) const;  ///< dest: kDirEntrySize
+  static DirEntry DeserializeFrom(std::span<const std::byte> src);
+};
+
+/// Geometry derived from a device size: where each region lives.
+SuperBlock ComputeLayout(std::uint64_t total_blocks, std::uint32_t inode_count);
+
+}  // namespace insider::fs

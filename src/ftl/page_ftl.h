@@ -1,0 +1,218 @@
+// Page-level FTL with greedy garbage collection — the paper's baseline — plus
+// SSD-Insider's delayed-deletion extension.
+//
+// Conventional mode (`delayed_deletion = false`): an overwrite immediately
+// invalidates the old physical page; GC may reclaim it right away. This is
+// the "Conventional SSD" baseline of Fig. 9, modeled after the page-mapping
+// FTL with greedy victim selection the paper says it used.
+//
+// SSD-Insider mode (`delayed_deletion = true`): the old page instead becomes
+// *retained* and a backup entry enters the recovery queue. Retained pages
+// must be copied (not reclaimed) by GC until their entry ages past the
+// retention window. RollBack() replays the young part of the queue to restore
+// the mapping table to its state `retention_window` ago — the paper's
+// "perfect recovery" that needs no data copies.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/io.h"
+#include "common/time.h"
+#include "ftl/recovery_queue.h"
+#include "nand/flash_array.h"
+
+namespace insider::ftl {
+
+enum class FtlStatus {
+  kOk,
+  kReadOnly,     ///< device latched read-only after a ransomware alarm
+  kUnmapped,     ///< read/trim of an LBA with no current mapping
+  kOutOfRange,   ///< LBA beyond exported capacity
+  kNoSpace,      ///< GC could not reclaim any block (device full)
+  kReadError,    ///< uncorrectable ECC failure; the data is lost
+};
+
+struct FtlResult {
+  FtlStatus status = FtlStatus::kOk;
+  SimTime complete_time = 0;
+  nand::PageData data;  ///< payload for reads
+
+  bool ok() const { return status == FtlStatus::kOk; }
+};
+
+struct FtlConfig {
+  nand::Geometry geometry;
+  nand::LatencyModel latency;
+  /// Media error model (disabled by default) and its deterministic seed.
+  nand::ErrorModel errors;
+  std::uint64_t error_seed = 0x5eed;
+
+  /// SSD-Insider delayed deletion on/off (off = conventional baseline).
+  bool delayed_deletion = true;
+  /// How long displaced versions stay recoverable (paper: 10 s).
+  SimTime retention_window = Seconds(10);
+  /// Recovery-queue capacity in entries (paper Table III: 2,621,440 ~ 30 MB;
+  /// 0 = unbounded). When full, the oldest backups are force-released.
+  std::size_t recovery_queue_capacity = 2'621'440;
+  /// Blocks withheld from the host so GC always has somewhere to copy to.
+  std::uint32_t gc_reserve_blocks = 2;
+  /// Fraction of physical pages exported as logical capacity; the rest is
+  /// over-provisioning for GC efficiency.
+  double exported_fraction = 0.9;
+  /// Modeled firmware cost of reverting one mapping entry during rollback.
+  SimTime rollback_entry_cost = Microseconds(1);
+};
+
+struct FtlStats {
+  std::uint64_t host_reads = 0;
+  std::uint64_t host_writes = 0;
+  std::uint64_t host_trims = 0;
+  std::uint64_t gc_invocations = 0;
+  std::uint64_t gc_page_copies = 0;      ///< valid + retained copies (Fig. 9)
+  std::uint64_t gc_retained_copies = 0;  ///< subset forced by delayed deletion
+  std::uint64_t gc_erases = 0;
+  std::uint64_t retained_released = 0;   ///< backups aged out of the window
+  std::uint64_t queue_evictions = 0;     ///< backups dropped by capacity
+  std::uint64_t forced_releases = 0;     ///< backups sacrificed to free space
+  std::uint64_t rollbacks = 0;
+  std::uint64_t rollback_entries = 0;
+  /// Pages GC found unreadable (uncorrectable ECC): valid data or backups
+  /// lost to media errors.
+  std::uint64_t gc_lost_pages = 0;
+};
+
+struct RollbackReport {
+  std::size_t entries_reverted = 0;
+  std::size_t mappings_restored = 0;  ///< distinct LBAs whose mapping changed
+  SimTime duration = 0;               ///< modeled firmware time (paper: <1 s)
+};
+
+/// Per-physical-page state from the FTL's point of view.
+enum class PageState : std::uint8_t {
+  kFree,      ///< erased, programmable
+  kValid,     ///< current version of some LBA
+  kInvalid,   ///< superseded and reclaimable
+  kRetained,  ///< superseded but guarded by the recovery queue
+};
+
+class PageFtl {
+ public:
+  explicit PageFtl(const FtlConfig& config);
+
+  // Host interface -----------------------------------------------------
+
+  /// Number of LBAs exported to the host.
+  Lba ExportedLbas() const { return exported_lbas_; }
+
+  FtlResult WritePage(Lba lba, nand::PageData data, SimTime now);
+  FtlResult ReadPage(Lba lba, SimTime now);
+  /// Discard a mapping (filesystem delete). Under delayed deletion the old
+  /// version stays recoverable just like an overwrite.
+  FtlResult TrimPage(Lba lba, SimTime now);
+
+  // Recovery interface --------------------------------------------------
+
+  /// Latch the device read-only (step 1 of the paper's recovery: "ignore all
+  /// writes sent to it").
+  void SetReadOnly(bool read_only) { read_only_ = read_only; }
+  bool IsReadOnly() const { return read_only_; }
+
+  /// Roll the mapping table back to its state at `detect_time -
+  /// retention_window`. The device must already be read-only. Backups older
+  /// than the horizon are kept (their versions are deemed safe).
+  RollbackReport RollBack(SimTime detect_time);
+
+  // Introspection -------------------------------------------------------
+
+  const FtlConfig& Config() const { return config_; }
+  const FtlStats& Stats() const { return stats_; }
+  void ResetStats() { stats_ = FtlStats{}; }
+  nand::FlashArray& Nand() { return nand_; }
+  const nand::FlashArray& Nand() const { return nand_; }
+
+  std::optional<nand::Ppa> Lookup(Lba lba) const;
+  PageState StateOf(nand::Ppa ppa) const { return page_state_[ppa]; }
+  std::size_t FreeBlockCount() const { return free_block_count_; }
+  std::size_t RecoveryQueueSize() const { return queue_.Size(); }
+  std::uint64_t ValidPageCount() const { return valid_pages_; }
+  std::uint64_t RetainedPageCount() const { return retained_pages_; }
+
+  /// Wear summary across erase blocks. GC breaks victim-selection ties
+  /// toward the least-worn block, so the spread stays bounded.
+  struct WearStats {
+    std::uint64_t min_erases = 0;
+    std::uint64_t max_erases = 0;
+    double mean_erases = 0.0;
+  };
+  WearStats Wear() const;
+
+  /// Release recovery-queue entries older than now - retention_window. The
+  /// I/O paths call this implicitly; exposed so idle time can be simulated.
+  void ReleaseExpired(SimTime now);
+
+  /// Background garbage collection during host-idle time: reclaim up to
+  /// `max_blocks` blocks that are free to collect *cheaply* (at most
+  /// `max_movable` live pages each), so foreground writes find a warm free
+  /// pool. Retained pages are honored exactly as in foreground GC. Returns
+  /// the number of blocks reclaimed.
+  std::size_t IdleCollect(SimTime now, std::size_t max_blocks,
+                          std::uint32_t max_movable = 8);
+
+  /// Exhaustive cross-check of every FTL invariant (L2P/P2L agreement, block
+  /// counters, queue guards). Used by property tests; returns a description
+  /// of the first violation or empty string if consistent.
+  std::string CheckInvariants() const;
+
+ private:
+  struct BlockInfo {
+    std::uint32_t valid = 0;
+    std::uint32_t retained = 0;
+    std::uint32_t Movable() const { return valid + retained; }
+  };
+
+  std::uint32_t BlockIdOf(nand::Ppa ppa) const;
+  nand::BlockAddr AddrOfBlockId(std::uint32_t block_id) const;
+
+  /// Get a programmable PPA at a write frontier. The FTL keeps one active
+  /// block per chip and stripes consecutive allocations across chips, the
+  /// way a real controller exploits channel/way parallelism. Returns
+  /// kInvalidPpa if every chip is out of free blocks and full.
+  nand::Ppa AllocatePage();
+  bool IsActiveBlock(std::uint32_t block_id) const;
+
+  /// Run GC until the free pool exceeds the reserve, accumulating NAND time
+  /// into `now`. Returns false if nothing could be reclaimed.
+  bool EnsureFreeSpace(SimTime& now);
+  bool CollectOneBlock(SimTime& now);
+
+  void MarkInvalid(nand::Ppa ppa);
+  void Retire(Lba lba, nand::Ppa old_ppa, SimTime now);
+  void ReleaseBackup(const BackupEntry& entry);
+
+  FtlConfig config_;
+  nand::FlashArray nand_;
+  Lba exported_lbas_;
+
+  std::vector<nand::Ppa> l2p_;
+  std::vector<Lba> p2l_;
+  std::vector<PageState> page_state_;
+  std::vector<BlockInfo> block_info_;
+  /// Per-chip LIFO pools of erased block ids plus one active block per chip.
+  std::vector<std::vector<std::uint32_t>> free_blocks_by_chip_;
+  std::vector<std::uint32_t> active_block_per_chip_;
+  std::size_t free_block_count_ = 0;
+  std::uint32_t next_chip_ = 0;  ///< round-robin striping cursor
+  static constexpr std::uint32_t kNoActiveBlock = 0xFFFFFFFFu;
+
+  RecoveryQueue queue_;
+  bool read_only_ = false;
+
+  std::uint64_t valid_pages_ = 0;
+  std::uint64_t retained_pages_ = 0;
+  FtlStats stats_;
+};
+
+}  // namespace insider::ftl

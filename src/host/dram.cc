@@ -1,0 +1,37 @@
+#include "host/dram.h"
+
+#include "core/counting_table.h"
+#include "ftl/recovery_queue.h"
+
+namespace insider::host {
+
+std::vector<DramRow> PaperDramBudget() {
+  return {
+      {"Hash table", 42, 250'000},
+      {"Counting table", core::CountingEntry::PackedBytes(), 1'000},
+      {"Recovery queue", ftl::RecoveryQueue::PackedEntryBytes(), 2'621'440},
+  };
+}
+
+std::vector<DramRow> ActualDramBudget(const core::DetectorConfig& detector,
+                                      const ftl::FtlConfig& ftl) {
+  // Hash index: key + value + ~2 pointers of bucket overhead per entry is a
+  // fair model for a closed-addressing table.
+  std::size_t hash_entry =
+      sizeof(Lba) + sizeof(std::uint64_t) + 2 * sizeof(void*);
+  return {
+      {"Hash table", hash_entry, detector.table.max_hash_keys},
+      {"Counting table", sizeof(core::CountingEntry),
+       detector.table.max_entries},
+      {"Recovery queue", sizeof(ftl::BackupEntry),
+       ftl.recovery_queue_capacity},
+  };
+}
+
+double TotalMegabytes(const std::vector<DramRow>& rows) {
+  double total = 0.0;
+  for (const DramRow& r : rows) total += r.Megabytes();
+  return total;
+}
+
+}  // namespace insider::host

@@ -1,0 +1,37 @@
+// Table III: DRAM required by SSD-Insider's firmware data structures.
+//
+// Two views: the paper's packed on-device layout (42-byte hash entries,
+// 12-byte counting/queue entries) and this implementation's actual
+// in-memory footprint, so the bench can show both.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/detector.h"
+#include "ftl/page_ftl.h"
+
+namespace insider::host {
+
+struct DramRow {
+  std::string structure;
+  std::size_t unit_bytes = 0;
+  std::size_t entries = 0;
+  double Megabytes() const {
+    return static_cast<double>(unit_bytes) * static_cast<double>(entries) /
+           (1024.0 * 1024.0);
+  }
+};
+
+/// The paper's Table III numbers verbatim (firmware packed layout).
+std::vector<DramRow> PaperDramBudget();
+
+/// Our implementation's footprint at the configured capacities, computed
+/// from actual structure sizes.
+std::vector<DramRow> ActualDramBudget(const core::DetectorConfig& detector,
+                                      const ftl::FtlConfig& ftl);
+
+double TotalMegabytes(const std::vector<DramRow>& rows);
+
+}  // namespace insider::host

@@ -1,0 +1,93 @@
+#include "host/scenario.h"
+
+namespace insider::host {
+
+using wl::AppKind;
+
+std::vector<ScenarioSpec> TrainingScenarios() {
+  return {
+      {AppKind::kNone, "Locky.bbs", "RansomOnly"},
+      {AppKind::kDataWiping, "", "WPM (DataWiping)"},
+      {AppKind::kDatabase, "", "MySQL (Database)"},
+      {AppKind::kCloudStorage, "", "Dropbox (CloudStorage)"},
+      {AppKind::kIoStress, "Zerber.ufb", "DiskMark (IOStress)", 0.3},
+      {AppKind::kIoStress, "Zerber.ufb", "IOMeter (IOStress)", 1.0},
+      {AppKind::kIoStress, "Zerber.ufb", "hdtunepro (IOStress)", 0.1},
+      {AppKind::kInstall, "Locky.bdf", "AutoCAD/VS (Install)"},
+      {AppKind::kWebSurfing, "Locky.bbs", "Chrome (WebSurfing)"},
+      {AppKind::kOutlookSync, "Locky.bdf", "OutlookSync"},
+      {AppKind::kOsUpdate, "Locky.bdf", "WindowUpdate"},
+      {AppKind::kP2pDownload, "", "BitTorrent (P2PDown)"},
+      {AppKind::kSqliteMessenger, "", "Kakaotalk (SQLite)"},
+  };
+}
+
+std::vector<ScenarioSpec> TestingScenarios() {
+  return {
+      {AppKind::kNone, "WannaCry", "RansomOnly"},
+      {AppKind::kCloudStorage, "InHouse.outplace", "Dropbox (CloudStorage)"},
+      {AppKind::kDataWiping, "GlobeImposter", "WPM (DataWiping)"},
+      {AppKind::kDatabase, "InHouse.inplace", "MySQL (Database)"},
+      {AppKind::kIoStress, "CryptoShield", "IOMeter (IOStress)"},
+      {AppKind::kCompression, "Mole", "Bandizip (Compression)"},
+      {AppKind::kVideoEncode, "Jaff", "PotEncoder (VideoEncode)"},
+      {AppKind::kInstall, "GlobeImposter", "AutoCAD/VS (Install)"},
+      {AppKind::kVideoDecode, "WannaCry", "PotPlayer (VideoDecode)"},
+      {AppKind::kOutlookSync, "Mole", "OutlookSync"},
+      {AppKind::kP2pDownload, "WannaCry", "BitTorrent (P2PDown)"},
+      {AppKind::kWebSurfing, "GlobeImposter", "Chrome (WebSurfing)"},
+  };
+}
+
+BuiltScenario BuildScenario(const ScenarioSpec& spec,
+                            const ScenarioConfig& config, std::uint64_t seed) {
+  BuiltScenario out;
+  out.spec = spec;
+  Rng rng(seed ^ 0xABCD1234EF567890ull);
+
+  // LBA space carve-up: first half user files (the ransomware's victims),
+  // next 3/8 the background app's territory, final 1/8 free scratch where
+  // Class B/C ransomware drops encrypted copies.
+  Lba files_region = config.lba_space / 2;
+  Lba app_start = files_region;
+  Lba app_blocks = config.lba_space * 3 / 8;
+  Lba scratch_start = app_start + app_blocks;
+
+  // Background application.
+  wl::AppParams app_params;
+  app_params.start_time = 0;
+  app_params.duration = config.duration;
+  app_params.region_start = app_start;
+  app_params.region_blocks = app_blocks;
+  app_params.intensity = config.app_intensity * spec.app_intensity;
+  Rng app_rng = rng.Fork();
+  out.app = wl::GenerateApp(spec.app, app_params, app_rng);
+
+  // Ransomware.
+  if (!spec.ransomware.empty()) {
+    wl::FileSet::Params fsp;
+    fsp.file_count = config.fileset_files;
+    fsp.region_start = 0;
+    fsp.region_blocks = files_region;
+    Rng fs_rng = rng.Fork();
+    wl::FileSet files = wl::FileSet::Generate(fsp, fs_rng);
+
+    wl::RansomwareProfile profile =
+        wl::RansomwareProfileByName(spec.ransomware);
+    profile.slowdown *= wl::RansomwareSlowdownUnder(spec.app);
+
+    wl::RansomwareRunParams rp;
+    rp.start_time = config.ransom_start;
+    rp.scratch_start = scratch_start;
+    rp.max_duration = config.ransom_max_duration
+                          ? config.ransom_max_duration
+                          : config.duration - config.ransom_start;
+    Rng r_rng = rng.Fork();
+    out.ransom = wl::GenerateRansomware(profile, files, rp, r_rng);
+  }
+
+  out.merged = wl::Merge2(out.app.requests, out.ransom.requests);
+  return out;
+}
+
+}  // namespace insider::host

@@ -1,0 +1,155 @@
+#include "host/ssd.h"
+
+#include <cassert>
+#include <cstring>
+#include <utility>
+
+namespace insider::host {
+
+Ssd::Ssd(const SsdConfig& config, core::DecisionTree tree)
+    : config_(config), ftl_(config.ftl),
+      detector_(config.detector, std::move(tree)) {}
+
+void Ssd::Observe(const IoRequest& request) {
+  if (!config_.detector_enabled) return;
+  bool was_active = detector_.AlarmActive();
+  detector_.OnRequest(request);
+  if (!was_active && detector_.AlarmActive()) {
+    if (config_.auto_read_only) ftl_.SetReadOnly(true);
+    if (alarm_callback_) alarm_callback_(request.time);
+  }
+}
+
+ftl::FtlStatus Ssd::Submit(const IoRequest& request, std::uint64_t stamp_base) {
+  clock_.AdvanceTo(request.time);
+  Observe(request);
+  SimTime now = request.time;
+  for (std::uint32_t i = 0; i < request.length; ++i) {
+    ftl::FtlResult r;
+    switch (request.mode) {
+      case IoMode::kRead:
+        r = ftl_.ReadPage(request.lba + i, now);
+        break;
+      case IoMode::kWrite: {
+        nand::PageData data;
+        data.stamp = stamp_base + i;
+        r = ftl_.WritePage(request.lba + i, std::move(data), now);
+        break;
+      }
+      case IoMode::kTrim:
+        r = ftl_.TrimPage(request.lba + i, now);
+        break;
+    }
+    if (!r.ok()) {
+      // kUnmapped reads/trims are normal for never-written LBAs in replayed
+      // traces; anything else ends the submission.
+      if (r.status != ftl::FtlStatus::kUnmapped) return r.status;
+    } else {
+      now = std::max(now, r.complete_time);
+    }
+    clock_.AdvanceTo(now);
+  }
+  return ftl::FtlStatus::kOk;
+}
+
+ftl::FtlResult Ssd::WriteBlockAt(Lba lba, nand::PageData data, SimTime now) {
+  clock_.AdvanceTo(now);
+  Observe({now, lba, 1, IoMode::kWrite});
+  ftl::FtlResult r = ftl_.WritePage(lba, std::move(data), now);
+  if (r.ok()) clock_.AdvanceTo(r.complete_time);
+  return r;
+}
+
+ftl::FtlResult Ssd::ReadBlockAt(Lba lba, SimTime now) {
+  clock_.AdvanceTo(now);
+  Observe({now, lba, 1, IoMode::kRead});
+  ftl::FtlResult r = ftl_.ReadPage(lba, now);
+  if (r.ok()) clock_.AdvanceTo(r.complete_time);
+  return r;
+}
+
+ftl::FtlResult Ssd::TrimBlockAt(Lba lba, SimTime now) {
+  clock_.AdvanceTo(now);
+  Observe({now, lba, 1, IoMode::kTrim});
+  return ftl_.TrimPage(lba, now);
+}
+
+std::uint64_t Ssd::BlockCount() const { return ftl_.ExportedLbas(); }
+
+bool Ssd::ReadBlock(std::uint64_t lba, std::span<std::byte> out) {
+  if (out.size() != fs::kBlockSize) return false;
+  clock_.Advance(config_.host_block_gap);
+  ftl::FtlResult r = ReadBlockAt(lba, clock_.Now());
+  if (r.status == ftl::FtlStatus::kUnmapped) {
+    std::memset(out.data(), 0, out.size());  // never-written block reads 0
+    return true;
+  }
+  if (!r.ok()) return false;
+  if (r.data.bytes.size() == fs::kBlockSize) {
+    std::memcpy(out.data(), r.data.bytes.data(), fs::kBlockSize);
+  } else {
+    std::memset(out.data(), 0, out.size());
+  }
+  return true;
+}
+
+bool Ssd::WriteBlock(std::uint64_t lba, std::span<const std::byte> data) {
+  if (data.size() != fs::kBlockSize) return false;
+  clock_.Advance(config_.host_block_gap);
+  nand::PageData page;
+  page.stamp = 0;
+  page.bytes.assign(data.begin(), data.end());
+  // Writes complete asynchronously: the host queues them and moves on (the
+  // FTL stripes them across chips), so the host clock advances only by its
+  // own submission gap — this is what lets a filesystem writer approach the
+  // device's parallel bandwidth rather than one chip's program latency.
+  SimTime now = clock_.Now();
+  Observe({now, lba, 1, IoMode::kWrite});
+  ftl::FtlResult r = ftl_.WritePage(lba, std::move(page), now);
+  return r.ok();
+}
+
+bool Ssd::TrimBlock(std::uint64_t lba) {
+  clock_.Advance(config_.host_block_gap);
+  ftl::FtlResult r = TrimBlockAt(lba, clock_.Now());
+  return r.ok() || r.status == ftl::FtlStatus::kUnmapped;
+}
+
+bool Ssd::AlarmActive() const { return detector_.AlarmActive(); }
+
+std::optional<SimTime> Ssd::FirstAlarmTime() const {
+  return detector_.FirstAlarmTime();
+}
+
+ftl::RollbackReport Ssd::RollBackNow() {
+  SimTime detect = detector_.FirstAlarmTime().value_or(clock_.Now());
+  return ftl_.RollBack(detect);
+}
+
+void Ssd::Reboot() {
+  ftl_.SetReadOnly(false);
+  detector_.Reset();
+}
+
+void Ssd::DismissAlarm() {
+  ftl_.SetReadOnly(false);
+  detector_.Reset();
+}
+
+void Ssd::IdleUntil(SimTime t) {
+  clock_.AdvanceTo(t);
+  if (config_.detector_enabled) {
+    bool was_active = detector_.AlarmActive();
+    detector_.AdvanceTo(t);
+    if (!was_active && detector_.AlarmActive()) {
+      if (config_.auto_read_only) ftl_.SetReadOnly(true);
+      if (alarm_callback_) alarm_callback_(t);
+    }
+  }
+  ftl_.ReleaseExpired(t);
+  // Host idle time is when real drives run background GC; take a few cheap
+  // wins so the next write burst finds a warm free pool.
+  ftl_.IdleCollect(t, /*max_blocks=*/4);
+}
+
+}  // namespace insider::host

@@ -1,0 +1,106 @@
+// The assembled SSD-Insider device: NAND + FTL + in-firmware detector,
+// wired the way the paper's prototype is (Fig. 6): every host request's
+// header goes to the detection algorithm, the payload goes through the FTL,
+// and a raised alarm triggers the read-only latch + mapping-table rollback.
+//
+// Ssd also implements fs::BlockDevice so InsiderFS can run directly on it
+// for the Table II consistency experiments.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <utility>
+
+#include "common/io.h"
+#include "common/time.h"
+#include "core/detector.h"
+#include "fs/block_device.h"
+#include "ftl/page_ftl.h"
+
+namespace insider::host {
+
+struct SsdConfig {
+  ftl::FtlConfig ftl;
+  core::DetectorConfig detector;
+  /// Feed requests to the detector (off = conventional SSD baseline).
+  bool detector_enabled = true;
+  /// Latch the device read-only the moment the alarm fires, without waiting
+  /// for the host to confirm (the paper prompts the user; experiments that
+  /// model the prompt can disable this and call RollBackNow themselves).
+  bool auto_read_only = true;
+  /// Virtual host-side gap inserted between successive blocks of one
+  /// request submission (models host submission pacing in FS experiments).
+  SimTime host_block_gap = Microseconds(20);
+};
+
+class Ssd final : public fs::BlockDevice {
+ public:
+  Ssd(const SsdConfig& config, core::DecisionTree tree);
+
+  // Raw block interface (used by experiments and workload replay) --------
+
+  /// Submit one request; per-block payload stamps are `stamp_base + i`.
+  /// Advances the device clock to the request time first.
+  ftl::FtlStatus Submit(const IoRequest& request, std::uint64_t stamp_base);
+
+  /// Convenience single-block ops at the current clock.
+  ftl::FtlResult WriteBlockAt(Lba lba, nand::PageData data, SimTime now);
+  ftl::FtlResult ReadBlockAt(Lba lba, SimTime now);
+  ftl::FtlResult TrimBlockAt(Lba lba, SimTime now);
+
+  // fs::BlockDevice ------------------------------------------------------
+
+  std::uint64_t BlockCount() const override;
+  bool ReadBlock(std::uint64_t lba, std::span<std::byte> out) override;
+  bool WriteBlock(std::uint64_t lba,
+                  std::span<const std::byte> data) override;
+  bool TrimBlock(std::uint64_t lba) override;
+
+  // Alarm & recovery ------------------------------------------------------
+
+  bool AlarmActive() const;
+  std::optional<SimTime> FirstAlarmTime() const;
+
+  /// Invoked (at most once per alarm episode) the moment the score crosses
+  /// the threshold — the paper's "ransomware attack alarm" vendor command
+  /// through which the drive asks the host to confirm recovery.
+  void SetAlarmCallback(std::function<void(SimTime)> callback) {
+    alarm_callback_ = std::move(callback);
+  }
+  /// The paper's recovery: read-only latch + mapping rollback to
+  /// `detect_time - window`. Uses the detector's first alarm time by
+  /// default.
+  ftl::RollbackReport RollBackNow();
+  /// "Reboot": clear the read-only latch and reset detector state, as the
+  /// user does after removing the ransomware.
+  void Reboot();
+
+  /// The user answered "no" to the recovery prompt (paper §III-C: the drive
+  /// asks before recovering). Clears the read-only latch and the detector's
+  /// score without touching any data; retained backups age out naturally.
+  void DismissAlarm();
+
+  /// Let idle virtual time pass: advances the clock, ticks the detector's
+  /// empty slices, and ages out recovery-queue backups.
+  void IdleUntil(SimTime t);
+
+  // Introspection ----------------------------------------------------------
+
+  SimClock& Clock() { return clock_; }
+  ftl::PageFtl& Ftl() { return ftl_; }
+  const ftl::PageFtl& Ftl() const { return ftl_; }
+  core::Detector& Detector() { return detector_; }
+  const core::Detector& Detector() const { return detector_; }
+  const SsdConfig& Config() const { return config_; }
+
+ private:
+  void Observe(const IoRequest& request);
+
+  SsdConfig config_;
+  ftl::PageFtl ftl_;
+  core::Detector detector_;
+  SimClock clock_;
+  std::function<void(SimTime)> alarm_callback_;
+};
+
+}  // namespace insider::host

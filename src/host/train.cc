@@ -1,0 +1,91 @@
+#include "host/train.h"
+
+#include <limits>
+#include <unordered_map>
+
+namespace insider::host {
+
+std::vector<core::Sample> ExtractSamples(const BuiltScenario& scenario,
+                                         const core::DetectorConfig& detector,
+                                         std::uint64_t label_min_writes) {
+  core::Detector extractor(detector, core::DecisionTree{});
+
+  // Ground truth: ransomware write blocks per slice.
+  std::unordered_map<core::SliceIndex, std::uint64_t> ransom_writes;
+  SimTime last_time = 0;
+  for (const wl::TaggedRequest& t : scenario.merged) {
+    extractor.OnRequest(t.request);
+    last_time = t.request.time;
+    if (t.source == 1 && t.request.mode == IoMode::kWrite) {
+      core::SliceIndex slice = t.request.time / detector.slice_length;
+      ransom_writes[slice] += t.request.length;
+    }
+  }
+  // Flush the final partial slice.
+  extractor.AdvanceTo(last_time + detector.slice_length);
+
+  // First slice in which the attack produced traffic: the first couple of
+  // slices after launch have window features (PWIO, OWSLOPE) that haven't
+  // accumulated yet; training on them as positives would teach the tree to
+  // fire on near-idle windows. They are ambiguous, not benign — exclude
+  // them (the runtime score threshold already tolerates the detector
+  // abstaining while the window warms up).
+  core::SliceIndex first_active = std::numeric_limits<core::SliceIndex>::max();
+  for (const auto& [slice, blocks] : ransom_writes) {
+    first_active = std::min(first_active, slice);
+  }
+  constexpr core::SliceIndex kWarmupSlices = 3;
+
+  auto window_ransom = [&](core::SliceIndex slice) {
+    std::uint64_t total = 0;
+    auto n = static_cast<core::SliceIndex>(detector.window_slices);
+    for (core::SliceIndex s = slice - n + 1; s <= slice; ++s) {
+      auto it = ransom_writes.find(s);
+      if (it != ransom_writes.end()) total += it->second;
+    }
+    return total;
+  };
+
+  std::vector<core::Sample> samples;
+  samples.reserve(extractor.History().size());
+  for (const core::SliceRecord& rec : extractor.History()) {
+    auto it = ransom_writes.find(rec.slice);
+    std::uint64_t written = it != ransom_writes.end() ? it->second : 0;
+    bool positive = written >= label_min_writes &&
+                    rec.slice - first_active >= kWarmupSlices;
+    if (!positive && window_ransom(rec.slice) > 0) {
+      // Ambiguous: the attack touched this window (warmup, trickle, or
+      // cooldown), so the window features carry attack residue while the
+      // slice itself isn't clearly hostile. Don't teach the tree either way.
+      continue;
+    }
+    core::Sample s;
+    s.features = rec.features;
+    s.ransomware = positive;
+    samples.push_back(s);
+  }
+  return samples;
+}
+
+std::vector<core::Sample> CollectSamples(
+    const std::vector<ScenarioSpec>& scenarios, const TrainConfig& config) {
+  std::vector<core::Sample> all;
+  std::uint64_t seed = config.base_seed;
+  for (const ScenarioSpec& spec : scenarios) {
+    for (std::size_t rep = 0; rep < config.seeds_per_scenario; ++rep) {
+      BuiltScenario built = BuildScenario(spec, config.scenario, seed++);
+      std::vector<core::Sample> samples = ExtractSamples(
+          built, config.detector, config.label_min_ransom_writes);
+      all.insert(all.end(), samples.begin(), samples.end());
+    }
+  }
+  return all;
+}
+
+core::DecisionTree TrainDefaultTree(const TrainConfig& config) {
+  std::vector<core::Sample> samples =
+      CollectSamples(TrainingScenarios(), config);
+  return core::TrainId3(samples, config.id3);
+}
+
+}  // namespace insider::host

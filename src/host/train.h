@@ -1,0 +1,52 @@
+// Training pipeline: turn Table I training scenarios into labeled per-slice
+// feature vectors and fit the ID3 tree the detector deploys.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/detector.h"
+#include "core/features.h"
+#include "core/id3.h"
+#include "host/scenario.h"
+
+namespace insider::host {
+
+struct TrainConfig {
+  ScenarioConfig scenario;
+  core::DetectorConfig detector;
+  core::Id3Config id3;
+  /// Scenario repetitions with distinct seeds; more seeds, smoother tree.
+  std::size_t seeds_per_scenario = 3;
+  std::uint64_t base_seed = 1000;
+  /// A slice is labeled "ransomware" when the ransomware stream wrote at
+  /// least this many blocks during it. Slices where the ransomware wrote
+  /// *something* but less than this are ambiguous — a trickle of attack
+  /// I/O buried in benign traffic — and are excluded from training rather
+  /// than mislabeled either way (the score threshold absorbs the detector
+  /// abstaining on such slices at runtime).
+  std::uint64_t label_min_ransom_writes = 64;
+
+  TrainConfig() {
+    // A shallow, well-supported tree generalizes to the unseen testing
+    // families; a deep one memorizes the training traces.
+    id3.max_depth = 6;
+    id3.min_samples_leaf = 20;
+    id3.min_gain = 0.005;
+  }
+};
+
+/// Run one built scenario through a feature extractor (a detector with an
+/// empty tree) and emit one labeled sample per slice.
+std::vector<core::Sample> ExtractSamples(const BuiltScenario& scenario,
+                                         const core::DetectorConfig& detector,
+                                         std::uint64_t label_min_writes);
+
+/// Samples for a whole scenario list.
+std::vector<core::Sample> CollectSamples(
+    const std::vector<ScenarioSpec>& scenarios, const TrainConfig& config);
+
+/// The full paper pipeline: Table I training rows -> samples -> ID3 tree.
+core::DecisionTree TrainDefaultTree(const TrainConfig& config = TrainConfig{});
+
+}  // namespace insider::host

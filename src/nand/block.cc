@@ -1,0 +1,27 @@
+#include "nand/block.h"
+
+#include <utility>
+
+namespace insider::nand {
+
+bool Block::Program(std::uint32_t page, PageData data) {
+  if (page != write_ptr_ || IsFull()) return false;
+  pages_[page] = std::move(data);
+  ++write_ptr_;
+  return true;
+}
+
+const PageData* Block::Read(std::uint32_t page) const {
+  if (!IsProgrammed(page)) return nullptr;
+  return &pages_[page];
+}
+
+void Block::Erase() {
+  for (std::uint32_t i = 0; i < write_ptr_; ++i) {
+    pages_[i] = PageData{};
+  }
+  write_ptr_ = 0;
+  ++erase_count_;
+}
+
+}  // namespace insider::nand

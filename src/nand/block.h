@@ -1,0 +1,47 @@
+// One NAND erase block: the unit of erasure and of sequential programming.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nand/page_data.h"
+
+namespace insider::nand {
+
+/// A block enforces NAND's two physical rules: pages are programmed strictly
+/// in order within the block, and a page can only be reprogrammed after the
+/// whole block is erased.
+class Block {
+ public:
+  explicit Block(std::uint32_t pages_per_block)
+      : pages_(pages_per_block) {}
+
+  std::uint32_t PagesPerBlock() const {
+    return static_cast<std::uint32_t>(pages_.size());
+  }
+
+  /// Next page that may legally be programmed; == PagesPerBlock() when full.
+  std::uint32_t WritePointer() const { return write_ptr_; }
+  bool IsFull() const { return write_ptr_ == PagesPerBlock(); }
+  bool IsErased() const { return write_ptr_ == 0; }
+  std::uint64_t EraseCount() const { return erase_count_; }
+
+  bool IsProgrammed(std::uint32_t page) const { return page < write_ptr_; }
+
+  /// Program the page at the write pointer. Returns false (and changes
+  /// nothing) on a rule violation: out-of-order program or programming a
+  /// full block.
+  bool Program(std::uint32_t page, PageData data);
+
+  /// Read a programmed page. Returns nullptr for erased pages.
+  const PageData* Read(std::uint32_t page) const;
+
+  void Erase();
+
+ private:
+  std::vector<PageData> pages_;
+  std::uint32_t write_ptr_ = 0;
+  std::uint64_t erase_count_ = 0;
+};
+
+}  // namespace insider::nand

@@ -1,0 +1,18 @@
+#include "nand/chip.h"
+
+namespace insider::nand {
+
+Chip::Chip(std::uint32_t blocks_per_chip, std::uint32_t pages_per_block) {
+  blocks_.reserve(blocks_per_chip);
+  for (std::uint32_t i = 0; i < blocks_per_chip; ++i) {
+    blocks_.emplace_back(pages_per_block);
+  }
+}
+
+std::uint64_t Chip::TotalEraseCount() const {
+  std::uint64_t total = 0;
+  for (const Block& b : blocks_) total += b.EraseCount();
+  return total;
+}
+
+}  // namespace insider::nand

@@ -1,0 +1,33 @@
+// One NAND chip (die): a set of blocks plus a busy-until time used by the
+// array's latency model to serialize operations targeting the same die.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.h"
+#include "nand/block.h"
+
+namespace insider::nand {
+
+class Chip {
+ public:
+  Chip(std::uint32_t blocks_per_chip, std::uint32_t pages_per_block);
+
+  Block& BlockAt(std::uint32_t block) { return blocks_[block]; }
+  const Block& BlockAt(std::uint32_t block) const { return blocks_[block]; }
+  std::uint32_t BlockCount() const {
+    return static_cast<std::uint32_t>(blocks_.size());
+  }
+
+  SimTime BusyUntil() const { return busy_until_; }
+  void SetBusyUntil(SimTime t) { busy_until_ = t; }
+
+  std::uint64_t TotalEraseCount() const;
+
+ private:
+  std::vector<Block> blocks_;
+  SimTime busy_until_ = 0;
+};
+
+}  // namespace insider::nand

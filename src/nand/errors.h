@@ -1,0 +1,36 @@
+// NAND raw bit errors and the controller's ECC, as a pluggable model.
+//
+// Disabled by default (base_ber = 0): the reproduction's experiments run on
+// ideal media, as the paper's do. Enabling it exercises the full production
+// path: raw bit errors grow with a block's wear, most reads correct
+// in-line, marginal pages need a retry (extra soft-decode latency), and
+// pages beyond the ECC budget fail with an uncorrectable status that the
+// FTL must surface.
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.h"
+
+namespace insider::nand {
+
+struct ErrorModel {
+  /// Raw bit error probability per bit at zero wear; 0 disables the model.
+  double base_ber = 0.0;
+  /// Multiplicative wear growth: effective_ber = base_ber * (1 + erase_count
+  /// * wear_factor).
+  double wear_factor = 0.0;
+  /// Bit errors per page the in-line ECC corrects for free.
+  std::uint32_t ecc_correctable_bits = 8;
+  /// Errors in (correctable, 2*correctable] succeed after a soft-decode
+  /// retry costing this much extra time.
+  SimTime retry_latency = Microseconds(80);
+
+  bool Enabled() const { return base_ber > 0.0; }
+
+  double EffectiveBer(std::uint64_t erase_count) const {
+    return base_ber * (1.0 + static_cast<double>(erase_count) * wear_factor);
+  }
+};
+
+}  // namespace insider::nand

@@ -1,0 +1,132 @@
+#include "nand/flash_array.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace insider::nand {
+
+FlashArray::FlashArray(const Geometry& geometry, const LatencyModel& latency,
+                       const ErrorModel& errors, std::uint64_t error_seed)
+    : geo_(geometry), latency_(latency), errors_(errors),
+      error_rng_(error_seed),
+      channel_busy_until_(geometry.channels, 0) {
+  chips_.reserve(geo_.TotalChips());
+  for (std::uint32_t i = 0; i < geo_.TotalChips(); ++i) {
+    chips_.emplace_back(geo_.blocks_per_chip, geo_.pages_per_block);
+  }
+}
+
+SimTime FlashArray::Occupy(std::uint32_t chip, SimTime now, SimTime die_time,
+                           SimTime bus_time) {
+  std::uint32_t channel = geo_.ChannelOfChip(chip);
+  SimTime start = std::max({now, chips_[chip].BusyUntil(),
+                            channel_busy_until_[channel]});
+  SimTime done = start + die_time + bus_time;
+  chips_[chip].SetBusyUntil(done);
+  // The bus is only held for the transfer portion; model it as the tail of
+  // the operation so another die on the channel can overlap its cell time.
+  channel_busy_until_[channel] = done;
+  return done;
+}
+
+NandStatus FlashArray::SampleReadErrors(std::uint64_t erase_count,
+                                        SimTime& extra) {
+  extra = 0;
+  if (!errors_.Enabled()) return NandStatus::kOk;
+  // Expected raw bit errors in one page; sample ~Poisson via Knuth (the
+  // rate is tiny relative to the 32k bits of a 4-KB page).
+  double lambda = errors_.EffectiveBer(erase_count) *
+                  static_cast<double>(geo_.page_size) * 8.0;
+  std::uint32_t errors = 0;
+  double l = std::exp(-lambda);
+  double p = 1.0;
+  do {
+    p *= error_rng_.Uniform();
+    if (p <= l) break;
+    ++errors;
+  } while (errors < 10 * errors_.ecc_correctable_bits);
+
+  if (errors == 0) return NandStatus::kOk;
+  if (errors <= errors_.ecc_correctable_bits) {
+    ++counters_.corrected_reads;
+    return NandStatus::kOk;
+  }
+  if (errors <= 2 * errors_.ecc_correctable_bits) {
+    ++counters_.corrected_reads;
+    ++counters_.read_retries;
+    extra = errors_.retry_latency;
+    return NandStatus::kOk;
+  }
+  ++counters_.uncorrectable_reads;
+  return NandStatus::kUncorrectableEcc;
+}
+
+NandResult FlashArray::ReadPage(Ppa ppa, SimTime now) {
+  if (!geo_.ValidPpa(ppa)) return {NandStatus::kBadAddress, now, nullptr};
+  std::uint32_t chip = geo_.ChipOf(ppa);
+  const Block& block = chips_[chip].BlockAt(geo_.BlockOf(ppa));
+  const PageData* data = block.Read(geo_.PageOf(ppa));
+  if (data == nullptr) {
+    return {NandStatus::kReadOfErasedPage, now, nullptr};
+  }
+  SimTime extra = 0;
+  NandStatus ecc = SampleReadErrors(block.EraseCount(), extra);
+  ++counters_.page_reads;
+  SimTime done = Occupy(chip, now, latency_.page_read + extra,
+                        latency_.channel_transfer);
+  if (ecc != NandStatus::kOk) {
+    return {ecc, done, nullptr};
+  }
+  return {NandStatus::kOk, done, data};
+}
+
+NandResult FlashArray::ProgramPage(Ppa ppa, PageData data, SimTime now) {
+  if (!geo_.ValidPpa(ppa)) return {NandStatus::kBadAddress, now, nullptr};
+  std::uint32_t chip = geo_.ChipOf(ppa);
+  Block& block = chips_[chip].BlockAt(geo_.BlockOf(ppa));
+  std::uint32_t page = geo_.PageOf(ppa);
+  if (block.IsFull()) return {NandStatus::kProgramToFullBlock, now, nullptr};
+  if (!block.Program(page, std::move(data))) {
+    return {NandStatus::kProgramOutOfOrder, now, nullptr};
+  }
+  ++counters_.page_programs;
+  SimTime done =
+      Occupy(chip, now, latency_.page_program, latency_.channel_transfer);
+  return {NandStatus::kOk, done, nullptr};
+}
+
+NandResult FlashArray::EraseBlock(BlockAddr addr, SimTime now) {
+  if (addr.chip >= geo_.TotalChips() || addr.block >= geo_.blocks_per_chip) {
+    return {NandStatus::kBadAddress, now, nullptr};
+  }
+  chips_[addr.chip].BlockAt(addr.block).Erase();
+  ++counters_.block_erases;
+  SimTime done = Occupy(addr.chip, now, latency_.block_erase, 0);
+  return {NandStatus::kOk, done, nullptr};
+}
+
+bool FlashArray::IsProgrammed(Ppa ppa) const {
+  if (!geo_.ValidPpa(ppa)) return false;
+  const Block& block =
+      chips_[geo_.ChipOf(ppa)].BlockAt(geo_.BlockOf(ppa));
+  return block.IsProgrammed(geo_.PageOf(ppa));
+}
+
+std::uint64_t FlashArray::TotalEraseCount() const {
+  std::uint64_t total = 0;
+  for (const Chip& c : chips_) total += c.TotalEraseCount();
+  return total;
+}
+
+std::uint64_t FlashArray::MaxEraseCount() const {
+  std::uint64_t max_count = 0;
+  for (const Chip& c : chips_) {
+    for (std::uint32_t b = 0; b < c.BlockCount(); ++b) {
+      max_count = std::max(max_count, c.BlockAt(b).EraseCount());
+    }
+  }
+  return max_count;
+}
+
+}  // namespace insider::nand

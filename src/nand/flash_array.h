@@ -1,0 +1,96 @@
+// The full NAND flash array: chips hanging off shared channel buses, with a
+// timing model for die and bus contention, plus operation counters that the
+// GC-cost experiments (Fig. 9) read.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time.h"
+#include "nand/chip.h"
+#include "nand/errors.h"
+#include "nand/geometry.h"
+#include "nand/latency.h"
+
+namespace insider::nand {
+
+enum class NandStatus {
+  kOk,
+  kReadOfErasedPage,     ///< read targeted a page never programmed
+  kProgramOutOfOrder,    ///< NAND pages must be programmed sequentially
+  kProgramToFullBlock,   ///< block has no free pages left; erase first
+  kBadAddress,
+  kUncorrectableEcc,     ///< raw bit errors exceeded the ECC budget
+};
+
+struct NandResult {
+  NandStatus status = NandStatus::kOk;
+  /// Virtual time at which the operation finishes (die + bus occupancy).
+  SimTime complete_time = 0;
+  /// For reads: the page payload, valid only while the array lives and the
+  /// block is not erased.
+  const PageData* data = nullptr;
+
+  bool ok() const { return status == NandStatus::kOk; }
+};
+
+struct NandCounters {
+  std::uint64_t page_reads = 0;
+  std::uint64_t page_programs = 0;
+  std::uint64_t block_erases = 0;
+  std::uint64_t corrected_reads = 0;    ///< in-line ECC fixed bit errors
+  std::uint64_t read_retries = 0;       ///< soft-decode retries
+  std::uint64_t uncorrectable_reads = 0;
+};
+
+class FlashArray {
+ public:
+  explicit FlashArray(const Geometry& geometry,
+                      const LatencyModel& latency = LatencyModel{},
+                      const ErrorModel& errors = ErrorModel{},
+                      std::uint64_t error_seed = 0x5eed);
+
+  const Geometry& Geo() const { return geo_; }
+  const LatencyModel& Latency() const { return latency_; }
+  const ErrorModel& Errors() const { return errors_; }
+  const NandCounters& Counters() const { return counters_; }
+  void ResetCounters() { counters_ = NandCounters{}; }
+
+  /// Read one physical page. `now` is the submission time; the result's
+  /// complete_time accounts for die busy time, cell read, and bus transfer.
+  NandResult ReadPage(Ppa ppa, SimTime now);
+
+  /// Program one physical page (must be the block's next sequential page).
+  NandResult ProgramPage(Ppa ppa, PageData data, SimTime now);
+
+  /// Erase one block.
+  NandResult EraseBlock(BlockAddr addr, SimTime now);
+
+  /// Direct state inspection for the FTL and tests.
+  const Block& BlockAt(BlockAddr addr) const {
+    return chips_[addr.chip].BlockAt(addr.block);
+  }
+  bool IsProgrammed(Ppa ppa) const;
+  std::uint64_t TotalEraseCount() const;
+  std::uint64_t MaxEraseCount() const;
+
+ private:
+  /// Reserve the die and its channel starting at `now`; returns completion.
+  SimTime Occupy(std::uint32_t chip, SimTime now, SimTime die_time,
+                 SimTime bus_time);
+
+  /// Sample this read's bit-error count; returns the read outcome and any
+  /// extra latency. kOk with extra latency models a soft-decode retry.
+  NandStatus SampleReadErrors(std::uint64_t erase_count, SimTime& extra);
+
+  Geometry geo_;
+  LatencyModel latency_;
+  ErrorModel errors_;
+  Rng error_rng_;
+  std::vector<Chip> chips_;
+  std::vector<SimTime> channel_busy_until_;
+  NandCounters counters_;
+};
+
+}  // namespace insider::nand

@@ -1,0 +1,90 @@
+// Physical geometry of the simulated NAND flash array.
+//
+// The paper's prototype is an 8-channel x 8-way open-channel SSD. We model
+// the same hierarchy: the array has `channels` buses, each bus connects
+// `ways` chips, each chip holds `blocks_per_chip` erase blocks of
+// `pages_per_block` pages. A physical page address (PPA) is a dense integer
+// so the FTL mapping table is a flat array, exactly as in page-level FTLs.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+namespace insider::nand {
+
+using Ppa = std::uint64_t;
+inline constexpr Ppa kInvalidPpa = static_cast<Ppa>(-1);
+
+struct BlockAddr {
+  std::uint32_t chip = 0;
+  std::uint32_t block = 0;
+
+  friend bool operator==(const BlockAddr&, const BlockAddr&) = default;
+};
+
+struct Geometry {
+  std::uint32_t channels = 8;
+  std::uint32_t ways = 8;  ///< chips per channel
+  std::uint32_t blocks_per_chip = 64;
+  std::uint32_t pages_per_block = 64;
+  std::uint32_t page_size = 4096;  ///< bytes; 4-KB pages as in the paper
+
+  std::uint32_t TotalChips() const { return channels * ways; }
+  std::uint64_t PagesPerChip() const {
+    return static_cast<std::uint64_t>(blocks_per_chip) * pages_per_block;
+  }
+  std::uint64_t TotalBlocks() const {
+    return static_cast<std::uint64_t>(TotalChips()) * blocks_per_chip;
+  }
+  std::uint64_t TotalPages() const {
+    return static_cast<std::uint64_t>(TotalChips()) * PagesPerChip();
+  }
+  std::uint64_t CapacityBytes() const { return TotalPages() * page_size; }
+
+  /// Dense PPA encoding: chip-major, then block, then page. Consecutive
+  /// pages of one block stay adjacent, matching NAND's sequential-program
+  /// constraint.
+  Ppa MakePpa(std::uint32_t chip, std::uint32_t block,
+              std::uint32_t page) const {
+    assert(chip < TotalChips());
+    assert(block < blocks_per_chip);
+    assert(page < pages_per_block);
+    return (static_cast<Ppa>(chip) * blocks_per_chip + block) *
+               pages_per_block +
+           page;
+  }
+
+  std::uint32_t ChipOf(Ppa ppa) const {
+    return static_cast<std::uint32_t>(ppa / PagesPerChip());
+  }
+  std::uint32_t BlockOf(Ppa ppa) const {
+    return static_cast<std::uint32_t>((ppa / pages_per_block) %
+                                      blocks_per_chip);
+  }
+  std::uint32_t PageOf(Ppa ppa) const {
+    return static_cast<std::uint32_t>(ppa % pages_per_block);
+  }
+  BlockAddr BlockAddrOf(Ppa ppa) const { return {ChipOf(ppa), BlockOf(ppa)}; }
+
+  /// Channel a chip hangs off: chips are striped channel-first so that
+  /// consecutive chip indices alternate channels (maximizes bus parallelism
+  /// for striped writes, as real controllers do).
+  std::uint32_t ChannelOfChip(std::uint32_t chip) const {
+    return chip % channels;
+  }
+
+  bool ValidPpa(Ppa ppa) const { return ppa < TotalPages(); }
+};
+
+/// Small default geometry for unit tests: 2x2 chips, fast to fill and GC.
+inline Geometry TestGeometry() {
+  Geometry g;
+  g.channels = 2;
+  g.ways = 2;
+  g.blocks_per_chip = 16;
+  g.pages_per_block = 8;
+  g.page_size = 4096;
+  return g;
+}
+
+}  // namespace insider::nand

@@ -1,0 +1,24 @@
+// NAND operation latency model.
+//
+// Values follow the Micron MT29F datasheet the paper cites: ~50 us page
+// read, ~500 us page program, ~3.5 ms block erase, plus the bus transfer
+// time for moving a 4-KB page over a shared channel. The paper's overhead
+// argument (147/254 ns of firmware work vs 50-1000 us of NAND time) depends
+// on exactly these orders of magnitude.
+#pragma once
+
+#include "common/time.h"
+
+namespace insider::nand {
+
+struct LatencyModel {
+  SimTime page_read = Microseconds(50);
+  SimTime page_program = Microseconds(500);
+  SimTime block_erase = Microseconds(3500);
+  /// Bus time to shuttle one 4-KB page across a channel (~400 MB/s ONFI).
+  SimTime channel_transfer = Microseconds(10);
+
+  static LatencyModel Zero() { return {0, 0, 0, 0}; }
+};
+
+}  // namespace insider::nand

@@ -1,0 +1,27 @@
+// Payload stored in one physical page.
+//
+// Workload-level experiments only care about *which* version of a logical
+// block a page holds, so every page carries a cheap 64-bit stamp; the
+// filesystem experiments additionally store real byte contents. Keeping the
+// byte vector optional lets multi-gigabyte traces run without allocating
+// page buffers they never read.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace insider::nand {
+
+struct PageData {
+  /// Opaque version stamp chosen by the writer (the FTL passes through the
+  /// host's stamp). Used by tests and the recovery checker to tell original
+  /// content from ransomware-encrypted content.
+  std::uint64_t stamp = 0;
+  /// Optional real contents (page_size bytes when present).
+  std::vector<std::byte> bytes;
+
+  friend bool operator==(const PageData&, const PageData&) = default;
+};
+
+}  // namespace insider::nand

@@ -1,0 +1,556 @@
+#include "workload/apps.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace insider::wl {
+
+namespace {
+
+SimTime PaceUs(std::uint32_t blocks, double mbps) {
+  double us = static_cast<double>(blocks) * 4096.0 / (mbps * 1e6) * 1e6;
+  return std::max<SimTime>(1, static_cast<SimTime>(us));
+}
+
+/// Shared emission helper: keeps the stream time-sorted and region-bounded.
+class AppBuilder {
+ public:
+  AppBuilder(const AppParams& params, Rng& rng)
+      : p_(params), rng_(rng), now_(params.start_time),
+        end_(params.start_time + params.duration) {}
+
+  bool Done() const { return now_ >= end_; }
+  SimTime Now() const { return now_; }
+  Rng& Rand() { return rng_; }
+  const AppParams& P() const { return p_; }
+
+  Lba ClampLba(Lba lba) const {
+    Lba last = p_.region_start + p_.region_blocks - 1;
+    return std::min(lba, last);
+  }
+
+  void Emit(IoMode mode, Lba lba, std::uint32_t blocks) {
+    if (Done()) return;  // never emit past the app's lifetime
+    lba = ClampLba(lba);
+    Lba last = p_.region_start + p_.region_blocks;
+    blocks = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(blocks, last - lba));
+    if (blocks == 0) return;
+    requests_.push_back({now_, lba, blocks, mode});
+  }
+
+  /// Emit a paced run of requests of `io_blocks` each covering
+  /// [lba, lba+total).
+  void EmitRun(IoMode mode, Lba lba, std::uint64_t total,
+               std::uint32_t io_blocks, double mbps) {
+    while (total > 0 && !Done()) {
+      std::uint32_t n =
+          static_cast<std::uint32_t>(std::min<std::uint64_t>(io_blocks, total));
+      Emit(mode, lba, n);
+      Advance(PaceUs(n, mbps));
+      lba += n;
+      total -= n;
+    }
+  }
+
+  void Advance(SimTime delta) { now_ += std::max<SimTime>(0, delta); }
+  void AdvanceExp(double mean_us) {
+    now_ += static_cast<SimTime>(rng_.Exponential(mean_us));
+  }
+
+  Lba RandomLba(std::uint64_t span_blocks) {
+    span_blocks = std::min<std::uint64_t>(span_blocks, p_.region_blocks);
+    return p_.region_start + rng_.Below(std::max<std::uint64_t>(1, span_blocks));
+  }
+
+  AppTrace Finish(std::string name) {
+    AppTrace t;
+    t.name = std::move(name);
+    t.requests = std::move(requests_);
+    return t;
+  }
+
+ private:
+  AppParams p_;
+  Rng& rng_;
+  SimTime now_;
+  SimTime end_;
+  std::vector<IoRequest> requests_;
+};
+
+// ---------------------------------------------------------------------------
+
+AppTrace DataWiping(const AppParams& p, Rng& rng) {
+  // DoD 5220.22-M style wiper: walk the region in long chunks; verify-read
+  // each chunk once, then write it seven times. Huge OWIO, OWST ~1/7,
+  // AVGWIO in the hundreds — the paper's hardest FAR case.
+  AppBuilder b(p, rng);
+  // GUI wipers doing DoD 7-pass with per-chunk verification through the
+  // filesystem crawl along at single-digit MB/s; this also matches Fig. 1(b)
+  // where wiping's cumulative overwrites are comparable to — not far above —
+  // a fast ransomware's.
+  double rate = 4.0 * p.intensity;
+  const std::uint32_t chunk = 256;
+  Lba lba = p.region_start;
+  while (!b.Done()) {
+    b.EmitRun(IoMode::kRead, lba, chunk, 32, rate);
+    for (int pass = 0; pass < 7 && !b.Done(); ++pass) {
+      b.EmitRun(IoMode::kWrite, lba, chunk, 32, rate);
+    }
+    lba += chunk;
+    if (lba + chunk >= p.region_start + p.region_blocks) lba = p.region_start;
+  }
+  return b.Finish("DataWiping");
+}
+
+AppTrace Database(const AppParams& p, Rng& rng) {
+  // OLTP-ish MySQL: hot-page point updates (read-modify-write, then often
+  // re-dirtied without a fresh read), WAL appends, range scans, and a
+  // periodic checkpoint that flushes a long contiguous run.
+  AppBuilder b(p, rng);
+  double rate = 25.0 * p.intensity;
+  std::uint64_t table_span = p.region_blocks / 2;
+  Lba wal_start = p.region_start + table_span;
+  std::uint64_t wal_span = p.region_blocks / 4;
+  Lba wal_cursor = wal_start;
+  SimTime next_checkpoint = b.Now() + Seconds(15);
+
+  while (!b.Done()) {
+    double dice = b.Rand().Uniform();
+    if (dice < 0.40) {
+      // Extent update: InnoDB-style flushing writes whole 256-KB extents of
+      // adjacent dirty pages, so the block-level overwrite runs are long
+      // (the paper groups "DB update" with the long-run workloads AVGWIO
+      // whitelists). Half the time the extent is flushed again without an
+      // intervening read (doublewrite/redo churn), diluting OWST.
+      const std::uint32_t extent = 64;
+      Lba at = b.RandomLba(table_span - extent);
+      b.EmitRun(IoMode::kRead, at, extent, 16, rate * 2);
+      b.EmitRun(IoMode::kWrite, at, extent, 16, rate);
+      if (b.Rand().Chance(0.5)) {
+        b.EmitRun(IoMode::kWrite, at, extent, 16, rate);
+      }
+    } else if (dice < 0.75) {
+      // WAL append: fresh sequential writes, never overwrites.
+      std::uint32_t n = 4 + static_cast<std::uint32_t>(b.Rand().Below(8));
+      b.Emit(IoMode::kWrite, wal_cursor, n);
+      b.Advance(PaceUs(n, rate));
+      wal_cursor += n;
+      if (wal_cursor >= wal_start + wal_span) wal_cursor = wal_start;
+    } else {
+      // Range scan.
+      Lba from = b.RandomLba(table_span);
+      b.EmitRun(IoMode::kRead, from, 16 + b.Rand().Below(48), 16, rate * 2);
+    }
+    b.AdvanceExp(2000.0 / p.intensity);
+
+    if (b.Now() >= next_checkpoint) {
+      // Checkpoint: read-then-flush a long contiguous dirty region — the
+      // long-run overwriting that AVGWIO is designed to whitelist.
+      Lba from = b.RandomLba(table_span - 2048);
+      b.EmitRun(IoMode::kRead, from, 1024, 32, rate * 2);
+      b.EmitRun(IoMode::kWrite, from, 1024, 32, rate);
+      next_checkpoint = b.Now() + Seconds(15);
+    }
+  }
+  return b.Finish("Database");
+}
+
+AppTrace CloudStorage(const AppParams& p, Rng& rng) {
+  // Dropbox-style sync: bursts of downloads (fresh writes), uploads
+  // (reads), and small metadata-database overwrites after each transfer.
+  AppBuilder b(p, rng);
+  double rate = 12.0 * p.intensity;
+  Lba meta_db = p.region_start;                  // 64-block metadata DB
+  Lba data_start = p.region_start + 64;
+  Lba cursor = data_start;
+  while (!b.Done()) {
+    b.AdvanceExp(3e6);  // a sync event every ~3 s
+    std::uint32_t file_blocks =
+        64 + static_cast<std::uint32_t>(b.Rand().Below(1024));
+    if (b.Rand().Chance(0.5)) {
+      b.EmitRun(IoMode::kWrite, cursor, file_blocks, 32, rate);  // download
+      cursor += file_blocks;
+      if (cursor + 2048 >= p.region_start + p.region_blocks) {
+        cursor = data_start;
+      }
+    } else {
+      Lba from = data_start + b.Rand().Below(std::max<std::uint64_t>(
+                                 1, cursor - data_start));
+      b.EmitRun(IoMode::kRead, from, file_blocks, 32, rate);  // upload
+    }
+    // Metadata DB touch: read a couple of pages, write them back.
+    Lba page = meta_db + b.Rand().Below(62);
+    b.Emit(IoMode::kRead, page, 2);
+    b.Advance(PaceUs(2, rate));
+    b.Emit(IoMode::kWrite, page, 2);
+    b.Advance(PaceUs(2, rate));
+  }
+  return b.Finish("CloudStorage");
+}
+
+AppTrace IoStress(const AppParams& p, Rng& rng) {
+  // IOMeter/DiskMark/hdtunepro composite: random mixed I/O punctuated by
+  // full sweeps. Benchmarks run their write pass first and verify-read
+  // afterwards, so the sweep itself produces almost no overwrites — the
+  // tool's threat to the detector is queue contention, not wiping-like
+  // traffic (paper Fig. 7(b)).
+  AppBuilder b(p, rng);
+  double rate = 60.0 * p.intensity;
+  // Benchmarks run distinct tests — sequential write, its verify read,
+  // random write, random read — and the write tests are not preceded by
+  // reads of the same blocks within the detection window (the write test
+  // file and the read test file are separate areas, and the sequential
+  // write comes before its verify read). The tool stresses the device and
+  // starves a concurrent ransomware, but produces almost no overwrites:
+  // exactly the paper's IO-intensive profile (Fig. 7(b)).
+  std::uint64_t span = std::min<std::uint64_t>(p.region_blocks, 1 << 20);
+  std::uint64_t half = span / 2;
+  std::uint64_t seq_span = std::min<std::uint64_t>(half, 1 << 13);
+  Lba write_area = p.region_start;          // random-write test file
+  Lba read_area = p.region_start + half;    // random-read test file
+  while (!b.Done()) {
+    // Sequential write test, then its verify-read pass.
+    b.EmitRun(IoMode::kWrite, write_area, seq_span, 64, rate);
+    b.EmitRun(IoMode::kRead, write_area, seq_span, 64, rate * 1.5);
+    // Random write test then random read test (4K-64K accesses), ~10 s
+    // each, on their own areas.
+    for (int phase = 0; phase < 2; ++phase) {
+      SimTime phase_end = b.Now() + Seconds(10);
+      while (!b.Done() && b.Now() < phase_end) {
+        std::uint32_t n = 1u << b.Rand().Below(5);  // 1..16 blocks
+        if (phase == 0) {
+          b.Emit(IoMode::kWrite, write_area + b.Rand().Below(half), n);
+        } else {
+          b.Emit(IoMode::kRead, read_area + b.Rand().Below(half), n);
+        }
+        b.Advance(PaceUs(n, rate));
+      }
+    }
+  }
+  return b.Finish("IoStress");
+}
+
+AppTrace StreamingTranscode(const AppParams& p, Rng& rng, double in_mbps,
+                            double out_mbps, const char* name) {
+  // Compression / video encode: stream a large input, stream a fresh
+  // output; CPU-bound, so block I/O is leisurely and overwrite-free.
+  AppBuilder b(p, rng);
+  std::uint64_t half = p.region_blocks / 2;
+  Lba in_cursor = p.region_start;
+  Lba out_cursor = p.region_start + half;
+  double ratio = out_mbps / in_mbps;
+  double carry = 0.0;
+  while (!b.Done()) {
+    std::uint32_t n = 16;
+    b.Emit(IoMode::kRead, in_cursor, n);
+    b.Advance(PaceUs(n, in_mbps * p.intensity));
+    in_cursor += n;
+    if (in_cursor + n >= p.region_start + half) in_cursor = p.region_start;
+    carry += n * ratio;
+    if (carry >= 16.0) {
+      std::uint32_t out = static_cast<std::uint32_t>(carry);
+      carry -= out;
+      b.Emit(IoMode::kWrite, out_cursor, out);
+      b.Advance(PaceUs(out, out_mbps * p.intensity));
+      out_cursor += out;
+      if (out_cursor + 64 >= p.region_start + p.region_blocks) {
+        out_cursor = p.region_start + half;
+      }
+    }
+  }
+  return b.Finish(name);
+}
+
+AppTrace VideoDecode(const AppParams& p, Rng& rng) {
+  // Playback: steady sequential reads, nothing else.
+  AppBuilder b(p, rng);
+  Lba cursor = p.region_start;
+  while (!b.Done()) {
+    std::uint32_t n = 16;
+    b.Emit(IoMode::kRead, cursor, n);
+    b.Advance(PaceUs(n, 5.0 * p.intensity));
+    cursor += n;
+    if (cursor + n >= p.region_start + p.region_blocks) {
+      cursor = p.region_start;
+    }
+  }
+  return b.Finish("VideoDecode");
+}
+
+AppTrace Install(const AppParams& p, Rng& rng) {
+  // Software install: long fresh-write bursts (payload extraction), archive
+  // reads, and a few small config rewrites.
+  AppBuilder b(p, rng);
+  double rate = 30.0 * p.intensity;
+  std::uint64_t half = p.region_blocks / 2;
+  Lba archive = p.region_start;
+  Lba dest = p.region_start + half;
+  while (!b.Done()) {
+    std::uint32_t file_blocks =
+        8 + static_cast<std::uint32_t>(b.Rand().Below(512));
+    b.EmitRun(IoMode::kRead, archive, file_blocks, 32, rate * 1.5);
+    archive += file_blocks;
+    if (archive + 1024 >= p.region_start + half) archive = p.region_start;
+    b.EmitRun(IoMode::kWrite, dest, file_blocks, 32, rate);
+    dest += file_blocks;
+    if (dest + 1024 >= p.region_start + p.region_blocks) {
+      dest = p.region_start + half;
+    }
+    if (b.Rand().Chance(0.2)) {
+      // Registry/config update: tiny read-modify-write.
+      Lba page = p.region_start + b.Rand().Below(64);
+      b.Emit(IoMode::kRead, page, 1);
+      b.Advance(PaceUs(1, rate));
+      b.Emit(IoMode::kWrite, page, 1);
+      b.Advance(PaceUs(1, rate));
+    }
+    b.AdvanceExp(50e3);
+  }
+  return b.Finish("Install");
+}
+
+AppTrace OutlookSync(const AppParams& p, Rng& rng) {
+  // Mailbox sync: read the PST tail, append new mail, occasionally rewrite
+  // an index page.
+  AppBuilder b(p, rng);
+  double rate = 8.0 * p.intensity;
+  Lba index = p.region_start;       // 32-block index area
+  Lba tail = p.region_start + 32;
+  while (!b.Done()) {
+    b.AdvanceExp(1.5e6);
+    std::uint32_t batch = 2 + static_cast<std::uint32_t>(b.Rand().Below(16));
+    b.EmitRun(IoMode::kRead, tail > 8 ? tail - 8 : tail, 8, 8, rate);
+    b.EmitRun(IoMode::kWrite, tail, batch, 8, rate);
+    tail += batch;
+    if (tail + 64 >= p.region_start + p.region_blocks) {
+      tail = p.region_start + 32;
+    }
+    if (b.Rand().Chance(0.5)) {
+      Lba page = index + b.Rand().Below(30);
+      b.Emit(IoMode::kRead, page, 2);
+      b.Advance(PaceUs(2, rate));
+      b.Emit(IoMode::kWrite, page, 2);
+      b.Advance(PaceUs(2, rate));
+    }
+  }
+  return b.Finish("OutlookSync");
+}
+
+AppTrace P2pDownload(const AppParams& p, Rng& rng) {
+  // BitTorrent: pieces arrive at random offsets of a preallocated file
+  // (fresh writes), each verified by a read *after* the write — plenty of
+  // I/O, almost no overwriting.
+  AppBuilder b(p, rng);
+  double rate = 4.0 * p.intensity;  // a healthy torrent, not a LAN copy
+  const std::uint32_t piece = 64;  // 256-KB pieces
+  std::uint64_t pieces = std::max<std::uint64_t>(1, p.region_blocks / piece);
+  while (!b.Done()) {
+    Lba at = p.region_start + b.Rand().Below(pieces) * piece;
+    b.EmitRun(IoMode::kWrite, at, piece, 16, rate);
+    b.EmitRun(IoMode::kRead, at, piece, 16, rate * 4);  // hash check
+    b.AdvanceExp(30e3);
+  }
+  return b.Finish("P2pDownload");
+}
+
+AppTrace BrowserLike(const AppParams& p, Rng& rng, double ops_per_sec,
+                     const char* name) {
+  // Chrome / messenger: small cache-file writes plus SQLite page rewrites
+  // (read a page or two, write them back) at a human-activity rate.
+  AppBuilder b(p, rng);
+  double rate = 5.0 * p.intensity;
+  Lba db = p.region_start;  // 128-block profile databases
+  Lba cache_cursor = p.region_start + 128;
+  while (!b.Done()) {
+    b.AdvanceExp(1e6 / ops_per_sec);
+    if (b.Rand().Chance(0.6)) {
+      std::uint32_t n = 1 + static_cast<std::uint32_t>(b.Rand().Below(16));
+      b.EmitRun(IoMode::kWrite, cache_cursor, n, 8, rate);  // cache fill
+      cache_cursor += n;
+      if (cache_cursor + 64 >= p.region_start + p.region_blocks) {
+        cache_cursor = p.region_start + 128;
+      }
+    } else {
+      Lba page = db + b.Rand().Below(126);
+      b.Emit(IoMode::kRead, page, 2);
+      b.Advance(PaceUs(2, rate));
+      b.Emit(IoMode::kWrite, page, 2);
+      b.Advance(PaceUs(2, rate));
+    }
+  }
+  return b.Finish(name);
+}
+
+AppTrace Defrag(const AppParams& p, Rng& rng) {
+  // In-place compaction: read a long fragmented stretch, then rewrite it
+  // contiguously over (mostly) the same blocks — long overwrite runs, OWST
+  // near 1 during the move, but AVGWIO in the hundreds.
+  AppBuilder b(p, rng);
+  double rate = 30.0 * p.intensity;
+  Lba cursor = p.region_start;
+  while (!b.Done()) {
+    std::uint32_t stretch =
+        256 + static_cast<std::uint32_t>(b.Rand().Below(768));
+    b.EmitRun(IoMode::kRead, cursor, stretch, 32, rate * 1.5);
+    b.EmitRun(IoMode::kWrite, cursor, stretch, 32, rate);
+    cursor += stretch + b.Rand().Below(64);
+    if (cursor + 2048 >= p.region_start + p.region_blocks) {
+      cursor = p.region_start;
+    }
+    b.AdvanceExp(200e3);  // planner pause between stretches
+  }
+  return b.Finish("Defrag");
+}
+
+AppTrace OsUpdate(const AppParams& p, Rng& rng) {
+  // Windows update: download payloads (fresh writes), then replace system
+  // files — read the old version, write the new one over it, trim leftover
+  // blocks. Bursty medium-volume overwriting.
+  AppBuilder b(p, rng);
+  double rate = 20.0 * p.intensity;
+  std::uint64_t half = p.region_blocks / 2;
+  Lba download = p.region_start + half;
+  while (!b.Done()) {
+    std::uint32_t payload =
+        128 + static_cast<std::uint32_t>(b.Rand().Below(1024));
+    b.EmitRun(IoMode::kWrite, download, payload, 32, rate);
+    download += payload;
+    if (download + 2048 >= p.region_start + p.region_blocks) {
+      download = p.region_start + half;
+    }
+    // Replace a handful of system files.
+    int files = 1 + static_cast<int>(b.Rand().Below(4));
+    for (int f = 0; f < files && !b.Done(); ++f) {
+      std::uint32_t fb = 8 + static_cast<std::uint32_t>(b.Rand().Below(64));
+      Lba at = b.RandomLba(half - fb);
+      b.EmitRun(IoMode::kRead, at, fb, 16, rate);
+      b.EmitRun(IoMode::kWrite, at, fb, 16, rate);
+    }
+    b.AdvanceExp(4e6);
+  }
+  return b.Finish("OsUpdate");
+}
+
+}  // namespace
+
+const char* AppKindName(AppKind kind) {
+  switch (kind) {
+    case AppKind::kNone: return "None";
+    case AppKind::kDataWiping: return "DataWiping";
+    case AppKind::kDatabase: return "Database";
+    case AppKind::kCloudStorage: return "CloudStorage";
+    case AppKind::kIoStress: return "IoStress";
+    case AppKind::kCompression: return "Compression";
+    case AppKind::kVideoEncode: return "VideoEncode";
+    case AppKind::kVideoDecode: return "VideoDecode";
+    case AppKind::kInstall: return "Install";
+    case AppKind::kOutlookSync: return "OutlookSync";
+    case AppKind::kP2pDownload: return "P2pDownload";
+    case AppKind::kWebSurfing: return "WebSurfing";
+    case AppKind::kSqliteMessenger: return "SqliteMessenger";
+    case AppKind::kOsUpdate: return "OsUpdate";
+    case AppKind::kDefrag: return "Defrag";
+  }
+  return "?";
+}
+
+AppKind AppKindByName(std::string_view name) {
+  for (AppKind k : AllAppKinds()) {
+    if (name == AppKindName(k)) return k;
+  }
+  if (name == "None") return AppKind::kNone;
+  throw std::invalid_argument("unknown app: " + std::string(name));
+}
+
+AppCategory CategoryOf(AppKind kind) {
+  switch (kind) {
+    case AppKind::kNone:
+      return AppCategory::kNone;
+    case AppKind::kDataWiping:
+    case AppKind::kDatabase:
+    case AppKind::kCloudStorage:
+    case AppKind::kDefrag:
+      return AppCategory::kHeavyOverwriting;
+    case AppKind::kIoStress:
+      return AppCategory::kIoIntensive;
+    case AppKind::kCompression:
+    case AppKind::kVideoEncode:
+      return AppCategory::kCpuIntensive;
+    default:
+      return AppCategory::kNormal;
+  }
+}
+
+const char* AppCategoryName(AppCategory category) {
+  switch (category) {
+    case AppCategory::kNone: return "RansomOnly";
+    case AppCategory::kHeavyOverwriting: return "HeavyOverwriting";
+    case AppCategory::kIoIntensive: return "IO-intensive";
+    case AppCategory::kCpuIntensive: return "CPU-intensive";
+    case AppCategory::kNormal: return "NormalApp";
+  }
+  return "?";
+}
+
+std::vector<AppKind> AllAppKinds() {
+  return {AppKind::kDataWiping,  AppKind::kDatabase,
+          AppKind::kCloudStorage, AppKind::kIoStress,
+          AppKind::kCompression,  AppKind::kVideoEncode,
+          AppKind::kVideoDecode,  AppKind::kInstall,
+          AppKind::kOutlookSync,  AppKind::kP2pDownload,
+          AppKind::kWebSurfing,   AppKind::kSqliteMessenger,
+          AppKind::kOsUpdate,     AppKind::kDefrag};
+}
+
+AppTrace GenerateApp(AppKind kind, const AppParams& params, Rng& rng) {
+  switch (kind) {
+    case AppKind::kNone:
+      return AppTrace{"None", {}};
+    case AppKind::kDataWiping:
+      return DataWiping(params, rng);
+    case AppKind::kDatabase:
+      return Database(params, rng);
+    case AppKind::kCloudStorage:
+      return CloudStorage(params, rng);
+    case AppKind::kIoStress:
+      return IoStress(params, rng);
+    case AppKind::kCompression:
+      return StreamingTranscode(params, rng, 12.0, 6.0, "Compression");
+    case AppKind::kVideoEncode:
+      return StreamingTranscode(params, rng, 8.0, 4.0, "VideoEncode");
+    case AppKind::kVideoDecode:
+      return VideoDecode(params, rng);
+    case AppKind::kInstall:
+      return Install(params, rng);
+    case AppKind::kOutlookSync:
+      return OutlookSync(params, rng);
+    case AppKind::kP2pDownload:
+      return P2pDownload(params, rng);
+    case AppKind::kWebSurfing:
+      return BrowserLike(params, rng, 15.0, "WebSurfing");
+    case AppKind::kSqliteMessenger:
+      return BrowserLike(params, rng, 4.0, "SqliteMessenger");
+    case AppKind::kOsUpdate:
+      return OsUpdate(params, rng);
+    case AppKind::kDefrag:
+      return Defrag(params, rng);
+  }
+  return AppTrace{"None", {}};
+}
+
+double RansomwareSlowdownUnder(AppKind kind) {
+  switch (CategoryOf(kind)) {
+    case AppCategory::kCpuIntensive:
+      return 2.0;  // encryption competes for cores
+    case AppCategory::kIoIntensive:
+      return 2.0;  // queue contention
+    case AppCategory::kHeavyOverwriting:
+      return 1.3;
+    default:
+      return 1.0;
+  }
+}
+
+}  // namespace insider::wl

@@ -1,0 +1,51 @@
+#include "workload/file_set.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace insider::wl {
+
+FileSet FileSet::Generate(const Params& params, Rng& rng) {
+  FileSet fs;
+  fs.files_.reserve(params.file_count);
+  Lba cursor = params.region_start;
+  Lba region_end = params.region_start + params.region_blocks;
+
+  for (std::size_t i = 0; i < params.file_count; ++i) {
+    double raw = rng.Pareto(params.size_scale_blocks, params.size_shape);
+    auto blocks = static_cast<std::uint32_t>(std::min<double>(
+        std::max(1.0, raw), static_cast<double>(params.max_file_blocks)));
+
+    // Leave small inter-file gaps so extents aren't wall-to-wall.
+    cursor += rng.Below(4);
+    if (cursor + blocks >= region_end) break;  // region exhausted
+
+    FileInfo info;
+    info.total_blocks = blocks;
+    if (blocks >= 4 && rng.Chance(params.fragmentation)) {
+      // Split into two fragments separated by a gap.
+      std::uint32_t first =
+          static_cast<std::uint32_t>(rng.Between(1, blocks - 1));
+      Lba gap = 8 + rng.Below(64);
+      if (cursor + blocks + gap < region_end) {
+        info.extents.push_back({cursor, first});
+        info.extents.push_back({cursor + first + gap, blocks - first});
+        cursor += blocks + gap;
+        fs.total_blocks_ += blocks;
+        fs.end_lba_ = std::max(fs.end_lba_, cursor);
+        fs.files_.push_back(std::move(info));
+        continue;
+      }
+    }
+    info.extents.push_back({cursor, blocks});
+    cursor += blocks;
+    fs.total_blocks_ += blocks;
+    fs.end_lba_ = std::max(fs.end_lba_, cursor);
+    fs.files_.push_back(std::move(info));
+  }
+  assert(!fs.files_.empty());
+  return fs;
+}
+
+}  // namespace insider::wl

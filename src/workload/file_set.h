@@ -1,0 +1,58 @@
+// Synthetic model of a user's file layout on the logical block space.
+//
+// Ransomware attacks *files*: it reads a file's blocks, encrypts them, and
+// overwrites (or rewrites) them. To generate realistic header streams the
+// workload substrate needs a plausible mapping of files to LBA extents —
+// documents and images are small (heavy-tailed sizes), mostly contiguous,
+// occasionally fragmented.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/io.h"
+#include "common/rng.h"
+
+namespace insider::wl {
+
+struct FileExtent {
+  Lba start = 0;
+  std::uint32_t blocks = 0;
+};
+
+struct FileInfo {
+  std::vector<FileExtent> extents;
+  std::uint32_t total_blocks = 0;
+};
+
+class FileSet {
+ public:
+  struct Params {
+    std::size_t file_count = 2000;
+    Lba region_start = 0;
+    Lba region_blocks = 1 << 20;  ///< LBA space the files may occupy
+    /// Pareto file sizes: scale (minimum) in blocks and shape. Defaults give
+    /// a median of ~3 blocks (12 KB) with a heavy tail — office documents
+    /// and photos.
+    double size_scale_blocks = 2.0;
+    double size_shape = 1.3;
+    std::uint32_t max_file_blocks = 4096;  ///< 16 MB cap
+    /// Probability a file is split into a second fragment.
+    double fragmentation = 0.1;
+  };
+
+  static FileSet Generate(const Params& params, Rng& rng);
+
+  const std::vector<FileInfo>& Files() const { return files_; }
+  std::size_t FileCount() const { return files_.size(); }
+  std::uint64_t TotalBlocks() const { return total_blocks_; }
+  /// One block past the highest LBA any file occupies.
+  Lba EndLba() const { return end_lba_; }
+
+ private:
+  std::vector<FileInfo> files_;
+  std::uint64_t total_blocks_ = 0;
+  Lba end_lba_ = 0;
+};
+
+}  // namespace insider::wl

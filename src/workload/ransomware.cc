@@ -1,0 +1,208 @@
+#include "workload/ransomware.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace insider::wl {
+
+namespace {
+
+/// Microseconds to move `blocks` 4-KB blocks at `mbps` with a slowdown.
+SimTime PaceUs(std::uint32_t blocks, double mbps, double slowdown) {
+  double bytes = static_cast<double>(blocks) * 4096.0;
+  double us = bytes / (mbps * 1e6) * 1e6 * slowdown;
+  return std::max<SimTime>(1, static_cast<SimTime>(us));
+}
+
+class AttackBuilder {
+ public:
+  AttackBuilder(const RansomwareProfile& profile,
+                const RansomwareRunParams& params, Rng& rng)
+      : now_(params.start_time), scratch_(params.scratch_start),
+        profile_(profile), params_(params), rng_(rng) {}
+
+  /// Emit paced requests covering the extents of one file.
+  void Emit(IoMode mode, const std::vector<FileExtent>& extents) {
+    for (const FileExtent& ext : extents) {
+      Lba lba = ext.start;
+      std::uint32_t left = ext.blocks;
+      while (left > 0) {
+        std::uint32_t n = std::min(left, profile_.io_blocks);
+        trace_.requests.push_back({now_, lba, n, mode});
+        now_ += PaceUs(n, profile_.encrypt_rate_mbps, profile_.slowdown);
+        lba += n;
+        left -= n;
+      }
+    }
+  }
+
+  /// Write the encrypted copy of `blocks` blocks into the scratch area.
+  void EmitScratchCopy(std::uint32_t blocks) {
+    std::uint32_t left = blocks;
+    while (left > 0) {
+      std::uint32_t n = std::min(left, profile_.io_blocks);
+      trace_.requests.push_back({now_, scratch_, n, IoMode::kWrite});
+      now_ += PaceUs(n, profile_.encrypt_rate_mbps, profile_.slowdown);
+      scratch_ += n;
+      left -= n;
+    }
+  }
+
+  void EmitTrim(const std::vector<FileExtent>& extents) {
+    for (const FileExtent& ext : extents) {
+      trace_.requests.push_back({now_, ext.start, ext.blocks, IoMode::kTrim});
+    }
+    now_ += Microseconds(50);  // metadata update, cheap
+  }
+
+  void InterFileGap() {
+    now_ += static_cast<SimTime>(
+        rng_.Exponential(static_cast<double>(profile_.per_file_overhead)) *
+        profile_.slowdown);
+  }
+
+  bool TimedOut() const {
+    return params_.max_duration > 0 &&
+           now_ - params_.start_time >= params_.max_duration;
+  }
+
+  SimTime now_;
+  Lba scratch_;
+  RansomwareTrace trace_;
+
+ private:
+  const RansomwareProfile& profile_;
+  const RansomwareRunParams& params_;
+  Rng& rng_;
+};
+
+
+}  // namespace
+
+RansomwareTrace GenerateRansomware(const RansomwareProfile& profile,
+                                   const FileSet& files,
+                                   const RansomwareRunParams& params,
+                                   Rng& rng) {
+  AttackBuilder b(profile, params, rng);
+  b.trace_.name = profile.name;
+
+  // Victim order: ransomware walks the directory tree, which correlates
+  // only loosely with LBA order — shuffle.
+  std::vector<std::size_t> order(files.FileCount());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.Below(i)]);
+  }
+  std::size_t limit = params.max_files > 0
+                          ? std::min(params.max_files, order.size())
+                          : order.size();
+
+  for (std::size_t k = 0; k < limit && !b.TimedOut(); ++k) {
+    const FileInfo& file = files.Files()[order[k]];
+    b.InterFileGap();
+    // Every class first reads the plaintext it is about to encrypt.
+    b.Emit(IoMode::kRead, file.extents);
+    switch (profile.attack_class) {
+      case RansomClass::kInPlace:
+        // Class A: encrypted bytes land on the very same LBAs.
+        b.Emit(IoMode::kWrite, file.extents);
+        break;
+      case RansomClass::kOutOfPlace:
+        // Class B: encrypted copy elsewhere, then a secure-delete pass over
+        // the original, then the unlink's trim.
+        b.EmitScratchCopy(file.total_blocks);
+        b.Emit(IoMode::kWrite, file.extents);
+        b.EmitTrim(file.extents);
+        break;
+      case RansomClass::kDeleteRewrite:
+        // Class C: destroy the original first (wipe + trim), then write the
+        // encrypted version elsewhere.
+        b.Emit(IoMode::kWrite, file.extents);
+        b.EmitTrim(file.extents);
+        b.EmitScratchCopy(file.total_blocks);
+        break;
+    }
+    ++b.trace_.files_attacked;
+    b.trace_.blocks_encrypted += file.total_blocks;
+  }
+
+  if (!b.trace_.requests.empty()) {
+    b.trace_.active_begin = b.trace_.requests.front().time;
+    b.trace_.active_end = b.trace_.requests.back().time;
+  } else {
+    b.trace_.active_begin = b.trace_.active_end = params.start_time;
+  }
+  return std::move(b.trace_);
+}
+
+RansomwareProfile RansomwareProfileByName(std::string_view name) {
+  RansomwareProfile p;
+  p.name = std::string(name);
+  // Rates/classes chosen to reproduce the paper's qualitative ordering:
+  // WannaCry & Mole steep cumulative OWIO, Jaff & CryptoShield shallow
+  // (Fig. 1(b)), with a mix of attack classes across families.
+  if (name == "WannaCry") {
+    p.attack_class = RansomClass::kOutOfPlace;
+    p.encrypt_rate_mbps = 25.0;
+    p.per_file_overhead = Milliseconds(15);
+    p.io_blocks = 8;
+  } else if (name == "Mole") {
+    p.attack_class = RansomClass::kInPlace;
+    p.encrypt_rate_mbps = 20.0;
+    p.per_file_overhead = Milliseconds(20);
+    p.io_blocks = 8;
+  } else if (name == "Jaff") {
+    p.attack_class = RansomClass::kInPlace;
+    p.encrypt_rate_mbps = 2.5;
+    p.per_file_overhead = Milliseconds(50);
+    p.io_blocks = 4;
+  } else if (name == "CryptoShield") {
+    p.attack_class = RansomClass::kOutOfPlace;
+    p.encrypt_rate_mbps = 2.5;
+    p.per_file_overhead = Milliseconds(80);
+    p.io_blocks = 4;
+  } else if (name == "Locky.bbs") {
+    p.attack_class = RansomClass::kInPlace;
+    p.encrypt_rate_mbps = 10.0;
+    p.per_file_overhead = Milliseconds(30);
+    p.io_blocks = 8;
+  } else if (name == "Locky.bdf") {
+    p.attack_class = RansomClass::kInPlace;
+    p.encrypt_rate_mbps = 8.0;
+    p.per_file_overhead = Milliseconds(40);
+    p.io_blocks = 8;
+  } else if (name == "Zerber.ufb") {
+    p.attack_class = RansomClass::kOutOfPlace;
+    p.encrypt_rate_mbps = 6.0;
+    p.per_file_overhead = Milliseconds(50);
+    p.io_blocks = 4;
+  } else if (name == "GlobeImposter") {
+    p.attack_class = RansomClass::kInPlace;
+    p.encrypt_rate_mbps = 12.0;
+    p.per_file_overhead = Milliseconds(25);
+    p.io_blocks = 8;
+  } else if (name == "InHouse.inplace") {
+    p.attack_class = RansomClass::kInPlace;
+    p.encrypt_rate_mbps = 15.0;
+    p.per_file_overhead = Milliseconds(20);
+    p.io_blocks = 16;
+  } else if (name == "InHouse.outplace") {
+    p.attack_class = RansomClass::kDeleteRewrite;
+    p.encrypt_rate_mbps = 15.0;
+    p.per_file_overhead = Milliseconds(20);
+    p.io_blocks = 16;
+  } else {
+    throw std::invalid_argument("unknown ransomware: " + std::string(name));
+  }
+  return p;
+}
+
+std::vector<std::string> AllRansomwareNames() {
+  return {"WannaCry",      "Mole",           "Jaff",
+          "CryptoShield",  "Locky.bbs",      "Locky.bdf",
+          "Zerber.ufb",    "GlobeImposter",  "InHouse.inplace",
+          "InHouse.outplace"};
+}
+
+}  // namespace insider::wl

@@ -1,0 +1,74 @@
+// Behavioral models of the ransomware families the paper evaluates.
+//
+// The detector sees only block-I/O headers, so a family is characterized by
+// what it does to the header stream: how fast it encrypts, how it destroys
+// the plaintext (Scaife's three classes, paper §III-A), its request sizes,
+// and its per-file overhead. Rates are calibrated to reproduce the
+// qualitative split in the paper's Figs. 1-2: WannaCry and Mole are fast
+// (steep cumulative OWIO), Jaff and CryptoShield slow (shallow, hard to
+// catch with OWIO alone — PWIO exists for them).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/io.h"
+#include "common/rng.h"
+#include "common/time.h"
+#include "workload/file_set.h"
+
+namespace insider::wl {
+
+enum class RansomClass {
+  kInPlace,        ///< Class A: overwrite the file's blocks directly
+  kOutOfPlace,     ///< Class B: encrypted copy elsewhere, then secure-delete
+  kDeleteRewrite,  ///< Class C: wipe + trim original, then encrypted copy
+};
+
+struct RansomwareProfile {
+  std::string name;
+  RansomClass attack_class = RansomClass::kInPlace;
+  /// Sustained encryption throughput (read+write pace), MB/s.
+  double encrypt_rate_mbps = 10.0;
+  /// Mean pause between victim files (discovery + key setup), microseconds.
+  SimTime per_file_overhead = Milliseconds(30);
+  /// Request size in 4-KB blocks.
+  std::uint32_t io_blocks = 8;
+  /// Multiplier (>1) stretching every gap; models CPU/IO-intensive
+  /// background load starving the ransomware (the Fig. 7(b)/(c) scenarios).
+  double slowdown = 1.0;
+};
+
+/// Profiles for the eight real-world samples + two in-house ones (Table I).
+RansomwareProfile RansomwareProfileByName(std::string_view name);
+std::vector<std::string> AllRansomwareNames();
+
+/// A fully generated attack: the request stream plus ground truth.
+struct RansomwareTrace {
+  std::string name;
+  std::vector<IoRequest> requests;   ///< time-sorted
+  SimTime active_begin = 0;          ///< first request time
+  SimTime active_end = 0;            ///< last request time
+  std::uint64_t files_attacked = 0;
+  std::uint64_t blocks_encrypted = 0;
+};
+
+struct RansomwareRunParams {
+  SimTime start_time = 0;
+  /// Where Class B/C write their encrypted copies (free space past the
+  /// file set).
+  Lba scratch_start = 0;
+  /// Stop after this much virtual time, if set (0 = attack everything).
+  SimTime max_duration = 0;
+  /// Attack only a prefix of the (shuffled) file list, if set.
+  std::size_t max_files = 0;
+};
+
+RansomwareTrace GenerateRansomware(const RansomwareProfile& profile,
+                                   const FileSet& files,
+                                   const RansomwareRunParams& params,
+                                   Rng& rng);
+
+}  // namespace insider::wl

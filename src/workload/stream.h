@@ -1,0 +1,34 @@
+// Pull-based I/O request streams.
+//
+// Every workload model — ransomware families and background applications —
+// is an IoStream: a generator of block-I/O request headers in
+// non-decreasing virtual-time order. A Mixer merges several streams into
+// the single request sequence the SSD sees, tagging each request with its
+// source so experiments can compute ground truth (e.g., "was the
+// ransomware active during this slice?").
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "common/io.h"
+
+namespace insider::wl {
+
+class IoStream {
+ public:
+  virtual ~IoStream() = default;
+
+  /// Next request, or nullopt when the stream is exhausted. Times are
+  /// non-decreasing across calls.
+  virtual std::optional<IoRequest> Next() = 0;
+
+  /// Earliest time of the next request without consuming it; nullopt when
+  /// exhausted. Default implementation is not provided — generators must
+  /// support peeking for the k-way merge.
+  virtual std::optional<SimTime> PeekTime() = 0;
+
+  virtual std::string_view Name() const = 0;
+};
+
+}  // namespace insider::wl

@@ -1,0 +1,82 @@
+#include "workload/trace.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace insider::wl {
+
+namespace {
+char ModeChar(IoMode mode) {
+  switch (mode) {
+    case IoMode::kRead: return 'R';
+    case IoMode::kWrite: return 'W';
+    case IoMode::kTrim: return 'T';
+  }
+  return '?';
+}
+
+IoMode ModeFromChar(char c) {
+  switch (c) {
+    case 'R': return IoMode::kRead;
+    case 'W': return IoMode::kWrite;
+    case 'T': return IoMode::kTrim;
+    default:
+      throw std::invalid_argument(std::string("bad trace mode: ") + c);
+  }
+}
+}  // namespace
+
+void WriteTrace(std::ostream& os, const std::vector<IoRequest>& requests) {
+  os << "# insider-trace v1\n";
+  for (const IoRequest& r : requests) {
+    os << r.time << ' ' << r.lba << ' ' << r.length << ' '
+       << ModeChar(r.mode) << '\n';
+  }
+}
+
+std::vector<IoRequest> ReadTrace(std::istream& is) {
+  std::vector<IoRequest> out;
+  std::string line;
+  bool header_seen = false;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      if (line.find("insider-trace v1") != std::string::npos) {
+        header_seen = true;
+      }
+      continue;
+    }
+    if (!header_seen) {
+      throw std::invalid_argument("trace: missing header line");
+    }
+    std::istringstream ls(line);
+    IoRequest r;
+    char mode;
+    if (!(ls >> r.time >> r.lba >> r.length >> mode)) {
+      throw std::invalid_argument("trace: malformed line: " + line);
+    }
+    r.mode = ModeFromChar(mode);
+    if (!out.empty() && r.time < out.back().time) {
+      throw std::invalid_argument("trace: times must be non-decreasing");
+    }
+    out.push_back(r);
+  }
+  return out;
+}
+
+bool SaveTraceFile(const std::string& path,
+                   const std::vector<IoRequest>& requests) {
+  std::ofstream f(path);
+  if (!f) return false;
+  WriteTrace(f, requests);
+  return static_cast<bool>(f);
+}
+
+std::vector<IoRequest> LoadTraceFile(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return {};
+  return ReadTrace(f);
+}
+
+}  // namespace insider::wl

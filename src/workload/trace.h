@@ -1,0 +1,26 @@
+// Text-format persistence for request traces, so experiments can be
+// re-run bit-for-bit and interesting streams archived alongside results.
+//
+// Format: one request per line, `<time_us> <lba> <length> <R|W|T>`,
+// preceded by a `# insider-trace v1` header. Lines starting with '#' are
+// comments.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/io.h"
+
+namespace insider::wl {
+
+void WriteTrace(std::ostream& os, const std::vector<IoRequest>& requests);
+/// Throws std::invalid_argument on malformed input.
+std::vector<IoRequest> ReadTrace(std::istream& is);
+
+bool SaveTraceFile(const std::string& path,
+                   const std::vector<IoRequest>& requests);
+/// Returns nullopt if the file cannot be opened or parsed.
+std::vector<IoRequest> LoadTraceFile(const std::string& path);
+
+}  // namespace insider::wl

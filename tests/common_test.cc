@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/io.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/time.h"
+
+namespace insider {
+namespace {
+
+TEST(SimClockTest, StartsAtZero) {
+  SimClock clock;
+  EXPECT_EQ(clock.Now(), 0);
+}
+
+TEST(SimClockTest, AdvanceToMovesForward) {
+  SimClock clock;
+  clock.AdvanceTo(Seconds(3));
+  EXPECT_EQ(clock.Now(), Seconds(3));
+}
+
+TEST(SimClockTest, AdvanceToNeverMovesBackwards) {
+  SimClock clock;
+  clock.AdvanceTo(Seconds(5));
+  clock.AdvanceTo(Seconds(2));
+  EXPECT_EQ(clock.Now(), Seconds(5));
+}
+
+TEST(SimClockTest, RelativeAdvance) {
+  SimClock clock(Milliseconds(100));
+  clock.Advance(Milliseconds(50));
+  EXPECT_EQ(clock.Now(), Milliseconds(150));
+}
+
+TEST(TimeTest, UnitConversions) {
+  EXPECT_EQ(Seconds(1), 1'000'000);
+  EXPECT_EQ(Milliseconds(1), 1'000);
+  EXPECT_DOUBLE_EQ(ToSeconds(Seconds(7)), 7.0);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool differs = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a() != b()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Below(13), 13u);
+  }
+}
+
+TEST(RngTest, BetweenInclusive) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    std::int64_t v = rng.Between(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(3);
+  EXPECT_FALSE(rng.Chance(0.0));
+  EXPECT_TRUE(rng.Chance(1.0));
+}
+
+TEST(RngTest, ExponentialMeanApproximatelyCorrect) {
+  Rng rng(5);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(10.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.3);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(5);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.Add(rng.Gaussian(2.0, 3.0));
+  EXPECT_NEAR(stats.Mean(), 2.0, 0.1);
+  EXPECT_NEAR(stats.Stddev(), 3.0, 0.1);
+}
+
+TEST(RngTest, ParetoAtLeastScale) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(rng.Pareto(2.0, 1.5), 2.0);
+  }
+}
+
+TEST(RngTest, ForkDecorrelates) {
+  Rng parent(9);
+  Rng child = parent.Fork();
+  // The child stream should differ from the parent's continuation.
+  bool differs = false;
+  for (int i = 0; i < 10; ++i) {
+    if (parent() != child()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.Count(), 0u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Variance(), 0.0);
+}
+
+TEST(RunningStatsTest, BasicMoments) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.Mean(), 5.0);
+  EXPECT_NEAR(s.Variance(), 32.0 / 7.0, 1e-9);
+  EXPECT_DOUBLE_EQ(s.Min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.Sum(), 40.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesCombinedStream) {
+  RunningStats a, b, combined;
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.Gaussian(0, 1);
+    (i % 2 ? a : b).Add(v);
+    combined.Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), combined.Count());
+  EXPECT_NEAR(a.Mean(), combined.Mean(), 1e-9);
+  EXPECT_NEAR(a.Variance(), combined.Variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.Min(), combined.Min());
+  EXPECT_DOUBLE_EQ(a.Max(), combined.Max());
+}
+
+TEST(HistogramTest, QuantilesOfUniformData) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.Add(i + 0.5);
+  EXPECT_NEAR(h.Quantile(0.5), 50.0, 2.0);
+  EXPECT_NEAR(h.Quantile(0.99), 99.0, 2.0);
+}
+
+TEST(HistogramTest, ClampsOutOfRange) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(-5.0);
+  h.Add(50.0);
+  EXPECT_EQ(h.TotalCount(), 2u);
+}
+
+TEST(PearsonCorrelationTest, PerfectPositive) {
+  std::vector<double> x{1, 2, 3, 4, 5};
+  std::vector<double> y{2, 4, 6, 8, 10};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+}
+
+TEST(PearsonCorrelationTest, PerfectNegative) {
+  std::vector<double> x{1, 2, 3};
+  std::vector<double> y{3, 2, 1};
+  EXPECT_NEAR(PearsonCorrelation(x, y), -1.0, 1e-12);
+}
+
+TEST(PearsonCorrelationTest, ConstantSeriesIsZero) {
+  std::vector<double> x{1, 1, 1};
+  std::vector<double> y{1, 2, 3};
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(x, y), 0.0);
+}
+
+TEST(IoRequestTest, EqualityAndDefaults) {
+  IoRequest a{Seconds(1), 100, 8, IoMode::kWrite};
+  IoRequest b = a;
+  EXPECT_EQ(a, b);
+  b.lba = 101;
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace insider

@@ -1,0 +1,234 @@
+// Deeper semantic tests of the counting table: the footnote-1 read-recency
+// rule, the WL give-back on re-read, the eviction time index, and
+// split/merge chains — the behaviors the feature definitions depend on.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/counting_table.h"
+
+namespace insider::core {
+namespace {
+
+CountingTable::Config WithWindow(std::size_t n) {
+  CountingTable::Config c;
+  c.window_slices = n;
+  return c;
+}
+
+TEST(ReadRecencyTest, WriteWithinWindowCounts) {
+  CountingTable t(WithWindow(10));
+  t.OnRead(100, 1, 0);
+  t.OnWrite(100, 1, 9);  // 9 slices later, still inside the window
+  EXPECT_EQ(t.Counters().overwrites, 1u);
+}
+
+TEST(ReadRecencyTest, WriteJustPastWindowDoesNotCount) {
+  CountingTable t(WithWindow(10));
+  t.OnRead(100, 1, 0);
+  t.OnWrite(100, 1, 10);  // exactly N slices later: stale (footnote 1)
+  EXPECT_EQ(t.Counters().overwrites, 0u);
+}
+
+TEST(ReadRecencyTest, StaleWriteDoesNotRefreshEntry) {
+  // A stale write must not keep an old run alive past the window slide.
+  CountingTable t(WithWindow(10));
+  t.OnRead(100, 4, 0);
+  t.OnWrite(100, 4, 11);  // stale, not counted
+  t.DropOlderThan(5);
+  EXPECT_EQ(t.EntryCount(), 0u);
+}
+
+TEST(ReadRecencyTest, ReReadRestartsTheClock) {
+  CountingTable t(WithWindow(10));
+  t.OnRead(100, 1, 0);
+  t.OnRead(100, 1, 8);   // re-read refreshes recency
+  t.OnWrite(100, 1, 15); // 7 slices after the re-read
+  EXPECT_EQ(t.Counters().overwrites, 1u);
+}
+
+TEST(ReadRecencyTest, PerBlockRecencyIsIndependent) {
+  CountingTable t(WithWindow(10));
+  t.OnRead(100, 1, 0);
+  t.OnRead(101, 1, 8);  // same run after extension? (not adjacent: new run)
+  t.OnWrite(100, 1, 11);  // stale
+  t.OnWrite(101, 1, 11);  // fresh
+  EXPECT_EQ(t.Counters().overwrites, 1u);
+}
+
+TEST(WlGiveBackTest, ReReadDecrementsWl) {
+  CountingTable t;
+  t.OnRead(100, 4, 0);
+  t.OnWrite(100, 4, 0);
+  t.ForEach([](const CountingEntry& e) { EXPECT_EQ(e.wl, 4u); });
+  t.OnRead(100, 2, 1);  // two blocks re-armed
+  t.ForEach([](const CountingEntry& e) { EXPECT_EQ(e.wl, 2u); });
+  EXPECT_EQ(t.CheckInvariants(), "");
+}
+
+TEST(WlGiveBackTest, WlNeverExceedsRlUnderReadWriteCycles) {
+  // The wiping-with-verify pattern: read, write, read, write ... per block.
+  CountingTable t;
+  for (int cycle = 0; cycle < 20; ++cycle) {
+    t.OnRead(100, 8, cycle);
+    t.OnWrite(100, 8, cycle);
+  }
+  t.ForEach([](const CountingEntry& e) {
+    EXPECT_LE(e.wl, e.rl);
+    EXPECT_EQ(e.rl, 8u);
+  });
+  EXPECT_EQ(t.CheckInvariants(), "");
+  // Every cycle's writes count: the detector *should* see repeated
+  // read-then-overwrite as sustained overwriting.
+  EXPECT_EQ(t.Counters().overwrites, 160u);
+}
+
+TEST(TimeIndexTest, EvictionPicksLeastRecentlyActive) {
+  CountingTable::Config cfg;
+  cfg.max_entries = 3;
+  CountingTable t(cfg);
+  t.OnRead(100, 1, 0);
+  t.OnRead(200, 1, 1);
+  t.OnRead(300, 1, 2);
+  t.OnWrite(100, 1, 3);  // refresh the oldest run via a write
+  t.OnRead(400, 1, 4);   // capacity eviction: 200 is now the oldest
+  bool has_200 = false, has_100 = false;
+  t.ForEach([&](const CountingEntry& e) {
+    has_200 |= (e.lba == 200);
+    has_100 |= (e.lba == 100);
+  });
+  EXPECT_FALSE(has_200);
+  EXPECT_TRUE(has_100);
+  EXPECT_EQ(t.CheckInvariants(), "");
+}
+
+TEST(TimeIndexTest, DropOlderThanUsesLastActivity) {
+  CountingTable t;
+  t.OnRead(100, 1, 0);
+  t.OnRead(200, 1, 0);
+  t.OnRead(100, 1, 6);  // refresh 100
+  t.DropOlderThan(3);
+  EXPECT_EQ(t.EntryCount(), 1u);
+  t.ForEach([](const CountingEntry& e) { EXPECT_EQ(e.lba, 100u); });
+}
+
+TEST(TimeIndexTest, MergeKeepsNewestTime) {
+  CountingTable t;
+  t.OnRead(100, 3, 0);
+  t.OnRead(104, 3, 5);
+  t.OnRead(103, 1, 5);  // merge bridge
+  ASSERT_EQ(t.EntryCount(), 1u);
+  t.DropOlderThan(3);  // merged entry carries the newest time (5)
+  EXPECT_EQ(t.EntryCount(), 1u);
+  EXPECT_EQ(t.CheckInvariants(), "");
+}
+
+TEST(SplitChainTest, MultipleSplitsPartitionTheRun) {
+  CountingTable t;
+  t.OnRead(100, 16, 0);
+  t.OnWrite(100, 1, 0);   // ow run at head
+  t.OnWrite(108, 1, 0);   // split 1
+  t.OnWrite(104, 1, 0);   // split 2 (mid left part)
+  EXPECT_EQ(t.EntryCount(), 3u);
+  std::uint32_t covered = 0;
+  t.ForEach([&](const CountingEntry& e) {
+    covered += e.rl;
+    EXPECT_LE(e.wl, e.rl);
+  });
+  EXPECT_EQ(covered, 16u);
+  EXPECT_EQ(t.KeyCount(), 16u);
+  EXPECT_EQ(t.CheckInvariants(), "");
+}
+
+TEST(SplitChainTest, SplitKeepsOverwriteAccounting) {
+  CountingTable t;
+  t.OnRead(100, 10, 0);
+  // Contiguous ow run 100..104, then a jump to 107.
+  for (Lba b = 100; b <= 104; ++b) t.OnWrite(b, 1, 0);
+  t.OnWrite(107, 1, 0);
+  EXPECT_EQ(t.Counters().overwrites, 6u);
+  std::uint32_t wl_total = 0;
+  t.ForEach([&](const CountingEntry& e) { wl_total += e.wl; });
+  EXPECT_EQ(wl_total, 6u);
+}
+
+TEST(HashCapacityTest, EvictionKeepsIndexAndRunsInSync) {
+  CountingTable::Config cfg;
+  cfg.max_entries = 500;
+  cfg.max_hash_keys = 256;
+  CountingTable t(cfg);
+  Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    t.OnRead(rng.Below(100000), 1 + rng.Below(16), i / 20);
+  }
+  EXPECT_EQ(t.CheckInvariants(), "");
+  EXPECT_LE(t.KeyCount(), 256u + 16u);
+}
+
+TEST(AverageRunLengthTest, TracksContiguousStretches) {
+  CountingTable t;
+  // A 32-block contiguous overwrite (one entry, wl=32)...
+  t.OnRead(1000, 32, 0);
+  t.OnWrite(1000, 32, 0);
+  // ...and four scattered single-block overwrites.
+  for (Lba b : {5000u, 6000u, 7000u, 8000u}) {
+    t.OnRead(b, 1, 0);
+    t.OnWrite(b, 1, 0);
+  }
+  // Mean of {32, 1, 1, 1, 1} = 7.2.
+  EXPECT_DOUBLE_EQ(t.AverageOverwriteRunLength(), 7.2);
+}
+
+class WindowParamTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(WindowParamTest, RecencyHorizonScalesWithWindow) {
+  std::size_t n = GetParam();
+  CountingTable t(WithWindow(n));
+  t.OnRead(100, 1, 0);
+  t.OnWrite(100, 1, static_cast<SliceIndex>(n) - 1);
+  EXPECT_EQ(t.Counters().overwrites, 1u);
+
+  CountingTable t2(WithWindow(n));
+  t2.OnRead(100, 1, 0);
+  t2.OnWrite(100, 1, static_cast<SliceIndex>(n));
+  EXPECT_EQ(t2.Counters().overwrites, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, WindowParamTest,
+                         ::testing::Values(1, 2, 5, 10, 20, 60));
+
+class TableFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TableFuzzTest, InvariantsHoldUnderSeededTraffic) {
+  Rng rng(GetParam());
+  CountingTable::Config cfg;
+  cfg.max_entries = 32 + rng.Below(128);
+  cfg.max_hash_keys = 512 + rng.Below(4096);
+  CountingTable t(cfg);
+  SliceIndex slice = 0;
+  for (int op = 0; op < 8000; ++op) {
+    Lba lba = rng.Below(2048);
+    std::uint32_t len = 1 + static_cast<std::uint32_t>(rng.Below(12));
+    double dice = rng.Uniform();
+    if (dice < 0.45) {
+      t.OnRead(lba, len, slice);
+    } else {
+      t.OnWrite(lba, len, slice);
+    }
+    if (op % 400 == 0) {
+      t.EndSlice();
+      ++slice;
+      t.DropOlderThan(slice - 10);
+      ASSERT_EQ(t.CheckInvariants(), "")
+          << "seed " << GetParam() << " op " << op;
+    }
+  }
+  EXPECT_EQ(t.CheckInvariants(), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TableFuzzTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace insider::core

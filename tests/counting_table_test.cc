@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/counting_table.h"
+
+namespace insider::core {
+namespace {
+
+TEST(CountingTableTest, StartsEmpty) {
+  CountingTable t;
+  EXPECT_EQ(t.EntryCount(), 0u);
+  EXPECT_EQ(t.KeyCount(), 0u);
+}
+
+TEST(CountingTableTest, ReadCreatesEntry) {
+  CountingTable t;
+  t.OnRead(100, 1, 0);
+  EXPECT_EQ(t.EntryCount(), 1u);
+  EXPECT_EQ(t.KeyCount(), 1u);
+  EXPECT_EQ(t.Counters().read_blocks, 1u);
+  EXPECT_EQ(t.CheckInvariants(), "");
+}
+
+TEST(CountingTableTest, SequentialReadsExtendOneRun) {
+  CountingTable t;
+  for (Lba b = 100; b < 110; ++b) t.OnRead(b, 1, 0);
+  EXPECT_EQ(t.EntryCount(), 1u);
+  EXPECT_EQ(t.KeyCount(), 10u);
+  t.ForEach([](const CountingEntry& e) {
+    EXPECT_EQ(e.lba, 100u);
+    EXPECT_EQ(e.rl, 10u);
+    EXPECT_EQ(e.wl, 0u);
+  });
+  EXPECT_EQ(t.CheckInvariants(), "");
+}
+
+TEST(CountingTableTest, MultiBlockRequestCoversRun) {
+  CountingTable t;
+  t.OnRead(50, 8, 0);
+  EXPECT_EQ(t.EntryCount(), 1u);
+  EXPECT_EQ(t.KeyCount(), 8u);
+  EXPECT_EQ(t.Counters().read_blocks, 8u);
+}
+
+TEST(CountingTableTest, WriteToUntrackedBlockIsNotOverwrite) {
+  CountingTable t;
+  t.OnWrite(200, 4, 0);
+  EXPECT_EQ(t.Counters().write_blocks, 4u);
+  EXPECT_EQ(t.Counters().overwrites, 0u);
+  EXPECT_EQ(t.EntryCount(), 0u);
+}
+
+TEST(CountingTableTest, WriteAfterReadCountsAsOverwrite) {
+  CountingTable t;
+  t.OnRead(10, 4, 0);
+  t.OnWrite(10, 4, 0);
+  EXPECT_EQ(t.Counters().overwrites, 4u);
+  t.ForEach([](const CountingEntry& e) { EXPECT_EQ(e.wl, 4u); });
+  EXPECT_EQ(t.CheckInvariants(), "");
+}
+
+TEST(CountingTableTest, RepeatedWritesCountOncePerRead) {
+  // The data-wiping discriminator: 7 passes over the same read block count
+  // as ONE overwrite (paper: OWST stays low for wipers).
+  CountingTable t;
+  t.OnRead(10, 4, 0);
+  for (int pass = 0; pass < 7; ++pass) t.OnWrite(10, 4, 0);
+  EXPECT_EQ(t.Counters().overwrites, 4u);
+  EXPECT_EQ(t.Counters().write_blocks, 28u);
+}
+
+TEST(CountingTableTest, ReReadReArmsOverwrite) {
+  CountingTable t;
+  t.OnRead(10, 1, 0);
+  t.OnWrite(10, 1, 0);
+  t.OnRead(10, 1, 0);  // ransomware reads it again
+  t.OnWrite(10, 1, 0);
+  EXPECT_EQ(t.Counters().overwrites, 2u);
+}
+
+TEST(CountingTableTest, SplitOnMidRunNonContiguousOverwrite) {
+  CountingTable t;
+  t.OnRead(100, 10, 0);  // run [100,110)
+  t.OnWrite(100, 1, 0);  // ow run starts at head
+  t.OnWrite(105, 1, 0);  // non-contiguous -> split
+  EXPECT_EQ(t.EntryCount(), 2u);
+  EXPECT_EQ(t.KeyCount(), 10u);
+  std::vector<CountingEntry> entries;
+  t.ForEach([&](const CountingEntry& e) { entries.push_back(e); });
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].lba, 100u);
+  EXPECT_EQ(entries[0].rl, 5u);
+  EXPECT_EQ(entries[0].wl, 1u);
+  EXPECT_EQ(entries[1].lba, 105u);
+  EXPECT_EQ(entries[1].rl, 5u);
+  EXPECT_EQ(entries[1].wl, 1u);
+  EXPECT_EQ(t.CheckInvariants(), "");
+}
+
+TEST(CountingTableTest, ContiguousOverwritesExtendWithoutSplit) {
+  CountingTable t;
+  t.OnRead(100, 8, 0);
+  for (Lba b = 100; b < 108; ++b) t.OnWrite(b, 1, 0);
+  EXPECT_EQ(t.EntryCount(), 1u);
+  t.ForEach([](const CountingEntry& e) { EXPECT_EQ(e.wl, 8u); });
+}
+
+TEST(CountingTableTest, MergeJoinsAdjacentReadRuns) {
+  CountingTable t;
+  t.OnRead(100, 3, 0);  // [100,103)
+  t.OnRead(104, 3, 0);  // [104,107)
+  EXPECT_EQ(t.EntryCount(), 2u);
+  t.OnRead(103, 1, 0);  // bridges the gap
+  EXPECT_EQ(t.EntryCount(), 1u);
+  t.ForEach([](const CountingEntry& e) {
+    EXPECT_EQ(e.lba, 100u);
+    EXPECT_EQ(e.rl, 7u);
+  });
+  EXPECT_EQ(t.CheckInvariants(), "");
+}
+
+TEST(CountingTableTest, EndSliceResetsCounters) {
+  CountingTable t;
+  t.OnRead(1, 1, 0);
+  t.OnWrite(1, 1, 0);
+  SliceCounters c = t.EndSlice();
+  EXPECT_EQ(c.read_blocks, 1u);
+  EXPECT_EQ(c.write_blocks, 1u);
+  EXPECT_EQ(c.overwrites, 1u);
+  EXPECT_EQ(t.Counters().read_blocks, 0u);
+  EXPECT_EQ(t.Counters().overwrites, 0u);
+  // Entries persist across slices.
+  EXPECT_EQ(t.EntryCount(), 1u);
+}
+
+TEST(CountingTableTest, DropOlderThanSlidesWindow) {
+  CountingTable t;
+  t.OnRead(100, 2, 0);
+  t.OnRead(200, 2, 5);
+  t.DropOlderThan(3);
+  EXPECT_EQ(t.EntryCount(), 1u);
+  EXPECT_EQ(t.KeyCount(), 2u);
+  t.ForEach([](const CountingEntry& e) { EXPECT_EQ(e.lba, 200u); });
+  EXPECT_EQ(t.CheckInvariants(), "");
+}
+
+TEST(CountingTableTest, ActivityRefreshesEntryTime) {
+  CountingTable t;
+  t.OnRead(100, 2, 0);
+  t.OnWrite(100, 1, 7);  // overwrite at slice 7 refreshes the entry
+  t.DropOlderThan(5);
+  EXPECT_EQ(t.EntryCount(), 1u);
+}
+
+TEST(CountingTableTest, AverageOverwriteRunLength) {
+  CountingTable t;
+  EXPECT_DOUBLE_EQ(t.AverageOverwriteRunLength(), 0.0);
+  t.OnRead(100, 8, 0);
+  t.OnRead(200, 8, 0);
+  t.OnRead(300, 8, 0);
+  // Runs with wl 4 and 2; the pure-read run at 300 is excluded.
+  for (Lba b = 100; b < 104; ++b) t.OnWrite(b, 1, 0);
+  for (Lba b = 200; b < 202; ++b) t.OnWrite(b, 1, 0);
+  EXPECT_DOUBLE_EQ(t.AverageOverwriteRunLength(), 3.0);
+}
+
+TEST(CountingTableTest, EntryCapacityEvictsOldest) {
+  CountingTable::Config cfg;
+  cfg.max_entries = 4;
+  CountingTable t(cfg);
+  for (int i = 0; i < 8; ++i) {
+    t.OnRead(static_cast<Lba>(i * 100), 1, i);
+  }
+  EXPECT_LE(t.EntryCount(), 4u);
+  EXPECT_EQ(t.CheckInvariants(), "");
+  // The survivors are the most recent reads.
+  t.ForEach([](const CountingEntry& e) { EXPECT_GE(e.time, 4); });
+}
+
+TEST(CountingTableTest, HashCapacitySoftCap) {
+  CountingTable::Config cfg;
+  cfg.max_entries = 100;
+  cfg.max_hash_keys = 64;
+  CountingTable t(cfg);
+  for (int run = 0; run < 8; ++run) {
+    t.OnRead(static_cast<Lba>(run * 1000), 32, run);
+  }
+  // Eight 32-block runs = 256 keys; the cap keeps only the newest runs.
+  EXPECT_LE(t.KeyCount(), 64u + 32u);
+  EXPECT_EQ(t.CheckInvariants(), "");
+}
+
+TEST(CountingTableTest, InvariantsUnderRandomTraffic) {
+  Rng rng(99);
+  CountingTable::Config cfg;
+  cfg.max_entries = 64;
+  cfg.max_hash_keys = 2048;
+  CountingTable t(cfg);
+  SliceIndex slice = 0;
+  for (int op = 0; op < 20000; ++op) {
+    Lba lba = rng.Below(4096);
+    std::uint32_t len = 1 + static_cast<std::uint32_t>(rng.Below(8));
+    if (rng.Chance(0.5)) {
+      t.OnRead(lba, len, slice);
+    } else {
+      t.OnWrite(lba, len, slice);
+    }
+    if (op % 200 == 0) {
+      t.EndSlice();
+      ++slice;
+      t.DropOlderThan(slice - 10);
+      ASSERT_EQ(t.CheckInvariants(), "") << "after op " << op;
+    }
+  }
+}
+
+TEST(CountingTableTest, PackedEntryMatchesPaperTableIII) {
+  EXPECT_EQ(CountingEntry::PackedBytes(), 12u);
+}
+
+}  // namespace
+}  // namespace insider::core

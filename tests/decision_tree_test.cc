@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/decision_tree.h"
+#include "core/id3.h"
+#include "core/pretrained.h"
+
+namespace insider::core {
+namespace {
+
+FeatureVector Fv(double owio, double owst, double pwio, double avgwio,
+                 double owslope, double io) {
+  FeatureVector f;
+  f[FeatureId::kOwIo] = owio;
+  f[FeatureId::kOwSt] = owst;
+  f[FeatureId::kPwIo] = pwio;
+  f[FeatureId::kAvgWIo] = avgwio;
+  f[FeatureId::kOwSlope] = owslope;
+  f[FeatureId::kIo] = io;
+  return f;
+}
+
+TEST(DecisionTreeTest, EmptyTreeVotesBenign) {
+  DecisionTree t;
+  EXPECT_FALSE(t.Classify(Fv(1e9, 1, 1e9, 1, 10, 1e9)));
+}
+
+TEST(DecisionTreeTest, SingleLeafTree) {
+  DecisionTree t;
+  t.AddLeaf(true);
+  EXPECT_TRUE(t.Classify(Fv(0, 0, 0, 0, 0, 0)));
+}
+
+TEST(DecisionTreeTest, SplitRoutesBothWays) {
+  DecisionTree t;
+  std::int32_t benign = t.AddLeaf(false);
+  std::int32_t ransom = t.AddLeaf(true);
+  std::int32_t root = t.AddSplit(FeatureId::kOwIo, 100.0, benign, ransom);
+  // Manually rotate root to index 0.
+  std::vector<DecisionTree::Node> nodes = t.Nodes();
+  std::swap(nodes[0], nodes[static_cast<std::size_t>(root)]);
+  for (auto& n : nodes) {
+    if (n.is_leaf) continue;
+    if (n.left == 0) n.left = root;
+    else if (n.left == root) n.left = 0;
+    if (n.right == 0) n.right = root;
+    else if (n.right == root) n.right = 0;
+  }
+  DecisionTree tree{std::move(nodes)};
+  EXPECT_FALSE(tree.Classify(Fv(100, 0, 0, 0, 0, 0)));  // <= goes left
+  EXPECT_TRUE(tree.Classify(Fv(101, 0, 0, 0, 0, 0)));
+}
+
+TEST(DecisionTreeTest, SerializeRoundTrip) {
+  DecisionTree t = PretrainedTree();
+  std::string text = t.Serialize();
+  DecisionTree back = DecisionTree::Deserialize(text);
+  EXPECT_EQ(back.NodeCount(), t.NodeCount());
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    FeatureVector f = Fv(rng.Below(5000), rng.Uniform(), rng.Below(20000),
+                         rng.Below(512), rng.Uniform() * 10, rng.Below(50000));
+    EXPECT_EQ(t.Classify(f), back.Classify(f));
+  }
+}
+
+TEST(DecisionTreeTest, DeserializeRejectsGarbage) {
+  EXPECT_THROW(DecisionTree::Deserialize("not a tree"),
+               std::invalid_argument);
+  EXPECT_THROW(DecisionTree::Deserialize("tree v1 1\nsplit 99 0.5 0 0\n"),
+               std::invalid_argument);
+  EXPECT_THROW(DecisionTree::Deserialize("tree v1 2\nleaf 1\n"),
+               std::invalid_argument);
+  EXPECT_THROW(DecisionTree::Deserialize("tree v1 1\nsplit 0 0.5 5 6\n"),
+               std::invalid_argument);
+}
+
+TEST(DecisionTreeTest, PrettyStringMentionsFeatures) {
+  std::string pretty = PretrainedTree().ToPrettyString();
+  EXPECT_NE(pretty.find("OWIO"), std::string::npos);
+  EXPECT_NE(pretty.find("RANSOMWARE"), std::string::npos);
+}
+
+TEST(PretrainedTreeTest, FlagsClassicRansomwareSlice) {
+  DecisionTree t = PretrainedTree();
+  // Fast attack: heavy overwriting, overwrites dominate writes, short runs.
+  EXPECT_TRUE(t.Classify(Fv(2000, 0.9, 8000, 10, 2.5, 4500)));
+}
+
+TEST(PretrainedTreeTest, PassesDataWipingSlice) {
+  DecisionTree t = PretrainedTree();
+  // Wiper: huge OWIO but OWST ~ 1/7 and very long runs.
+  EXPECT_FALSE(t.Classify(Fv(5000, 0.14, 50000, 256, 1.0, 40000)));
+}
+
+TEST(PretrainedTreeTest, PassesIdleSlice) {
+  DecisionTree t = PretrainedTree();
+  EXPECT_FALSE(t.Classify(Fv(0, 0, 0, 0, 0, 0)));
+}
+
+TEST(PretrainedTreeTest, PassesDatabaseSlice) {
+  DecisionTree t = PretrainedTree();
+  // OLTP database: sustained window-level overwriting, but in whole-extent
+  // flushes — the contiguous overwrite runs are far longer than any
+  // document-encrypting ransomware's.
+  EXPECT_FALSE(t.Classify(Fv(300, 0.5, 2600, 64, 1.0, 2500)));
+  EXPECT_FALSE(t.Classify(Fv(900, 0.5, 6000, 64, 1.5, 3000)));
+}
+
+TEST(PretrainedTreeTest, FlagsSlowAttackViaPwio) {
+  DecisionTree t = PretrainedTree();
+  // Slow ransomware under load: the slice OWIO is modest but the window
+  // total is high and runs are short.
+  EXPECT_TRUE(t.Classify(Fv(300, 0.4, 3000, 8, 1.0, 900)));
+}
+
+TEST(BinaryEntropyTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(BinaryEntropy(0, 10), 0.0);
+  EXPECT_DOUBLE_EQ(BinaryEntropy(10, 10), 0.0);
+  EXPECT_DOUBLE_EQ(BinaryEntropy(5, 10), 1.0);
+  EXPECT_NEAR(BinaryEntropy(1, 4), 0.8113, 1e-4);
+}
+
+TEST(Id3Test, EmptySamplesYieldEmptyTree) {
+  EXPECT_TRUE(TrainId3({}).Empty());
+}
+
+TEST(Id3Test, PureSamplesYieldSingleLeaf) {
+  std::vector<Sample> samples(10);
+  for (auto& s : samples) s.ransomware = true;
+  DecisionTree t = TrainId3(samples);
+  EXPECT_EQ(t.NodeCount(), 1u);
+  EXPECT_TRUE(t.Classify(Fv(0, 0, 0, 0, 0, 0)));
+}
+
+TEST(Id3Test, LearnsSingleThreshold) {
+  std::vector<Sample> samples;
+  for (int i = 0; i < 50; ++i) {
+    Sample s;
+    s.features = Fv(i, 0, 0, 0, 0, 0);
+    s.ransomware = i >= 25;
+    samples.push_back(s);
+  }
+  DecisionTree t = TrainId3(samples);
+  EXPECT_DOUBLE_EQ(Accuracy(t, samples), 1.0);
+  EXPECT_FALSE(t.Classify(Fv(10, 0, 0, 0, 0, 0)));
+  EXPECT_TRUE(t.Classify(Fv(40, 0, 0, 0, 0, 0)));
+}
+
+TEST(Id3Test, LearnsConjunction) {
+  // ransomware iff OWIO > 100 AND OWST > 0.5 — needs a two-level tree.
+  std::vector<Sample> samples;
+  Rng rng(3);
+  for (int i = 0; i < 400; ++i) {
+    double owio = rng.Below(200);
+    double owst = rng.Uniform();
+    Sample s;
+    s.features = Fv(owio, owst, 0, 0, 0, 0);
+    s.ransomware = owio > 100 && owst > 0.5;
+    samples.push_back(s);
+  }
+  DecisionTree t = TrainId3(samples);
+  EXPECT_GE(Accuracy(t, samples), 0.98);
+  EXPECT_GE(t.Depth(), 2u);
+}
+
+TEST(Id3Test, MaxDepthLimitsTree) {
+  std::vector<Sample> samples;
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    Sample s;
+    s.features = Fv(rng.Below(100), rng.Uniform(), rng.Below(100),
+                    rng.Below(100), rng.Uniform(), rng.Below(100));
+    s.ransomware = rng.Chance(0.5);  // pure noise
+    samples.push_back(s);
+  }
+  Id3Config cfg;
+  cfg.max_depth = 3;
+  DecisionTree t = TrainId3(samples, cfg);
+  EXPECT_LE(t.Depth(), 4u);  // depth counts nodes on the path
+}
+
+TEST(Id3Test, IgnoresIrrelevantFeatures) {
+  // Only AVGWIO carries signal; the learned root should split on it.
+  std::vector<Sample> samples;
+  Rng rng(8);
+  for (int i = 0; i < 300; ++i) {
+    double avg = rng.Below(100);
+    Sample s;
+    s.features = Fv(50, 0.5, 50, avg, 1.0, 100);
+    s.ransomware = avg < 30;
+    samples.push_back(s);
+  }
+  DecisionTree t = TrainId3(samples);
+  ASSERT_FALSE(t.Empty());
+  EXPECT_FALSE(t.Nodes()[0].is_leaf);
+  EXPECT_EQ(t.Nodes()[0].feature, FeatureId::kAvgWIo);
+  EXPECT_DOUBLE_EQ(Accuracy(t, samples), 1.0);
+}
+
+TEST(Id3Test, TrainedTreeSerializesAndReloads) {
+  std::vector<Sample> samples;
+  Rng rng(13);
+  for (int i = 0; i < 200; ++i) {
+    Sample s;
+    s.features = Fv(rng.Below(1000), rng.Uniform(), rng.Below(1000),
+                    rng.Below(100), rng.Uniform(), rng.Below(1000));
+    s.ransomware = s.features.owio() > 500 || s.features.owst() > 0.8;
+    samples.push_back(s);
+  }
+  DecisionTree t = TrainId3(samples);
+  DecisionTree back = DecisionTree::Deserialize(t.Serialize());
+  for (const Sample& s : samples) {
+    EXPECT_EQ(t.Classify(s.features), back.Classify(s.features));
+  }
+}
+
+}  // namespace
+}  // namespace insider::core

@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include "core/detector.h"
+#include "core/pretrained.h"
+
+namespace insider::core {
+namespace {
+
+DetectorConfig TestConfig() {
+  DetectorConfig c;
+  c.slice_length = Seconds(1);
+  c.window_slices = 10;
+  c.score_threshold = 3;
+  return c;
+}
+
+/// A tree that votes ransomware iff OWIO > 50.
+DecisionTree OwioTree(double threshold = 50.0) {
+  DecisionTree t;
+  // Build directly with the root at index 0.
+  std::vector<DecisionTree::Node> nodes(3);
+  nodes[0].is_leaf = false;
+  nodes[0].feature = FeatureId::kOwIo;
+  nodes[0].threshold = threshold;
+  nodes[0].left = 1;
+  nodes[0].right = 2;
+  nodes[1].is_leaf = true;
+  nodes[1].label = false;
+  nodes[2].is_leaf = true;
+  nodes[2].label = true;
+  return DecisionTree(std::move(nodes));
+}
+
+/// Emit a read+overwrite of `blocks` blocks inside the given slice.
+void Overwrite(Detector& d, SimTime at, Lba lba, std::uint32_t blocks) {
+  d.OnRequest({at, lba, blocks, IoMode::kRead});
+  d.OnRequest({at + 1000, lba, blocks, IoMode::kWrite});
+}
+
+TEST(DetectorTest, NoTrafficNoAlarm) {
+  Detector d(TestConfig(), OwioTree());
+  d.AdvanceTo(Seconds(30));
+  EXPECT_EQ(d.Score(), 0);
+  EXPECT_FALSE(d.AlarmActive());
+  EXPECT_FALSE(d.FirstAlarmTime().has_value());
+  EXPECT_EQ(d.History().size(), 30u);
+}
+
+TEST(DetectorTest, SliceBoundariesAreHalfOpen) {
+  Detector d(TestConfig(), OwioTree());
+  d.OnRequest({Seconds(1) - 1, 0, 1, IoMode::kRead});
+  EXPECT_EQ(d.History().size(), 0u);  // slice 0 not closed yet
+  d.OnRequest({Seconds(1), 0, 1, IoMode::kRead});
+  EXPECT_EQ(d.History().size(), 1u);  // request at t=1s closes slice 0
+}
+
+TEST(DetectorTest, OverwritesRaiseVotesAndScore) {
+  Detector d(TestConfig(), OwioTree());
+  for (int s = 0; s < 5; ++s) {
+    Overwrite(d, Seconds(s) + 1000, static_cast<Lba>(s) * 1000, 100);
+  }
+  d.AdvanceTo(Seconds(5));
+  EXPECT_EQ(d.Score(), 5);
+  EXPECT_TRUE(d.AlarmActive());
+}
+
+TEST(DetectorTest, AlarmFiresAtThreshold) {
+  Detector d(TestConfig(), OwioTree());
+  Overwrite(d, Seconds(0) + 1000, 0, 100);
+  Overwrite(d, Seconds(1) + 1000, 1000, 100);
+  d.AdvanceTo(Seconds(2));
+  EXPECT_EQ(d.Score(), 2);
+  EXPECT_FALSE(d.AlarmActive());
+  Overwrite(d, Seconds(2) + 1000, 2000, 100);
+  d.AdvanceTo(Seconds(3));
+  EXPECT_EQ(d.Score(), 3);
+  EXPECT_TRUE(d.AlarmActive());
+  ASSERT_TRUE(d.FirstAlarmTime().has_value());
+  EXPECT_EQ(*d.FirstAlarmTime(), Seconds(3));
+}
+
+TEST(DetectorTest, ScoreSlidesBackDownAfterAttackStops) {
+  Detector d(TestConfig(), OwioTree());
+  for (int s = 0; s < 4; ++s) {
+    Overwrite(d, Seconds(s) + 1000, static_cast<Lba>(s) * 1000, 100);
+  }
+  d.AdvanceTo(Seconds(20));  // long quiet period
+  EXPECT_EQ(d.Score(), 0);
+  EXPECT_FALSE(d.AlarmActive());
+  // But the first alarm time is latched.
+  EXPECT_TRUE(d.FirstAlarmTime().has_value());
+}
+
+TEST(DetectorTest, SmallOverwritesDontVote) {
+  Detector d(TestConfig(), OwioTree());
+  for (int s = 0; s < 10; ++s) {
+    Overwrite(d, Seconds(s) + 1000, static_cast<Lba>(s) * 1000, 10);
+  }
+  d.AdvanceTo(Seconds(10));
+  EXPECT_EQ(d.Score(), 0);
+}
+
+TEST(DetectorTest, FeaturesOwioAndOwst) {
+  Detector d(TestConfig(), OwioTree());
+  d.OnRequest({1000, 100, 50, IoMode::kRead});
+  d.OnRequest({2000, 100, 50, IoMode::kWrite});   // 50 overwrites
+  d.OnRequest({3000, 5000, 50, IoMode::kWrite});  // 50 plain writes
+  d.AdvanceTo(Seconds(1));
+  const SliceRecord& rec = d.History().front();
+  EXPECT_DOUBLE_EQ(rec.features.owio(), 50.0);
+  EXPECT_DOUBLE_EQ(rec.features.owst(), 0.5);
+  EXPECT_DOUBLE_EQ(rec.features.io(), 150.0);
+}
+
+TEST(DetectorTest, PwioSumsPreviousWindow) {
+  Detector d(TestConfig(), OwioTree());
+  for (int s = 0; s < 3; ++s) {
+    Overwrite(d, Seconds(s) + 1000, static_cast<Lba>(s) * 1000, 60);
+  }
+  d.AdvanceTo(Seconds(4));
+  // Slice 3's PWIO = OWIO of slices 0..2 = 180.
+  EXPECT_DOUBLE_EQ(d.History()[3].features.pwio(), 180.0);
+  // Slice 0 has no history.
+  EXPECT_DOUBLE_EQ(d.History()[0].features.pwio(), 0.0);
+}
+
+TEST(DetectorTest, OwSlopeSpikesOnAbruptIncrease) {
+  Detector d(TestConfig(), OwioTree(1e18));  // never vote; just features
+  Overwrite(d, Seconds(0) + 1000, 0, 10);
+  d.AdvanceTo(Seconds(5));
+  Overwrite(d, Seconds(5) + 1000, 5000, 100);
+  d.AdvanceTo(Seconds(6));
+  const SliceRecord& burst = d.History()[5];
+  // Previous window held 10 overwrites -> avg 1/slice; burst of 100 -> 100x.
+  EXPECT_GT(burst.features.owslope(), 50.0);
+}
+
+TEST(DetectorTest, TrimsAreIgnored) {
+  Detector d(TestConfig(), OwioTree());
+  d.OnRequest({1000, 0, 100, IoMode::kRead});
+  d.OnRequest({2000, 0, 100, IoMode::kTrim});
+  d.AdvanceTo(Seconds(1));
+  EXPECT_DOUBLE_EQ(d.History()[0].features.owio(), 0.0);
+  EXPECT_DOUBLE_EQ(d.History()[0].features.io(), 100.0);  // reads only
+}
+
+TEST(DetectorTest, AvgWioReflectsRunLengths) {
+  Detector d(TestConfig(), OwioTree(1e18));
+  // One contiguous 64-block overwrite run.
+  d.OnRequest({1000, 100, 64, IoMode::kRead});
+  d.OnRequest({2000, 100, 64, IoMode::kWrite});
+  d.AdvanceTo(Seconds(1));
+  EXPECT_DOUBLE_EQ(d.History()[0].features.avgwio(), 64.0);
+}
+
+TEST(DetectorTest, ResetClearsEverything) {
+  Detector d(TestConfig(), OwioTree());
+  for (int s = 0; s < 5; ++s) {
+    Overwrite(d, Seconds(s) + 1000, static_cast<Lba>(s) * 1000, 100);
+  }
+  d.AdvanceTo(Seconds(5));
+  ASSERT_TRUE(d.AlarmActive());
+  d.Reset();
+  EXPECT_EQ(d.Score(), 0);
+  EXPECT_FALSE(d.AlarmActive());
+  EXPECT_FALSE(d.FirstAlarmTime().has_value());
+  EXPECT_TRUE(d.History().empty());
+  EXPECT_EQ(d.Table().EntryCount(), 0u);
+}
+
+TEST(DetectorTest, WindowSlideDropsStaleTableEntries) {
+  Detector d(TestConfig(), OwioTree());
+  d.OnRequest({1000, 100, 8, IoMode::kRead});
+  d.AdvanceTo(Seconds(30));
+  EXPECT_EQ(d.Table().EntryCount(), 0u);
+}
+
+TEST(DetectorTest, WriteLongAfterReadIsNotOverwrite) {
+  // The footnote-1 semantics: overwrites only count if the read happened
+  // within the window.
+  Detector d(TestConfig(), OwioTree());
+  d.OnRequest({1000, 100, 64, IoMode::kRead});
+  d.AdvanceTo(Seconds(15));  // read ages out of the 10-slice window
+  d.OnRequest({Seconds(15) + 1000, 100, 64, IoMode::kWrite});
+  d.AdvanceTo(Seconds(16));
+  EXPECT_DOUBLE_EQ(d.History()[15].features.owio(), 0.0);
+}
+
+class DetectorParamTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DetectorParamTest, AlarmLatencyMatchesThreshold) {
+  // With a constant attack, the alarm fires exactly `threshold` slices in.
+  DetectorConfig cfg = TestConfig();
+  cfg.score_threshold = GetParam();
+  Detector d(cfg, OwioTree());
+  for (int s = 0; s < 10; ++s) {
+    Overwrite(d, Seconds(s) + 1000, static_cast<Lba>(s) * 1000, 100);
+  }
+  d.AdvanceTo(Seconds(10));
+  ASSERT_TRUE(d.FirstAlarmTime().has_value());
+  EXPECT_EQ(*d.FirstAlarmTime(), Seconds(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, DetectorParamTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 10));
+
+}  // namespace
+}  // namespace insider::core

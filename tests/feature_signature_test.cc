@@ -1,0 +1,198 @@
+// Header-level signatures of the workload models, measured through the real
+// feature extractor. These are the facts the paper's §III-A argues from:
+// wiping's OWST ~ 1/7 with very long runs, ransomware's high OWST with
+// short runs, a torrent's near-zero overwriting, and so on. If a workload
+// model drifts away from its signature, the whole Fig. 7 reproduction
+// quietly degrades — these tests pin the signatures down.
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "core/detector.h"
+#include "workload/apps.h"
+#include "workload/file_set.h"
+#include "workload/ransomware.h"
+
+namespace insider {
+namespace {
+
+struct Signature {
+  double mean_owio = 0;
+  double mean_owst = 0;
+  double mean_pwio = 0;
+  double mean_avgwio = 0;
+  std::size_t active_slices = 0;
+};
+
+Signature Measure(const std::vector<IoRequest>& requests) {
+  core::DetectorConfig dc;
+  core::Detector extractor(dc, core::DecisionTree{});
+  SimTime last = 0;
+  for (const IoRequest& r : requests) {
+    extractor.OnRequest(r);
+    last = r.time;
+  }
+  extractor.AdvanceTo(last + dc.slice_length);
+
+  Signature sig;
+  RunningStats owio, owst, pwio, avgwio;
+  for (const core::SliceRecord& rec : extractor.History()) {
+    if (rec.features.io() == 0) continue;
+    ++sig.active_slices;
+    owio.Add(rec.features.owio());
+    owst.Add(rec.features.owst());
+    pwio.Add(rec.features.pwio());
+    avgwio.Add(rec.features.avgwio());
+  }
+  sig.mean_owio = owio.Mean();
+  sig.mean_owst = owst.Mean();
+  sig.mean_pwio = pwio.Mean();
+  sig.mean_avgwio = avgwio.Mean();
+  return sig;
+}
+
+Signature MeasureApp(wl::AppKind kind, std::uint64_t seed = 7) {
+  wl::AppParams p;
+  p.duration = Seconds(30);
+  p.region_blocks = 1 << 20;
+  Rng rng(seed);
+  return Measure(wl::GenerateApp(kind, p, rng).requests);
+}
+
+Signature MeasureRansomware(const char* family, std::uint64_t seed = 7) {
+  Rng rng(seed);
+  wl::FileSet::Params fp;
+  fp.file_count = 1500;
+  wl::FileSet files = wl::FileSet::Generate(fp, rng);
+  wl::RansomwareRunParams rp;
+  rp.scratch_start = 1 << 21;
+  rp.max_duration = Seconds(30);
+  return Measure(
+      wl::GenerateRansomware(wl::RansomwareProfileByName(family), files, rp,
+                             rng)
+          .requests);
+}
+
+// --- Background applications ----------------------------------------------
+
+TEST(AppSignatureTest, DataWipingHasOneSeventhOwst) {
+  Signature s = MeasureApp(wl::AppKind::kDataWiping);
+  // DoD 5220.22-M: one read, seven writes per block.
+  EXPECT_NEAR(s.mean_owst, 1.0 / 7.0, 0.05);
+  EXPECT_GT(s.mean_owio, 100.0);  // but it overwrites heavily in volume
+}
+
+TEST(AppSignatureTest, DataWipingHasVeryLongRuns) {
+  Signature s = MeasureApp(wl::AppKind::kDataWiping);
+  EXPECT_GT(s.mean_avgwio, 200.0);  // whole chunks overwritten contiguously
+}
+
+TEST(AppSignatureTest, DatabaseHasLongExtentRuns) {
+  Signature s = MeasureApp(wl::AppKind::kDatabase);
+  EXPECT_LT(s.mean_owst, 0.75);   // WAL appends + re-dirtied pages dilute it
+  EXPECT_GT(s.mean_avgwio, 40.0); // InnoDB-style 256-KB extent flushes
+  EXPECT_GT(s.mean_pwio, 500.0);  // it genuinely overwrites a lot
+}
+
+TEST(AppSignatureTest, P2pDownloadBarelyOverwrites) {
+  Signature s = MeasureApp(wl::AppKind::kP2pDownload);
+  // Hash-check reads happen after writes: nearly nothing counts.
+  EXPECT_LT(s.mean_owio, 10.0);
+  EXPECT_LT(s.mean_owst, 0.02);
+}
+
+TEST(AppSignatureTest, IoStressBarelyOverwritesDespiteHugeIo) {
+  Signature s = MeasureApp(wl::AppKind::kIoStress);
+  EXPECT_LT(s.mean_owst, 0.05);
+  EXPECT_LT(s.mean_owio, 150.0);
+}
+
+TEST(AppSignatureTest, StreamingWorkloadsDontOverwrite) {
+  for (wl::AppKind app : {wl::AppKind::kCompression, wl::AppKind::kVideoEncode,
+                          wl::AppKind::kVideoDecode}) {
+    Signature s = MeasureApp(app);
+    EXPECT_LT(s.mean_owio, 5.0) << wl::AppKindName(app);
+  }
+}
+
+TEST(AppSignatureTest, LightAppsHaveLightFootprints) {
+  for (wl::AppKind app : {wl::AppKind::kWebSurfing,
+                          wl::AppKind::kSqliteMessenger,
+                          wl::AppKind::kOutlookSync}) {
+    Signature s = MeasureApp(app);
+    EXPECT_LT(s.mean_owio, 60.0) << wl::AppKindName(app);
+    EXPECT_LT(s.mean_pwio, 600.0) << wl::AppKindName(app);
+  }
+}
+
+// --- Ransomware families ---------------------------------------------------
+
+TEST(RansomSignatureTest, InPlaceFamiliesHaveOwstNearOne) {
+  for (const char* family : {"Mole", "Locky.bbs", "GlobeImposter"}) {
+    Signature s = MeasureRansomware(family);
+    EXPECT_GT(s.mean_owst, 0.8) << family;  // every write is an overwrite
+  }
+}
+
+TEST(RansomSignatureTest, OutOfPlaceFamiliesHaveOwstNearHalf) {
+  for (const char* family : {"WannaCry", "Zerber.ufb", "CryptoShield"}) {
+    Signature s = MeasureRansomware(family);
+    // Ciphertext copy + secure-delete pass: half the writes overwrite.
+    EXPECT_GT(s.mean_owst, 0.35) << family;
+    EXPECT_LT(s.mean_owst, 0.65) << family;
+  }
+}
+
+TEST(RansomSignatureTest, AllFamiliesHaveShortOverwriteRuns) {
+  for (const std::string& family : wl::AllRansomwareNames()) {
+    Signature s = MeasureRansomware(family.c_str());
+    // Victims are documents/images: far shorter runs than wiping/DB.
+    EXPECT_LT(s.mean_avgwio, 64.0) << family;
+    EXPECT_GT(s.mean_avgwio, 1.0) << family;
+  }
+}
+
+TEST(RansomSignatureTest, FastFamiliesOverwriteFasterThanSlowOnes) {
+  double wannacry = MeasureRansomware("WannaCry").mean_owio;
+  double mole = MeasureRansomware("Mole").mean_owio;
+  double jaff = MeasureRansomware("Jaff").mean_owio;
+  double cryptoshield = MeasureRansomware("CryptoShield").mean_owio;
+  EXPECT_GT(wannacry, 2 * jaff);
+  EXPECT_GT(mole, 2 * cryptoshield);
+}
+
+TEST(RansomSignatureTest, SlowFamiliesStillAccumulatePwio) {
+  // The Fig. 2(d) argument: Jaff's per-slice OWIO is unimpressive but its
+  // window-level PWIO betrays it.
+  Signature jaff = MeasureRansomware("Jaff");
+  EXPECT_GT(jaff.mean_pwio, 4 * jaff.mean_owio);
+}
+
+// --- Separability (the foundation of Fig. 7) -------------------------------
+
+TEST(SeparabilityTest, RansomwareAndWipingDifferOnOwstOrRuns) {
+  Signature wiping = MeasureApp(wl::AppKind::kDataWiping);
+  for (const char* family : {"WannaCry", "Mole", "GlobeImposter"}) {
+    Signature r = MeasureRansomware(family);
+    bool owst_separates = r.mean_owst > 2 * wiping.mean_owst;
+    bool runs_separate = wiping.mean_avgwio > 4 * r.mean_avgwio;
+    EXPECT_TRUE(owst_separates && runs_separate) << family;
+  }
+}
+
+TEST(SeparabilityTest, RansomwareOutpacesEveryBenignAppOnOwst) {
+  for (const std::string& family : wl::AllRansomwareNames()) {
+    Signature r = MeasureRansomware(family.c_str());
+    for (wl::AppKind app : wl::AllAppKinds()) {
+      Signature a = MeasureApp(app);
+      // Either the app barely overwrites, or its OWST/AVGWIO give it away.
+      bool separable = a.mean_owio < r.mean_owio / 2 ||
+                       a.mean_owst < r.mean_owst / 2 ||
+                       a.mean_avgwio > 3 * r.mean_avgwio;
+      EXPECT_TRUE(separable)
+          << family << " vs " << wl::AppKindName(app);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace insider

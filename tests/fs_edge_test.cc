@@ -1,0 +1,182 @@
+// Filesystem edge cases: indirect-boundary addressing, path handling,
+// sparse extremes, and error paths.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/rng.h"
+#include "fs/file_system.h"
+
+namespace insider::fs {
+namespace {
+
+std::vector<std::byte> Pattern(std::size_t n, std::uint8_t seed) {
+  std::vector<std::byte> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<std::byte>((seed + i * 7) & 0xFF);
+  }
+  return out;
+}
+
+class FsEdgeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_EQ(FileSystem::Mkfs(dev_, 64), FsStatus::kOk);
+    auto fs = FileSystem::Mount(dev_);
+    ASSERT_TRUE(fs.has_value());
+    fs_.emplace(std::move(*fs));
+  }
+
+  MemBlockDevice dev_{16384};  // 64 MB
+  std::optional<FileSystem> fs_;
+};
+
+TEST_F(FsEdgeTest, WriteExactlyAtDirectIndirectBoundary) {
+  // File block 11 is the last direct pointer; block 12 the first indirect.
+  ASSERT_EQ(fs_->CreateFile("/b"), FsStatus::kOk);
+  auto data = Pattern(2 * kBlockSize, 1);
+  std::uint64_t offset = (kDirectPointers - 1) * kBlockSize;
+  ASSERT_EQ(fs_->WriteFile("/b", offset, data), FsStatus::kOk);
+  std::vector<std::byte> out(data.size());
+  std::uint64_t n = 0;
+  ASSERT_EQ(fs_->ReadFile("/b", offset, out, &n), FsStatus::kOk);
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(FsEdgeTest, WriteAtIndirectDoubleIndirectBoundary) {
+  ASSERT_EQ(fs_->CreateFile("/b"), FsStatus::kOk);
+  auto data = Pattern(2 * kBlockSize, 2);
+  std::uint64_t boundary_block = kDirectPointers + kPointersPerBlock;
+  std::uint64_t offset = (boundary_block - 1) * kBlockSize;
+  ASSERT_EQ(fs_->WriteFile("/b", offset, data), FsStatus::kOk);
+  std::vector<std::byte> out(data.size());
+  std::uint64_t n = 0;
+  ASSERT_EQ(fs_->ReadFile("/b", offset, out, &n), FsStatus::kOk);
+  EXPECT_EQ(out, data);
+  // The hole before the data reads as zeros and costs no blocks beyond
+  // pointer blocks.
+  std::vector<std::byte> hole(kBlockSize);
+  ASSERT_EQ(fs_->ReadFile("/b", 5 * kBlockSize, hole, &n), FsStatus::kOk);
+  for (std::byte b : hole) EXPECT_EQ(b, std::byte{0});
+}
+
+TEST_F(FsEdgeTest, UnalignedWritesPreserveNeighbors) {
+  ASSERT_EQ(fs_->CreateFile("/u"), FsStatus::kOk);
+  auto base = Pattern(3 * kBlockSize, 3);
+  ASSERT_EQ(fs_->WriteFile("/u", 0, base), FsStatus::kOk);
+  // Overwrite 100 bytes straddling the block-1/block-2 boundary.
+  auto patch = Pattern(100, 9);
+  std::uint64_t off = 2 * kBlockSize - 50;
+  ASSERT_EQ(fs_->WriteFile("/u", off, patch), FsStatus::kOk);
+  std::vector<std::byte> out(base.size());
+  std::uint64_t n = 0;
+  ASSERT_EQ(fs_->ReadFile("/u", 0, out, &n), FsStatus::kOk);
+  std::vector<std::byte> expect = base;
+  std::memcpy(expect.data() + off, patch.data(), patch.size());
+  EXPECT_EQ(out, expect);
+}
+
+TEST_F(FsEdgeTest, PathNormalization) {
+  ASSERT_EQ(fs_->Mkdir("/d"), FsStatus::kOk);
+  ASSERT_EQ(fs_->CreateFile("/d/f"), FsStatus::kOk);
+  EXPECT_TRUE(fs_->Exists("//d//f"));
+  EXPECT_TRUE(fs_->Exists("/d/f/"));
+  EXPECT_TRUE(fs_->Exists("d/f"));
+}
+
+TEST_F(FsEdgeTest, RootCannotBeCreatedOrRemoved) {
+  EXPECT_EQ(fs_->CreateFile("/"), FsStatus::kExists);
+  EXPECT_EQ(fs_->Mkdir("/"), FsStatus::kExists);
+  EXPECT_EQ(fs_->Rmdir("/"), FsStatus::kBadPath);
+}
+
+TEST_F(FsEdgeTest, FileAndDirNamespaceInteractions) {
+  ASSERT_EQ(fs_->CreateFile("/x"), FsStatus::kOk);
+  EXPECT_EQ(fs_->Mkdir("/x"), FsStatus::kExists);
+  EXPECT_EQ(fs_->Rmdir("/x"), FsStatus::kNotDir);
+  EXPECT_EQ(fs_->CreateFile("/x/y"), FsStatus::kNotFound);  // not a dir
+  ASSERT_EQ(fs_->Mkdir("/d"), FsStatus::kOk);
+  EXPECT_EQ(fs_->Unlink("/d"), FsStatus::kIsDir);
+  EXPECT_EQ(fs_->WriteFile("/d", 0, Pattern(10, 1)), FsStatus::kIsDir);
+}
+
+TEST_F(FsEdgeTest, MissingIntermediateDirectory) {
+  EXPECT_EQ(fs_->CreateFile("/no/such/dir/f"), FsStatus::kNotFound);
+  std::vector<std::string> names;
+  EXPECT_EQ(fs_->ListDir("/nope", names), FsStatus::kNotFound);
+}
+
+TEST_F(FsEdgeTest, TruncateGrowsSparsely) {
+  ASSERT_EQ(fs_->CreateFile("/s"), FsStatus::kOk);
+  std::uint64_t free0 = fs_->FreeBlocks();
+  ASSERT_EQ(fs_->Truncate("/s", 100 * kBlockSize), FsStatus::kOk);
+  EXPECT_EQ(fs_->FileSize("/s"), 100 * kBlockSize);
+  EXPECT_EQ(fs_->FreeBlocks(), free0);  // no data blocks allocated
+  std::vector<std::byte> out(kBlockSize);
+  std::uint64_t n = 0;
+  ASSERT_EQ(fs_->ReadFile("/s", 50 * kBlockSize, out, &n), FsStatus::kOk);
+  EXPECT_EQ(n, kBlockSize);
+  for (std::byte b : out) EXPECT_EQ(b, std::byte{0});
+}
+
+TEST_F(FsEdgeTest, TruncateAcrossIndirectBoundaryFreesPointerBlocks) {
+  ASSERT_EQ(fs_->CreateFile("/t"), FsStatus::kOk);
+  Rng rng(4);
+  std::uint64_t big = (kDirectPointers + 40) * kBlockSize;
+  std::vector<std::byte> data(big);
+  for (auto& b : data) b = static_cast<std::byte>(rng.Below(256));
+  ASSERT_EQ(fs_->WriteFile("/t", 0, data), FsStatus::kOk);
+  std::uint64_t free_before = fs_->FreeBlocks();
+  // Shrink below the direct-pointer boundary: data blocks AND the indirect
+  // pointer block come back.
+  ASSERT_EQ(fs_->Truncate("/t", 4 * kBlockSize), FsStatus::kOk);
+  EXPECT_EQ(fs_->FreeBlocks(), free_before + 40 + (kDirectPointers - 4) + 1);
+  std::vector<std::byte> out(4 * kBlockSize);
+  std::uint64_t n = 0;
+  ASSERT_EQ(fs_->ReadFile("/t", 0, out, &n), FsStatus::kOk);
+  EXPECT_TRUE(std::memcmp(out.data(), data.data(), out.size()) == 0);
+}
+
+TEST_F(FsEdgeTest, TooBigWriteRejected) {
+  ASSERT_EQ(fs_->CreateFile("/m"), FsStatus::kOk);
+  std::vector<std::byte> tiny(16);
+  EXPECT_EQ(fs_->WriteFile("/m", Inode::MaxFileSize(), tiny),
+            FsStatus::kTooBig);
+  EXPECT_EQ(fs_->Truncate("/m", Inode::MaxFileSize() + 1), FsStatus::kTooBig);
+}
+
+TEST_F(FsEdgeTest, ZeroByteOperations) {
+  ASSERT_EQ(fs_->CreateFile("/z"), FsStatus::kOk);
+  std::vector<std::byte> empty;
+  EXPECT_EQ(fs_->WriteFile("/z", 0, empty), FsStatus::kOk);
+  EXPECT_EQ(fs_->FileSize("/z"), 0u);
+  std::uint64_t n = 99;
+  EXPECT_EQ(fs_->ReadFile("/z", 0, empty, &n), FsStatus::kOk);
+  EXPECT_EQ(n, 0u);
+}
+
+TEST_F(FsEdgeTest, DeepDirectoryNesting) {
+  std::string path;
+  for (int depth = 0; depth < 12; ++depth) {
+    path += "/d" + std::to_string(depth);
+    ASSERT_EQ(fs_->Mkdir(path), FsStatus::kOk) << path;
+  }
+  std::string file = path + "/leaf";
+  ASSERT_EQ(fs_->CreateFile(file), FsStatus::kOk);
+  auto data = Pattern(1000, 5);
+  ASSERT_EQ(fs_->WriteFile(file, 0, data), FsStatus::kOk);
+  std::vector<std::byte> out(data.size());
+  std::uint64_t n = 0;
+  ASSERT_EQ(fs_->ReadFile(file, 0, out, &n), FsStatus::kOk);
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(FsEdgeTest, MaxLengthNameWorks) {
+  std::string name(kMaxNameLen, 'n');
+  ASSERT_EQ(fs_->CreateFile("/" + name), FsStatus::kOk);
+  EXPECT_TRUE(fs_->Exists("/" + name));
+  EXPECT_EQ(fs_->CreateFile("/" + name + "x"), FsStatus::kNameTooLong);
+}
+
+}  // namespace
+}  // namespace insider::fs

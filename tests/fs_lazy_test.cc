@@ -1,0 +1,213 @@
+// Lazy-metadata mode and pointer-block cache tests: the parts of InsiderFS
+// that make the Table II experiment faithful (crash-like on-disk states)
+// without compromising normal-operation correctness.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/rng.h"
+#include "fs/file_system.h"
+#include "fs/fsck.h"
+
+namespace insider::fs {
+namespace {
+
+std::vector<std::byte> RandomBytes(Rng& rng, std::size_t n) {
+  std::vector<std::byte> out(n);
+  for (auto& b : out) b = static_cast<std::byte>(rng.Below(256));
+  return out;
+}
+
+class LazyFsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_EQ(FileSystem::Mkfs(dev_, 64), FsStatus::kOk);
+    auto fs = FileSystem::Mount(dev_);
+    ASSERT_TRUE(fs.has_value());
+    fs_.emplace(std::move(*fs));
+  }
+
+  MemBlockDevice dev_{8192};  // 32 MB
+  std::optional<FileSystem> fs_;
+};
+
+TEST_F(LazyFsTest, InMemoryViewStaysCoherent) {
+  fs_->SetLazyMetadata(true);
+  Rng rng(1);
+  auto data = RandomBytes(rng, 300 * 1024);
+  ASSERT_EQ(fs_->CreateFile("/a"), FsStatus::kOk);
+  ASSERT_EQ(fs_->WriteFile("/a", 0, data), FsStatus::kOk);
+  // Reads through the same mount see everything, flushed or not.
+  std::vector<std::byte> out(data.size());
+  std::uint64_t n = 0;
+  ASSERT_EQ(fs_->ReadFile("/a", 0, out, &n), FsStatus::kOk);
+  EXPECT_EQ(out, data);
+  EXPECT_EQ(fs_->FileSize("/a"), data.size());
+}
+
+TEST_F(LazyFsTest, CrashWithoutSyncLeavesRepairableInconsistency) {
+  // With lazy write-back the disk passes through inconsistent states while
+  // dirty metadata trickles out; a crash (device snapshot) lands on one of
+  // them within a few operations.
+  fs_->SetLazyMetadata(true);
+  Rng rng(2);
+  bool found_dirty = false;
+  for (int i = 0; i < 12 && !found_dirty; ++i) {
+    std::string path = "/f" + std::to_string(i);
+    ASSERT_EQ(fs_->CreateFile(path), FsStatus::kOk);
+    ASSERT_EQ(fs_->WriteFile(path, 0, RandomBytes(rng, 200 * 1024)),
+              FsStatus::kOk);
+    MemBlockDevice crashed = dev_;
+    FsckReport before = Fsck(crashed, /*repair=*/false);
+    if (!before.Clean()) {
+      found_dirty = true;
+      Fsck(crashed, /*repair=*/true);
+      EXPECT_TRUE(Fsck(crashed, /*repair=*/false).Clean());
+    }
+  }
+  EXPECT_TRUE(found_dirty)
+      << "lazy write-back never left mixed-epoch metadata";
+}
+
+TEST_F(LazyFsTest, SyncMakesDiskConsistent) {
+  fs_->SetLazyMetadata(true);
+  Rng rng(3);
+  for (int i = 0; i < 4; ++i) {
+    std::string path = "/s" + std::to_string(i);
+    ASSERT_EQ(fs_->CreateFile(path), FsStatus::kOk);
+    ASSERT_EQ(fs_->WriteFile(path, 0, RandomBytes(rng, 150 * 1024)),
+              FsStatus::kOk);
+  }
+  ASSERT_EQ(fs_->Sync(), FsStatus::kOk);
+  MemBlockDevice snapshot = dev_;
+  EXPECT_TRUE(Fsck(snapshot, /*repair=*/false).Clean());
+}
+
+TEST_F(LazyFsTest, WriteThroughModeIsAlwaysConsistent) {
+  // The default policy: a snapshot after ANY completed operation is clean.
+  Rng rng(4);
+  for (int i = 0; i < 4; ++i) {
+    std::string path = "/w" + std::to_string(i);
+    ASSERT_EQ(fs_->CreateFile(path), FsStatus::kOk);
+    ASSERT_EQ(fs_->WriteFile(path, 0, RandomBytes(rng, 120 * 1024)),
+              FsStatus::kOk);
+    MemBlockDevice snapshot = dev_;
+    EXPECT_TRUE(Fsck(snapshot, /*repair=*/false).Clean()) << "after " << path;
+  }
+  ASSERT_EQ(fs_->Unlink("/w1"), FsStatus::kOk);
+  MemBlockDevice snapshot = dev_;
+  EXPECT_TRUE(Fsck(snapshot, /*repair=*/false).Clean());
+}
+
+TEST_F(LazyFsTest, DataSurvivesCrashRepairRemount) {
+  fs_->SetLazyMetadata(true);
+  Rng rng(5);
+  auto settled = RandomBytes(rng, 250 * 1024);
+  ASSERT_EQ(fs_->CreateFile("/settled"), FsStatus::kOk);
+  ASSERT_EQ(fs_->WriteFile("/settled", 0, settled), FsStatus::kOk);
+  ASSERT_EQ(fs_->Sync(), FsStatus::kOk);
+  // More dirty activity after the sync...
+  ASSERT_EQ(fs_->CreateFile("/in-flight"), FsStatus::kOk);
+  ASSERT_EQ(fs_->WriteFile("/in-flight", 0, RandomBytes(rng, 250 * 1024)),
+            FsStatus::kOk);
+  // ...then crash, repair, remount: the synced file must be intact.
+  MemBlockDevice crashed = dev_;
+  Fsck(crashed, /*repair=*/true);
+  ASSERT_TRUE(Fsck(crashed, /*repair=*/false).Clean());
+  auto remounted = FileSystem::Mount(crashed);
+  ASSERT_TRUE(remounted.has_value());
+  std::vector<std::byte> out(settled.size());
+  std::uint64_t n = 0;
+  ASSERT_EQ(remounted->ReadFile("/settled", 0, out, &n), FsStatus::kOk);
+  EXPECT_EQ(out, settled);
+}
+
+// --- Pointer-block cache ----------------------------------------------------
+
+TEST_F(LazyFsTest, IndirectFilesSurviveFreeAndReallocate) {
+  // The cache must not serve stale pointers after a file's pointer blocks
+  // are freed and the physical blocks reused by another file.
+  Rng rng(6);
+  auto a1 = RandomBytes(rng, 300 * 1024);  // spans the indirect block
+  ASSERT_EQ(fs_->CreateFile("/a"), FsStatus::kOk);
+  ASSERT_EQ(fs_->WriteFile("/a", 0, a1), FsStatus::kOk);
+  ASSERT_EQ(fs_->Unlink("/a"), FsStatus::kOk);
+  auto b1 = RandomBytes(rng, 300 * 1024);
+  ASSERT_EQ(fs_->CreateFile("/b"), FsStatus::kOk);
+  ASSERT_EQ(fs_->WriteFile("/b", 0, b1), FsStatus::kOk);
+  std::vector<std::byte> out(b1.size());
+  std::uint64_t n = 0;
+  ASSERT_EQ(fs_->ReadFile("/b", 0, out, &n), FsStatus::kOk);
+  EXPECT_EQ(out, b1);
+}
+
+TEST_F(LazyFsTest, InterleavedWritesToManyFilesThrashTheCacheSafely) {
+  Rng rng(7);
+  constexpr int kFiles = 6;  // more files than cache slots
+  std::vector<std::vector<std::byte>> contents(kFiles);
+  for (int i = 0; i < kFiles; ++i) {
+    ASSERT_EQ(fs_->CreateFile("/t" + std::to_string(i)), FsStatus::kOk);
+  }
+  // Round-robin appends so every file's indirect block keeps getting
+  // evicted and re-read.
+  for (int round = 0; round < 6; ++round) {
+    for (int i = 0; i < kFiles; ++i) {
+      auto chunk = RandomBytes(rng, 64 * 1024);
+      ASSERT_EQ(fs_->WriteFile("/t" + std::to_string(i),
+                               contents[i].size(), chunk),
+                FsStatus::kOk);
+      contents[i].insert(contents[i].end(), chunk.begin(), chunk.end());
+    }
+  }
+  for (int i = 0; i < kFiles; ++i) {
+    std::vector<std::byte> out(contents[i].size());
+    std::uint64_t n = 0;
+    ASSERT_EQ(fs_->ReadFile("/t" + std::to_string(i), 0, out, &n),
+              FsStatus::kOk);
+    EXPECT_EQ(out, contents[i]) << "file " << i;
+  }
+  MemBlockDevice snapshot = dev_;
+  EXPECT_TRUE(Fsck(snapshot, /*repair=*/false).Clean());
+}
+
+TEST_F(LazyFsTest, AppendWorkloadIssuesFewDeviceReads) {
+  // The whole point of the cache: appending must not read the indirect
+  // block from the device for every allocated page. Counted via a wrapper.
+  class CountingDevice final : public BlockDevice {
+   public:
+    explicit CountingDevice(BlockDevice& inner) : inner_(inner) {}
+    std::uint64_t BlockCount() const override { return inner_.BlockCount(); }
+    bool ReadBlock(std::uint64_t lba, std::span<std::byte> out) override {
+      ++reads;
+      return inner_.ReadBlock(lba, out);
+    }
+    bool WriteBlock(std::uint64_t lba,
+                    std::span<const std::byte> data) override {
+      return inner_.WriteBlock(lba, data);
+    }
+    bool TrimBlock(std::uint64_t lba) override {
+      return inner_.TrimBlock(lba);
+    }
+    std::uint64_t reads = 0;
+
+   private:
+    BlockDevice& inner_;
+  };
+
+  MemBlockDevice raw(8192);
+  ASSERT_EQ(FileSystem::Mkfs(raw, 64), FsStatus::kOk);
+  CountingDevice counting(raw);
+  auto fs = FileSystem::Mount(counting);
+  ASSERT_TRUE(fs.has_value());
+  ASSERT_EQ(fs->CreateFile("/big"), FsStatus::kOk);
+  Rng rng(8);
+  auto data = RandomBytes(rng, 1024 * 1024);  // 256 blocks, deep into indirect
+  counting.reads = 0;
+  ASSERT_EQ(fs->WriteFile("/big", 0, data), FsStatus::kOk);
+  // Uncached RMW would need ~1 read per allocated page (~256+); with the
+  // cache it's the inode block per interim store plus a handful of misses.
+  EXPECT_LT(counting.reads, 40u);
+}
+
+}  // namespace
+}  // namespace insider::fs

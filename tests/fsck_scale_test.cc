@@ -1,0 +1,127 @@
+// fsck at scale: a populated multi-hundred-file filesystem with combined
+// corruption, and the repair idempotence property.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <string>
+
+#include "common/rng.h"
+#include "fs/file_system.h"
+#include "fs/fsck.h"
+#include "fs/layout.h"
+
+namespace insider::fs {
+namespace {
+
+using BlockBuf = std::array<std::byte, kBlockSize>;
+
+class FsckScaleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_EQ(FileSystem::Mkfs(dev_, 1024), FsStatus::kOk);
+    auto fs = FileSystem::Mount(dev_);
+    ASSERT_TRUE(fs.has_value());
+    Rng rng(8);
+    // A few hundred files across nested directories.
+    for (int d = 0; d < 8; ++d) {
+      std::string dir = "/dir" + std::to_string(d);
+      ASSERT_EQ(fs->Mkdir(dir), FsStatus::kOk);
+      for (int f = 0; f < 40; ++f) {
+        std::string path = dir + "/f" + std::to_string(f);
+        ASSERT_EQ(fs->CreateFile(path), FsStatus::kOk);
+        std::vector<std::byte> data(1 + rng.Below(24 * 1024));
+        for (auto& b : data) b = static_cast<std::byte>(rng.Below(256));
+        ASSERT_EQ(fs->WriteFile(path, 0, data), FsStatus::kOk);
+      }
+    }
+    SuperBlock::DeserializeFrom(ReadBlock(0), sb_);
+  }
+
+  std::span<const std::byte> ReadBlock(std::uint64_t lba) {
+    dev_.ReadBlock(lba, buf_);
+    return buf_;
+  }
+  void WriteBlock(std::uint64_t lba) { dev_.WriteBlock(lba, buf_); }
+
+  MemBlockDevice dev_{32768};  // 128 MB
+  BlockBuf buf_{};
+  SuperBlock sb_;
+};
+
+TEST_F(FsckScaleTest, LargeCleanFilesystemPasses) {
+  EXPECT_TRUE(Fsck(dev_, false).Clean());
+}
+
+TEST_F(FsckScaleTest, CombinedCorruptionAllRepairedInOnePass) {
+  // Inject several corruption classes at once, like a real crash would.
+  //  (a) Stale superblock counters.
+  sb_.free_blocks += 100;
+  sb_.free_inodes += 5;
+  buf_.fill(std::byte{0});
+  sb_.SerializeTo(buf_);
+  WriteBlock(0);
+  //  (b) Flipped bitmap bits.
+  dev_.ReadBlock(sb_.bitmap_start, buf_);
+  for (std::uint64_t bit : {7u, 99u, 5000u}) {
+    buf_[bit / 8] ^= std::byte{static_cast<unsigned char>(1u << (bit % 8))};
+  }
+  WriteBlock(sb_.bitmap_start);
+  //  (c) A corrupted inode block count + an orphan.
+  dev_.ReadBlock(sb_.inode_start, buf_);
+  Inode n = Inode::DeserializeFrom(
+      std::span<const std::byte>(buf_).subspan(3 * kInodeSize, kInodeSize));
+  n.block_count += 9;
+  n.SerializeTo(std::span<std::byte>(buf_).subspan(3 * kInodeSize,
+                                                   kInodeSize));
+  WriteBlock(sb_.inode_start);
+  //  (d) An orphan in a far inode-table block (inode 900 is unused: only
+  //  ~330 of the 1024 inodes are allocated).
+  dev_.ReadBlock(sb_.inode_start + 900 / kInodesPerBlock, buf_);
+  Inode orphan;
+  orphan.mode = InodeMode::kFile;
+  orphan.links = 1;
+  orphan.SerializeTo(std::span<std::byte>(buf_).subspan(
+      (900 % kInodesPerBlock) * kInodeSize, kInodeSize));
+  WriteBlock(sb_.inode_start + 900 / kInodesPerBlock);
+
+  FsckReport before = Fsck(dev_, false);
+  EXPECT_FALSE(before.Clean());
+  EXPECT_EQ(before.wrong_free_block_count, 1u);
+  EXPECT_GE(before.bitmap_mismatches, 3u);
+  EXPECT_GE(before.wrong_inode_block_count, 1u);
+  EXPECT_GE(before.orphan_inodes, 1u);
+
+  Fsck(dev_, true);
+  EXPECT_TRUE(Fsck(dev_, false).Clean());
+}
+
+TEST_F(FsckScaleTest, RepairIsIdempotent) {
+  sb_.free_blocks = 1;
+  buf_.fill(std::byte{0});
+  sb_.SerializeTo(buf_);
+  WriteBlock(0);
+  Fsck(dev_, true);
+  FsckReport second = Fsck(dev_, true);  // repairing a clean FS
+  EXPECT_TRUE(second.Clean());
+  EXPECT_TRUE(Fsck(dev_, false).Clean());
+}
+
+TEST_F(FsckScaleTest, AllFilesReadableAfterCombinedRepair) {
+  sb_.free_blocks += 77;
+  buf_.fill(std::byte{0});
+  sb_.SerializeTo(buf_);
+  WriteBlock(0);
+  Fsck(dev_, true);
+  auto fs = FileSystem::Mount(dev_);
+  ASSERT_TRUE(fs.has_value());
+  int files = 0;
+  for (int d = 0; d < 8; ++d) {
+    std::vector<std::string> names;
+    ASSERT_EQ(fs->ListDir("/dir" + std::to_string(d), names), FsStatus::kOk);
+    files += static_cast<int>(names.size());
+  }
+  EXPECT_EQ(files, 320);
+}
+
+}  // namespace
+}  // namespace insider::fs

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+
+#include "common/rng.h"
+#include "fs/file_system.h"
+#include "fs/fsck.h"
+#include "fs/layout.h"
+
+namespace insider::fs {
+namespace {
+
+using BlockBuf = std::array<std::byte, kBlockSize>;
+
+class FsckTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_EQ(FileSystem::Mkfs(dev_, 64), FsStatus::kOk);
+    auto fs = FileSystem::Mount(dev_);
+    ASSERT_TRUE(fs.has_value());
+    Rng rng(12);
+    for (int i = 0; i < 5; ++i) {
+      std::string path = "/f" + std::to_string(i);
+      ASSERT_EQ(fs->CreateFile(path), FsStatus::kOk);
+      std::vector<std::byte> data((i + 1) * kBlockSize);
+      for (auto& b : data) b = static_cast<std::byte>(rng.Below(256));
+      ASSERT_EQ(fs->WriteFile(path, 0, data), FsStatus::kOk);
+    }
+    SuperBlock::DeserializeFrom(ReadBlock(0), sb_);
+  }
+
+  std::span<const std::byte> ReadBlock(std::uint64_t lba) {
+    dev_.ReadBlock(lba, buf_);
+    return buf_;
+  }
+  void WriteBlock(std::uint64_t lba) { dev_.WriteBlock(lba, buf_); }
+
+  MemBlockDevice dev_{2048};
+  BlockBuf buf_{};
+  SuperBlock sb_;
+};
+
+TEST_F(FsckTest, CleanFilesystemPasses) {
+  FsckReport r = Fsck(dev_, false);
+  EXPECT_TRUE(r.Clean()) << r.ToString();
+}
+
+TEST_F(FsckTest, InvalidSuperblockDetected) {
+  buf_.fill(std::byte{0});
+  WriteBlock(0);
+  FsckReport r = Fsck(dev_, false);
+  EXPECT_FALSE(r.valid_superblock);
+  EXPECT_FALSE(r.Clean());
+}
+
+TEST_F(FsckTest, WrongFreeBlockCountDetectedAndRepaired) {
+  sb_.free_blocks += 7;
+  buf_.fill(std::byte{0});
+  sb_.SerializeTo(buf_);
+  WriteBlock(0);
+  FsckReport r = Fsck(dev_, false);
+  EXPECT_EQ(r.wrong_free_block_count, 1u);
+  Fsck(dev_, true);
+  EXPECT_TRUE(Fsck(dev_, false).Clean());
+}
+
+TEST_F(FsckTest, WrongFreeInodeCountDetectedAndRepaired) {
+  sb_.free_inodes += 3;
+  buf_.fill(std::byte{0});
+  sb_.SerializeTo(buf_);
+  WriteBlock(0);
+  FsckReport r = Fsck(dev_, false);
+  EXPECT_EQ(r.wrong_free_inode_count, 1u);
+  Fsck(dev_, true);
+  EXPECT_TRUE(Fsck(dev_, false).Clean());
+}
+
+TEST_F(FsckTest, WrongInodeBlockCountDetectedAndRepaired) {
+  // Corrupt the block_count of inode 1 (file /f0).
+  dev_.ReadBlock(sb_.inode_start, buf_);
+  Inode n = Inode::DeserializeFrom(
+      std::span<const std::byte>(buf_).subspan(kInodeSize, kInodeSize));
+  ASSERT_EQ(n.mode, InodeMode::kFile);
+  n.block_count += 5;
+  n.SerializeTo(std::span<std::byte>(buf_).subspan(kInodeSize, kInodeSize));
+  WriteBlock(sb_.inode_start);
+  FsckReport r = Fsck(dev_, false);
+  EXPECT_EQ(r.wrong_inode_block_count, 1u);
+  Fsck(dev_, true);
+  EXPECT_TRUE(Fsck(dev_, false).Clean());
+}
+
+TEST_F(FsckTest, BitmapMismatchDetectedAndRepaired) {
+  // Flip a free data block's bit to "used".
+  dev_.ReadBlock(sb_.bitmap_start, buf_);
+  std::uint64_t victim = sb_.total_blocks - 1;
+  buf_[victim / 8] |=
+      std::byte{static_cast<unsigned char>(1u << (victim % 8))};
+  WriteBlock(sb_.bitmap_start);
+  FsckReport r = Fsck(dev_, false);
+  EXPECT_GE(r.bitmap_mismatches, 1u);
+  Fsck(dev_, true);
+  EXPECT_TRUE(Fsck(dev_, false).Clean());
+}
+
+TEST_F(FsckTest, DanglingDirEntryDetectedAndRepaired) {
+  // Free inode 1 behind the directory's back.
+  dev_.ReadBlock(sb_.inode_start, buf_);
+  Inode freed;
+  freed.SerializeTo(std::span<std::byte>(buf_).subspan(kInodeSize, kInodeSize));
+  WriteBlock(sb_.inode_start);
+  FsckReport r = Fsck(dev_, false);
+  EXPECT_GE(r.dangling_dir_entries, 1u);
+  Fsck(dev_, true);
+  EXPECT_TRUE(Fsck(dev_, false).Clean());
+  // The entry is gone after repair.
+  auto fs = FileSystem::Mount(dev_);
+  ASSERT_TRUE(fs.has_value());
+  EXPECT_FALSE(fs->Exists("/f0"));
+}
+
+TEST_F(FsckTest, OrphanInodeDetectedAndRepaired) {
+  // Allocate an inode in the table that no directory references.
+  dev_.ReadBlock(sb_.inode_start, buf_);
+  Inode orphan;
+  orphan.mode = InodeMode::kFile;
+  orphan.links = 1;
+  orphan.SerializeTo(
+      std::span<std::byte>(buf_).subspan(10 * kInodeSize, kInodeSize));
+  WriteBlock(sb_.inode_start);
+  FsckReport r = Fsck(dev_, false);
+  EXPECT_EQ(r.orphan_inodes, 1u);
+  Fsck(dev_, true);
+  EXPECT_TRUE(Fsck(dev_, false).Clean());
+}
+
+TEST_F(FsckTest, BadPointerDetectedAndRepaired) {
+  // Point inode 1's first direct block outside the device.
+  dev_.ReadBlock(sb_.inode_start, buf_);
+  Inode n = Inode::DeserializeFrom(
+      std::span<const std::byte>(buf_).subspan(kInodeSize, kInodeSize));
+  n.direct[0] = 0x00FFFFFF;
+  n.SerializeTo(std::span<std::byte>(buf_).subspan(kInodeSize, kInodeSize));
+  WriteBlock(sb_.inode_start);
+  FsckReport r = Fsck(dev_, false);
+  EXPECT_GE(r.bad_pointers, 1u);
+  Fsck(dev_, true);
+  EXPECT_TRUE(Fsck(dev_, false).Clean());
+}
+
+TEST_F(FsckTest, DoubleClaimedBlockDetectedAndRepaired) {
+  // Make inode 2 claim inode 1's first block as well.
+  dev_.ReadBlock(sb_.inode_start, buf_);
+  Inode a = Inode::DeserializeFrom(
+      std::span<const std::byte>(buf_).subspan(kInodeSize, kInodeSize));
+  Inode b = Inode::DeserializeFrom(
+      std::span<const std::byte>(buf_).subspan(2 * kInodeSize, kInodeSize));
+  b.direct[1] = a.direct[0];
+  b.SerializeTo(std::span<std::byte>(buf_).subspan(2 * kInodeSize, kInodeSize));
+  WriteBlock(sb_.inode_start);
+  FsckReport r = Fsck(dev_, false);
+  EXPECT_GE(r.double_claimed_blocks, 1u);
+  Fsck(dev_, true);
+  EXPECT_TRUE(Fsck(dev_, false).Clean());
+}
+
+TEST_F(FsckTest, RepairPreservesIntactFileContents) {
+  // Introduce superblock + bitmap corruption, repair, and verify /f2's
+  // bytes are untouched.
+  std::vector<std::byte> before(3 * kBlockSize);
+  {
+    auto fs = FileSystem::Mount(dev_);
+    ASSERT_TRUE(fs.has_value());
+    std::uint64_t n = 0;
+    ASSERT_EQ(fs->ReadFile("/f2", 0, before, &n), FsStatus::kOk);
+  }
+  sb_.free_blocks = 1;
+  buf_.fill(std::byte{0});
+  sb_.SerializeTo(buf_);
+  WriteBlock(0);
+  Fsck(dev_, true);
+  EXPECT_TRUE(Fsck(dev_, false).Clean());
+  auto fs = FileSystem::Mount(dev_);
+  ASSERT_TRUE(fs.has_value());
+  std::vector<std::byte> after(before.size());
+  std::uint64_t n = 0;
+  ASSERT_EQ(fs->ReadFile("/f2", 0, after, &n), FsStatus::kOk);
+  EXPECT_EQ(after, before);
+}
+
+}  // namespace
+}  // namespace insider::fs

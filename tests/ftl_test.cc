@@ -1,0 +1,362 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "common/rng.h"
+#include "ftl/page_ftl.h"
+#include "nand/geometry.h"
+
+namespace insider::ftl {
+namespace {
+
+FtlConfig SmallConfig(bool delayed) {
+  FtlConfig c;
+  c.geometry = nand::TestGeometry();  // 2x2 chips, 16 blocks/chip, 8 pp/b
+  c.latency = nand::LatencyModel::Zero();
+  c.delayed_deletion = delayed;
+  c.retention_window = Seconds(10);
+  c.exported_fraction = 0.75;
+  return c;
+}
+
+TEST(PageFtlTest, ExportedCapacityRespectsFraction) {
+  PageFtl ftl(SmallConfig(true));
+  EXPECT_EQ(ftl.ExportedLbas(),
+            static_cast<Lba>(ftl.Config().geometry.TotalPages() * 0.75));
+}
+
+TEST(PageFtlTest, WriteThenReadRoundTrip) {
+  PageFtl ftl(SmallConfig(true));
+  nand::PageData d;
+  d.stamp = 1234;
+  ASSERT_TRUE(ftl.WritePage(7, d, 0).ok());
+  FtlResult r = ftl.ReadPage(7, 0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.data.stamp, 1234u);
+}
+
+TEST(PageFtlTest, ReadOfUnmappedLbaFails) {
+  PageFtl ftl(SmallConfig(true));
+  EXPECT_EQ(ftl.ReadPage(3, 0).status, FtlStatus::kUnmapped);
+}
+
+TEST(PageFtlTest, OutOfRangeLbaRejected) {
+  PageFtl ftl(SmallConfig(true));
+  Lba beyond = ftl.ExportedLbas();
+  EXPECT_EQ(ftl.WritePage(beyond, {}, 0).status, FtlStatus::kOutOfRange);
+  EXPECT_EQ(ftl.ReadPage(beyond, 0).status, FtlStatus::kOutOfRange);
+  EXPECT_EQ(ftl.TrimPage(beyond, 0).status, FtlStatus::kOutOfRange);
+}
+
+TEST(PageFtlTest, OverwriteRemapsAndRetainsOldVersion) {
+  PageFtl ftl(SmallConfig(true));
+  ftl.WritePage(5, {1, {}}, Seconds(1));
+  nand::Ppa old_ppa = *ftl.Lookup(5);
+  ftl.WritePage(5, {2, {}}, Seconds(2));
+  nand::Ppa new_ppa = *ftl.Lookup(5);
+  EXPECT_NE(old_ppa, new_ppa);
+  EXPECT_EQ(ftl.StateOf(old_ppa), PageState::kRetained);
+  EXPECT_EQ(ftl.StateOf(new_ppa), PageState::kValid);
+  EXPECT_EQ(ftl.RecoveryQueueSize(), 1u);
+  EXPECT_EQ(ftl.ReadPage(5, Seconds(2)).data.stamp, 2u);
+}
+
+TEST(PageFtlTest, ConventionalModeInvalidatesImmediately) {
+  PageFtl ftl(SmallConfig(false));
+  ftl.WritePage(5, {1, {}}, Seconds(1));
+  nand::Ppa old_ppa = *ftl.Lookup(5);
+  ftl.WritePage(5, {2, {}}, Seconds(2));
+  EXPECT_EQ(ftl.StateOf(old_ppa), PageState::kInvalid);
+  EXPECT_EQ(ftl.RecoveryQueueSize(), 0u);
+}
+
+TEST(PageFtlTest, RetainedPageReleasedAfterWindow) {
+  PageFtl ftl(SmallConfig(true));
+  ftl.WritePage(5, {1, {}}, Seconds(1));
+  nand::Ppa old_ppa = *ftl.Lookup(5);
+  ftl.WritePage(5, {2, {}}, Seconds(2));
+  EXPECT_EQ(ftl.StateOf(old_ppa), PageState::kRetained);
+  ftl.ReleaseExpired(Seconds(13));  // 2 + 10 < 13
+  EXPECT_EQ(ftl.StateOf(old_ppa), PageState::kInvalid);
+  EXPECT_EQ(ftl.RecoveryQueueSize(), 0u);
+  EXPECT_EQ(ftl.Stats().retained_released, 1u);
+}
+
+TEST(PageFtlTest, TrimUnmapsButRetains) {
+  PageFtl ftl(SmallConfig(true));
+  ftl.WritePage(9, {1, {}}, Seconds(1));
+  nand::Ppa old_ppa = *ftl.Lookup(9);
+  ASSERT_TRUE(ftl.TrimPage(9, Seconds(2)).ok());
+  EXPECT_FALSE(ftl.Lookup(9).has_value());
+  EXPECT_EQ(ftl.StateOf(old_ppa), PageState::kRetained);
+  EXPECT_EQ(ftl.ReadPage(9, Seconds(2)).status, FtlStatus::kUnmapped);
+}
+
+TEST(PageFtlTest, TrimOfUnmappedLbaFails) {
+  PageFtl ftl(SmallConfig(true));
+  EXPECT_EQ(ftl.TrimPage(4, 0).status, FtlStatus::kUnmapped);
+}
+
+TEST(PageFtlTest, ReadOnlyLatchesWritesAndTrims) {
+  PageFtl ftl(SmallConfig(true));
+  ftl.WritePage(1, {1, {}}, 0);
+  ftl.SetReadOnly(true);
+  EXPECT_EQ(ftl.WritePage(2, {}, 0).status, FtlStatus::kReadOnly);
+  EXPECT_EQ(ftl.TrimPage(1, 0).status, FtlStatus::kReadOnly);
+  EXPECT_TRUE(ftl.ReadPage(1, 0).ok());  // reads still served
+}
+
+TEST(PageFtlTest, RollbackRestoresOverwrittenData) {
+  PageFtl ftl(SmallConfig(true));
+  ftl.WritePage(5, {111, {}}, Seconds(1));
+  // Attack at t=20: overwrite within the window before detection at t=22.
+  ftl.WritePage(5, {666, {}}, Seconds(20));
+  RollbackReport rep = ftl.RollBack(Seconds(22));
+  EXPECT_TRUE(ftl.IsReadOnly());
+  EXPECT_EQ(rep.entries_reverted, 1u);
+  EXPECT_EQ(rep.mappings_restored, 1u);
+  EXPECT_EQ(ftl.ReadPage(5, Seconds(22)).data.stamp, 111u);
+}
+
+TEST(PageFtlTest, RollbackRestoresTrimmedData) {
+  PageFtl ftl(SmallConfig(true));
+  ftl.WritePage(5, {111, {}}, Seconds(1));
+  ftl.TrimPage(5, Seconds(20));
+  ftl.RollBack(Seconds(21));
+  EXPECT_EQ(ftl.ReadPage(5, Seconds(21)).data.stamp, 111u);
+}
+
+TEST(PageFtlTest, RollbackKeepsVersionsOlderThanWindow) {
+  PageFtl ftl(SmallConfig(true));
+  ftl.WritePage(5, {1, {}}, Seconds(1));
+  ftl.WritePage(5, {2, {}}, Seconds(5));   // safe: older than t-10
+  ftl.WritePage(5, {3, {}}, Seconds(20));  // attack write
+  RollbackReport rep = ftl.RollBack(Seconds(21));
+  EXPECT_EQ(rep.entries_reverted, 1u);
+  EXPECT_EQ(ftl.ReadPage(5, Seconds(21)).data.stamp, 2u);
+}
+
+TEST(PageFtlTest, RollbackChainWithinWindowEndsAtPreWindowVersion) {
+  PageFtl ftl(SmallConfig(true));
+  ftl.WritePage(5, {10, {}}, Seconds(1));
+  ftl.WritePage(5, {20, {}}, Seconds(20));
+  ftl.WritePage(5, {30, {}}, Seconds(21));
+  ftl.WritePage(5, {40, {}}, Seconds(22));
+  RollbackReport rep = ftl.RollBack(Seconds(25));
+  EXPECT_EQ(rep.entries_reverted, 3u);
+  EXPECT_EQ(rep.mappings_restored, 1u);
+  EXPECT_EQ(ftl.ReadPage(5, Seconds(25)).data.stamp, 10u);
+}
+
+TEST(PageFtlTest, RollbackDurationScalesWithEntries) {
+  FtlConfig cfg = SmallConfig(true);
+  cfg.rollback_entry_cost = Microseconds(2);
+  PageFtl ftl(cfg);
+  for (Lba lba = 0; lba < 8; ++lba) ftl.WritePage(lba, {1, {}}, Seconds(1));
+  for (Lba lba = 0; lba < 8; ++lba) ftl.WritePage(lba, {2, {}}, Seconds(20));
+  RollbackReport rep = ftl.RollBack(Seconds(21));
+  EXPECT_EQ(rep.entries_reverted, 8u);
+  EXPECT_EQ(rep.duration, Microseconds(16));
+}
+
+TEST(PageFtlTest, GcReclaimsInvalidPages) {
+  PageFtl ftl(SmallConfig(false));
+  // Hammer one LBA until GC must run; conventional mode reclaims instantly.
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(ftl.WritePage(0, {static_cast<std::uint64_t>(i), {}}, 0).ok())
+        << "write " << i;
+  }
+  EXPECT_GT(ftl.Stats().gc_erases, 0u);
+  EXPECT_EQ(ftl.ReadPage(0, 0).data.stamp, 1999u);
+}
+
+TEST(PageFtlTest, GcPreservesAllValidData) {
+  PageFtl ftl(SmallConfig(false));
+  Lba n = ftl.ExportedLbas();
+  // Fill the device, then rewrite everything twice to force GC churn.
+  for (int round = 0; round < 3; ++round) {
+    for (Lba lba = 0; lba < n; ++lba) {
+      ASSERT_TRUE(
+          ftl.WritePage(lba, {round * 10000 + lba, {}}, 0).ok());
+    }
+  }
+  for (Lba lba = 0; lba < n; ++lba) {
+    EXPECT_EQ(ftl.ReadPage(lba, 0).data.stamp, 20000 + lba);
+  }
+  EXPECT_EQ(ftl.CheckInvariants(), "");
+}
+
+TEST(PageFtlTest, GcCopiesRetainedPagesInsteadOfReclaiming) {
+  // Build a device state where GC victims hold a mix of invalid holes
+  // (expired trims), live data, and *retained* pages guarding recent
+  // overwrites — GC must relocate the retained pages, and the backups must
+  // still be replayable afterwards.
+  FtlConfig cfg = SmallConfig(true);
+  cfg.exported_fraction = 0.5;  // 256 LBAs on 512 physical pages
+  PageFtl ftl(cfg);
+  Lba n = ftl.ExportedLbas();
+  Rng rng(404);
+
+  for (Lba lba = 0; lba < n; ++lba) {
+    ASSERT_TRUE(ftl.WritePage(lba, {lba, {}}, Seconds(1)).ok());
+  }
+  // Scattered deletes whose backups will have expired by t=15: they become
+  // reclaimable holes inside the fill blocks.
+  std::vector<Lba> all(n);
+  std::iota(all.begin(), all.end(), 0);
+  for (std::size_t i = all.size(); i > 1; --i) {
+    std::swap(all[i - 1], all[rng.Below(i)]);
+  }
+  for (std::size_t i = 0; i < 64; ++i) {
+    ASSERT_TRUE(ftl.TrimPage(all[i], Seconds(2)).ok());
+  }
+  // Protected overwrites at t=15 (trim backups expire on first release).
+  std::vector<Lba> protected_lbas(all.begin() + 64, all.begin() + 128);
+  for (Lba lba : protected_lbas) {
+    ASSERT_TRUE(ftl.WritePage(lba, {7000 + lba, {}}, Seconds(15)).ok());
+  }
+  // Churn overwrites at t=15 push the device into GC.
+  std::vector<Lba> churn(all.begin() + 128, all.begin() + 216);
+  for (int round = 0; round < 2; ++round) {
+    for (Lba lba : churn) {
+      ASSERT_TRUE(ftl.WritePage(lba, {90000, {}}, Seconds(15)).ok());
+    }
+  }
+  EXPECT_GT(ftl.Stats().gc_erases, 0u);
+  EXPECT_GT(ftl.Stats().gc_retained_copies, 0u);
+  EXPECT_EQ(ftl.Stats().forced_releases, 0u);
+  EXPECT_EQ(ftl.CheckInvariants(), "");
+
+  // Rollback to t=5: every overwrite from t=15 reverts, even where GC moved
+  // the retained page.
+  ftl.RollBack(Seconds(15));
+  for (Lba lba : protected_lbas) {
+    EXPECT_EQ(ftl.ReadPage(lba, Seconds(15)).data.stamp, lba);
+  }
+  for (Lba lba : churn) {
+    EXPECT_EQ(ftl.ReadPage(lba, Seconds(15)).data.stamp, lba);
+  }
+  EXPECT_EQ(ftl.CheckInvariants(), "");
+}
+
+TEST(PageFtlTest, DelayedDeletionCostsMoreGcCopies) {
+  // Random scattered overwrites inside one retention window: conventional
+  // GC reclaims the invalidated pages, SSD-Insider must carry the retained
+  // versions, so it copies strictly more.
+  std::uint64_t copies[2];
+  for (bool delayed : {false, true}) {
+    FtlConfig cfg = SmallConfig(delayed);
+    cfg.exported_fraction = 0.5;
+    PageFtl ftl(cfg);
+    Lba n = ftl.ExportedLbas();
+    Rng rng(777);
+    for (Lba lba = 0; lba < n; ++lba) {
+      ftl.WritePage(lba, {lba, {}}, Seconds(1));
+    }
+    for (int i = 0; i < 3 * static_cast<int>(n); ++i) {
+      ASSERT_TRUE(
+          ftl.WritePage(rng.Below(n), {0xBEEF, {}}, Seconds(2)).ok());
+    }
+    copies[delayed ? 1 : 0] = ftl.Stats().gc_page_copies;
+    EXPECT_EQ(ftl.CheckInvariants(), "");
+  }
+  EXPECT_GT(copies[1], copies[0]);
+}
+
+TEST(PageFtlTest, SpacePressureForcesBackupRelease) {
+  PageFtl ftl(SmallConfig(true));
+  Lba n = ftl.ExportedLbas();
+  for (Lba lba = 0; lba < n; ++lba) {
+    ftl.WritePage(lba, {lba, {}}, Seconds(1));
+  }
+  // Overwrite everything repeatedly at the same instant: retention can never
+  // expire, so the FTL must sacrifice old backups to keep accepting writes.
+  for (int round = 0; round < 3; ++round) {
+    for (Lba lba = 0; lba < n; ++lba) {
+      ASSERT_TRUE(ftl.WritePage(lba, {lba, {}}, Seconds(2)).ok());
+    }
+  }
+  EXPECT_GT(ftl.Stats().forced_releases, 0u);
+  EXPECT_EQ(ftl.CheckInvariants(), "");
+}
+
+TEST(PageFtlTest, QueueCapacityBoundsRetainedPages) {
+  FtlConfig cfg = SmallConfig(true);
+  cfg.recovery_queue_capacity = 4;
+  PageFtl ftl(cfg);
+  for (int i = 0; i < 10; ++i) {
+    ftl.WritePage(3, {static_cast<std::uint64_t>(i), {}}, Seconds(1));
+  }
+  EXPECT_LE(ftl.RecoveryQueueSize(), 4u);
+  EXPECT_EQ(ftl.Stats().queue_evictions, 5u);  // 9 overwrites, 4 kept
+  EXPECT_EQ(ftl.CheckInvariants(), "");
+}
+
+TEST(PageFtlTest, InvariantsHoldUnderRandomizedWorkload) {
+  Rng rng(2024);
+  PageFtl ftl(SmallConfig(true));
+  Lba n = ftl.ExportedLbas();
+  SimTime now = 0;
+  for (int op = 0; op < 5000; ++op) {
+    now += rng.Below(50'000);
+    Lba lba = rng.Below(n);
+    double dice = rng.Uniform();
+    if (dice < 0.55) {
+      ftl.WritePage(lba, {static_cast<std::uint64_t>(op), {}}, now);
+    } else if (dice < 0.85) {
+      ftl.ReadPage(lba, now);
+    } else {
+      ftl.TrimPage(lba, now);
+    }
+    if (op % 500 == 0) {
+      ASSERT_EQ(ftl.CheckInvariants(), "") << "after op " << op;
+    }
+  }
+  EXPECT_EQ(ftl.CheckInvariants(), "");
+}
+
+TEST(PageFtlTest, InvariantsHoldAfterRandomizedRollback) {
+  Rng rng(77);
+  PageFtl ftl(SmallConfig(true));
+  Lba n = ftl.ExportedLbas();
+  for (Lba lba = 0; lba < n / 2; ++lba) {
+    ftl.WritePage(lba, {lba, {}}, Seconds(1));
+  }
+  // Attack burst sized to fit in flash alongside its backups (valid +
+  // retained <= physical pages), so no backup is sacrificed and recovery
+  // must be perfect.
+  SimTime now = Seconds(20);
+  for (int op = 0; op < 120; ++op) {
+    now += rng.Below(10'000);
+    Lba lba = rng.Below(n / 2);
+    if (rng.Chance(0.8)) {
+      ASSERT_TRUE(ftl.WritePage(lba, {99999, {}}, now).ok());
+    } else {
+      ftl.TrimPage(lba, now);
+    }
+  }
+  ASSERT_EQ(ftl.Stats().forced_releases, 0u);
+  ftl.RollBack(now);
+  EXPECT_EQ(ftl.CheckInvariants(), "");
+  // Everything written at t=1 must read back intact.
+  for (Lba lba = 0; lba < n / 2; ++lba) {
+    FtlResult r = ftl.ReadPage(lba, now);
+    ASSERT_TRUE(r.ok()) << "lba " << lba;
+    EXPECT_EQ(r.data.stamp, lba);
+  }
+}
+
+TEST(PageFtlTest, StatsCountHostOps) {
+  PageFtl ftl(SmallConfig(true));
+  ftl.WritePage(1, {}, 0);
+  ftl.WritePage(1, {}, 0);
+  ftl.ReadPage(1, 0);
+  ftl.TrimPage(1, 0);
+  EXPECT_EQ(ftl.Stats().host_writes, 2u);
+  EXPECT_EQ(ftl.Stats().host_reads, 1u);
+  EXPECT_EQ(ftl.Stats().host_trims, 1u);
+}
+
+}  // namespace
+}  // namespace insider::ftl

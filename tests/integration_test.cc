@@ -1,0 +1,155 @@
+// End-to-end tests spanning workload -> detector -> FTL -> recovery ->
+// filesystem, i.e., miniature versions of the paper's experiments.
+#include <gtest/gtest.h>
+
+#include "core/pretrained.h"
+#include "host/experiment.h"
+#include "host/scenario.h"
+#include "host/train.h"
+
+namespace insider::host {
+namespace {
+
+ScenarioConfig FastScenario() {
+  ScenarioConfig c;
+  c.duration = Seconds(30);
+  c.ransom_start = Seconds(8);
+  // Enough victim data that even fast families stay busy for the ~8 s the
+  // score needs to reach the threshold.
+  c.fileset_files = 900;
+  return c;
+}
+
+core::DetectorConfig DefaultDetector() { return core::DetectorConfig{}; }
+
+TEST(TrainingTest, SamplesContainBothClasses) {
+  TrainConfig tc;
+  tc.scenario = FastScenario();
+  tc.seeds_per_scenario = 1;
+  BuiltScenario s = BuildScenario({wl::AppKind::kNone, "Locky.bbs", ""},
+                                  tc.scenario, 3);
+  std::vector<core::Sample> samples =
+      ExtractSamples(s, tc.detector, tc.label_min_ransom_writes);
+  ASSERT_FALSE(samples.empty());
+  std::size_t pos = 0;
+  for (const core::Sample& smp : samples) pos += smp.ransomware;
+  EXPECT_GT(pos, 0u);
+  EXPECT_LT(pos, samples.size());
+}
+
+TEST(TrainingTest, TrainedTreeSeparatesTrainingScenarios) {
+  TrainConfig tc;
+  tc.scenario = FastScenario();
+  tc.seeds_per_scenario = 1;
+  std::vector<core::Sample> samples =
+      CollectSamples(TrainingScenarios(), tc);
+  core::DecisionTree tree = core::TrainId3(samples, tc.id3);
+  ASSERT_FALSE(tree.Empty());
+  EXPECT_GE(core::Accuracy(tree, samples), 0.95);
+}
+
+TEST(DetectionIntegrationTest, PretrainedTreeDetectsRansomOnlyAttack) {
+  BuiltScenario s = BuildScenario({wl::AppKind::kNone, "WannaCry", ""},
+                                  FastScenario(), 17);
+  DetectionRun run = RunDetection(core::PretrainedTree(), DefaultDetector(),
+                                  s.merged, s.ransom.active_begin);
+  ASSERT_TRUE(run.alarm_time.has_value());
+  double latency = ToSeconds(*run.alarm_time - s.ransom.active_begin);
+  EXPECT_LT(latency, 10.0);  // the paper's detection-latency bound
+}
+
+TEST(DetectionIntegrationTest, PretrainedTreeQuietOnBenignApps) {
+  for (wl::AppKind app :
+       {wl::AppKind::kWebSurfing, wl::AppKind::kP2pDownload,
+        wl::AppKind::kVideoDecode, wl::AppKind::kCompression}) {
+    BuiltScenario s =
+        BuildScenario({app, "", ""}, FastScenario(), 23);
+    DetectionRun run =
+        RunDetection(core::PretrainedTree(), DefaultDetector(), s.merged);
+    EXPECT_LT(run.max_score, DefaultDetector().score_threshold)
+        << wl::AppKindName(app);
+  }
+}
+
+TEST(DetectionIntegrationTest, RansomwareDetectedUnderBackgroundLoad) {
+  for (const char* family : {"Mole", "GlobeImposter"}) {
+    BuiltScenario s = BuildScenario(
+        {wl::AppKind::kWebSurfing, family, ""}, FastScenario(), 31);
+    DetectionRun run = RunDetection(core::PretrainedTree(), DefaultDetector(),
+                                    s.merged, s.ransom.active_begin);
+    EXPECT_TRUE(run.alarm_time.has_value()) << family;
+  }
+}
+
+TEST(GcIntegrationTest, InsiderFtlCostsMoreUnderHighUtilization) {
+  GcExperimentConfig gc;
+  gc.geometry = nand::TestGeometry();
+  gc.geometry.blocks_per_chip = 64;  // 2x2x64x8 = 2048 pages
+  gc.fill_fraction = 0.9;
+  ScenarioConfig sc = FastScenario();
+  sc.duration = Seconds(10);
+  sc.lba_space = 1024;
+  BuiltScenario s =
+      BuildScenario({wl::AppKind::kDataWiping, "", ""}, sc, 41);
+  GcResult r = RunGcExperiment(s, gc);
+  EXPECT_GE(r.copies_insider, r.copies_conventional);
+  EXPECT_GT(r.copies_insider, 0u);
+}
+
+TEST(ConsistencyIntegrationTest, AttackRollbackFsckRecoversEverything) {
+  ConsistencyTrialConfig cfg;  // default 256-MB device, 200 small documents
+  cfg.seed = 5;
+  ConsistencyTrialResult r =
+      RunConsistencyTrial(core::PretrainedTree(), cfg);
+  ASSERT_TRUE(r.detected);
+  ASSERT_TRUE(r.rolled_back);
+  EXPECT_LT(ToSeconds(r.detection_latency), 10.0);
+  EXPECT_LT(ToSeconds(r.rollback_duration), 1.0);
+  EXPECT_TRUE(r.clean_after_repair);
+  EXPECT_EQ(r.files_total, 200u);
+  EXPECT_EQ(r.files_intact, 200u);  // the paper's "0% data loss"
+  EXPECT_EQ(r.files_encrypted, 0u);
+  EXPECT_EQ(r.files_corrupt, 0u);
+}
+
+TEST(ConsistencyIntegrationTest, RepeatedTrialsAllRecover) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    ConsistencyTrialConfig cfg;
+    cfg.seed = seed;
+    ConsistencyTrialResult r =
+        RunConsistencyTrial(core::PretrainedTree(), cfg);
+    ASSERT_TRUE(r.detected) << "seed " << seed;
+    EXPECT_EQ(r.files_intact, r.files_total) << "seed " << seed;
+  }
+}
+
+TEST(AccuracyIntegrationTest, ThresholdSweepShapesMatchFig7) {
+  // Miniature Fig. 7: with threshold 3, FRR must be 0 on the ransom-only
+  // scenario and FAR 0 on the normal-app scenarios.
+  AccuracyConfig ac;
+  ac.scenario = FastScenario();
+  ac.repetitions = 2;
+  std::vector<ScenarioSpec> specs = {
+      {wl::AppKind::kNone, "WannaCry", ""},
+      {wl::AppKind::kWebSurfing, "GlobeImposter", ""},
+  };
+  std::vector<CategoryAccuracy> acc =
+      EvaluateAccuracy(core::PretrainedTree(), specs, ac);
+  for (const CategoryAccuracy& ca : acc) {
+    // FRR is monotonically non-decreasing in the threshold, FAR
+    // non-increasing.
+    for (std::size_t i = 1; i < ca.points.size(); ++i) {
+      EXPECT_GE(ca.points[i].frr, ca.points[i - 1].frr);
+      EXPECT_LE(ca.points[i].far, ca.points[i - 1].far);
+    }
+    const AccuracyPoint& at3 = ca.points[2];
+    EXPECT_EQ(at3.threshold, 3);
+    if (ca.points[0].ransom_runs > 0) {
+      EXPECT_DOUBLE_EQ(at3.frr, 0.0)
+          << wl::AppCategoryName(ca.category);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace insider::host

@@ -1,0 +1,54 @@
+// Logging tests: level gating and the stream interface.
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+
+namespace insider {
+namespace {
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = GetLogLevel(); }
+  void TearDown() override { SetLogLevel(saved_); }
+  LogLevel saved_;
+};
+
+TEST_F(LogTest, DefaultLevelIsWarn) {
+  // The library must stay quiet in tests/benches by default.
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarn);
+}
+
+TEST_F(LogTest, SetAndGetRoundTrip) {
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+}
+
+TEST_F(LogTest, LevelsCompareInSeverityOrder) {
+  EXPECT_LT(LogLevel::kDebug, LogLevel::kInfo);
+  EXPECT_LT(LogLevel::kInfo, LogLevel::kWarn);
+  EXPECT_LT(LogLevel::kWarn, LogLevel::kError);
+}
+
+TEST_F(LogTest, DisabledAndEnabledPathsBothSafe) {
+  SetLogLevel(LogLevel::kError);
+  INSIDER_LOG_DEBUG << "suppressed " << 42 << " " << 3.14;
+  INSIDER_LOG_WARN << "suppressed too";
+  SetLogLevel(LogLevel::kDebug);
+  INSIDER_LOG_DEBUG << "debug visible " << 1;
+  INSIDER_LOG_ERROR << "error visible " << 2.5;
+  SUCCEED();
+}
+
+TEST_F(LogTest, AllLevelsEmitWhenFullyVerbose) {
+  SetLogLevel(LogLevel::kDebug);
+  INSIDER_LOG_DEBUG << "d";
+  INSIDER_LOG_INFO << "i";
+  INSIDER_LOG_WARN << "w";
+  INSIDER_LOG_ERROR << "e";
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace insider

@@ -1,0 +1,153 @@
+// Block-level invariants of the three attack classes (Scaife's taxonomy,
+// paper §III-A): what each class does — and does not — emit, per family.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "workload/file_set.h"
+#include "workload/ransomware.h"
+
+namespace insider::wl {
+namespace {
+
+struct Generated {
+  RansomwareProfile profile;
+  RansomwareTrace trace;
+  Lba scratch_start;
+};
+
+Generated Generate(const char* family, std::uint64_t seed = 11) {
+  Rng rng(seed);
+  FileSet::Params fp;
+  fp.file_count = 120;
+  FileSet files = FileSet::Generate(fp, rng);
+  RansomwareRunParams rp;
+  rp.scratch_start = 1 << 21;
+  Generated g{RansomwareProfileByName(family),
+              GenerateRansomware(RansomwareProfileByName(family), files, rp,
+                                 rng),
+              rp.scratch_start};
+  return g;
+}
+
+TEST(RansomClassTest, ClassANeverWritesOutsideVictims) {
+  // In-place families write only to LBAs they previously read.
+  for (const char* family : {"Mole", "Jaff", "Locky.bbs", "GlobeImposter",
+                             "InHouse.inplace"}) {
+    Generated g = Generate(family);
+    ASSERT_EQ(g.profile.attack_class, RansomClass::kInPlace) << family;
+    std::unordered_set<Lba> read;
+    for (const IoRequest& r : g.trace.requests) {
+      ASSERT_NE(r.mode, IoMode::kTrim) << family << " class A never trims";
+      for (std::uint32_t i = 0; i < r.length; ++i) {
+        if (r.mode == IoMode::kRead) {
+          read.insert(r.lba + i);
+        } else {
+          EXPECT_TRUE(read.contains(r.lba + i))
+              << family << " wrote an unread block";
+          EXPECT_LT(r.lba + i, g.scratch_start);
+        }
+      }
+    }
+  }
+}
+
+TEST(RansomClassTest, ClassBWritesCopyThenSecureDeletesThenTrims) {
+  for (const char* family : {"WannaCry", "Zerber.ufb", "CryptoShield"}) {
+    Generated g = Generate(family);
+    ASSERT_EQ(g.profile.attack_class, RansomClass::kOutOfPlace) << family;
+    std::uint64_t scratch_writes = 0, victim_writes = 0, trims = 0;
+    for (const IoRequest& r : g.trace.requests) {
+      if (r.mode == IoMode::kWrite && r.lba >= g.scratch_start) {
+        scratch_writes += r.length;
+      }
+      if (r.mode == IoMode::kWrite && r.lba < g.scratch_start) {
+        victim_writes += r.length;
+      }
+      if (r.mode == IoMode::kTrim) trims += r.length;
+    }
+    // The ciphertext copy matches the destroyed plaintext volume.
+    EXPECT_EQ(scratch_writes, g.trace.blocks_encrypted) << family;
+    EXPECT_EQ(victim_writes, g.trace.blocks_encrypted) << family;
+    EXPECT_EQ(trims, g.trace.blocks_encrypted) << family;
+  }
+}
+
+TEST(RansomClassTest, ClassCDestroysBeforeCopying) {
+  Generated g = Generate("InHouse.outplace");
+  ASSERT_EQ(g.profile.attack_class, RansomClass::kDeleteRewrite);
+  // Per victim block: the trim must come after the overwrite and before the
+  // (later) scratch copy of that file finishes. Check ordering per block.
+  std::unordered_set<Lba> overwritten, trimmed;
+  for (const IoRequest& r : g.trace.requests) {
+    for (std::uint32_t i = 0; i < r.length; ++i) {
+      Lba b = r.lba + i;
+      if (b >= g.scratch_start) continue;
+      if (r.mode == IoMode::kWrite) {
+        EXPECT_FALSE(trimmed.contains(b)) << "write after trim";
+        overwritten.insert(b);
+      } else if (r.mode == IoMode::kTrim) {
+        EXPECT_TRUE(overwritten.contains(b)) << "trim before wipe";
+        trimmed.insert(b);
+      }
+    }
+  }
+  EXPECT_EQ(trimmed.size(), overwritten.size());
+}
+
+TEST(RansomClassTest, RequestSizesHonorTheProfile) {
+  for (const std::string& family : AllRansomwareNames()) {
+    Generated g = Generate(family.c_str());
+    for (const IoRequest& r : g.trace.requests) {
+      if (r.mode == IoMode::kTrim) continue;  // trims cover whole extents
+      EXPECT_LE(r.length, g.profile.io_blocks) << family;
+      EXPECT_GT(r.length, 0u) << family;
+    }
+  }
+}
+
+TEST(RansomClassTest, ThroughputTracksTheProfileRate) {
+  // Blocks encrypted per active second should scale with the profile's
+  // rate (loosely: per-file overheads eat into fast families more).
+  Generated fast = Generate("Mole");
+  Generated slow = Generate("CryptoShield");
+  double fast_rate = static_cast<double>(fast.trace.blocks_encrypted) /
+                     ToSeconds(fast.trace.active_end -
+                               fast.trace.active_begin + 1);
+  double slow_rate = static_cast<double>(slow.trace.blocks_encrypted) /
+                     ToSeconds(slow.trace.active_end -
+                               slow.trace.active_begin + 1);
+  EXPECT_GT(fast_rate, 2.5 * slow_rate);
+}
+
+TEST(RansomClassTest, DeterministicForSeed) {
+  Generated a = Generate("WannaCry", 5);
+  Generated b = Generate("WannaCry", 5);
+  ASSERT_EQ(a.trace.requests.size(), b.trace.requests.size());
+  EXPECT_EQ(a.trace.requests, b.trace.requests);
+  Generated c = Generate("WannaCry", 6);
+  EXPECT_NE(a.trace.requests, c.trace.requests);
+}
+
+TEST(RansomClassTest, EveryVictimBlockIsReadBeforeDestruction) {
+  // The read-encrypt-overwrite cycle: the defining observable the paper's
+  // overwrite definition hangs on, for all ten families.
+  for (const std::string& family : AllRansomwareNames()) {
+    Generated g = Generate(family.c_str(), 21);
+    std::unordered_set<Lba> read;
+    for (const IoRequest& r : g.trace.requests) {
+      for (std::uint32_t i = 0; i < r.length; ++i) {
+        Lba b = r.lba + i;
+        if (b >= g.scratch_start) continue;
+        if (r.mode == IoMode::kRead) {
+          read.insert(b);
+        } else {
+          EXPECT_TRUE(read.contains(b)) << family << " block " << b;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace insider::wl

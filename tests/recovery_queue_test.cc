@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ftl/recovery_queue.h"
+
+namespace insider::ftl {
+namespace {
+
+TEST(RecoveryQueueTest, StartsEmpty) {
+  RecoveryQueue q;
+  EXPECT_TRUE(q.Empty());
+  EXPECT_EQ(q.Size(), 0u);
+}
+
+TEST(RecoveryQueueTest, PushGuardsPpa) {
+  RecoveryQueue q;
+  q.Push(10, 100, Seconds(1));
+  EXPECT_TRUE(q.Guards(100));
+  EXPECT_FALSE(q.Guards(101));
+  EXPECT_EQ(q.Size(), 1u);
+}
+
+TEST(RecoveryQueueTest, ReleaseUpToHonorsHorizon) {
+  RecoveryQueue q;
+  q.Push(1, 100, Seconds(1));
+  q.Push(2, 101, Seconds(2));
+  q.Push(3, 102, Seconds(3));
+  std::vector<Lba> released;
+  q.ReleaseUpTo(Seconds(2),
+                [&](const BackupEntry& e) { released.push_back(e.lba); });
+  EXPECT_EQ(released, (std::vector<Lba>{1, 2}));
+  EXPECT_EQ(q.Size(), 1u);
+  EXPECT_TRUE(q.Guards(102));
+  EXPECT_FALSE(q.Guards(100));
+}
+
+TEST(RecoveryQueueTest, CapacityEvictsOldest) {
+  RecoveryQueue q(2);
+  EXPECT_FALSE(q.Push(1, 100, 1).has_value());
+  EXPECT_FALSE(q.Push(2, 101, 2).has_value());
+  auto evicted = q.Push(3, 102, 3);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->lba, 1u);
+  EXPECT_EQ(evicted->old_ppa, 100u);
+  EXPECT_EQ(q.Size(), 2u);
+  EXPECT_FALSE(q.Guards(100));
+}
+
+TEST(RecoveryQueueTest, RelocateFollowsGc) {
+  RecoveryQueue q;
+  q.Push(5, 200, 10);
+  EXPECT_TRUE(q.Relocate(200, 300));
+  EXPECT_FALSE(q.Guards(200));
+  EXPECT_TRUE(q.Guards(300));
+  EXPECT_FALSE(q.Relocate(200, 400));  // already moved
+  // Rollback must revert to the *new* location.
+  std::size_t n = q.RollBack(0, [&](const BackupEntry& e) {
+    EXPECT_EQ(e.old_ppa, 300u);
+  });
+  EXPECT_EQ(n, 1u);
+}
+
+TEST(RecoveryQueueTest, RelocateAfterPopMiddleOfQueue) {
+  // Regression for the id/offset bookkeeping: relocate an entry after the
+  // head has advanced.
+  RecoveryQueue q;
+  q.Push(1, 100, 1);
+  q.Push(2, 101, 2);
+  q.Push(3, 102, 3);
+  q.ReleaseUpTo(1, [](const BackupEntry&) {});  // pop entry (1,100)
+  EXPECT_TRUE(q.Relocate(102, 500));
+  std::vector<nand::Ppa> ppas;
+  q.ForEach([&](const BackupEntry& e) { ppas.push_back(e.old_ppa); });
+  EXPECT_EQ(ppas, (std::vector<nand::Ppa>{101, 500}));
+}
+
+TEST(RecoveryQueueTest, RollBackNewestFirstStopsAtHorizon) {
+  RecoveryQueue q;
+  q.Push(1, 100, Seconds(1));
+  q.Push(2, 101, Seconds(5));
+  q.Push(3, 102, Seconds(9));
+  std::vector<Lba> reverted;
+  std::size_t n = q.RollBack(
+      Seconds(4), [&](const BackupEntry& e) { reverted.push_back(e.lba); });
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(reverted, (std::vector<Lba>{3, 2}));  // newest first
+  EXPECT_EQ(q.Size(), 1u);
+  EXPECT_TRUE(q.Guards(100));
+}
+
+TEST(RecoveryQueueTest, RollBackSameLbaChainEndsAtOldestVersion) {
+  // LBA 7 overwritten three times within the window: the final revert must
+  // leave the *oldest* (pre-window) version, exactly as Fig. 5 requires.
+  RecoveryQueue q;
+  q.Push(7, 100, Seconds(11));
+  q.Push(7, 101, Seconds(12));
+  q.Push(7, 102, Seconds(13));
+  Lba last_restored = kInvalidLba;
+  nand::Ppa last_ppa = nand::kInvalidPpa;
+  q.RollBack(Seconds(10), [&](const BackupEntry& e) {
+    last_restored = e.lba;
+    last_ppa = e.old_ppa;
+  });
+  EXPECT_EQ(last_restored, 7u);
+  EXPECT_EQ(last_ppa, 100u);  // the oldest backup applied last
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(RecoveryQueueTest, PopOldestFifoOrder) {
+  RecoveryQueue q;
+  q.Push(1, 100, 1);
+  q.Push(2, 101, 2);
+  auto e = q.PopOldest();
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->lba, 1u);
+  e = q.PopOldest();
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->lba, 2u);
+  EXPECT_FALSE(q.PopOldest().has_value());
+}
+
+TEST(RecoveryQueueTest, PackedEntryMatchesPaperTableIII) {
+  EXPECT_EQ(RecoveryQueue::PackedEntryBytes(), 12u);
+}
+
+TEST(RecoveryQueueTest, ManyPushReleaseCyclesKeepIndexConsistent) {
+  RecoveryQueue q;
+  SimTime t = 0;
+  nand::Ppa ppa = 0;
+  for (int cycle = 0; cycle < 100; ++cycle) {
+    for (int i = 0; i < 10; ++i) {
+      q.Push(static_cast<Lba>(i), ppa++, t++);
+    }
+    q.ReleaseUpTo(t - 5, [](const BackupEntry&) {});
+  }
+  // Every remaining entry must still be guarded at its recorded PPA.
+  q.ForEach([&](const BackupEntry& e) { EXPECT_TRUE(q.Guards(e.old_ppa)); });
+}
+
+}  // namespace
+}  // namespace insider::ftl

@@ -1,0 +1,224 @@
+// Scenario catalog and training-pipeline tests: Table I fidelity, scenario
+// construction, and the labeling rules the ID3 tree's quality depends on.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "host/scenario.h"
+#include "host/train.h"
+
+namespace insider::host {
+namespace {
+
+TEST(TableITest, TrainTestFamiliesAreDisjoint) {
+  // The paper's headline property: the accuracy evaluation uses ransomware
+  // families never seen during training.
+  std::set<std::string> train_families, test_families;
+  for (const ScenarioSpec& s : TrainingScenarios()) {
+    if (!s.ransomware.empty()) train_families.insert(s.ransomware);
+  }
+  for (const ScenarioSpec& s : TestingScenarios()) {
+    if (!s.ransomware.empty()) test_families.insert(s.ransomware);
+  }
+  for (const std::string& f : test_families) {
+    EXPECT_FALSE(train_families.contains(f)) << f << " leaked into training";
+  }
+}
+
+TEST(TableITest, TrainingUsesOnlyKnownFamilies) {
+  auto all = wl::AllRansomwareNames();
+  std::set<std::string> known(all.begin(), all.end());
+  for (const ScenarioSpec& s : TrainingScenarios()) {
+    if (!s.ransomware.empty()) {
+      EXPECT_TRUE(known.contains(s.ransomware)) << s.ransomware;
+    }
+  }
+}
+
+TEST(TableITest, TestingCoversAllFourBackgroundCategories) {
+  std::set<wl::AppCategory> seen;
+  for (const ScenarioSpec& s : TestingScenarios()) {
+    seen.insert(wl::CategoryOf(s.app));
+  }
+  EXPECT_TRUE(seen.contains(wl::AppCategory::kHeavyOverwriting));
+  EXPECT_TRUE(seen.contains(wl::AppCategory::kIoIntensive));
+  EXPECT_TRUE(seen.contains(wl::AppCategory::kCpuIntensive));
+  EXPECT_TRUE(seen.contains(wl::AppCategory::kNormal));
+  EXPECT_TRUE(seen.contains(wl::AppCategory::kNone));  // ransom-only row
+}
+
+TEST(TableITest, RowCountsMatchThePaper) {
+  EXPECT_EQ(TrainingScenarios().size(), 13u);
+  EXPECT_EQ(TestingScenarios().size(), 12u);
+}
+
+TEST(BuildScenarioTest, DeterministicForSeed) {
+  ScenarioConfig cfg;
+  cfg.duration = Seconds(20);
+  ScenarioSpec spec{wl::AppKind::kWebSurfing, "Mole", ""};
+  BuiltScenario a = BuildScenario(spec, cfg, 42);
+  BuiltScenario b = BuildScenario(spec, cfg, 42);
+  ASSERT_EQ(a.merged.size(), b.merged.size());
+  for (std::size_t i = 0; i < a.merged.size(); ++i) {
+    EXPECT_EQ(a.merged[i].request, b.merged[i].request);
+    EXPECT_EQ(a.merged[i].source, b.merged[i].source);
+  }
+}
+
+TEST(BuildScenarioTest, DifferentSeedsDiffer) {
+  ScenarioConfig cfg;
+  cfg.duration = Seconds(20);
+  ScenarioSpec spec{wl::AppKind::kWebSurfing, "Mole", ""};
+  BuiltScenario a = BuildScenario(spec, cfg, 1);
+  BuiltScenario b = BuildScenario(spec, cfg, 2);
+  EXPECT_NE(a.merged.size(), b.merged.size());
+}
+
+TEST(BuildScenarioTest, MergedStreamIsTimeSorted) {
+  ScenarioConfig cfg;
+  cfg.duration = Seconds(20);
+  BuiltScenario s =
+      BuildScenario({wl::AppKind::kDatabase, "WannaCry", ""}, cfg, 9);
+  SimTime prev = 0;
+  for (const wl::TaggedRequest& t : s.merged) {
+    EXPECT_GE(t.request.time, prev);
+    prev = t.request.time;
+  }
+}
+
+TEST(BuildScenarioTest, SourcesPartitionAppAndRansomware) {
+  ScenarioConfig cfg;
+  cfg.duration = Seconds(20);
+  BuiltScenario s =
+      BuildScenario({wl::AppKind::kDatabase, "WannaCry", ""}, cfg, 9);
+  std::size_t app = 0, ransom = 0;
+  for (const wl::TaggedRequest& t : s.merged) {
+    if (t.source == 0) {
+      ++app;
+    } else if (t.source == 1) {
+      ++ransom;
+    } else {
+      FAIL() << "unexpected source " << t.source;
+    }
+  }
+  EXPECT_EQ(app, s.app.requests.size());
+  EXPECT_EQ(ransom, s.ransom.requests.size());
+}
+
+TEST(BuildScenarioTest, RansomwareStartsAtConfiguredTime) {
+  ScenarioConfig cfg;
+  cfg.duration = Seconds(30);
+  cfg.ransom_start = Seconds(11);
+  BuiltScenario s =
+      BuildScenario({wl::AppKind::kNone, "Mole", ""}, cfg, 3);
+  EXPECT_GE(s.ransom.active_begin, Seconds(11));
+  EXPECT_LT(s.ransom.active_begin, Seconds(13));
+}
+
+TEST(BuildScenarioTest, BenignScenarioHasNoRansomware) {
+  ScenarioConfig cfg;
+  cfg.duration = Seconds(10);
+  BuiltScenario s = BuildScenario({wl::AppKind::kInstall, "", ""}, cfg, 3);
+  EXPECT_FALSE(s.HasRansomware());
+  for (const wl::TaggedRequest& t : s.merged) EXPECT_EQ(t.source, 0u);
+}
+
+TEST(BuildScenarioTest, RegionsDoNotCollide) {
+  // Files in the first half, app in the next 3/8, scratch at the top: the
+  // attack must never touch the app's region and vice versa.
+  ScenarioConfig cfg;
+  cfg.duration = Seconds(20);
+  BuiltScenario s =
+      BuildScenario({wl::AppKind::kDatabase, "WannaCry", ""}, cfg, 5);
+  Lba files_end = cfg.lba_space / 2;
+  Lba app_end = files_end + cfg.lba_space * 3 / 8;
+  for (const wl::TaggedRequest& t : s.merged) {
+    Lba last = t.request.lba + t.request.length;
+    if (t.source == 0) {
+      EXPECT_GE(t.request.lba, files_end);
+      EXPECT_LE(last, app_end);
+    } else {
+      EXPECT_TRUE(last <= files_end || t.request.lba >= app_end)
+          << "ransomware request in the app region";
+    }
+  }
+}
+
+TEST(BuildScenarioTest, CpuIntensiveBackgroundSlowsTheAttack) {
+  ScenarioConfig cfg;
+  cfg.duration = Seconds(60);
+  cfg.ransom_max_duration = Seconds(45);
+  BuiltScenario alone =
+      BuildScenario({wl::AppKind::kNone, "Mole", ""}, cfg, 5);
+  BuiltScenario contended =
+      BuildScenario({wl::AppKind::kCompression, "Mole", ""}, cfg, 5);
+  EXPECT_LT(alone.ransom.blocks_encrypted == 0
+                ? 0.0
+                : static_cast<double>(contended.ransom.blocks_encrypted),
+            static_cast<double>(alone.ransom.blocks_encrypted));
+}
+
+// --- Training-pipeline labeling rules --------------------------------------
+
+TEST(TrainLabelTest, BenignScenarioYieldsOnlyNegatives) {
+  TrainConfig tc;
+  tc.scenario.duration = Seconds(20);
+  BuiltScenario s =
+      BuildScenario({wl::AppKind::kDatabase, "", ""}, tc.scenario, 11);
+  for (const core::Sample& smp :
+       ExtractSamples(s, tc.detector, tc.label_min_ransom_writes)) {
+    EXPECT_FALSE(smp.ransomware);
+  }
+}
+
+TEST(TrainLabelTest, AttackScenarioYieldsPositives) {
+  TrainConfig tc;
+  tc.scenario.duration = Seconds(30);
+  tc.scenario.ransom_start = Seconds(8);
+  BuiltScenario s =
+      BuildScenario({wl::AppKind::kNone, "Locky.bbs", ""}, tc.scenario, 11);
+  std::size_t pos = 0;
+  for (const core::Sample& smp :
+       ExtractSamples(s, tc.detector, tc.label_min_ransom_writes)) {
+    pos += smp.ransomware;
+  }
+  EXPECT_GT(pos, 3u);
+}
+
+TEST(TrainLabelTest, CooldownSlicesAreExcluded) {
+  // Slices right after the attack ends have attack-contaminated window
+  // features; labeling them benign would poison the tree. They must be
+  // dropped, so the per-scenario sample count is strictly less than the
+  // slice count.
+  TrainConfig tc;
+  tc.scenario.duration = Seconds(40);
+  tc.scenario.ransom_start = Seconds(8);
+  tc.scenario.ransom_max_duration = Seconds(10);  // attack ends mid-run
+  BuiltScenario s =
+      BuildScenario({wl::AppKind::kWebSurfing, "Locky.bbs", ""}, tc.scenario,
+                    11);
+  std::vector<core::Sample> samples =
+      ExtractSamples(s, tc.detector, tc.label_min_ransom_writes);
+  // Count total closed slices via a second extraction pass with threshold 0
+  // being impossible; instead bound: the run spans ~40 slices, at least the
+  // warmup + cooldown (window) slices must have been dropped.
+  EXPECT_LT(samples.size(), 38u);
+  // And the benign tail after cooldown is present as negatives.
+  std::size_t negatives = 0;
+  for (const core::Sample& smp : samples) negatives += !smp.ransomware;
+  EXPECT_GT(negatives, 5u);
+}
+
+TEST(TrainLabelTest, TrainedTreeHasBoundedComplexity) {
+  TrainConfig tc;
+  tc.scenario.duration = Seconds(30);
+  tc.seeds_per_scenario = 1;
+  core::DecisionTree tree = TrainDefaultTree(tc);
+  EXPECT_FALSE(tree.Empty());
+  EXPECT_LE(tree.Depth(), tc.id3.max_depth + 1);
+  EXPECT_LE(tree.NodeCount(), 127u);
+}
+
+}  // namespace
+}  // namespace insider::host

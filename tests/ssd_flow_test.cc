@@ -1,0 +1,202 @@
+// Alarm-episode flows on the assembled device: the callback ("ransomware
+// attack alarm" vendor command), the dismiss path (user answers "no"), the
+// multi-episode lifecycle, and detector-vs-FTL interactions.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/pretrained.h"
+#include "host/ssd.h"
+
+namespace insider::host {
+namespace {
+
+SsdConfig SmallSsd() {
+  SsdConfig c;
+  c.ftl.geometry = nand::TestGeometry();
+  c.ftl.latency = nand::LatencyModel::Zero();
+  return c;
+}
+
+core::DecisionTree OwioTree(double threshold = 30.0) {
+  std::vector<core::DecisionTree::Node> nodes(3);
+  nodes[0].is_leaf = false;
+  nodes[0].feature = core::FeatureId::kOwIo;
+  nodes[0].threshold = threshold;
+  nodes[0].left = 1;
+  nodes[0].right = 2;
+  nodes[1].is_leaf = true;
+  nodes[1].label = false;
+  nodes[2].is_leaf = true;
+  nodes[2].label = true;
+  return core::DecisionTree(std::move(nodes));
+}
+
+/// Drive an attack burst until the alarm fires (or `slices` elapse).
+void Attack(Ssd& ssd, int slices, SimTime from = 0) {
+  for (int s = 0; s < slices && !ssd.AlarmActive(); ++s) {
+    SimTime t = from + Seconds(s) + 1000;
+    Lba lba = static_cast<Lba>(s) * 40;
+    ssd.Submit({t, lba, 40, IoMode::kRead}, 0);
+    ssd.Submit({t + 1000, lba, 40, IoMode::kWrite}, 0);
+  }
+  ssd.IdleUntil(ssd.Clock().Now() + Seconds(1));
+}
+
+TEST(AlarmCallbackTest, FiresOncePerEpisode) {
+  Ssd ssd(SmallSsd(), OwioTree());
+  std::vector<SimTime> alarms;
+  ssd.SetAlarmCallback([&](SimTime t) { alarms.push_back(t); });
+  Attack(ssd, 8);
+  ASSERT_TRUE(ssd.AlarmActive());
+  EXPECT_EQ(alarms.size(), 1u);
+  // Further attack traffic while already alarmed doesn't re-fire.
+  ssd.IdleUntil(ssd.Clock().Now() + Seconds(1));
+  EXPECT_EQ(alarms.size(), 1u);
+}
+
+TEST(AlarmCallbackTest, FiresAgainAfterReboot) {
+  Ssd ssd(SmallSsd(), OwioTree());
+  int fired = 0;
+  ssd.SetAlarmCallback([&](SimTime) { ++fired; });
+  Attack(ssd, 8);
+  ASSERT_EQ(fired, 1);
+  ssd.RollBackNow();
+  ssd.Reboot();
+  Attack(ssd, 8, ssd.Clock().Now() + Seconds(1));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(AlarmCallbackTest, FiresFromIdleSliceClose) {
+  // The vote that crosses the threshold can land on an idle slice boundary
+  // (no request in flight); the callback must still fire.
+  Ssd ssd(SmallSsd(), OwioTree());
+  int fired = 0;
+  ssd.SetAlarmCallback([&](SimTime) { ++fired; });
+  // Two hot slices (score 2), then the third via IdleUntil.
+  for (int s = 0; s < 3; ++s) {
+    SimTime t = Seconds(s) + 1000;
+    ssd.Submit({t, static_cast<Lba>(s) * 60, 40, IoMode::kRead}, 0);
+    ssd.Submit({t + 1000, static_cast<Lba>(s) * 60, 40, IoMode::kWrite}, 0);
+  }
+  EXPECT_EQ(fired, 0);  // slice 2 not closed yet
+  ssd.IdleUntil(Seconds(4));
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(ssd.Ftl().IsReadOnly());
+}
+
+TEST(DismissAlarmTest, ResumesWritesWithoutRollback) {
+  Ssd ssd(SmallSsd(), OwioTree());
+  // Pre-attack data.
+  ssd.Submit({Seconds(0), 350, 1, IoMode::kWrite}, 111);
+  Attack(ssd, 8, Seconds(1));
+  ASSERT_TRUE(ssd.AlarmActive());
+  ASSERT_TRUE(ssd.Ftl().IsReadOnly());
+
+  ssd.DismissAlarm();  // the user says it's a false alarm
+  EXPECT_FALSE(ssd.AlarmActive());
+  EXPECT_FALSE(ssd.Ftl().IsReadOnly());
+  // The "attack" data survives (no rollback happened)...
+  SimTime now = ssd.Clock().Now() + 1000;
+  EXPECT_TRUE(ssd.Submit({now, 370, 1, IoMode::kWrite}, 222) ==
+              ftl::FtlStatus::kOk);
+  // ...and so does the pre-attack data.
+  EXPECT_EQ(ssd.Ftl().ReadPage(350, now).data.stamp, 111u);
+}
+
+TEST(DismissAlarmTest, DetectionStillWorksAfterDismiss) {
+  Ssd ssd(SmallSsd(), OwioTree());
+  Attack(ssd, 8);
+  ASSERT_TRUE(ssd.AlarmActive());
+  ssd.DismissAlarm();
+  Attack(ssd, 8, ssd.Clock().Now() + Seconds(1));
+  EXPECT_TRUE(ssd.AlarmActive());
+}
+
+TEST(SsdFlowTest, FullEpisodeLifecycle) {
+  // write -> settle -> attack -> alarm -> rollback -> reboot -> verify ->
+  // write again -> second attack -> second recovery.
+  Ssd ssd(SmallSsd(), OwioTree());
+  for (Lba lba = 0; lba < 64; ++lba) {
+    ssd.Submit({Seconds(1), lba, 1, IoMode::kWrite}, 1000 + lba);
+  }
+  ssd.IdleUntil(Seconds(15));
+
+  // Episode 1: overwrite LBAs 0..40 in slices.
+  for (int s = 0; s < 6 && !ssd.AlarmActive(); ++s) {
+    SimTime t = Seconds(15 + s);
+    ssd.Submit({t, 0, 40, IoMode::kRead}, 0);
+    ssd.Submit({t + 1000, 0, 40, IoMode::kWrite}, 9999);
+  }
+  ssd.IdleUntil(ssd.Clock().Now() + Seconds(1));
+  ASSERT_TRUE(ssd.AlarmActive());
+  ssd.RollBackNow();
+  ssd.Reboot();
+  for (Lba lba = 0; lba < 64; ++lba) {
+    EXPECT_EQ(ssd.Ftl().ReadPage(lba, ssd.Clock().Now()).data.stamp,
+              1000 + lba);
+  }
+
+  // Fresh legitimate updates.
+  SimTime t2 = ssd.Clock().Now() + Seconds(1);
+  for (Lba lba = 0; lba < 32; ++lba) {
+    ASSERT_EQ(ssd.Submit({t2, lba, 1, IoMode::kWrite}, 2000 + lba),
+              ftl::FtlStatus::kOk);
+  }
+  ssd.IdleUntil(t2 + Seconds(15));
+
+  // Episode 2.
+  SimTime t3 = ssd.Clock().Now();
+  for (int s = 0; s < 6 && !ssd.AlarmActive(); ++s) {
+    SimTime t = t3 + Seconds(s);
+    ssd.Submit({t, 0, 40, IoMode::kRead}, 0);
+    ssd.Submit({t + 1000, 0, 40, IoMode::kWrite}, 8888);
+  }
+  ssd.IdleUntil(ssd.Clock().Now() + Seconds(1));
+  ASSERT_TRUE(ssd.AlarmActive());
+  ssd.RollBackNow();
+  ssd.Reboot();
+  for (Lba lba = 0; lba < 32; ++lba) {
+    EXPECT_EQ(ssd.Ftl().ReadPage(lba, ssd.Clock().Now()).data.stamp,
+              2000 + lba)
+        << "lba " << lba;
+  }
+  for (Lba lba = 40; lba < 64; ++lba) {
+    EXPECT_EQ(ssd.Ftl().ReadPage(lba, ssd.Clock().Now()).data.stamp,
+              1000 + lba);
+  }
+  EXPECT_EQ(ssd.Ftl().CheckInvariants(), "");
+}
+
+TEST(SsdFlowTest, MultiBlockSubmitStampsSequentially) {
+  Ssd ssd(SmallSsd(), OwioTree());
+  ASSERT_EQ(ssd.Submit({1000, 20, 8, IoMode::kWrite}, 500),
+            ftl::FtlStatus::kOk);
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(ssd.Ftl().ReadPage(20 + i, 2000).data.stamp, 500 + i);
+  }
+}
+
+TEST(SsdFlowTest, MixedTrimSubmit) {
+  Ssd ssd(SmallSsd(), OwioTree());
+  ssd.Submit({1000, 10, 4, IoMode::kWrite}, 7);
+  ASSERT_EQ(ssd.Submit({2000, 10, 4, IoMode::kTrim}, 0),
+            ftl::FtlStatus::kOk);
+  EXPECT_EQ(ssd.Ftl().ReadPage(11, 3000).status, ftl::FtlStatus::kUnmapped);
+  // Trimming again tolerates the unmapped range.
+  EXPECT_EQ(ssd.Submit({4000, 10, 4, IoMode::kTrim}, 0),
+            ftl::FtlStatus::kOk);
+}
+
+TEST(SsdFlowTest, WearVisibleThroughFacade) {
+  Ssd ssd(SmallSsd(), OwioTree(1e18));  // never alarm
+  for (int round = 0; round < 20; ++round) {
+    for (Lba lba = 0; lba < 64; ++lba) {
+      ssd.Submit({Seconds(round), lba, 1, IoMode::kWrite}, lba);
+    }
+  }
+  EXPECT_GT(ssd.Ftl().Wear().mean_erases, 0.0);
+}
+
+}  // namespace
+}  // namespace insider::host
