@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_overwriting.dir/fig1_overwriting.cc.o"
+  "CMakeFiles/fig1_overwriting.dir/fig1_overwriting.cc.o.d"
+  "fig1_overwriting"
+  "fig1_overwriting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_overwriting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

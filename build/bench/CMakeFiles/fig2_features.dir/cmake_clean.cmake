@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_features.dir/fig2_features.cc.o"
+  "CMakeFiles/fig2_features.dir/fig2_features.cc.o.d"
+  "fig2_features"
+  "fig2_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

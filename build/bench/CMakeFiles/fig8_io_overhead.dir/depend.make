@@ -1,0 +1,2 @@
+# Empty dependencies file for fig8_io_overhead.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_gc_cost.dir/fig9_gc_cost.cc.o"
+  "CMakeFiles/fig9_gc_cost.dir/fig9_gc_cost.cc.o.d"
+  "fig9_gc_cost"
+  "fig9_gc_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_gc_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

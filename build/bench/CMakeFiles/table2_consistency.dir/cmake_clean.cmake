@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_consistency.dir/table2_consistency.cc.o"
+  "CMakeFiles/table2_consistency.dir/table2_consistency.cc.o.d"
+  "table2_consistency"
+  "table2_consistency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_dram.dir/table3_dram.cc.o"
+  "CMakeFiles/table3_dram.dir/table3_dram.cc.o.d"
+  "table3_dram"
+  "table3_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

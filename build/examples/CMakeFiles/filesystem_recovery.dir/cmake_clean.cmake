@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filesystem_recovery.dir/filesystem_recovery.cpp.o"
+  "CMakeFiles/filesystem_recovery.dir/filesystem_recovery.cpp.o.d"
+  "filesystem_recovery"
+  "filesystem_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filesystem_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

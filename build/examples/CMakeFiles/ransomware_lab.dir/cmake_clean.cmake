@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ransomware_lab.dir/ransomware_lab.cpp.o"
+  "CMakeFiles/ransomware_lab.dir/ransomware_lab.cpp.o.d"
+  "ransomware_lab"
+  "ransomware_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ransomware_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example.quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example.quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.ransomware_lab "/root/repo/build/examples/ransomware_lab" "WebSurfing")
+set_tests_properties(example.ransomware_lab PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.filesystem_recovery "/root/repo/build/examples/filesystem_recovery")
+set_tests_properties(example.filesystem_recovery PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.train_and_export "/root/repo/build/examples/train_and_export" "/root/repo/build/examples/smoke.tree")
+set_tests_properties(example.train_and_export PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.trace_tool_gen "/root/repo/build/examples/trace_tool" "gen" "family" "Mole" "10" "3" "/root/repo/build/examples/smoke.trace")
+set_tests_properties(example.trace_tool_gen PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.trace_tool_detect "/root/repo/build/examples/trace_tool" "detect" "/root/repo/build/examples/smoke.trace")
+set_tests_properties(example.trace_tool_detect PROPERTIES  DEPENDS "example.trace_tool_gen" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")

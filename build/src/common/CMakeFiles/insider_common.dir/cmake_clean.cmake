@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insider_common.dir/log.cc.o"
+  "CMakeFiles/insider_common.dir/log.cc.o.d"
+  "CMakeFiles/insider_common.dir/rng.cc.o"
+  "CMakeFiles/insider_common.dir/rng.cc.o.d"
+  "CMakeFiles/insider_common.dir/stats.cc.o"
+  "CMakeFiles/insider_common.dir/stats.cc.o.d"
+  "libinsider_common.a"
+  "libinsider_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insider_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

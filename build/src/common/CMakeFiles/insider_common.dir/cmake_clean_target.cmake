@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libinsider_common.a"
+)

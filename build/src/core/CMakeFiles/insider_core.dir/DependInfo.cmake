@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/counting_table.cc" "src/core/CMakeFiles/insider_core.dir/counting_table.cc.o" "gcc" "src/core/CMakeFiles/insider_core.dir/counting_table.cc.o.d"
+  "/root/repo/src/core/decision_tree.cc" "src/core/CMakeFiles/insider_core.dir/decision_tree.cc.o" "gcc" "src/core/CMakeFiles/insider_core.dir/decision_tree.cc.o.d"
+  "/root/repo/src/core/detector.cc" "src/core/CMakeFiles/insider_core.dir/detector.cc.o" "gcc" "src/core/CMakeFiles/insider_core.dir/detector.cc.o.d"
+  "/root/repo/src/core/entropy.cc" "src/core/CMakeFiles/insider_core.dir/entropy.cc.o" "gcc" "src/core/CMakeFiles/insider_core.dir/entropy.cc.o.d"
+  "/root/repo/src/core/id3.cc" "src/core/CMakeFiles/insider_core.dir/id3.cc.o" "gcc" "src/core/CMakeFiles/insider_core.dir/id3.cc.o.d"
+  "/root/repo/src/core/pretrained.cc" "src/core/CMakeFiles/insider_core.dir/pretrained.cc.o" "gcc" "src/core/CMakeFiles/insider_core.dir/pretrained.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/insider_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

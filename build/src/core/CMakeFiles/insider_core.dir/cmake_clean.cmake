@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insider_core.dir/counting_table.cc.o"
+  "CMakeFiles/insider_core.dir/counting_table.cc.o.d"
+  "CMakeFiles/insider_core.dir/decision_tree.cc.o"
+  "CMakeFiles/insider_core.dir/decision_tree.cc.o.d"
+  "CMakeFiles/insider_core.dir/detector.cc.o"
+  "CMakeFiles/insider_core.dir/detector.cc.o.d"
+  "CMakeFiles/insider_core.dir/entropy.cc.o"
+  "CMakeFiles/insider_core.dir/entropy.cc.o.d"
+  "CMakeFiles/insider_core.dir/id3.cc.o"
+  "CMakeFiles/insider_core.dir/id3.cc.o.d"
+  "CMakeFiles/insider_core.dir/pretrained.cc.o"
+  "CMakeFiles/insider_core.dir/pretrained.cc.o.d"
+  "libinsider_core.a"
+  "libinsider_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insider_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insider_fs.dir/file_system.cc.o"
+  "CMakeFiles/insider_fs.dir/file_system.cc.o.d"
+  "CMakeFiles/insider_fs.dir/fsck.cc.o"
+  "CMakeFiles/insider_fs.dir/fsck.cc.o.d"
+  "CMakeFiles/insider_fs.dir/layout.cc.o"
+  "CMakeFiles/insider_fs.dir/layout.cc.o.d"
+  "libinsider_fs.a"
+  "libinsider_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insider_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

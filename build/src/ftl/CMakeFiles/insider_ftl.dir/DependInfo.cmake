@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ftl/page_ftl.cc" "src/ftl/CMakeFiles/insider_ftl.dir/page_ftl.cc.o" "gcc" "src/ftl/CMakeFiles/insider_ftl.dir/page_ftl.cc.o.d"
+  "/root/repo/src/ftl/recovery_queue.cc" "src/ftl/CMakeFiles/insider_ftl.dir/recovery_queue.cc.o" "gcc" "src/ftl/CMakeFiles/insider_ftl.dir/recovery_queue.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/insider_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nand/CMakeFiles/insider_nand.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

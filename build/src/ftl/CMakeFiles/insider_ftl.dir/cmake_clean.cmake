@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insider_ftl.dir/page_ftl.cc.o"
+  "CMakeFiles/insider_ftl.dir/page_ftl.cc.o.d"
+  "CMakeFiles/insider_ftl.dir/recovery_queue.cc.o"
+  "CMakeFiles/insider_ftl.dir/recovery_queue.cc.o.d"
+  "libinsider_ftl.a"
+  "libinsider_ftl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insider_ftl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insider_host.dir/dram.cc.o"
+  "CMakeFiles/insider_host.dir/dram.cc.o.d"
+  "CMakeFiles/insider_host.dir/experiment.cc.o"
+  "CMakeFiles/insider_host.dir/experiment.cc.o.d"
+  "CMakeFiles/insider_host.dir/scenario.cc.o"
+  "CMakeFiles/insider_host.dir/scenario.cc.o.d"
+  "CMakeFiles/insider_host.dir/ssd.cc.o"
+  "CMakeFiles/insider_host.dir/ssd.cc.o.d"
+  "CMakeFiles/insider_host.dir/train.cc.o"
+  "CMakeFiles/insider_host.dir/train.cc.o.d"
+  "libinsider_host.a"
+  "libinsider_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insider_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insider_nand.dir/block.cc.o"
+  "CMakeFiles/insider_nand.dir/block.cc.o.d"
+  "CMakeFiles/insider_nand.dir/chip.cc.o"
+  "CMakeFiles/insider_nand.dir/chip.cc.o.d"
+  "CMakeFiles/insider_nand.dir/flash_array.cc.o"
+  "CMakeFiles/insider_nand.dir/flash_array.cc.o.d"
+  "libinsider_nand.a"
+  "libinsider_nand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insider_nand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/apps.cc" "src/workload/CMakeFiles/insider_workload.dir/apps.cc.o" "gcc" "src/workload/CMakeFiles/insider_workload.dir/apps.cc.o.d"
+  "/root/repo/src/workload/file_set.cc" "src/workload/CMakeFiles/insider_workload.dir/file_set.cc.o" "gcc" "src/workload/CMakeFiles/insider_workload.dir/file_set.cc.o.d"
+  "/root/repo/src/workload/mixer.cc" "src/workload/CMakeFiles/insider_workload.dir/mixer.cc.o" "gcc" "src/workload/CMakeFiles/insider_workload.dir/mixer.cc.o.d"
+  "/root/repo/src/workload/ransomware.cc" "src/workload/CMakeFiles/insider_workload.dir/ransomware.cc.o" "gcc" "src/workload/CMakeFiles/insider_workload.dir/ransomware.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/workload/CMakeFiles/insider_workload.dir/trace.cc.o" "gcc" "src/workload/CMakeFiles/insider_workload.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/insider_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

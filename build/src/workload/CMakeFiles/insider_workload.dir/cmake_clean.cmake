@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insider_workload.dir/apps.cc.o"
+  "CMakeFiles/insider_workload.dir/apps.cc.o.d"
+  "CMakeFiles/insider_workload.dir/file_set.cc.o"
+  "CMakeFiles/insider_workload.dir/file_set.cc.o.d"
+  "CMakeFiles/insider_workload.dir/mixer.cc.o"
+  "CMakeFiles/insider_workload.dir/mixer.cc.o.d"
+  "CMakeFiles/insider_workload.dir/ransomware.cc.o"
+  "CMakeFiles/insider_workload.dir/ransomware.cc.o.d"
+  "CMakeFiles/insider_workload.dir/trace.cc.o"
+  "CMakeFiles/insider_workload.dir/trace.cc.o.d"
+  "libinsider_workload.a"
+  "libinsider_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insider_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/counting_table_test.dir/counting_table_test.cc.o"
+  "CMakeFiles/counting_table_test.dir/counting_table_test.cc.o.d"
+  "counting_table_test"
+  "counting_table_test.pdb"
+  "counting_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/counting_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

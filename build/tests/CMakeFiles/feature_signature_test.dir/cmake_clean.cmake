@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feature_signature_test.dir/feature_signature_test.cc.o"
+  "CMakeFiles/feature_signature_test.dir/feature_signature_test.cc.o.d"
+  "feature_signature_test"
+  "feature_signature_test.pdb"
+  "feature_signature_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feature_signature_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

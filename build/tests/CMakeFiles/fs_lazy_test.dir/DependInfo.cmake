@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fs_lazy_test.cc" "tests/CMakeFiles/fs_lazy_test.dir/fs_lazy_test.cc.o" "gcc" "tests/CMakeFiles/fs_lazy_test.dir/fs_lazy_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/insider_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nand/CMakeFiles/insider_nand.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftl/CMakeFiles/insider_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/insider_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/insider_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/insider_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/insider_host.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_lazy_test.dir/fs_lazy_test.cc.o"
+  "CMakeFiles/fs_lazy_test.dir/fs_lazy_test.cc.o.d"
+  "fs_lazy_test"
+  "fs_lazy_test.pdb"
+  "fs_lazy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_lazy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

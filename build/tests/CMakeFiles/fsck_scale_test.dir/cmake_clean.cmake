@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsck_scale_test.dir/fsck_scale_test.cc.o"
+  "CMakeFiles/fsck_scale_test.dir/fsck_scale_test.cc.o.d"
+  "fsck_scale_test"
+  "fsck_scale_test.pdb"
+  "fsck_scale_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsck_scale_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

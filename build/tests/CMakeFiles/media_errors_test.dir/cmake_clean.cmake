@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/media_errors_test.dir/media_errors_test.cc.o"
+  "CMakeFiles/media_errors_test.dir/media_errors_test.cc.o.d"
+  "media_errors_test"
+  "media_errors_test.pdb"
+  "media_errors_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/media_errors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

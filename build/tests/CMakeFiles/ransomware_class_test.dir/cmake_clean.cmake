@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ransomware_class_test.dir/ransomware_class_test.cc.o"
+  "CMakeFiles/ransomware_class_test.dir/ransomware_class_test.cc.o.d"
+  "ransomware_class_test"
+  "ransomware_class_test.pdb"
+  "ransomware_class_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ransomware_class_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

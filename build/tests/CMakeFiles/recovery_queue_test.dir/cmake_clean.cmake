@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recovery_queue_test.dir/recovery_queue_test.cc.o"
+  "CMakeFiles/recovery_queue_test.dir/recovery_queue_test.cc.o.d"
+  "recovery_queue_test"
+  "recovery_queue_test.pdb"
+  "recovery_queue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recovery_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

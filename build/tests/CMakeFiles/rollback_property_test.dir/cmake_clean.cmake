@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rollback_property_test.dir/rollback_property_test.cc.o"
+  "CMakeFiles/rollback_property_test.dir/rollback_property_test.cc.o.d"
+  "rollback_property_test"
+  "rollback_property_test.pdb"
+  "rollback_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rollback_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssd_flow_test.dir/ssd_flow_test.cc.o"
+  "CMakeFiles/ssd_flow_test.dir/ssd_flow_test.cc.o.d"
+  "ssd_flow_test"
+  "ssd_flow_test.pdb"
+  "ssd_flow_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssd_flow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
