@@ -15,6 +15,8 @@
 #include "ftl/page_ftl.h"
 #include "host/scenario.h"
 #include "host/ssd.h"
+#include "io/io_engine.h"
+#include "workload/multi_tenant.h"
 
 namespace insider::host {
 
@@ -173,5 +175,54 @@ struct ConsistencyTrialResult {
 
 ConsistencyTrialResult RunConsistencyTrial(const core::DecisionTree& tree,
                                            const ConsistencyTrialConfig& config);
+
+// --------------------------------------------------------------------------
+// Multi-tenant interleaving: detection through the multi-queue I/O frontend
+//
+// N independent benign tenants plus (optionally) one ransomware stream, each
+// on its own queue pair, drive a full Ssd through io::IoEngine. The in-SSD
+// detector sees the arbitrated interleaving of all streams — the realistic
+// "many users" condition — instead of a pre-merged trace.
+
+struct InterleavedConfig {
+  /// Number of benign tenant streams; apps are drawn round-robin from a
+  /// fixed rotation of Table-I backgrounds.
+  std::size_t benign_tenants = 3;
+  /// Ransomware family name (workload/ransomware.h); empty = benign control.
+  std::string ransomware = "WannaCry";
+  SimTime duration = Seconds(40);
+  SimTime ransom_start = Seconds(12);
+  std::size_t queue_depth = 32;
+  io::ArbiterConfig arbiter;
+  core::DetectorConfig detector;
+  ftl::FtlConfig ftl;  ///< defaults to a 2-GB simulated device
+  /// Latch read-only on alarm (paper behavior); post-alarm writes of every
+  /// tenant then complete with errors, which the report counts.
+  bool auto_read_only = true;
+  double app_intensity = 1.0;
+  std::size_t fileset_files = 600;
+  std::uint64_t seed = 1;
+
+  InterleavedConfig() {
+    ftl.geometry.channels = 4;
+    ftl.geometry.ways = 4;
+    ftl.geometry.blocks_per_chip = 128;
+    ftl.geometry.pages_per_block = 64;
+  }
+};
+
+struct InterleavedResult {
+  bool alarm = false;
+  int max_score = 0;
+  std::optional<SimTime> alarm_time;
+  /// Alarm time minus the attack's first request (0 when no alarm/attack).
+  SimTime detection_latency = 0;
+  wl::MultiTenantReport report;
+};
+
+/// Build the tenant streams, run them through a fresh Ssd via the queue
+/// frontend, and report detector outcome plus per-tenant I/O accounting.
+InterleavedResult RunInterleavedDetection(const core::DecisionTree& tree,
+                                          const InterleavedConfig& config);
 
 }  // namespace insider::host

@@ -21,9 +21,13 @@ void Ssd::Observe(const IoRequest& request) {
 }
 
 ftl::FtlStatus Ssd::Submit(const IoRequest& request, std::uint64_t stamp_base) {
-  clock_.AdvanceTo(request.time);
-  Observe(request);
-  SimTime now = request.time;
+  // Clamp stale submissions to the monotone device clock (see ssd.h): the
+  // detector and FTL both see the clamped time.
+  IoRequest effective = request;
+  if (effective.time < clock_.Now()) effective.time = clock_.Now();
+  clock_.AdvanceTo(effective.time);
+  Observe(effective);
+  SimTime now = effective.time;
   for (std::uint32_t i = 0; i < request.length; ++i) {
     ftl::FtlResult r;
     switch (request.mode) {
@@ -50,6 +54,43 @@ ftl::FtlStatus Ssd::Submit(const IoRequest& request, std::uint64_t stamp_base) {
     clock_.AdvanceTo(now);
   }
   return ftl::FtlStatus::kOk;
+}
+
+Ssd::SubmitOutcome Ssd::SubmitAsync(const IoRequest& request,
+                                    std::uint64_t stamp_base) {
+  IoRequest effective = request;
+  if (effective.time < clock_.Now()) effective.time = clock_.Now();
+  clock_.AdvanceTo(effective.time);
+  Observe(effective);
+  SimTime now = effective.time;
+  SubmitOutcome outcome;
+  outcome.complete_time = now;
+  for (std::uint32_t i = 0; i < request.length; ++i) {
+    ftl::FtlResult r;
+    switch (request.mode) {
+      case IoMode::kRead:
+        r = ftl_.ReadPage(request.lba + i, now);
+        break;
+      case IoMode::kWrite: {
+        nand::PageData data;
+        data.stamp = stamp_base + i;
+        r = ftl_.WritePage(request.lba + i, std::move(data), now);
+        break;
+      }
+      case IoMode::kTrim:
+        r = ftl_.TrimPage(request.lba + i, now);
+        break;
+    }
+    if (!r.ok()) {
+      if (r.status != ftl::FtlStatus::kUnmapped) {
+        outcome.status = r.status;
+        return outcome;
+      }
+    } else if (r.complete_time > outcome.complete_time) {
+      outcome.complete_time = r.complete_time;
+    }
+  }
+  return outcome;
 }
 
 ftl::FtlResult Ssd::WriteBlockAt(Lba lba, nand::PageData data, SimTime now) {

@@ -40,8 +40,31 @@ class Ssd final : public fs::BlockDevice {
   // Raw block interface (used by experiments and workload replay) --------
 
   /// Submit one request; per-block payload stamps are `stamp_base + i`.
-  /// Advances the device clock to the request time first.
+  ///
+  /// Time-ordering contract (the io::IoEngine depends on this): the device
+  /// clock is monotone, and a request whose `time` is *earlier* than the
+  /// clock — a host queue draining after the device moved on — is clamped
+  /// to the clock. The request executes at `max(request.time, Clock())`,
+  /// and the detector observes the clamped time, so its slice stream stays
+  /// non-decreasing no matter how hosts interleave. Requests never execute
+  /// in the past.
   ftl::FtlStatus Submit(const IoRequest& request, std::uint64_t stamp_base);
+
+  struct SubmitOutcome {
+    ftl::FtlStatus status = ftl::FtlStatus::kOk;
+    /// When the request's last block finished in the NAND array.
+    SimTime complete_time = 0;
+  };
+
+  /// Pipelined submission for the multi-queue frontend (io::IoEngine via
+  /// SsdTarget). Same header observation and time-ordering contract as
+  /// Submit(), but every block issues at the clamped request time and the
+  /// device clock advances only to that time, NOT to the completion — the
+  /// NAND chips' busy-until occupancy serializes what must serialize, so
+  /// concurrent commands from many queues overlap across channels/ways the
+  /// way they do in a real controller. The returned complete_time is the
+  /// last block's FTL completion.
+  SubmitOutcome SubmitAsync(const IoRequest& request, std::uint64_t stamp_base);
 
   /// Convenience single-block ops at the current clock.
   ftl::FtlResult WriteBlockAt(Lba lba, nand::PageData data, SimTime now);
@@ -87,6 +110,7 @@ class Ssd final : public fs::BlockDevice {
   // Introspection ----------------------------------------------------------
 
   SimClock& Clock() { return clock_; }
+  const SimClock& Clock() const { return clock_; }
   ftl::PageFtl& Ftl() { return ftl_; }
   const ftl::PageFtl& Ftl() const { return ftl_; }
   core::Detector& Detector() { return detector_; }

@@ -1,0 +1,31 @@
+// Adapter presenting host::Ssd as the io::DeviceTarget the multi-queue
+// engine drives. Ssd::SubmitAsync honors the frontend's time-ordering
+// contract (stale request times clamp to the device clock) and issues every
+// block at the command's dispatch time, so commands from different queues
+// overlap across the NAND array's channels/ways instead of serializing on
+// each other — the device clock tracks submissions, the returned
+// complete_time tracks when the media actually finished.
+#pragma once
+
+#include "host/ssd.h"
+#include "io/device.h"
+
+namespace insider::host {
+
+class SsdTarget final : public io::DeviceTarget {
+ public:
+  explicit SsdTarget(Ssd& ssd) : ssd_(ssd) {}
+
+  SimTime Now() const override { return ssd_.Clock().Now(); }
+
+  io::DispatchResult Dispatch(const IoRequest& request,
+                              std::uint64_t stamp_base) override {
+    Ssd::SubmitOutcome outcome = ssd_.SubmitAsync(request, stamp_base);
+    return {outcome.status == ftl::FtlStatus::kOk, outcome.complete_time};
+  }
+
+ private:
+  Ssd& ssd_;
+};
+
+}  // namespace insider::host

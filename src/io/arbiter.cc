@@ -1,0 +1,60 @@
+#include "io/arbiter.h"
+
+#include <cassert>
+
+namespace insider::io {
+
+QueueArbiter::QueueArbiter(const ArbiterConfig& config,
+                           std::vector<std::uint32_t> weights)
+    : config_(config), weights_(std::move(weights)) {
+  for (std::uint32_t& w : weights_) {
+    if (w == 0) w = 1;
+  }
+}
+
+void QueueArbiter::Reset() {
+  current_ = 0;
+  credit_ = 0;
+  has_current_ = false;
+}
+
+std::size_t QueueArbiter::Pick(const std::vector<std::size_t>& ready) {
+  assert(!ready.empty());
+
+  // Weighted RR: keep granting the current queue while it stays ready and
+  // has credit left in its burst.
+  if (config_.policy == ArbiterPolicy::kWeightedRoundRobin && has_current_ &&
+      credit_ > 0) {
+    for (std::size_t q : ready) {
+      if (q == current_) {
+        --credit_;
+        return q;
+      }
+    }
+    // The current queue went idle; its remaining credit is forfeit.
+    credit_ = 0;
+  }
+
+  // Rotate: first ready queue strictly after `current_`, cyclically. Before
+  // the first grant, start from queue 0.
+  std::size_t chosen = ready.front();
+  if (has_current_) {
+    for (std::size_t q : ready) {
+      if (q > current_) {
+        chosen = q;
+        break;
+      }
+    }
+  }
+
+  current_ = chosen;
+  has_current_ = true;
+  if (config_.policy == ArbiterPolicy::kWeightedRoundRobin) {
+    std::uint32_t burst = config_.burst == 0 ? 1 : config_.burst;
+    assert(chosen < weights_.size());
+    credit_ = weights_[chosen] * burst - 1;  // this grant consumes one
+  }
+  return chosen;
+}
+
+}  // namespace insider::io

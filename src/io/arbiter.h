@@ -1,0 +1,50 @@
+// Queue arbitration — which submission queue the device services next when
+// several have commands ready in the same virtual-time tick.
+//
+// Two NVMe-style policies:
+//   * Round-robin: one command per ready queue, rotating. Fair within a tick.
+//   * Weighted round-robin with burst: a ready queue is granted up to
+//     `weight * burst` consecutive commands before the grant rotates, so
+//     high-priority hosts get proportionally more device time under
+//     contention while low-weight queues still cannot starve.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace insider::io {
+
+enum class ArbiterPolicy {
+  kRoundRobin,
+  kWeightedRoundRobin,
+};
+
+struct ArbiterConfig {
+  ArbiterPolicy policy = ArbiterPolicy::kRoundRobin;
+  /// Commands granted per unit of weight before rotating (WRR only; the
+  /// NVMe "arbitration burst"). 0 behaves as 1.
+  std::uint32_t burst = 1;
+};
+
+class QueueArbiter {
+ public:
+  QueueArbiter(const ArbiterConfig& config, std::vector<std::uint32_t> weights);
+
+  std::size_t QueueCount() const { return weights_.size(); }
+
+  /// Choose one queue from `ready` (ascending queue indices, non-empty).
+  /// Updates internal rotation/credit state; deterministic.
+  std::size_t Pick(const std::vector<std::size_t>& ready);
+
+  /// Forget rotation and credit state (e.g., between experiment phases).
+  void Reset();
+
+ private:
+  ArbiterConfig config_;
+  std::vector<std::uint32_t> weights_;
+  std::size_t current_ = 0;     ///< last granted queue
+  std::uint32_t credit_ = 0;    ///< remaining consecutive grants for current_
+  bool has_current_ = false;
+};
+
+}  // namespace insider::io

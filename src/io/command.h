@@ -1,0 +1,47 @@
+// NVMe-flavored command records for the multi-queue I/O frontend.
+//
+// A host places `Command`s on a submission queue; the engine dispatches them
+// to the device and posts a `Completion` on the paired completion queue. The
+// completion carries the full latency breakdown — host submit time, device
+// dispatch time, device complete time — so benches can separate queueing
+// delay from media time.
+#pragma once
+
+#include <cstdint>
+
+#include "common/io.h"
+#include "common/time.h"
+
+namespace insider::io {
+
+using QueueId = std::uint32_t;
+using CommandId = std::uint64_t;
+
+/// One queued host command: the block-I/O header plus the payload stamp base
+/// the device uses for write data (stamps are `stamp_base + i` per block,
+/// matching host::Ssd::Submit).
+struct Command {
+  CommandId id = 0;
+  QueueId queue = 0;
+  IoRequest request;
+  std::uint64_t stamp_base = 0;
+};
+
+/// Completion record posted by the engine when a command finishes.
+struct Completion {
+  CommandId id = 0;
+  QueueId queue = 0;
+  IoRequest request;  ///< echo of the submitted header
+  bool ok = true;     ///< device reported success
+
+  SimTime submit_time = 0;    ///< host-stamped request time
+  SimTime dispatch_time = 0;  ///< device clock when the command started
+  SimTime complete_time = 0;  ///< device clock when the command finished
+
+  /// Submit-to-complete latency, inclusive of queueing delay.
+  SimTime Latency() const { return complete_time - submit_time; }
+  /// Time spent waiting behind other commands before the device took it.
+  SimTime QueueDelay() const { return dispatch_time - submit_time; }
+};
+
+}  // namespace insider::io

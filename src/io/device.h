@@ -1,0 +1,43 @@
+// The device side of the I/O frontend.
+//
+// The engine is generic over anything that can execute one block-I/O request
+// at a monotone virtual clock — host::Ssd (via host::SsdTarget) in the real
+// stack, fakes in unit tests. Keeping the interface here lets `src/io` sit
+// below `src/workload` and `src/host` in the layering with no cycles.
+#pragma once
+
+#include <cstdint>
+
+#include "common/io.h"
+#include "common/time.h"
+
+namespace insider::io {
+
+struct DispatchResult {
+  bool ok = true;
+  /// Virtual time when the request's last block finished in the media. May
+  /// exceed Now(): a pipelined device accepts the command, schedules it on
+  /// busy media, and reports the finish time up front — the engine holds the
+  /// completion in flight until then.
+  SimTime complete_time = 0;
+};
+
+class DeviceTarget {
+ public:
+  virtual ~DeviceTarget() = default;
+
+  /// Current device clock (submission side). Monotone; only Dispatch
+  /// advances it.
+  virtual SimTime Now() const = 0;
+
+  /// Issue one request at virtual time `request.time`. A request stamped
+  /// earlier than Now() must be clamped to Now() by the device (see the
+  /// host::Ssd::Submit time-ordering contract) — the engine relies on this
+  /// when a queued command's submit time has already passed. The device may
+  /// execute asynchronously: it returns the (possibly future) complete_time
+  /// and lets internal resource occupancy serialize what must serialize.
+  virtual DispatchResult Dispatch(const IoRequest& request,
+                                  std::uint64_t stamp_base) = 0;
+};
+
+}  // namespace insider::io

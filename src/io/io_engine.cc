@@ -1,0 +1,159 @@
+#include "io/io_engine.h"
+
+#include <cassert>
+#include <limits>
+
+namespace insider::io {
+
+namespace {
+
+std::vector<std::uint32_t> WeightsOf(const EngineConfig& config) {
+  std::vector<std::uint32_t> weights;
+  weights.reserve(config.queue_count);
+  for (std::size_t i = 0; i < config.queue_count; ++i) {
+    const QueueConfig& qc =
+        config.per_queue.empty() ? config.queue : config.per_queue[i];
+    weights.push_back(qc.weight == 0 ? 1 : qc.weight);
+  }
+  return weights;
+}
+
+}  // namespace
+
+IoEngine::IoEngine(DeviceTarget& device, const EngineConfig& config)
+    : device_(device), arbiter_(config.arbiter, WeightsOf(config)) {
+  assert(config.queue_count > 0);
+  assert(config.per_queue.empty() ||
+         config.per_queue.size() == config.queue_count);
+  pairs_.reserve(config.queue_count);
+  for (std::size_t i = 0; i < config.queue_count; ++i) {
+    const QueueConfig& qc =
+        config.per_queue.empty() ? config.queue : config.per_queue[i];
+    pairs_.emplace_back(static_cast<QueueId>(i), qc);
+  }
+  in_flight_per_pair_.assign(config.queue_count, 0);
+}
+
+std::size_t IoEngine::Outstanding(QueueId q) const {
+  return pairs_[q].sq().Size() + in_flight_per_pair_[q] +
+         pairs_[q].cq().Size();
+}
+
+bool IoEngine::TrySubmit(QueueId q, const IoRequest& request,
+                         std::uint64_t stamp_base) {
+  assert(q < pairs_.size());
+  QueuePair& pair = pairs_[q];
+  if (Outstanding(q) >= pair.sq().Capacity()) {
+    ++pair.stats().rejected;
+    ++stats_.sq_rejections;
+    return false;
+  }
+  Command cmd;
+  cmd.id = next_id_;
+  cmd.queue = q;
+  cmd.request = request;
+  cmd.stamp_base = stamp_base;
+  bool pushed = pair.sq().TryPush(cmd);
+  assert(pushed);  // outstanding < sq_depth implies ring room
+  (void)pushed;
+  ++next_id_;
+  ++pair.stats().submitted;
+  return true;
+}
+
+std::optional<Completion> IoEngine::PopCompletion(QueueId q) {
+  assert(q < pairs_.size());
+  std::optional<Completion> c = pairs_[q].cq().TryPop();
+  if (c) ++pairs_[q].stats().reaped;
+  return c;
+}
+
+bool IoEngine::Step() {
+  // Dispatch-eligible pairs: a queued command, and guaranteed room to post
+  // its completion later (in-flight commands reserve completion slots).
+  std::vector<std::size_t> eligible;
+  SimTime earliest_dispatch = std::numeric_limits<SimTime>::max();
+  for (std::size_t i = 0; i < pairs_.size(); ++i) {
+    const QueuePair& pair = pairs_[i];
+    if (pair.sq().Empty()) continue;
+    if (pair.cq().Size() + in_flight_per_pair_[i] >= pair.cq().Capacity()) {
+      ++stats_.cq_stalls;
+      continue;
+    }
+    eligible.push_back(i);
+    SimTime head = pair.sq().Peek()->request.time;
+    SimTime effective = head > clock_ ? head : clock_;
+    if (effective < earliest_dispatch) earliest_dispatch = effective;
+  }
+
+  bool can_dispatch = !eligible.empty();
+  bool can_complete = !in_flight_.empty();
+  if (!can_dispatch && !can_complete) return false;
+
+  // Process whichever event comes first in virtual time; completions win
+  // ties so a freed slot is visible to the tick that needs it.
+  if (can_complete &&
+      (!can_dispatch ||
+       in_flight_.top().completion.complete_time <= earliest_dispatch)) {
+    Completion completion = in_flight_.top().completion;
+    in_flight_.pop();
+    --in_flight_per_pair_[completion.queue];
+    if (completion.complete_time > clock_) clock_ = completion.complete_time;
+    bool pushed = pairs_[completion.queue].cq().TryPush(completion);
+    assert(pushed);  // slot reserved at dispatch
+    (void)pushed;
+    if (completion.ok) {
+      ++stats_.completed_ok;
+    } else {
+      ++stats_.completed_error;
+    }
+    return true;
+  }
+
+  // Dispatch: heads tied at the earliest effective time compete; the
+  // arbiter picks the winner.
+  std::vector<std::size_t> candidates;
+  for (std::size_t i : eligible) {
+    SimTime head = pairs_[i].sq().Peek()->request.time;
+    SimTime effective = head > clock_ ? head : clock_;
+    if (effective == earliest_dispatch) candidates.push_back(i);
+  }
+  std::size_t chosen = arbiter_.Pick(candidates);
+  QueuePair& pair = pairs_[chosen];
+  Command cmd = *pair.sq().TryPop();
+
+  if (earliest_dispatch > clock_) clock_ = earliest_dispatch;
+  // The device executes the command when it leaves the submission queue,
+  // not when the host produced it — restamp before handing it down.
+  const SimTime submit_time = cmd.request.time;
+  cmd.request.time = earliest_dispatch;
+  DispatchResult result = device_.Dispatch(cmd.request, cmd.stamp_base);
+
+  Completion completion;
+  completion.id = cmd.id;
+  completion.queue = cmd.queue;
+  completion.request = cmd.request;
+  completion.ok = result.ok;
+  completion.submit_time = submit_time;
+  completion.dispatch_time = earliest_dispatch;
+  completion.complete_time = result.complete_time > earliest_dispatch
+                                 ? result.complete_time
+                                 : earliest_dispatch;
+  in_flight_.push(InFlightEntry{completion});
+  ++in_flight_per_pair_[chosen];
+  if (in_flight_.size() > stats_.max_in_flight) {
+    stats_.max_in_flight = in_flight_.size();
+  }
+  ++pair.stats().dispatched;
+  ++stats_.dispatched;
+  return true;
+}
+
+std::size_t IoEngine::Drain() {
+  std::uint64_t before = stats_.dispatched;
+  while (Step()) {
+  }
+  return static_cast<std::size_t>(stats_.dispatched - before);
+}
+
+}  // namespace insider::io

@@ -1,0 +1,125 @@
+// The multi-queue I/O engine: the "device controller" end of the frontend.
+//
+// Hosts push commands onto per-stream submission queues with TrySubmit()
+// (false = the pair already has `sq_depth` outstanding commands — the host
+// must stall until it reaps a completion). The engine runs a discrete-event
+// loop over two event kinds, always processing the earlier one:
+//
+//   * dispatch — pull the head command of one submission queue and hand it
+//     to the DeviceTarget. A command dispatches no earlier than its submit
+//     time and no earlier than the engine clock; commands therefore start
+//     in virtual-time order across queues, and when several heads tie at
+//     one virtual-time tick the QueueArbiter (round-robin or weighted
+//     round-robin) decides — that is where queue fairness is made.
+//   * complete — a previously dispatched command's completion (the device
+//     reports its finish time up front; NAND occupancy inside the device
+//     is what pushes it out) is posted to the pair's completion ring at its
+//     completion time.
+//
+// Dispatch does NOT wait for outstanding commands: the device pipelines
+// internally (chip/channel busy-until), so queue depth and queue count
+// govern how much of the array's parallelism the hosts can actually use —
+// the property the mqueue_throughput bench measures.
+//
+// Backpressure, both directions:
+//   * submission side — a pair at its outstanding limit rejects TrySubmit;
+//   * completion side — a pair whose completion ring cannot absorb another
+//     completion is skipped by dispatch (device-side stall) until the host
+//     reaps.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "io/arbiter.h"
+#include "io/device.h"
+#include "io/queue_pair.h"
+
+namespace insider::io {
+
+struct EngineConfig {
+  std::size_t queue_count = 1;
+  /// Default ring shape for every pair.
+  QueueConfig queue;
+  /// Optional per-queue overrides; if non-empty, size must equal queue_count.
+  std::vector<QueueConfig> per_queue;
+  ArbiterConfig arbiter;
+};
+
+struct EngineStats {
+  std::uint64_t dispatched = 0;
+  std::uint64_t completed_ok = 0;
+  std::uint64_t completed_error = 0;
+  std::uint64_t sq_rejections = 0;  ///< host-side backpressure events
+  std::uint64_t cq_stalls = 0;      ///< pair skipped: completion ring full
+  std::uint64_t max_in_flight = 0;  ///< peak concurrently executing commands
+};
+
+class IoEngine {
+ public:
+  IoEngine(DeviceTarget& device, const EngineConfig& config);
+
+  std::size_t QueueCount() const { return pairs_.size(); }
+  const QueuePair& Pair(QueueId q) const { return pairs_[q]; }
+
+  /// Host side: enqueue a command. False = the pair is at its outstanding
+  /// limit (queued + executing + unreaped == sq_depth); the caller must reap
+  /// completions (or wait) and retry — nothing was queued.
+  bool TrySubmit(QueueId q, const IoRequest& request,
+                 std::uint64_t stamp_base = 0);
+
+  /// Host side: reap the oldest posted completion of a pair, if any.
+  std::optional<Completion> PopCompletion(QueueId q);
+
+  std::size_t PendingSubmissions(QueueId q) const {
+    return pairs_[q].sq().Size();
+  }
+  std::size_t PendingCompletions(QueueId q) const {
+    return pairs_[q].cq().Size();
+  }
+  /// Commands dispatched to the device whose completion has not yet posted.
+  std::size_t InFlight() const { return in_flight_.size(); }
+
+  /// Virtual time of the last processed event.
+  SimTime Now() const { return clock_; }
+
+  /// Process one event (dispatch or completion posting). Returns false when
+  /// nothing can happen: no command in flight and every submission queue is
+  /// empty or blocked on a full completion ring.
+  bool Step();
+
+  /// Step until no further progress is possible. Returns the number of
+  /// commands *dispatched*. With hosts not reaping, this stops once
+  /// completion rings fill — it never spins.
+  std::size_t Drain();
+
+  const EngineStats& Stats() const { return stats_; }
+
+ private:
+  struct InFlightEntry {
+    Completion completion;
+    bool operator>(const InFlightEntry& other) const {
+      if (completion.complete_time != other.completion.complete_time) {
+        return completion.complete_time > other.completion.complete_time;
+      }
+      return completion.id > other.completion.id;  // deterministic ties
+    }
+  };
+
+  std::size_t Outstanding(QueueId q) const;
+
+  DeviceTarget& device_;
+  std::vector<QueuePair> pairs_;
+  QueueArbiter arbiter_;
+  std::priority_queue<InFlightEntry, std::vector<InFlightEntry>,
+                      std::greater<InFlightEntry>>
+      in_flight_;
+  std::vector<std::size_t> in_flight_per_pair_;
+  SimTime clock_ = 0;
+  EngineStats stats_;
+  CommandId next_id_ = 1;
+};
+
+}  // namespace insider::io

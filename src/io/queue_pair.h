@@ -1,0 +1,57 @@
+// A submission/completion ring pair — the NVMe queue-pair shape. Each host
+// stream owns one pair; the engine arbitrates across pairs.
+#pragma once
+
+#include <cstdint>
+
+#include "io/command.h"
+#include "io/ring_queue.h"
+
+namespace insider::io {
+
+struct QueueConfig {
+  /// Submission-ring depth: the host's maximum outstanding commands.
+  std::size_t sq_depth = 32;
+  /// Completion-ring depth; 0 = same as sq_depth. A full completion ring
+  /// stalls the *device* for this pair until the host reaps.
+  std::size_t cq_depth = 0;
+  /// Arbitration weight (used by weighted round-robin; ignored by plain RR).
+  std::uint32_t weight = 1;
+};
+
+/// Per-pair lifetime counters, exposed for fairness tests and benches.
+struct QueuePairStats {
+  std::uint64_t submitted = 0;   ///< commands accepted into the SQ
+  std::uint64_t rejected = 0;    ///< submissions refused: SQ full (backpressure)
+  std::uint64_t dispatched = 0;  ///< commands the engine handed to the device
+  std::uint64_t reaped = 0;      ///< completions the host popped from the CQ
+};
+
+class QueuePair {
+ public:
+  QueuePair(QueueId id, const QueueConfig& config)
+      : id_(id),
+        weight_(config.weight == 0 ? 1 : config.weight),
+        sq_(config.sq_depth),
+        cq_(config.cq_depth == 0 ? config.sq_depth : config.cq_depth) {}
+
+  QueueId id() const { return id_; }
+  std::uint32_t weight() const { return weight_; }
+
+  RingQueue<Command>& sq() { return sq_; }
+  const RingQueue<Command>& sq() const { return sq_; }
+  RingQueue<Completion>& cq() { return cq_; }
+  const RingQueue<Completion>& cq() const { return cq_; }
+
+  QueuePairStats& stats() { return stats_; }
+  const QueuePairStats& stats() const { return stats_; }
+
+ private:
+  QueueId id_;
+  std::uint32_t weight_;
+  RingQueue<Command> sq_;
+  RingQueue<Completion> cq_;
+  QueuePairStats stats_;
+};
+
+}  // namespace insider::io

@@ -18,15 +18,30 @@ FlashArray::FlashArray(const Geometry& geometry, const LatencyModel& latency,
 }
 
 SimTime FlashArray::Occupy(std::uint32_t chip, SimTime now, SimTime die_time,
-                           SimTime bus_time) {
+                           SimTime bus_time, bool bus_first) {
+  SimTime start = std::max(now, chips_[chip].BusyUntil());
+  if (bus_time == 0) {  // erase: pure cell work, the channel is untouched
+    SimTime done = start + die_time;
+    chips_[chip].SetBusyUntil(done);
+    return done;
+  }
   std::uint32_t channel = geo_.ChannelOfChip(chip);
-  SimTime start = std::max({now, chips_[chip].BusyUntil(),
-                            channel_busy_until_[channel]});
-  SimTime done = start + die_time + bus_time;
+  SimTime done;
+  if (bus_first) {
+    // Program: the page streams over the bus into the die's register, then
+    // the die programs cells on its own while the bus serves other dies.
+    SimTime bus_start = std::max(start, channel_busy_until_[channel]);
+    channel_busy_until_[channel] = bus_start + bus_time;
+    done = bus_start + bus_time + die_time;
+  } else {
+    // Read: the die senses on its own, then the page streams out over the
+    // bus once it is free.
+    SimTime bus_start = std::max(start + die_time,
+                                 channel_busy_until_[channel]);
+    done = bus_start + bus_time;
+    channel_busy_until_[channel] = done;
+  }
   chips_[chip].SetBusyUntil(done);
-  // The bus is only held for the transfer portion; model it as the tail of
-  // the operation so another die on the channel can overlap its cell time.
-  channel_busy_until_[channel] = done;
   return done;
 }
 
@@ -74,7 +89,7 @@ NandResult FlashArray::ReadPage(Ppa ppa, SimTime now) {
   NandStatus ecc = SampleReadErrors(block.EraseCount(), extra);
   ++counters_.page_reads;
   SimTime done = Occupy(chip, now, latency_.page_read + extra,
-                        latency_.channel_transfer);
+                        latency_.channel_transfer, /*bus_first=*/false);
   if (ecc != NandStatus::kOk) {
     return {ecc, done, nullptr};
   }
@@ -91,8 +106,8 @@ NandResult FlashArray::ProgramPage(Ppa ppa, PageData data, SimTime now) {
     return {NandStatus::kProgramOutOfOrder, now, nullptr};
   }
   ++counters_.page_programs;
-  SimTime done =
-      Occupy(chip, now, latency_.page_program, latency_.channel_transfer);
+  SimTime done = Occupy(chip, now, latency_.page_program,
+                        latency_.channel_transfer, /*bus_first=*/true);
   return {NandStatus::kOk, done, nullptr};
 }
 
@@ -102,7 +117,8 @@ NandResult FlashArray::EraseBlock(BlockAddr addr, SimTime now) {
   }
   chips_[addr.chip].BlockAt(addr.block).Erase();
   ++counters_.block_erases;
-  SimTime done = Occupy(addr.chip, now, latency_.block_erase, 0);
+  SimTime done =
+      Occupy(addr.chip, now, latency_.block_erase, 0, /*bus_first=*/false);
   return {NandStatus::kOk, done, nullptr};
 }
 

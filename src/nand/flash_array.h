@@ -77,8 +77,12 @@ class FlashArray {
 
  private:
   /// Reserve the die and its channel starting at `now`; returns completion.
+  /// The channel is held only for the `bus_time` transfer window: before the
+  /// cell work for programs (`bus_first`), after it for reads — dies on one
+  /// channel overlap their cell time and serialize only on the bus. An op
+  /// with `bus_time == 0` (erase) never touches the channel.
   SimTime Occupy(std::uint32_t chip, SimTime now, SimTime die_time,
-                 SimTime bus_time);
+                 SimTime bus_time, bool bus_first);
 
   /// Sample this read's bit-error count; returns the read outcome and any
   /// extra latency. kOk with extra latency models a soft-decode retry.

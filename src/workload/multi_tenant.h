@@ -1,0 +1,76 @@
+// Multi-tenant host driver for the multi-queue I/O frontend.
+//
+// N independent application streams (plus, optionally, one ransomware
+// stream) each own one submission/completion queue pair. The driver plays
+// every stream in its own time order, topping up each tenant's submission
+// ring until it is full — queue-full is the backpressure signal: that
+// tenant stalls, the stall is counted, and the tenant resumes only after
+// the device posts a completion that frees a slot. The engine's arbitration
+// then interleaves the tenants the way a real multi-queue drive would, so
+// the in-SSD detector finally sees headers from many "users" mixed at the
+// device, not a pre-merged trace.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/io.h"
+#include "common/stats.h"
+#include "common/time.h"
+#include "io/io_engine.h"
+
+namespace insider::wl {
+
+struct TenantSpec {
+  std::string name;
+  std::vector<IoRequest> requests;  ///< time-sorted, the tenant's stream
+  /// Base for write-payload stamps; each written block gets a distinct
+  /// stamp `stamp_base + blocks written so far`, so tests can attribute
+  /// device contents to tenants.
+  std::uint64_t stamp_base = 0;
+  bool is_ransomware = false;  ///< ground truth for detection experiments
+};
+
+struct TenantResult {
+  std::string name;
+  bool is_ransomware = false;
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t errors = 0;      ///< completions with ok == false
+  std::uint64_t stall_events = 0;  ///< submissions refused by a full SQ
+  RunningStats latency_us;       ///< submit-to-complete, microseconds
+  std::vector<SimTime> latencies;       ///< per-command, completion order
+  std::vector<SimTime> complete_times;  ///< per-command, completion order
+  SimTime last_complete_time = 0;
+};
+
+struct MultiTenantReport {
+  std::vector<TenantResult> tenants;
+  std::uint64_t total_dispatched = 0;
+  SimTime first_submit_time = 0;
+  SimTime end_time = 0;  ///< device clock when the last command finished
+
+  double TotalIops() const {
+    double span = ToSeconds(end_time - first_submit_time);
+    return span > 0 ? static_cast<double>(total_dispatched) / span : 0.0;
+  }
+};
+
+class MultiTenantDriver {
+ public:
+  /// Tenant i drives queue pair i; the engine must have at least as many
+  /// queue pairs as there are tenants.
+  explicit MultiTenantDriver(std::vector<TenantSpec> tenants);
+
+  /// Play every stream to exhaustion through `engine`, reaping completions
+  /// as they post. Returns per-tenant latency/backpressure accounting.
+  MultiTenantReport Run(io::IoEngine& engine);
+
+  const std::vector<TenantSpec>& Tenants() const { return tenants_; }
+
+ private:
+  std::vector<TenantSpec> tenants_;
+};
+
+}  // namespace insider::wl

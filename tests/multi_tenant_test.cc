@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/pretrained.h"
+#include "host/experiment.h"
+#include "host/ssd.h"
+#include "host/ssd_target.h"
+#include "io/io_engine.h"
+#include "workload/multi_tenant.h"
+
+namespace insider::host {
+namespace {
+
+SsdConfig SmallSsd() {
+  SsdConfig c;
+  c.ftl.geometry = nand::TestGeometry();
+  c.ftl.latency = nand::LatencyModel::Zero();
+  return c;
+}
+
+/// Tree voting ransomware iff OWIO > 30 (same shape as ssd_test.cc).
+core::DecisionTree SimpleTree() {
+  std::vector<core::DecisionTree::Node> nodes(3);
+  nodes[0].is_leaf = false;
+  nodes[0].feature = core::FeatureId::kOwIo;
+  nodes[0].threshold = 30.0;
+  nodes[0].left = 1;
+  nodes[0].right = 2;
+  nodes[1].is_leaf = true;
+  nodes[1].label = false;
+  nodes[2].is_leaf = true;
+  nodes[2].label = true;
+  return core::DecisionTree(std::move(nodes));
+}
+
+wl::TenantSpec WriterTenant(const std::string& name, Lba base,
+                            std::size_t count, std::uint64_t stamp_base,
+                            SimTime start, SimTime gap) {
+  wl::TenantSpec t;
+  t.name = name;
+  t.stamp_base = stamp_base;
+  for (std::size_t i = 0; i < count; ++i) {
+    t.requests.push_back({start + static_cast<SimTime>(i) * gap,
+                          base + i, 1, IoMode::kWrite});
+  }
+  return t;
+}
+
+TEST(MultiTenantTest, TenantsWriteDisjointRegionsThroughQueuePairs) {
+  Ssd ssd(SmallSsd(), SimpleTree());
+  SsdTarget target(ssd);
+
+  std::vector<wl::TenantSpec> tenants;
+  tenants.push_back(WriterTenant("a", 0, 16, 1000, 1000, 500));
+  tenants.push_back(WriterTenant("b", 100, 16, 2000, 1200, 500));
+
+  io::EngineConfig ecfg;
+  ecfg.queue_count = 2;
+  ecfg.queue.sq_depth = 4;
+  io::IoEngine engine(target, ecfg);
+
+  wl::MultiTenantDriver driver(std::move(tenants));
+  wl::MultiTenantReport report = driver.Run(engine);
+
+  ASSERT_EQ(report.tenants.size(), 2u);
+  EXPECT_EQ(report.tenants[0].completed, 16u);
+  EXPECT_EQ(report.tenants[1].completed, 16u);
+  EXPECT_EQ(report.tenants[0].errors, 0u);
+  EXPECT_EQ(report.tenants[1].errors, 0u);
+  EXPECT_EQ(report.total_dispatched, 32u);
+
+  // Each block's payload stamp attributes it to its tenant.
+  SimTime now = ssd.Clock().Now();
+  for (Lba i = 0; i < 16; ++i) {
+    ftl::FtlResult a = ssd.Ftl().ReadPage(i, now);
+    ASSERT_TRUE(a.ok());
+    EXPECT_EQ(a.data.stamp, 1000u + i);
+    ftl::FtlResult b = ssd.Ftl().ReadPage(100 + i, now);
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(b.data.stamp, 2000u + i);
+  }
+}
+
+TEST(MultiTenantTest, QueueFullBackpressureStallsProducer) {
+  Ssd ssd(SmallSsd(), SimpleTree());
+  SsdTarget target(ssd);
+
+  // 12 requests all submitted at t=1000 into a depth-1 ring: the host must
+  // stall on every command after the first.
+  std::vector<wl::TenantSpec> tenants;
+  tenants.push_back(WriterTenant("bursty", 0, 12, 0, 1000, 0));
+
+  io::EngineConfig ecfg;
+  ecfg.queue_count = 1;
+  ecfg.queue.sq_depth = 1;
+  io::IoEngine engine(target, ecfg);
+
+  wl::MultiTenantDriver driver(std::move(tenants));
+  wl::MultiTenantReport report = driver.Run(engine);
+
+  EXPECT_EQ(report.tenants[0].completed, 12u);
+  EXPECT_GT(report.tenants[0].stall_events, 0u);
+  EXPECT_EQ(engine.Stats().sq_rejections, report.tenants[0].stall_events);
+}
+
+TEST(MultiTenantTest, CompletionTimesMonotoneAndMatchDeviceClock) {
+  SsdConfig cfg = SmallSsd();
+  cfg.ftl.latency = nand::LatencyModel{};  // real NAND latencies
+  Ssd ssd(cfg, SimpleTree());
+  SsdTarget target(ssd);
+
+  std::vector<wl::TenantSpec> tenants;
+  tenants.push_back(WriterTenant("w0", 0, 24, 0, 1000, 50));
+  tenants.push_back(WriterTenant("w1", 64, 24, 5000, 1000, 50));
+
+  io::EngineConfig ecfg;
+  ecfg.queue_count = 2;
+  ecfg.queue.sq_depth = 8;
+  io::IoEngine engine(target, ecfg);
+
+  wl::MultiTenantDriver driver(std::move(tenants));
+  wl::MultiTenantReport report = driver.Run(engine);
+
+  for (const wl::TenantResult& t : report.tenants) {
+    ASSERT_EQ(t.complete_times.size(), t.completed);
+    SimTime prev = 0;
+    for (std::size_t i = 0; i < t.complete_times.size(); ++i) {
+      EXPECT_GE(t.complete_times[i], prev) << t.name << " cmd " << i;
+      EXPECT_GE(t.latencies[i], 0) << t.name << " cmd " << i;
+      prev = t.complete_times[i];
+    }
+    EXPECT_EQ(t.last_complete_time, prev);
+    // Completion stamps are FTL media times. Dispatch is pipelined, so they
+    // can run ahead of the submission-side device clock but never ahead of
+    // the report's end time.
+    EXPECT_LE(t.last_complete_time, report.end_time);
+  }
+  EXPECT_EQ(report.end_time,
+            std::max(report.tenants[0].last_complete_time,
+                     report.tenants[1].last_complete_time));
+}
+
+TEST(MultiTenantTest, InterleavedRansomwareStillRaisesAlarm) {
+  InterleavedConfig cfg;
+  cfg.benign_tenants = 3;
+  cfg.ransomware = "WannaCry";
+  cfg.duration = Seconds(30);
+  cfg.ransom_start = Seconds(8);
+  cfg.seed = 42;
+  InterleavedResult r =
+      RunInterleavedDetection(core::PretrainedTree(), cfg);
+
+  EXPECT_TRUE(r.alarm);
+  EXPECT_GE(r.max_score, cfg.detector.score_threshold);
+  ASSERT_EQ(r.report.tenants.size(), 4u);
+  EXPECT_TRUE(r.report.tenants.back().is_ransomware);
+  // The attack was detected while it ran, not after.
+  ASSERT_TRUE(r.alarm_time.has_value());
+  EXPECT_GE(*r.alarm_time, cfg.ransom_start);
+  EXPECT_GT(r.detection_latency, 0);
+}
+
+TEST(MultiTenantTest, BenignTenantsAloneStayBelowThreshold) {
+  InterleavedConfig cfg;
+  cfg.benign_tenants = 4;
+  cfg.ransomware.clear();  // control run
+  cfg.duration = Seconds(30);
+  cfg.seed = 42;
+  InterleavedResult r =
+      RunInterleavedDetection(core::PretrainedTree(), cfg);
+
+  EXPECT_FALSE(r.alarm);
+  EXPECT_LT(r.max_score, cfg.detector.score_threshold);
+  for (const wl::TenantResult& t : r.report.tenants) {
+    EXPECT_EQ(t.errors, 0u) << t.name;
+  }
+}
+
+}  // namespace
+}  // namespace insider::host

@@ -149,6 +149,49 @@ TEST(SsdTest, TrimBlockSucceedsAndUnmaps) {
   for (std::byte b : out) EXPECT_EQ(b, std::byte{0});
 }
 
+// Time-ordering contract (see Ssd::Submit in ssd.h): a request stamped
+// earlier than the device clock executes at the clock, never in the past.
+// The io::IoEngine depends on this when draining queued commands.
+TEST(SsdTest, StaleSubmitTimeClampsToDeviceClock) {
+  Ssd ssd(SmallSsd(), SimpleTree());
+  ASSERT_EQ(ssd.Submit({Seconds(5), 0, 1, IoMode::kWrite}, 7),
+            ftl::FtlStatus::kOk);
+  SimTime after_first = ssd.Clock().Now();
+  ASSERT_GE(after_first, Seconds(5));
+
+  // Stale request: host-stamped at t=1s, but the device is already at 5s+.
+  ASSERT_EQ(ssd.Submit({Seconds(1), 1, 1, IoMode::kWrite}, 8),
+            ftl::FtlStatus::kOk);
+  // The clock never went backwards and the write executed "now".
+  EXPECT_GE(ssd.Clock().Now(), after_first);
+  ftl::FtlResult r = ssd.Ftl().ReadPage(1, ssd.Clock().Now());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.data.stamp, 8u);
+}
+
+TEST(SsdTest, StaleSubmitKeepsDetectorSliceStreamMonotone) {
+  Ssd ssd(SmallSsd(), SimpleTree());
+  // March the detector to slice ~6, then feed a request stamped in slice 1.
+  ssd.Submit({Seconds(6), 0, 1, IoMode::kWrite}, 0);
+  ssd.Submit({Seconds(1), 1, 1, IoMode::kWrite}, 0);
+  ssd.IdleUntil(Seconds(10));
+  SimTime prev = -1;
+  double total_io = 0.0;
+  for (const core::SliceRecord& rec : ssd.Detector().History()) {
+    EXPECT_GT(rec.end_time, prev);
+    prev = rec.end_time;
+    total_io += rec.features.io();
+  }
+  // Both writes were observed, and the clamped one landed in the slice that
+  // was open at the device clock — not in the long-closed slice 1.
+  EXPECT_DOUBLE_EQ(total_io, 2.0);
+  for (const core::SliceRecord& rec : ssd.Detector().History()) {
+    if (rec.end_time <= Seconds(6)) {
+      EXPECT_EQ(rec.features.io(), 0.0);
+    }
+  }
+}
+
 TEST(DramTest, PaperBudgetMatchesTableIII) {
   std::vector<DramRow> rows = PaperDramBudget();
   ASSERT_EQ(rows.size(), 3u);
