@@ -1,0 +1,167 @@
+// Minimal streaming JSON writer for the machine-readable BENCH_*.json
+// artifacts the benches emit alongside their human-readable tables, so CI
+// and plotting scripts can diff results without scraping stdout.
+//
+// Usage:
+//   JsonWriter w("BENCH_gc.json");
+//   w.BeginObject();
+//   w.Key("bench").Value("gc_policies");
+//   w.Key("rows").BeginArray();
+//   w.BeginObject().Key("copies").Value(copies).EndObject();
+//   w.EndArray().EndObject();
+//
+// The writer tracks nesting and comma placement; strings are escaped. It is
+// deliberately write-only and unvalidated beyond balancing — the benches
+// drive it with literal structure, not untrusted data.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+
+namespace insider::bench {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(const std::string& path)
+      : file_(std::fopen(path.c_str(), "w")), path_(path) {}
+  ~JsonWriter() {
+    if (file_) {
+      std::fputc('\n', file_);
+      std::fclose(file_);
+    }
+  }
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  bool Ok() const { return file_ != nullptr; }
+  const std::string& Path() const { return path_; }
+
+  JsonWriter& BeginObject() {
+    Comma();
+    Put('{');
+    counts_.push_back(0);
+    return *this;
+  }
+  JsonWriter& EndObject() {
+    counts_.pop_back();
+    Put('}');
+    return *this;
+  }
+  JsonWriter& BeginArray() {
+    Comma();
+    Put('[');
+    counts_.push_back(0);
+    return *this;
+  }
+  JsonWriter& EndArray() {
+    counts_.pop_back();
+    Put(']');
+    return *this;
+  }
+
+  JsonWriter& Key(const char* name) {
+    Comma();
+    Escaped(name);
+    Put(':');
+    after_key_ = true;
+    return *this;
+  }
+
+  JsonWriter& Value(const char* s) {
+    Comma();
+    Escaped(s);
+    return *this;
+  }
+  JsonWriter& Value(const std::string& s) { return Value(s.c_str()); }
+  JsonWriter& Value(bool b) {
+    Comma();
+    Raw(b ? "true" : "false");
+    return *this;
+  }
+  JsonWriter& Value(double d) {
+    Comma();
+    if (std::isfinite(d)) {
+      if (file_) std::fprintf(file_, "%.10g", d);
+    } else {
+      Raw("null");  // JSON has no NaN/Inf
+    }
+    return *this;
+  }
+  JsonWriter& Value(std::uint64_t v) {
+    Comma();
+    if (file_) std::fprintf(file_, "%llu", (unsigned long long)v);
+    return *this;
+  }
+  JsonWriter& Value(std::int64_t v) {
+    Comma();
+    if (file_) std::fprintf(file_, "%lld", (long long)v);
+    return *this;
+  }
+  JsonWriter& Value(int v) { return Value(static_cast<std::int64_t>(v)); }
+  JsonWriter& Value(unsigned v) { return Value(static_cast<std::uint64_t>(v)); }
+
+  template <typename T>
+  JsonWriter& Field(const char* name, T v) {
+    Key(name);
+    return Value(v);
+  }
+
+ private:
+  void Put(char c) {
+    if (file_) std::fputc(c, file_);
+  }
+  void Raw(const char* s) {
+    if (file_) std::fputs(s, file_);
+  }
+  /// Emit the separator a new element needs: nothing right after a key,
+  /// a comma between siblings inside an object/array.
+  void Comma() {
+    if (after_key_) {
+      after_key_ = false;
+      return;
+    }
+    if (!counts_.empty() && counts_.back()++ > 0) Put(',');
+  }
+  void Escaped(const char* s) {
+    Put('"');
+    for (; *s; ++s) {
+      unsigned char c = static_cast<unsigned char>(*s);
+      switch (c) {
+        case '"':
+          Raw("\\\"");
+          break;
+        case '\\':
+          Raw("\\\\");
+          break;
+        case '\n':
+          Raw("\\n");
+          break;
+        case '\t':
+          Raw("\\t");
+          break;
+        case '\r':
+          Raw("\\r");
+          break;
+        default:
+          if (c < 0x20) {
+            if (file_) std::fprintf(file_, "\\u%04x", c);
+          } else {
+            Put(static_cast<char>(c));
+          }
+      }
+    }
+    Put('"');
+  }
+
+  std::FILE* file_;
+  std::string path_;
+  std::vector<std::size_t> counts_;  ///< per-level element count
+  bool after_key_ = false;
+};
+
+}  // namespace insider::bench

@@ -21,6 +21,7 @@
 #include "host/ssd.h"
 #include "host/ssd_target.h"
 #include "io/io_engine.h"
+#include "json_writer.h"
 #include "workload/multi_tenant.h"
 
 namespace insider::bench {
@@ -43,12 +44,13 @@ host::SsdConfig SweepDevice() {
   return c;
 }
 
-void ThroughputSweep() {
+void ThroughputSweep(JsonWriter& json) {
   PrintHeader("mqueue_throughput — IOPS and latency vs queues x depth");
   std::printf("%7s %6s %12s %12s %12s %10s %8s\n", "queues", "depth", "IOPS",
               "p50_us", "p99_us", "stalls", "max_inf");
 
   const std::size_t kCommandsPerQueue = RepsFromEnv(4) * 1000;
+  json.Key("throughput_sweep").BeginArray();
   for (std::size_t queues : {1u, 4u, 8u}) {
     for (std::size_t depth : {1u, 32u}) {
       host::Ssd ssd(SweepDevice(), core::PretrainedTree());
@@ -88,21 +90,34 @@ void ThroughputSweep() {
         lat.insert(lat.end(), t.latencies.begin(), t.latencies.end());
         stalls += t.stall_events;
       }
+      const SimTime p50 = Percentile(lat, 0.50);
+      const SimTime p99 = Percentile(lat, 0.99);
       std::printf("%7zu %6zu %12.0f %12lld %12lld %10llu %8llu\n", queues,
-                  depth, report.TotalIops(),
-                  static_cast<long long>(Percentile(lat, 0.50)),
-                  static_cast<long long>(Percentile(lat, 0.99)),
+                  depth, report.TotalIops(), static_cast<long long>(p50),
+                  static_cast<long long>(p99),
                   static_cast<unsigned long long>(stalls),
                   static_cast<unsigned long long>(
                       engine.Stats().max_in_flight));
+      json.BeginObject()
+          .Field("queues", queues)
+          .Field("depth", depth)
+          .Field("commands_per_queue", kCommandsPerQueue)
+          .Field("iops", report.TotalIops())
+          .Field("p50_us", p50)
+          .Field("p99_us", p99)
+          .Field("stalls", stalls)
+          .Field("max_in_flight", engine.Stats().max_in_flight)
+          .EndObject();
     }
   }
+  json.EndArray();
 }
 
-void InterleavedDetection() {
+void InterleavedDetection(JsonWriter& json) {
   PrintHeader("detection under multi-tenant interleaving (queue frontend)");
   core::DecisionTree tree = core::PretrainedTree();
 
+  json.Key("interleaved_detection").BeginArray();
   for (const char* family : {"WannaCry", "Mole", "InHouse.inplace"}) {
     host::InterleavedConfig cfg;
     cfg.benign_tenants = 3;
@@ -116,6 +131,14 @@ void InterleavedDetection() {
         family, cfg.benign_tenants, r.max_score, cfg.detector.window_slices,
         r.alarm ? "ALARM" : "missed",
         r.alarm ? ToSeconds(r.detection_latency) : 0.0);
+    json.BeginObject()
+        .Field("ransomware", family)
+        .Field("benign_tenants", cfg.benign_tenants)
+        .Field("max_score", r.max_score)
+        .Field("alarm", r.alarm)
+        .Field("detection_latency_s",
+               r.alarm ? ToSeconds(r.detection_latency) : 0.0)
+        .EndObject();
   }
 
   host::InterleavedConfig benign;
@@ -128,13 +151,26 @@ void InterleavedDetection() {
               benign.benign_tenants, r.max_score,
               benign.detector.window_slices,
               r.alarm ? "FALSE ALARM" : "quiet");
+  json.BeginObject()
+      .Field("ransomware", "")
+      .Field("benign_tenants", benign.benign_tenants)
+      .Field("max_score", r.max_score)
+      .Field("alarm", r.alarm)
+      .EndObject();
+  json.EndArray();
 }
 
 }  // namespace
 }  // namespace insider::bench
 
 int main() {
-  insider::bench::ThroughputSweep();
-  insider::bench::InterleavedDetection();
+  using insider::bench::JsonWriter;
+  JsonWriter json("BENCH_mqueue.json");
+  json.BeginObject();
+  json.Field("bench", "mqueue_throughput");
+  insider::bench::ThroughputSweep(json);
+  insider::bench::InterleavedDetection(json);
+  json.EndObject();
+  std::printf("[bench] wrote %s\n", json.Path().c_str());
   return 0;
 }

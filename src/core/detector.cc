@@ -85,6 +85,9 @@ void Detector::CloseSlice() {
     first_alarm_ = end_time;
   }
   history_.push_back(SliceRecord{current_slice_, end_time, fv, vote, score_});
+  if (config_.history_limit > 0 && history_.size() > config_.history_limit) {
+    history_.pop_front();
+  }
 
   ++current_slice_;
   // Slide the window: entries last touched more than N slices ago leave the

@@ -23,6 +23,11 @@ struct DetectorConfig {
   SimTime slice_length = Seconds(1);
   std::size_t window_slices = 10;  ///< N: slices per time window
   int score_threshold = 3;
+  /// Most recent slice records kept in History(). Firmware RAM is bounded,
+  /// so the record log is a ring: older slices fall off the front once the
+  /// cap is reached. 0 opts into unbounded history (offline experiments
+  /// that replay a whole trace and read every slice back).
+  std::size_t history_limit = 4096;
   CountingTable::Config table;
 };
 
@@ -49,6 +54,12 @@ class Detector {
   /// Close every slice that ends at or before `now` (idle time still ticks).
   void AdvanceTo(SimTime now);
 
+  /// Virtual time at which the currently open slice will close — the due
+  /// time of the firmware scheduler's detector tick.
+  SimTime NextSliceEnd() const {
+    return (current_slice_ + 1) * config_.slice_length;
+  }
+
   // Alarm state --------------------------------------------------------
 
   int Score() const { return score_; }
@@ -61,7 +72,8 @@ class Detector {
   const DetectorConfig& Config() const { return config_; }
   const CountingTable& Table() const { return table_; }
   const DecisionTree& Tree() const { return tree_; }
-  const std::vector<SliceRecord>& History() const { return history_; }
+  /// The most recent closed slices (all of them when history_limit is 0).
+  const std::deque<SliceRecord>& History() const { return history_; }
   void ClearHistory() { history_.clear(); }
 
   /// Reset all runtime state (score, tables, history); keeps the tree.
@@ -80,7 +92,7 @@ class Detector {
   std::deque<std::uint64_t> owio_hist_; ///< last <= N per-slice OWIO values
   int score_ = 0;
   std::optional<SimTime> first_alarm_;
-  std::vector<SliceRecord> history_;
+  std::deque<SliceRecord> history_;  ///< ring of the last history_limit slices
 };
 
 }  // namespace insider::core

@@ -1,0 +1,136 @@
+// Shared FTL value types: host-visible status/result structs, the device
+// configuration, statistics counters, and the per-page / per-block state the
+// mapping core, the GC engine and the pluggable policies all agree on.
+//
+// Kept free of any class logic so that policy implementations (policy.h) and
+// the GC engine (gc_engine.h) can be compiled against this header without
+// pulling in the full mapping core.
+#pragma once
+
+#include <cstdint>
+
+#include "common/io.h"
+#include "common/time.h"
+#include "nand/errors.h"
+#include "nand/geometry.h"
+#include "nand/latency.h"
+#include "nand/page_data.h"
+
+namespace insider::ftl {
+
+enum class FtlStatus {
+  kOk,
+  kReadOnly,     ///< device latched read-only after a ransomware alarm
+  kUnmapped,     ///< read/trim of an LBA with no current mapping
+  kOutOfRange,   ///< LBA beyond exported capacity
+  kNoSpace,      ///< GC could not reclaim any block (device full)
+  kReadError,    ///< uncorrectable ECC failure; the data is lost
+};
+
+struct FtlResult {
+  FtlStatus status = FtlStatus::kOk;
+  SimTime complete_time = 0;
+  nand::PageData data;  ///< payload for reads
+
+  bool ok() const { return status == FtlStatus::kOk; }
+};
+
+/// Which pluggable victim-selection policy the FTL instantiates (a custom
+/// implementation can also be injected with PageFtl::SetVictimPolicy).
+enum class VictimPolicyKind {
+  kGreedy,       ///< fewest movable pages, ties to the least-worn block
+  kCostBenefit,  ///< Rosenblum-style (1-u)/(2u) score with a wear bonus
+};
+
+/// Which allocation (write-frontier) policy the FTL instantiates.
+enum class AllocationPolicyKind {
+  kStriped,  ///< round-robin chip striping (channel/way parallelism)
+};
+
+/// Which retention rule governs how long displaced versions stay recoverable.
+enum class RetentionPolicyKind {
+  kWindow,  ///< paper rule: fixed time window + capacity-bounded queue
+};
+
+struct FtlConfig {
+  nand::Geometry geometry;
+  nand::LatencyModel latency;
+  /// Media error model (disabled by default) and its deterministic seed.
+  nand::ErrorModel errors;
+  std::uint64_t error_seed = 0x5eed;
+
+  /// SSD-Insider delayed deletion on/off (off = conventional baseline).
+  bool delayed_deletion = true;
+  /// How long displaced versions stay recoverable (paper: 10 s).
+  SimTime retention_window = Seconds(10);
+  /// Recovery-queue capacity in entries (paper Table III: 2,621,440 ~ 30 MB;
+  /// 0 = unbounded). When full, the oldest backups are force-released.
+  std::size_t recovery_queue_capacity = 2'621'440;
+  /// Blocks withheld from the host so GC always has somewhere to copy to.
+  /// This is the *hard floor*: a host write blocks on inline GC only when
+  /// the free pool is at or below it.
+  std::uint32_t gc_reserve_blocks = 2;
+  /// Background-GC low watermark: when the free pool falls to this level the
+  /// FTL reports BackgroundGcNeeded() so the firmware scheduler can reclaim
+  /// during host-idle gaps, long before writes would block at the floor.
+  std::uint32_t gc_low_watermark_blocks = 6;
+  /// Background GC stops once the free pool recovers to this level
+  /// (hysteresis so the task doesn't thrash around the low watermark).
+  std::uint32_t gc_high_watermark_blocks = 12;
+  /// Pluggable-policy selection (defaults reproduce the seed behavior).
+  AllocationPolicyKind allocation_policy = AllocationPolicyKind::kStriped;
+  VictimPolicyKind victim_policy = VictimPolicyKind::kGreedy;
+  RetentionPolicyKind retention_policy = RetentionPolicyKind::kWindow;
+  /// Fraction of physical pages exported as logical capacity; the rest is
+  /// over-provisioning for GC efficiency.
+  double exported_fraction = 0.9;
+  /// Modeled firmware cost of reverting one mapping entry during rollback.
+  SimTime rollback_entry_cost = Microseconds(1);
+};
+
+struct FtlStats {
+  std::uint64_t host_reads = 0;
+  std::uint64_t host_writes = 0;
+  std::uint64_t host_trims = 0;
+  std::uint64_t gc_invocations = 0;
+  std::uint64_t gc_page_copies = 0;      ///< valid + retained copies (Fig. 9)
+  std::uint64_t gc_retained_copies = 0;  ///< subset forced by delayed deletion
+  std::uint64_t gc_erases = 0;
+  std::uint64_t retained_released = 0;   ///< backups aged out of the window
+  std::uint64_t queue_evictions = 0;     ///< backups dropped by capacity
+  std::uint64_t forced_releases = 0;     ///< backups sacrificed to free space
+  std::uint64_t rollbacks = 0;
+  std::uint64_t rollback_entries = 0;
+  /// Pages GC found unreadable (uncorrectable ECC): valid data or backups
+  /// lost to media errors.
+  std::uint64_t gc_lost_pages = 0;
+  /// Blocks reclaimed by watermark-driven background GC (scheduler tasks).
+  std::uint64_t gc_background_blocks = 0;
+  /// Virtual time host writes spent blocked inside inline (foreground) GC —
+  /// the write-stall metric the background-GC path exists to shrink.
+  SimTime gc_stall_time = 0;
+};
+
+struct RollbackReport {
+  std::size_t entries_reverted = 0;
+  std::size_t mappings_restored = 0;  ///< distinct LBAs whose mapping changed
+  SimTime duration = 0;               ///< modeled firmware time (paper: <1 s)
+};
+
+/// Per-physical-page state from the FTL's point of view.
+enum class PageState : std::uint8_t {
+  kFree,      ///< erased, programmable
+  kValid,     ///< current version of some LBA
+  kInvalid,   ///< superseded and reclaimable
+  kRetained,  ///< superseded but guarded by the recovery queue
+};
+
+/// Per-erase-block occupancy counters the mapping core maintains and the
+/// victim policies select against.
+struct BlockCounters {
+  std::uint32_t valid = 0;
+  std::uint32_t retained = 0;
+  std::uint32_t Movable() const { return valid + retained; }
+};
+
+}  // namespace insider::ftl

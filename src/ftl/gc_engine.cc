@@ -1,0 +1,159 @@
+#include "ftl/gc_engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <optional>
+
+#include "ftl/page_ftl.h"
+
+namespace insider::ftl {
+
+bool GcEngine::CollectOne(SimTime& now, std::uint32_t max_movable) {
+  std::uint32_t victim = ftl_.victim_->SelectVictim(ftl_.view_, max_movable);
+  if (victim == kNoVictim) return false;  // nothing reclaimable
+  return CollectVictim(victim, now);
+}
+
+bool GcEngine::CollectVictim(std::uint32_t victim, SimTime& now) {
+  PageFtl& f = ftl_;
+  const nand::Geometry& geo = f.config_.geometry;
+  nand::BlockAddr addr = f.AddrOfBlockId(victim);
+  for (std::uint32_t p = 0; p < geo.pages_per_block; ++p) {
+    nand::Ppa src = geo.MakePpa(addr.chip, addr.block, p);
+    PageState st = f.page_state_[src];
+    if (st != PageState::kValid && st != PageState::kRetained) continue;
+
+    nand::NandResult rd = f.nand_.ReadPage(src, now);
+    now = rd.complete_time;
+    if (!rd.ok()) {
+      // Uncorrectable ECC during relocation: the page's content is gone.
+      // A valid page loses its mapping; a retained page loses its backup.
+      assert(rd.status == nand::NandStatus::kUncorrectableEcc);
+      ++f.stats_.gc_lost_pages;
+      Lba lost_lba = f.p2l_[src];
+      BlockCounters& info = f.block_counters_[victim];
+      if (st == PageState::kValid) {
+        if (lost_lba != kInvalidLba) f.l2p_[lost_lba] = nand::kInvalidPpa;
+        --info.valid;
+        --f.valid_pages_;
+      } else {
+        bool dropped = f.queue_.Drop(src);
+        assert(dropped);
+        (void)dropped;
+        --info.retained;
+        --f.retained_pages_;
+      }
+      f.page_state_[src] = PageState::kInvalid;
+      f.p2l_[src] = kInvalidLba;
+      continue;
+    }
+    nand::Ppa dst = f.AllocatePage();
+    if (dst == nand::kInvalidPpa) return false;  // reserve exhausted
+    nand::NandResult pr = f.nand_.ProgramPage(dst, *rd.data, now);
+    assert(pr.ok());
+    now = pr.complete_time;
+
+    ++f.stats_.gc_page_copies;
+    Lba lba = f.p2l_[src];
+    f.p2l_[dst] = lba;
+    f.page_state_[dst] = st;
+    BlockCounters& dst_info = f.block_counters_[f.BlockIdOf(dst)];
+    BlockCounters& src_info = f.block_counters_[victim];
+    if (st == PageState::kValid) {
+      ++dst_info.valid;
+      --src_info.valid;
+      assert(lba != kInvalidLba);
+      f.l2p_[lba] = dst;
+    } else {
+      ++f.stats_.gc_retained_copies;
+      ++dst_info.retained;
+      --src_info.retained;
+      bool relocated = f.queue_.Relocate(src, dst);
+      assert(relocated);
+      (void)relocated;
+    }
+    f.page_state_[src] = PageState::kInvalid;
+    f.p2l_[src] = kInvalidLba;
+  }
+
+  nand::NandResult er = f.nand_.EraseBlock(addr, now);
+  assert(er.ok());
+  now = er.complete_time;
+  for (std::uint32_t p = 0; p < geo.pages_per_block; ++p) {
+    f.page_state_[geo.MakePpa(addr.chip, addr.block, p)] = PageState::kFree;
+  }
+  assert(f.block_counters_[victim].Movable() == 0);
+  f.RecycleBlock(victim);
+  ++f.stats_.gc_erases;
+  return true;
+}
+
+bool GcEngine::EnsureFreeSpace(SimTime& now) {
+  PageFtl& f = ftl_;
+  if (f.free_block_count_ > f.config_.gc_reserve_blocks) return true;
+  ++f.stats_.gc_invocations;
+  const SimTime start = now;
+  // Any full block that frees at least one page qualifies.
+  const std::uint32_t max_movable = f.config_.geometry.pages_per_block - 1;
+  bool ok = true;
+  while (f.free_block_count_ <= f.config_.gc_reserve_blocks) {
+    if (!CollectOne(now, max_movable)) {
+      // Nothing reclaimable: every block is valid or retained. When the
+      // recovery queue holds backups, sacrifice the oldest ones (losing
+      // their recoverability, as a capacity-bounded queue would) so GC can
+      // make progress; otherwise the device is genuinely full.
+      if (f.config_.delayed_deletion && !f.queue_.Empty()) {
+        std::uint32_t batch =
+            f.retention_->ForcedReleaseBatch(f.config_.geometry);
+        for (std::uint32_t i = 0; i < batch; ++i) {
+          std::optional<BackupEntry> e = f.queue_.PopOldest();
+          if (!e) break;
+          f.ReleaseBackup(*e);
+          ++f.stats_.forced_releases;
+        }
+        continue;
+      }
+      ok = f.free_block_count_ > 0;
+      break;
+    }
+  }
+  f.stats_.gc_stall_time += now - start;
+  return ok;
+}
+
+std::size_t GcEngine::BackgroundCollect(SimTime now, std::size_t max_blocks) {
+  PageFtl& f = ftl_;
+  const std::uint32_t max_movable = f.config_.geometry.pages_per_block - 1;
+  std::size_t reclaimed = 0;
+  SimTime t = now;
+  while (reclaimed < max_blocks &&
+         f.free_block_count_ < f.config_.gc_high_watermark_blocks) {
+    if (!CollectOne(t, max_movable)) break;
+    ++reclaimed;
+  }
+  f.stats_.gc_background_blocks += reclaimed;
+  return reclaimed;
+}
+
+std::size_t GcEngine::CollectCheap(SimTime now, std::size_t max_blocks,
+                                   std::uint32_t max_movable) {
+  PageFtl& f = ftl_;
+  const nand::Geometry& geo = f.config_.geometry;
+  // Idle GC only takes cheap wins; expensive relocation stays with the
+  // foreground path that actually needs space. The cap never admits a fully
+  // live block — copying all of it reclaims nothing.
+  const std::uint32_t cap =
+      std::min(max_movable, geo.pages_per_block - 1);
+  std::size_t reclaimed = 0;
+  SimTime t = now;
+  while (reclaimed < max_blocks) {
+    // Peek at the would-be victim under the cheapness cap before paying for
+    // a collection round.
+    if (f.victim_->SelectVictim(f.view_, cap) == kNoVictim) break;
+    if (!CollectOne(t, geo.pages_per_block - 1)) break;
+    ++reclaimed;
+  }
+  return reclaimed;
+}
+
+}  // namespace insider::ftl

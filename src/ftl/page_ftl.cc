@@ -13,14 +13,20 @@ PageFtl::PageFtl(const FtlConfig& config)
     : config_(config),
       nand_(config.geometry, config.latency, config.errors,
             config.error_seed),
-      queue_(config.recovery_queue_capacity) {
+      queue_(config.recovery_queue_capacity),
+      allocation_(MakeAllocationPolicy(config)),
+      victim_(MakeVictimPolicy(config)),
+      retention_(MakeRetentionPolicy(config)),
+      view_(config_.geometry, nand_, block_counters_, active_block_per_chip_,
+            free_blocks_by_chip_),
+      gc_(*this) {
   const nand::Geometry& geo = config_.geometry;
   exported_lbas_ = static_cast<Lba>(
       static_cast<double>(geo.TotalPages()) * config_.exported_fraction);
   l2p_.assign(exported_lbas_, nand::kInvalidPpa);
   p2l_.assign(geo.TotalPages(), kInvalidLba);
   page_state_.assign(geo.TotalPages(), PageState::kFree);
-  block_info_.assign(geo.TotalBlocks(), BlockInfo{});
+  block_counters_.assign(geo.TotalBlocks(), BlockCounters{});
   free_blocks_by_chip_.resize(geo.TotalChips());
   active_block_per_chip_.assign(geo.TotalChips(), kNoActiveBlock);
   // Push each chip's blocks in reverse so pop_back hands out block 0 first;
@@ -33,6 +39,21 @@ PageFtl::PageFtl(const FtlConfig& config)
     }
   }
   free_block_count_ = geo.TotalBlocks();
+}
+
+void PageFtl::SetAllocationPolicy(std::unique_ptr<AllocationPolicy> policy) {
+  assert(policy);
+  allocation_ = std::move(policy);
+}
+
+void PageFtl::SetVictimPolicy(std::unique_ptr<VictimPolicy> policy) {
+  assert(policy);
+  victim_ = std::move(policy);
+}
+
+void PageFtl::SetRetentionPolicy(std::unique_ptr<RetentionPolicy> policy) {
+  assert(policy);
+  retention_ = std::move(policy);
 }
 
 bool PageFtl::IsActiveBlock(std::uint32_t block_id) const {
@@ -52,31 +73,31 @@ nand::BlockAddr PageFtl::AddrOfBlockId(std::uint32_t block_id) const {
 
 nand::Ppa PageFtl::AllocatePage() {
   const nand::Geometry& geo = config_.geometry;
-  // Stripe across chips round-robin; skip chips that are full and have no
-  // free block to open.
-  for (std::uint32_t tries = 0; tries < geo.TotalChips(); ++tries) {
-    std::uint32_t chip = next_chip_;
-    next_chip_ = (next_chip_ + 1) % geo.TotalChips();
-    std::uint32_t& active = active_block_per_chip_[chip];
-    if (active == kNoActiveBlock ||
-        nand_.BlockAt(AddrOfBlockId(active)).IsFull()) {
-      auto& pool = free_blocks_by_chip_[chip];
-      if (pool.empty()) continue;
-      active = pool.back();
-      pool.pop_back();
-      --free_block_count_;
-    }
-    nand::BlockAddr addr = AddrOfBlockId(active);
-    std::uint32_t page = nand_.BlockAt(addr).WritePointer();
-    return geo.MakePpa(addr.chip, addr.block, page);
+  std::optional<std::uint32_t> chip = allocation_->NextChip(view_);
+  if (!chip) return nand::kInvalidPpa;
+  std::uint32_t& active = active_block_per_chip_[*chip];
+  if (active == kNoActiveBlock ||
+      nand_.BlockAt(AddrOfBlockId(active)).IsFull()) {
+    auto& pool = free_blocks_by_chip_[*chip];
+    assert(!pool.empty());  // ChipCanAllocate guaranteed a free block
+    active = pool.back();
+    pool.pop_back();
+    --free_block_count_;
   }
-  return nand::kInvalidPpa;
+  nand::BlockAddr addr = AddrOfBlockId(active);
+  std::uint32_t page = nand_.BlockAt(addr).WritePointer();
+  return geo.MakePpa(addr.chip, addr.block, page);
+}
+
+void PageFtl::RecycleBlock(std::uint32_t block_id) {
+  free_blocks_by_chip_[AddrOfBlockId(block_id).chip].push_back(block_id);
+  ++free_block_count_;
 }
 
 void PageFtl::ReleaseBackup(const BackupEntry& entry) {
   assert(page_state_[entry.old_ppa] == PageState::kRetained);
   page_state_[entry.old_ppa] = PageState::kInvalid;
-  BlockInfo& info = block_info_[BlockIdOf(entry.old_ppa)];
+  BlockCounters& info = block_counters_[BlockIdOf(entry.old_ppa)];
   assert(info.retained > 0);
   --info.retained;
   --retained_pages_;
@@ -85,7 +106,7 @@ void PageFtl::ReleaseBackup(const BackupEntry& entry) {
 
 void PageFtl::ReleaseExpired(SimTime now) {
   if (!config_.delayed_deletion) return;
-  queue_.ReleaseUpTo(now - config_.retention_window,
+  queue_.ReleaseUpTo(retention_->ExpiryHorizon(now),
                      [this](const BackupEntry& e) {
                        ReleaseBackup(e);
                        ++stats_.retained_released;
@@ -95,7 +116,7 @@ void PageFtl::ReleaseExpired(SimTime now) {
 void PageFtl::MarkInvalid(nand::Ppa ppa) {
   assert(page_state_[ppa] == PageState::kValid);
   page_state_[ppa] = PageState::kInvalid;
-  BlockInfo& info = block_info_[BlockIdOf(ppa)];
+  BlockCounters& info = block_counters_[BlockIdOf(ppa)];
   assert(info.valid > 0);
   --info.valid;
   --valid_pages_;
@@ -109,7 +130,7 @@ void PageFtl::Retire(Lba lba, nand::Ppa old_ppa, SimTime now) {
   }
   assert(page_state_[old_ppa] == PageState::kValid);
   page_state_[old_ppa] = PageState::kRetained;
-  BlockInfo& info = block_info_[BlockIdOf(old_ppa)];
+  BlockCounters& info = block_counters_[BlockIdOf(old_ppa)];
   --info.valid;
   ++info.retained;
   --valid_pages_;
@@ -121,125 +142,6 @@ void PageFtl::Retire(Lba lba, nand::Ppa old_ppa, SimTime now) {
   }
 }
 
-bool PageFtl::CollectOneBlock(SimTime& now) {
-  const nand::Geometry& geo = config_.geometry;
-  // Greedy victim selection: the full block with the fewest movable pages.
-  std::uint32_t victim = kNoActiveBlock;
-  std::uint32_t best_movable = geo.pages_per_block;
-  std::uint64_t best_erases = 0;
-  for (std::uint32_t b = 0; b < geo.TotalBlocks(); ++b) {
-    if (IsActiveBlock(b)) continue;
-    const nand::Block& blk = nand_.BlockAt(AddrOfBlockId(b));
-    if (!blk.IsFull()) continue;
-    std::uint32_t movable = block_info_[b].Movable();
-    // Greedy on copy cost; ties go to the least-worn block (wear leveling).
-    if (movable < best_movable ||
-        (movable == best_movable && victim != kNoActiveBlock &&
-         blk.EraseCount() < best_erases)) {
-      best_movable = movable;
-      best_erases = blk.EraseCount();
-      victim = b;
-    }
-  }
-  if (victim == kNoActiveBlock) return false;  // nothing reclaimable
-
-  nand::BlockAddr addr = AddrOfBlockId(victim);
-  for (std::uint32_t p = 0; p < geo.pages_per_block; ++p) {
-    nand::Ppa src = geo.MakePpa(addr.chip, addr.block, p);
-    PageState st = page_state_[src];
-    if (st != PageState::kValid && st != PageState::kRetained) continue;
-
-    nand::NandResult rd = nand_.ReadPage(src, now);
-    now = rd.complete_time;
-    if (!rd.ok()) {
-      // Uncorrectable ECC during relocation: the page's content is gone.
-      // A valid page loses its mapping; a retained page loses its backup.
-      assert(rd.status == nand::NandStatus::kUncorrectableEcc);
-      ++stats_.gc_lost_pages;
-      Lba lost_lba = p2l_[src];
-      BlockInfo& info = block_info_[victim];
-      if (st == PageState::kValid) {
-        if (lost_lba != kInvalidLba) l2p_[lost_lba] = nand::kInvalidPpa;
-        --info.valid;
-        --valid_pages_;
-      } else {
-        bool dropped = queue_.Drop(src);
-        assert(dropped);
-        (void)dropped;
-        --info.retained;
-        --retained_pages_;
-      }
-      page_state_[src] = PageState::kInvalid;
-      p2l_[src] = kInvalidLba;
-      continue;
-    }
-    nand::Ppa dst = AllocatePage();
-    if (dst == nand::kInvalidPpa) return false;  // reserve exhausted
-    nand::NandResult pr = nand_.ProgramPage(dst, *rd.data, now);
-    assert(pr.ok());
-    now = pr.complete_time;
-
-    ++stats_.gc_page_copies;
-    Lba lba = p2l_[src];
-    p2l_[dst] = lba;
-    page_state_[dst] = st;
-    BlockInfo& dst_info = block_info_[BlockIdOf(dst)];
-    BlockInfo& src_info = block_info_[victim];
-    if (st == PageState::kValid) {
-      ++dst_info.valid;
-      --src_info.valid;
-      assert(lba != kInvalidLba);
-      l2p_[lba] = dst;
-    } else {
-      ++stats_.gc_retained_copies;
-      ++dst_info.retained;
-      --src_info.retained;
-      bool relocated = queue_.Relocate(src, dst);
-      assert(relocated);
-      (void)relocated;
-    }
-    page_state_[src] = PageState::kInvalid;
-    p2l_[src] = kInvalidLba;
-  }
-
-  nand::NandResult er = nand_.EraseBlock(addr, now);
-  assert(er.ok());
-  now = er.complete_time;
-  for (std::uint32_t p = 0; p < geo.pages_per_block; ++p) {
-    page_state_[geo.MakePpa(addr.chip, addr.block, p)] = PageState::kFree;
-  }
-  assert(block_info_[victim].Movable() == 0);
-  free_blocks_by_chip_[addr.chip].push_back(victim);
-  ++free_block_count_;
-  ++stats_.gc_erases;
-  return true;
-}
-
-bool PageFtl::EnsureFreeSpace(SimTime& now) {
-  if (free_block_count_ > config_.gc_reserve_blocks) return true;
-  ++stats_.gc_invocations;
-  while (free_block_count_ <= config_.gc_reserve_blocks) {
-    if (!CollectOneBlock(now)) {
-      // Nothing reclaimable: every block is valid or retained. When the
-      // recovery queue holds backups, sacrifice the oldest ones (losing
-      // their recoverability, as a capacity-bounded queue would) so GC can
-      // make progress; otherwise the device is genuinely full.
-      if (config_.delayed_deletion && !queue_.Empty()) {
-        std::uint32_t batch = config_.geometry.pages_per_block;
-        for (std::uint32_t i = 0; i < batch; ++i) {
-          std::optional<BackupEntry> e = queue_.PopOldest();
-          if (!e) break;
-          ReleaseBackup(*e);
-          ++stats_.forced_releases;
-        }
-        continue;
-      }
-      return free_block_count_ > 0;
-    }
-  }
-  return true;
-}
-
 FtlResult PageFtl::WritePage(Lba lba, nand::PageData data, SimTime now) {
   if (read_only_) return {FtlStatus::kReadOnly, now, {}};
   if (lba >= exported_lbas_) return {FtlStatus::kOutOfRange, now, {}};
@@ -247,7 +149,7 @@ FtlResult PageFtl::WritePage(Lba lba, nand::PageData data, SimTime now) {
   // Best-effort GC; the write only fails if no programmable page exists even
   // after collection (AllocatePage can still succeed from the active block
   // when the free pool is empty).
-  EnsureFreeSpace(now);
+  gc_.EnsureFreeSpace(now);
   nand::Ppa ppa = AllocatePage();
   if (ppa == nand::kInvalidPpa) return {FtlStatus::kNoSpace, now, {}};
   nand::NandResult pr = nand_.ProgramPage(ppa, std::move(data), now);
@@ -258,7 +160,7 @@ FtlResult PageFtl::WritePage(Lba lba, nand::PageData data, SimTime now) {
   l2p_[lba] = ppa;
   p2l_[ppa] = lba;
   page_state_[ppa] = PageState::kValid;
-  ++block_info_[BlockIdOf(ppa)].valid;
+  ++block_counters_[BlockIdOf(ppa)].valid;
   ++valid_pages_;
   ++stats_.host_writes;
   return {FtlStatus::kOk, pr.complete_time, {}};
@@ -309,7 +211,7 @@ RollbackReport PageFtl::RollBack(SimTime detect_time) {
         if (current != nand::kInvalidPpa) MarkInvalid(current);
         assert(page_state_[e.old_ppa] == PageState::kRetained);
         page_state_[e.old_ppa] = PageState::kValid;
-        BlockInfo& info = block_info_[BlockIdOf(e.old_ppa)];
+        BlockCounters& info = block_counters_[BlockIdOf(e.old_ppa)];
         --info.retained;
         ++info.valid;
         --retained_pages_;
@@ -326,33 +228,17 @@ RollbackReport PageFtl::RollBack(SimTime detect_time) {
   return report;
 }
 
+std::size_t PageFtl::BackgroundCollect(SimTime now, std::size_t max_blocks) {
+  if (read_only_) return 0;
+  ReleaseExpired(now);
+  return gc_.BackgroundCollect(now, max_blocks);
+}
+
 std::size_t PageFtl::IdleCollect(SimTime now, std::size_t max_blocks,
                                  std::uint32_t max_movable) {
   if (read_only_) return 0;
   ReleaseExpired(now);
-  std::size_t reclaimed = 0;
-  SimTime t = now;
-  while (reclaimed < max_blocks) {
-    // Peek at the would-be victim: idle GC only takes cheap wins; expensive
-    // relocation stays with the foreground path that actually needs space.
-    const nand::Geometry& geo = config_.geometry;
-    std::uint32_t best = kNoActiveBlock;
-    std::uint32_t best_movable = geo.pages_per_block;
-    for (std::uint32_t b = 0; b < geo.TotalBlocks(); ++b) {
-      if (IsActiveBlock(b)) continue;
-      if (!nand_.BlockAt(AddrOfBlockId(b)).IsFull()) continue;
-      std::uint32_t movable = block_info_[b].Movable();
-      if (movable >= geo.pages_per_block) continue;  // nothing to gain
-      if (movable < best_movable) {
-        best_movable = movable;
-        best = b;
-      }
-    }
-    if (best == kNoActiveBlock || best_movable > max_movable) break;
-    if (!CollectOneBlock(t)) break;
-    ++reclaimed;
-  }
-  return reclaimed;
+  return gc_.CollectCheap(now, max_blocks, max_movable);
 }
 
 PageFtl::WearStats PageFtl::Wear() const {
@@ -394,7 +280,7 @@ std::string PageFtl::CheckInvariants() const {
 
   // Per-page state vs NAND programmed state, per-block counters, totals.
   std::uint64_t valid_total = 0, retained_total = 0;
-  std::vector<BlockInfo> recomputed(geo.TotalBlocks());
+  std::vector<BlockCounters> recomputed(geo.TotalBlocks());
   for (nand::Ppa ppa = 0; ppa < geo.TotalPages(); ++ppa) {
     PageState st = page_state_[ppa];
     bool programmed = nand_.IsProgrammed(ppa);
@@ -429,11 +315,11 @@ std::string PageFtl::CheckInvariants() const {
     }
   }
   for (std::uint32_t b = 0; b < geo.TotalBlocks(); ++b) {
-    if (recomputed[b].valid != block_info_[b].valid ||
-        recomputed[b].retained != block_info_[b].retained) {
+    if (recomputed[b].valid != block_counters_[b].valid ||
+        recomputed[b].retained != block_counters_[b].retained) {
       err << "block " << b << " counters stale (valid "
-          << block_info_[b].valid << " vs " << recomputed[b].valid
-          << ", retained " << block_info_[b].retained << " vs "
+          << block_counters_[b].valid << " vs " << recomputed[b].valid
+          << ", retained " << block_counters_[b].retained << " vs "
           << recomputed[b].retained << ")";
       return err.str();
     }

@@ -1,5 +1,5 @@
-// Page-level FTL with greedy garbage collection — the paper's baseline — plus
-// SSD-Insider's delayed-deletion extension.
+// Page-level FTL mapping core — the paper's baseline — plus SSD-Insider's
+// delayed-deletion extension.
 //
 // Conventional mode (`delayed_deletion = false`): an overwrite immediately
 // invalidates the old physical page; GC may reclaim it right away. This is
@@ -12,91 +12,36 @@
 // retention window. RollBack() replays the young part of the queue to restore
 // the mapping table to its state `retention_window` ago — the paper's
 // "perfect recovery" that needs no data copies.
+//
+// Since the policy split, this class owns only the translation *state*
+// (L2P/P2L tables, page states, per-block counters, free pools, the recovery
+// queue) and the host-facing I/O mechanics. Decisions are delegated:
+//
+//   AllocationPolicy  which chip's write frontier takes the next page
+//   VictimPolicy      which full block GC reclaims next
+//   RetentionPolicy   how long displaced versions stay recoverable
+//   GcEngine          the reclamation mechanics (foreground / background /
+//                     idle), driving the policies above
+//
+// Defaults (striped / greedy / window) reproduce the pre-split monolith
+// stat-for-stat — the gc_policy parity test pins this.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/io.h"
 #include "common/time.h"
+#include "ftl/ftl_types.h"
+#include "ftl/gc_engine.h"
+#include "ftl/policy.h"
 #include "ftl/recovery_queue.h"
 #include "nand/flash_array.h"
 
 namespace insider::ftl {
-
-enum class FtlStatus {
-  kOk,
-  kReadOnly,     ///< device latched read-only after a ransomware alarm
-  kUnmapped,     ///< read/trim of an LBA with no current mapping
-  kOutOfRange,   ///< LBA beyond exported capacity
-  kNoSpace,      ///< GC could not reclaim any block (device full)
-  kReadError,    ///< uncorrectable ECC failure; the data is lost
-};
-
-struct FtlResult {
-  FtlStatus status = FtlStatus::kOk;
-  SimTime complete_time = 0;
-  nand::PageData data;  ///< payload for reads
-
-  bool ok() const { return status == FtlStatus::kOk; }
-};
-
-struct FtlConfig {
-  nand::Geometry geometry;
-  nand::LatencyModel latency;
-  /// Media error model (disabled by default) and its deterministic seed.
-  nand::ErrorModel errors;
-  std::uint64_t error_seed = 0x5eed;
-
-  /// SSD-Insider delayed deletion on/off (off = conventional baseline).
-  bool delayed_deletion = true;
-  /// How long displaced versions stay recoverable (paper: 10 s).
-  SimTime retention_window = Seconds(10);
-  /// Recovery-queue capacity in entries (paper Table III: 2,621,440 ~ 30 MB;
-  /// 0 = unbounded). When full, the oldest backups are force-released.
-  std::size_t recovery_queue_capacity = 2'621'440;
-  /// Blocks withheld from the host so GC always has somewhere to copy to.
-  std::uint32_t gc_reserve_blocks = 2;
-  /// Fraction of physical pages exported as logical capacity; the rest is
-  /// over-provisioning for GC efficiency.
-  double exported_fraction = 0.9;
-  /// Modeled firmware cost of reverting one mapping entry during rollback.
-  SimTime rollback_entry_cost = Microseconds(1);
-};
-
-struct FtlStats {
-  std::uint64_t host_reads = 0;
-  std::uint64_t host_writes = 0;
-  std::uint64_t host_trims = 0;
-  std::uint64_t gc_invocations = 0;
-  std::uint64_t gc_page_copies = 0;      ///< valid + retained copies (Fig. 9)
-  std::uint64_t gc_retained_copies = 0;  ///< subset forced by delayed deletion
-  std::uint64_t gc_erases = 0;
-  std::uint64_t retained_released = 0;   ///< backups aged out of the window
-  std::uint64_t queue_evictions = 0;     ///< backups dropped by capacity
-  std::uint64_t forced_releases = 0;     ///< backups sacrificed to free space
-  std::uint64_t rollbacks = 0;
-  std::uint64_t rollback_entries = 0;
-  /// Pages GC found unreadable (uncorrectable ECC): valid data or backups
-  /// lost to media errors.
-  std::uint64_t gc_lost_pages = 0;
-};
-
-struct RollbackReport {
-  std::size_t entries_reverted = 0;
-  std::size_t mappings_restored = 0;  ///< distinct LBAs whose mapping changed
-  SimTime duration = 0;               ///< modeled firmware time (paper: <1 s)
-};
-
-/// Per-physical-page state from the FTL's point of view.
-enum class PageState : std::uint8_t {
-  kFree,      ///< erased, programmable
-  kValid,     ///< current version of some LBA
-  kInvalid,   ///< superseded and reclaimable
-  kRetained,  ///< superseded but guarded by the recovery queue
-};
 
 class PageFtl {
  public:
@@ -125,6 +70,45 @@ class PageFtl {
   /// than the horizon are kept (their versions are deemed safe).
   RollbackReport RollBack(SimTime detect_time);
 
+  // Policy plumbing ------------------------------------------------------
+
+  /// Swap a policy at runtime (experiments sweep these). The default
+  /// instances are built from the FtlConfig enums.
+  void SetAllocationPolicy(std::unique_ptr<AllocationPolicy> policy);
+  void SetVictimPolicy(std::unique_ptr<VictimPolicy> policy);
+  void SetRetentionPolicy(std::unique_ptr<RetentionPolicy> policy);
+  const AllocationPolicy& Allocation() const { return *allocation_; }
+  const VictimPolicy& Victim() const { return *victim_; }
+  const RetentionPolicy& Retention() const { return *retention_; }
+
+  // Background / idle reclamation ---------------------------------------
+
+  /// True when the free pool is at or below the low watermark: the firmware
+  /// scheduler should run BackgroundCollect during host-idle gaps so writes
+  /// never block at the hard floor.
+  bool BackgroundGcNeeded() const {
+    return !read_only_ &&
+           free_block_count_ <= config_.gc_low_watermark_blocks;
+  }
+
+  /// One bounded background-GC step (scheduler task body): reclaim up to
+  /// `max_blocks` blocks, stopping at the high watermark. Returns blocks
+  /// reclaimed.
+  std::size_t BackgroundCollect(SimTime now, std::size_t max_blocks);
+
+  /// Background garbage collection during host-idle time: reclaim up to
+  /// `max_blocks` blocks that are free to collect *cheaply* (at most
+  /// `max_movable` live pages each), so foreground writes find a warm free
+  /// pool. Retained pages are honored exactly as in foreground GC. Returns
+  /// the number of blocks reclaimed.
+  std::size_t IdleCollect(SimTime now, std::size_t max_blocks,
+                          std::uint32_t max_movable = 8);
+
+  /// Release recovery-queue entries older than the retention policy's
+  /// horizon. The I/O paths call this implicitly; exposed so the firmware
+  /// scheduler can age backups out during idle time too.
+  void ReleaseExpired(SimTime now);
+
   // Introspection -------------------------------------------------------
 
   const FtlConfig& Config() const { return config_; }
@@ -149,48 +133,30 @@ class PageFtl {
   };
   WearStats Wear() const;
 
-  /// Release recovery-queue entries older than now - retention_window. The
-  /// I/O paths call this implicitly; exposed so idle time can be simulated.
-  void ReleaseExpired(SimTime now);
-
-  /// Background garbage collection during host-idle time: reclaim up to
-  /// `max_blocks` blocks that are free to collect *cheaply* (at most
-  /// `max_movable` live pages each), so foreground writes find a warm free
-  /// pool. Retained pages are honored exactly as in foreground GC. Returns
-  /// the number of blocks reclaimed.
-  std::size_t IdleCollect(SimTime now, std::size_t max_blocks,
-                          std::uint32_t max_movable = 8);
-
   /// Exhaustive cross-check of every FTL invariant (L2P/P2L agreement, block
   /// counters, queue guards). Used by property tests; returns a description
   /// of the first violation or empty string if consistent.
   std::string CheckInvariants() const;
 
  private:
-  struct BlockInfo {
-    std::uint32_t valid = 0;
-    std::uint32_t retained = 0;
-    std::uint32_t Movable() const { return valid + retained; }
-  };
+  friend class GcEngine;  // the engine mutates mapping state via the helpers
+                          // below; it lives in gc_engine.cc to keep the
+                          // mechanics out of the mapping core
 
   std::uint32_t BlockIdOf(nand::Ppa ppa) const;
   nand::BlockAddr AddrOfBlockId(std::uint32_t block_id) const;
-
-  /// Get a programmable PPA at a write frontier. The FTL keeps one active
-  /// block per chip and stripes consecutive allocations across chips, the
-  /// way a real controller exploits channel/way parallelism. Returns
-  /// kInvalidPpa if every chip is out of free blocks and full.
-  nand::Ppa AllocatePage();
   bool IsActiveBlock(std::uint32_t block_id) const;
 
-  /// Run GC until the free pool exceeds the reserve, accumulating NAND time
-  /// into `now`. Returns false if nothing could be reclaimed.
-  bool EnsureFreeSpace(SimTime& now);
-  bool CollectOneBlock(SimTime& now);
+  /// Get a programmable PPA at a write frontier: ask the allocation policy
+  /// for a chip, open a fresh block there if the active one is full. Returns
+  /// kInvalidPpa if every chip is out of free blocks and full.
+  nand::Ppa AllocatePage();
 
   void MarkInvalid(nand::Ppa ppa);
   void Retire(Lba lba, nand::Ppa old_ppa, SimTime now);
   void ReleaseBackup(const BackupEntry& entry);
+  /// Return an erased block to its chip's free pool.
+  void RecycleBlock(std::uint32_t block_id);
 
   FtlConfig config_;
   nand::FlashArray nand_;
@@ -199,13 +165,12 @@ class PageFtl {
   std::vector<nand::Ppa> l2p_;
   std::vector<Lba> p2l_;
   std::vector<PageState> page_state_;
-  std::vector<BlockInfo> block_info_;
+  std::vector<BlockCounters> block_counters_;
   /// Per-chip LIFO pools of erased block ids plus one active block per chip.
   std::vector<std::vector<std::uint32_t>> free_blocks_by_chip_;
   std::vector<std::uint32_t> active_block_per_chip_;
   std::size_t free_block_count_ = 0;
-  std::uint32_t next_chip_ = 0;  ///< round-robin striping cursor
-  static constexpr std::uint32_t kNoActiveBlock = 0xFFFFFFFFu;
+  static constexpr std::uint32_t kNoActiveBlock = PolicyView::kNoActiveBlockId;
 
   RecoveryQueue queue_;
   bool read_only_ = false;
@@ -213,6 +178,12 @@ class PageFtl {
   std::uint64_t valid_pages_ = 0;
   std::uint64_t retained_pages_ = 0;
   FtlStats stats_;
+
+  std::unique_ptr<AllocationPolicy> allocation_;
+  std::unique_ptr<VictimPolicy> victim_;
+  std::unique_ptr<RetentionPolicy> retention_;
+  PolicyView view_;
+  GcEngine gc_;
 };
 
 }  // namespace insider::ftl

@@ -1,0 +1,105 @@
+#include "ftl/policy.h"
+
+namespace insider::ftl {
+
+std::optional<std::uint32_t> StripedAllocationPolicy::NextChip(
+    const PolicyView& view) {
+  // Stripe across chips round-robin; skip chips that are full and have no
+  // free block to open. The cursor advances past skipped chips too, so the
+  // stripe stays fair as chips fill at different rates.
+  const std::uint32_t chips = view.ChipCount();
+  for (std::uint32_t tries = 0; tries < chips; ++tries) {
+    std::uint32_t chip = next_chip_;
+    next_chip_ = (next_chip_ + 1) % chips;
+    if (view.ChipCanAllocate(chip)) return chip;
+  }
+  return std::nullopt;
+}
+
+std::uint32_t GreedyVictimPolicy::SelectVictim(const PolicyView& view,
+                                               std::uint32_t max_movable) {
+  std::uint32_t victim = kNoVictim;
+  std::uint32_t best_movable = max_movable + 1;
+  std::uint64_t best_erases = 0;
+  const std::uint32_t total = view.TotalBlocks();
+  for (std::uint32_t b = 0; b < total; ++b) {
+    if (view.IsActive(b)) continue;
+    if (!view.IsFull(b)) continue;
+    std::uint32_t movable = view.MovablePages(b);
+    // Greedy on copy cost; ties go to the least-worn block (wear leveling).
+    if (movable < best_movable ||
+        (movable == best_movable && victim != kNoVictim &&
+         view.EraseCount(b) < best_erases)) {
+      best_movable = movable;
+      best_erases = view.EraseCount(b);
+      victim = b;
+    }
+  }
+  return victim;
+}
+
+std::uint32_t CostBenefitVictimPolicy::SelectVictim(
+    const PolicyView& view, std::uint32_t max_movable) {
+  const std::uint32_t total = view.TotalBlocks();
+  const double pages = static_cast<double>(view.Geo().pages_per_block);
+
+  // First pass: the wear ceiling among candidates, to normalize coldness.
+  std::uint64_t max_erases = 0;
+  for (std::uint32_t b = 0; b < total; ++b) {
+    if (view.IsActive(b) || !view.IsFull(b)) continue;
+    if (view.MovablePages(b) > max_movable) continue;
+    max_erases = std::max(max_erases, view.EraseCount(b));
+  }
+
+  std::uint32_t victim = kNoVictim;
+  double best_score = -1.0;
+  for (std::uint32_t b = 0; b < total; ++b) {
+    if (view.IsActive(b) || !view.IsFull(b)) continue;
+    std::uint32_t movable = view.MovablePages(b);
+    if (movable > max_movable) continue;
+    double u = static_cast<double>(movable) / pages;
+    // (1 - u) / (2u): payoff of the freed space over the read+write copy
+    // cost. The +epsilon keeps u == 0 finite (and maximal).
+    double score = (1.0 - u) / (2.0 * u + 1e-9);
+    // Coldness bonus: lightly-erased blocks are preferred so reclamation
+    // doubles as wear leveling.
+    double coldness =
+        static_cast<double>(max_erases - view.EraseCount(b)) /
+        static_cast<double>(max_erases + 1);
+    score *= 1.0 + wear_weight_ * coldness;
+    if (score > best_score) {
+      best_score = score;
+      victim = b;
+    }
+  }
+  return victim;
+}
+
+std::unique_ptr<AllocationPolicy> MakeAllocationPolicy(
+    const FtlConfig& config) {
+  switch (config.allocation_policy) {
+    case AllocationPolicyKind::kStriped:
+      break;
+  }
+  return std::make_unique<StripedAllocationPolicy>();
+}
+
+std::unique_ptr<VictimPolicy> MakeVictimPolicy(const FtlConfig& config) {
+  switch (config.victim_policy) {
+    case VictimPolicyKind::kCostBenefit:
+      return std::make_unique<CostBenefitVictimPolicy>();
+    case VictimPolicyKind::kGreedy:
+      break;
+  }
+  return std::make_unique<GreedyVictimPolicy>();
+}
+
+std::unique_ptr<RetentionPolicy> MakeRetentionPolicy(const FtlConfig& config) {
+  switch (config.retention_policy) {
+    case RetentionPolicyKind::kWindow:
+      break;
+  }
+  return std::make_unique<WindowRetentionPolicy>(config.retention_window);
+}
+
+}  // namespace insider::ftl

@@ -1,0 +1,224 @@
+// Pluggable FTL policies.
+//
+// The mapping core (page_ftl.h) keeps the translation state and the I/O
+// mechanics; *what* to do with the freedom those mechanics leave — which
+// chip's write frontier supplies the next page, which full block GC should
+// reclaim, how long displaced versions stay recoverable — is delegated to
+// three small policy interfaces, the way log-structured systems expose
+// selectable cleaning policies (LightNVM targets, F2FS victim selection).
+//
+// Policies see the core through PolicyView, a read-only window over the
+// per-block counters, the NAND wear/fullness state and the allocation
+// frontiers. They hold their own cursor/state but never mutate the core;
+// the core and the GC engine apply their decisions.
+//
+// The default implementations reproduce the pre-refactor monolith decision
+// for decision (the gc_policy parity test pins this stat-for-stat).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "ftl/ftl_types.h"
+#include "nand/flash_array.h"
+
+namespace insider::ftl {
+
+/// No reclaimable block satisfied the victim constraints.
+inline constexpr std::uint32_t kNoVictim = 0xFFFFFFFFu;
+
+/// Read-only window onto the mapping core for policy decisions. Cheap,
+/// non-virtual accessors: victim scans touch every block and allocation runs
+/// once per page program, so this sits on hot paths.
+class PolicyView {
+ public:
+  PolicyView(const nand::Geometry& geometry, const nand::FlashArray& nand,
+             const std::vector<BlockCounters>& block_counters,
+             const std::vector<std::uint32_t>& active_block_per_chip,
+             const std::vector<std::vector<std::uint32_t>>& free_blocks_by_chip)
+      : geometry_(geometry), nand_(nand), block_counters_(block_counters),
+        active_block_per_chip_(active_block_per_chip),
+        free_blocks_by_chip_(free_blocks_by_chip) {}
+
+  const nand::Geometry& Geo() const { return geometry_; }
+  std::uint32_t TotalBlocks() const {
+    return static_cast<std::uint32_t>(geometry_.TotalBlocks());
+  }
+
+  // Victim-selection side ------------------------------------------------
+
+  std::uint32_t ValidPages(std::uint32_t block_id) const {
+    return block_counters_[block_id].valid;
+  }
+  std::uint32_t RetainedPages(std::uint32_t block_id) const {
+    return block_counters_[block_id].retained;
+  }
+  /// Pages GC would have to copy to reclaim this block.
+  std::uint32_t MovablePages(std::uint32_t block_id) const {
+    return block_counters_[block_id].Movable();
+  }
+  /// Only full blocks are reclaimable (their write frontier is closed).
+  bool IsFull(std::uint32_t block_id) const {
+    return nand_.BlockAt(AddrOf(block_id)).IsFull();
+  }
+  /// An active block is some chip's open write frontier; GC must skip it.
+  bool IsActive(std::uint32_t block_id) const {
+    std::uint32_t chip = block_id / geometry_.blocks_per_chip;
+    return active_block_per_chip_[chip] == block_id;
+  }
+  std::uint64_t EraseCount(std::uint32_t block_id) const {
+    return nand_.BlockAt(AddrOf(block_id)).EraseCount();
+  }
+
+  // Allocation side ------------------------------------------------------
+
+  std::uint32_t ChipCount() const { return geometry_.TotalChips(); }
+  /// Can this chip supply a programmable page right now — either its active
+  /// block has room or a free block is available to open?
+  bool ChipCanAllocate(std::uint32_t chip) const {
+    std::uint32_t active = active_block_per_chip_[chip];
+    if (active != kNoActiveBlockId &&
+        !nand_.BlockAt(AddrOf(active)).IsFull()) {
+      return true;
+    }
+    return !free_blocks_by_chip_[chip].empty();
+  }
+  std::size_t FreeBlocksOnChip(std::uint32_t chip) const {
+    return free_blocks_by_chip_[chip].size();
+  }
+
+  static constexpr std::uint32_t kNoActiveBlockId = 0xFFFFFFFFu;
+
+ private:
+  nand::BlockAddr AddrOf(std::uint32_t block_id) const {
+    return {block_id / geometry_.blocks_per_chip,
+            block_id % geometry_.blocks_per_chip};
+  }
+
+  const nand::Geometry& geometry_;
+  const nand::FlashArray& nand_;
+  const std::vector<BlockCounters>& block_counters_;
+  const std::vector<std::uint32_t>& active_block_per_chip_;
+  const std::vector<std::vector<std::uint32_t>>& free_blocks_by_chip_;
+};
+
+// ---------------------------------------------------------------------------
+// Allocation policy: which chip's write frontier takes the next page.
+
+class AllocationPolicy {
+ public:
+  virtual ~AllocationPolicy() = default;
+  virtual const char* Name() const = 0;
+
+  /// Chip to allocate the next page from, or nullopt when no chip can
+  /// allocate (device full). Called once per page program — host writes and
+  /// GC relocation share one policy instance, so one frontier cursor.
+  virtual std::optional<std::uint32_t> NextChip(const PolicyView& view) = 0;
+};
+
+/// Round-robin chip striping: consecutive allocations walk the chips so a
+/// burst of writes spreads across every channel/way, the way a real
+/// controller exploits array parallelism. Chips that are full (no room, no
+/// free block) are skipped without losing the cursor's fairness.
+class StripedAllocationPolicy final : public AllocationPolicy {
+ public:
+  const char* Name() const override { return "striped"; }
+  std::optional<std::uint32_t> NextChip(const PolicyView& view) override;
+
+ private:
+  std::uint32_t next_chip_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Victim policy: which full block GC reclaims next.
+
+class VictimPolicy {
+ public:
+  virtual ~VictimPolicy() = default;
+  virtual const char* Name() const = 0;
+
+  /// Pick a reclaimable block: full, not an active frontier, and with at
+  /// most `max_movable` live (valid+retained) pages. Foreground GC passes
+  /// pages_per_block - 1 (any block that frees at least one page);
+  /// idle/background GC passes a smaller cap to take only cheap wins.
+  /// Returns kNoVictim when nothing qualifies.
+  virtual std::uint32_t SelectVictim(const PolicyView& view,
+                                     std::uint32_t max_movable) = 0;
+};
+
+/// Greedy selection: the full block with the fewest movable pages (minimum
+/// copy cost), ties broken toward the least-worn block so wear stays
+/// bounded. This is the paper's baseline GC and the parity-pinned default.
+class GreedyVictimPolicy final : public VictimPolicy {
+ public:
+  const char* Name() const override { return "greedy"; }
+  std::uint32_t SelectVictim(const PolicyView& view,
+                             std::uint32_t max_movable) override;
+};
+
+/// Cost-benefit selection with wear awareness: score each candidate by the
+/// classic (1 - u) / (2u) reclamation ratio (u = movable fraction; reading
+/// the block costs u, writing it back costs u, the payoff is 1 - u) scaled
+/// by a coldness bonus for lightly-erased blocks. Versus greedy it will
+/// accept a slightly fuller victim when that victim is much colder, trading
+/// a few extra copies for a flatter wear distribution — the knob the
+/// delayed-deletion GC debate in the paper is actually about.
+class CostBenefitVictimPolicy final : public VictimPolicy {
+ public:
+  /// `wear_weight` scales the coldness bonus; 0 degenerates to pure
+  /// cost-benefit.
+  explicit CostBenefitVictimPolicy(double wear_weight = 0.5)
+      : wear_weight_(wear_weight) {}
+  const char* Name() const override { return "cost-benefit"; }
+  std::uint32_t SelectVictim(const PolicyView& view,
+                             std::uint32_t max_movable) override;
+
+ private:
+  double wear_weight_;
+};
+
+// ---------------------------------------------------------------------------
+// Retention policy: how long displaced versions stay recoverable.
+
+class RetentionPolicy {
+ public:
+  virtual ~RetentionPolicy() = default;
+  virtual const char* Name() const = 0;
+
+  /// Backups written at or before this horizon have aged out and are
+  /// released to the GC. The paper's rule: now - retention_window.
+  virtual SimTime ExpiryHorizon(SimTime now) const = 0;
+
+  /// How many of the oldest backups to sacrifice per attempt when GC finds
+  /// nothing reclaimable and the device would otherwise refuse writes.
+  virtual std::uint32_t ForcedReleaseBatch(
+      const nand::Geometry& geometry) const = 0;
+};
+
+/// The paper's window rule: a fixed recoverability window (10 s in the
+/// prototype), with space-pressure sacrifices sized to one erase block so a
+/// forced round can actually make a block reclaimable.
+class WindowRetentionPolicy final : public RetentionPolicy {
+ public:
+  explicit WindowRetentionPolicy(SimTime window) : window_(window) {}
+  const char* Name() const override { return "window"; }
+  SimTime ExpiryHorizon(SimTime now) const override { return now - window_; }
+  std::uint32_t ForcedReleaseBatch(
+      const nand::Geometry& geometry) const override {
+    return geometry.pages_per_block;
+  }
+
+ private:
+  SimTime window_;
+};
+
+// ---------------------------------------------------------------------------
+// Factories from the config enums.
+
+std::unique_ptr<AllocationPolicy> MakeAllocationPolicy(const FtlConfig& config);
+std::unique_ptr<VictimPolicy> MakeVictimPolicy(const FtlConfig& config);
+std::unique_ptr<RetentionPolicy> MakeRetentionPolicy(const FtlConfig& config);
+
+}  // namespace insider::ftl

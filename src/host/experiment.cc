@@ -17,7 +17,11 @@ DetectionRun RunDetection(const core::DecisionTree& tree,
                           const core::DetectorConfig& config,
                           const std::vector<wl::TaggedRequest>& merged,
                           SimTime scored_from) {
-  core::Detector detector(config, tree);
+  // Offline replay reads every slice back, so opt out of the firmware ring
+  // cap regardless of what the caller's device config says.
+  core::DetectorConfig full_history = config;
+  full_history.history_limit = 0;
+  core::Detector detector(full_history, tree);
   SimTime last_time = 0;
   for (const wl::TaggedRequest& t : merged) {
     detector.OnRequest(t.request);
@@ -26,7 +30,7 @@ DetectionRun RunDetection(const core::DecisionTree& tree,
   detector.AdvanceTo(last_time + config.slice_length);
 
   DetectionRun run;
-  run.slices = detector.History();
+  run.slices.assign(detector.History().begin(), detector.History().end());
   for (const core::SliceRecord& rec : run.slices) {
     run.max_score = std::max(run.max_score, rec.score);
     if (rec.end_time >= scored_from) {

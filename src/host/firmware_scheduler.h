@@ -1,0 +1,97 @@
+// Cooperative firmware task scheduler.
+//
+// A real SSD controller runs housekeeping — background GC, retention aging,
+// detector bookkeeping — on firmware threads that yield to host commands.
+// The simulator models that as a min-heap of deferred tasks in virtual time:
+// the device registers work with a due time, and whoever owns the clock
+// (io::IoEngine between commands, Ssd::IdleUntil during idle stretches)
+// drains every task that has come due. Tasks never preempt a host command;
+// they run in the gaps, which is exactly the property the background-GC
+// watermark design needs (foreground writes only block at the hard floor).
+//
+// A task is a callback `SimTime fn(SimTime now)` invoked at its due time; it
+// returns the next time it wants to run, or kNever to retire. Ties run in
+// scheduling order (FIFO by sequence number), so a task registered first
+// wins a same-instant race — the Ssd relies on this to close detector
+// slices before firing idle GC at the same timestamp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <optional>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/time.h"
+
+namespace insider::host {
+
+class FirmwareScheduler {
+ public:
+  using TaskId = std::uint64_t;
+  using TaskFn = std::function<SimTime(SimTime)>;
+
+  /// Returned by a task that does not want to run again.
+  static constexpr SimTime kNever = std::numeric_limits<SimTime>::max();
+  static constexpr TaskId kInvalidTask = 0;
+
+  struct Stats {
+    std::uint64_t scheduled = 0;  ///< tasks registered
+    std::uint64_t runs = 0;       ///< task invocations
+    std::uint64_t cancelled = 0;
+  };
+
+  /// Register `fn` to run at virtual time `due`. The name is diagnostic
+  /// (stats / debugging), not an identity — schedule the same name twice and
+  /// both run.
+  TaskId Schedule(std::string name, SimTime due, TaskFn fn);
+
+  /// Remove a pending task. Returns false if it already retired.
+  bool Cancel(TaskId id);
+
+  /// Move a pending task to a new due time. Returns false if it retired.
+  bool Reschedule(TaskId id, SimTime due);
+
+  /// Earliest pending due time, if any task is registered.
+  std::optional<SimTime> NextDue() const;
+
+  /// Run every task whose due time is <= now, in (due, registration) order,
+  /// re-queueing tasks that return a new due time (which may itself be
+  /// <= now: a periodic task catches up through a long gap by running once
+  /// per period). Returns the number of task invocations.
+  std::size_t RunUntil(SimTime now);
+
+  std::size_t PendingTasks() const { return tasks_.size(); }
+  const Stats& GetStats() const { return stats_; }
+
+ private:
+  struct Task {
+    std::string name;
+    TaskFn fn;
+    SimTime due = 0;  ///< authoritative; stale heap entries are skipped
+  };
+  struct HeapEntry {
+    SimTime due = 0;
+    std::uint64_t seq = 0;
+    TaskId id = kInvalidTask;
+    bool operator>(const HeapEntry& other) const {
+      if (due != other.due) return due > other.due;
+      return seq > other.seq;
+    }
+  };
+
+  void Push(TaskId id, SimTime due);
+
+  std::unordered_map<TaskId, Task> tasks_;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>
+      heap_;
+  TaskId next_id_ = 1;
+  std::uint64_t next_seq_ = 0;
+  Stats stats_;
+};
+
+}  // namespace insider::host

@@ -8,7 +8,65 @@ namespace insider::host {
 
 Ssd::Ssd(const SsdConfig& config, core::DecisionTree tree)
     : config_(config), ftl_(config.ftl),
-      detector_(config.detector, std::move(tree)) {}
+      detector_(config.detector, std::move(tree)) {
+  InstallFirmwareTasks();
+}
+
+void Ssd::InstallFirmwareTasks() {
+  // Detector slice tick: closes slices on time during command gaps instead
+  // of waiting for the next request header. Self-healing: requests may have
+  // closed slices already (Observe advances the detector too), so each run
+  // just catches up and recomputes its next due from detector state.
+  if (config_.detector_enabled) {
+    detector_tick_ = scheduler_.Schedule(
+        "detector_tick", detector_.NextSliceEnd(), [this](SimTime now) {
+          AdvanceDetector(now);
+          return detector_.NextSliceEnd();
+        });
+  }
+  // Retention aging: backups fall out of the recoverability window during
+  // gaps too, not only when the next I/O happens to land (every FTL I/O
+  // still ages the queue first, so foreground behavior is unchanged).
+  if (config_.ftl.delayed_deletion) {
+    scheduler_.Schedule("retention_expiry", config_.firmware_tick,
+                        [this](SimTime now) {
+                          ftl_.ReleaseExpired(now);
+                          return now + config_.firmware_tick;
+                        });
+  }
+}
+
+void Ssd::AdvanceDetector(SimTime now) {
+  if (!config_.detector_enabled) return;
+  bool was_active = detector_.AlarmActive();
+  detector_.AdvanceTo(now);
+  if (!was_active && detector_.AlarmActive()) {
+    if (config_.auto_read_only) ftl_.SetReadOnly(true);
+    if (alarm_callback_) alarm_callback_(now);
+  }
+}
+
+void Ssd::MaybeArmBackgroundGc() {
+  if (bg_gc_armed_ || !ftl_.BackgroundGcNeeded()) return;
+  bg_gc_armed_ = true;
+  scheduler_.Schedule(
+      "background_gc", clock_.Now() + config_.gc_task_interval,
+      [this](SimTime now) {
+        std::size_t reclaimed =
+            ftl_.BackgroundCollect(now, config_.gc_task_block_budget);
+        if (reclaimed == config_.gc_task_block_budget) {
+          // Budget exhausted with the pool still short: keep going next
+          // quantum.
+          return now + config_.gc_task_interval;
+        }
+        // Reached the high watermark (or nothing is reclaimable without
+        // sacrificing backups — that call belongs to the foreground path).
+        bg_gc_armed_ = false;
+        return FirmwareScheduler::kNever;
+      });
+}
+
+void Ssd::DrainFirmware(SimTime until) { scheduler_.RunUntil(until); }
 
 void Ssd::Observe(const IoRequest& request) {
   if (!config_.detector_enabled) return;
@@ -53,6 +111,7 @@ ftl::FtlStatus Ssd::Submit(const IoRequest& request, std::uint64_t stamp_base) {
     }
     clock_.AdvanceTo(now);
   }
+  MaybeArmBackgroundGc();
   return ftl::FtlStatus::kOk;
 }
 
@@ -90,6 +149,7 @@ Ssd::SubmitOutcome Ssd::SubmitAsync(const IoRequest& request,
       outcome.complete_time = r.complete_time;
     }
   }
+  MaybeArmBackgroundGc();
   return outcome;
 }
 
@@ -98,6 +158,7 @@ ftl::FtlResult Ssd::WriteBlockAt(Lba lba, nand::PageData data, SimTime now) {
   Observe({now, lba, 1, IoMode::kWrite});
   ftl::FtlResult r = ftl_.WritePage(lba, std::move(data), now);
   if (r.ok()) clock_.AdvanceTo(r.complete_time);
+  MaybeArmBackgroundGc();
   return r;
 }
 
@@ -147,6 +208,7 @@ bool Ssd::WriteBlock(std::uint64_t lba, std::span<const std::byte> data) {
   SimTime now = clock_.Now();
   Observe({now, lba, 1, IoMode::kWrite});
   ftl::FtlResult r = ftl_.WritePage(lba, std::move(page), now);
+  MaybeArmBackgroundGc();
   return r.ok();
 }
 
@@ -170,27 +232,37 @@ ftl::RollbackReport Ssd::RollBackNow() {
 void Ssd::Reboot() {
   ftl_.SetReadOnly(false);
   detector_.Reset();
+  // The pending tick's due time belongs to the pre-reset slice numbering.
+  if (detector_tick_ != FirmwareScheduler::kInvalidTask) {
+    scheduler_.Reschedule(detector_tick_, detector_.NextSliceEnd());
+  }
 }
 
 void Ssd::DismissAlarm() {
   ftl_.SetReadOnly(false);
   detector_.Reset();
+  if (detector_tick_ != FirmwareScheduler::kInvalidTask) {
+    scheduler_.Reschedule(detector_tick_, detector_.NextSliceEnd());
+  }
 }
 
 void Ssd::IdleUntil(SimTime t) {
   clock_.AdvanceTo(t);
-  if (config_.detector_enabled) {
-    bool was_active = detector_.AlarmActive();
-    detector_.AdvanceTo(t);
-    if (!was_active && detector_.AlarmActive()) {
-      if (config_.auto_read_only) ftl_.SetReadOnly(true);
-      if (alarm_callback_) alarm_callback_(t);
-    }
-  }
-  ftl_.ReleaseExpired(t);
-  // Host idle time is when real drives run background GC; take a few cheap
-  // wins so the next write burst finds a warm free pool.
-  ftl_.IdleCollect(t, /*max_blocks=*/4);
+  // Host idle time is when real firmware catches up: the drain below runs
+  // the detector's slice ticks, ages backups out of the window, and lets an
+  // armed background-GC task work. The one-shot registered here adds the
+  // cheap idle sweep at the end of the stretch so the next write burst
+  // finds a warm free pool.
+  scheduler_.Schedule("idle_gc", t, [this](SimTime now) {
+    // Seed ordering: close slices (a raised alarm latches read-only and
+    // mutes collection) before touching the FTL.
+    AdvanceDetector(now);
+    ftl_.ReleaseExpired(now);
+    ftl_.IdleCollect(now, config_.gc_task_block_budget,
+                     config_.idle_gc_max_movable);
+    return FirmwareScheduler::kNever;
+  });
+  DrainFirmware(t);
 }
 
 }  // namespace insider::host

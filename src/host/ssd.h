@@ -16,6 +16,7 @@
 #include "core/detector.h"
 #include "fs/block_device.h"
 #include "ftl/page_ftl.h"
+#include "host/firmware_scheduler.h"
 
 namespace insider::host {
 
@@ -31,6 +32,22 @@ struct SsdConfig {
   /// Virtual host-side gap inserted between successive blocks of one
   /// request submission (models host submission pacing in FS experiments).
   SimTime host_block_gap = Microseconds(20);
+
+  // Firmware scheduler budgets --------------------------------------------
+
+  /// Blocks one firmware GC task run may reclaim before yielding back to
+  /// host traffic — the budget of both the watermark background-GC task and
+  /// the idle-time sweep (formerly a hardcoded IdleCollect limit).
+  std::size_t gc_task_block_budget = 4;
+  /// Idle-time GC only takes victims with at most this many live pages;
+  /// expensive relocation stays with whoever actually needs the space.
+  std::uint32_t idle_gc_max_movable = 8;
+  /// Re-run delay of the background-GC task while reclamation is still
+  /// under way (models one firmware quantum).
+  SimTime gc_task_interval = Microseconds(200);
+  /// Period of the housekeeping tick that ages recovery-queue backups out
+  /// of the retention window during command gaps.
+  SimTime firmware_tick = Milliseconds(500);
 };
 
 class Ssd final : public fs::BlockDevice {
@@ -103,9 +120,20 @@ class Ssd final : public fs::BlockDevice {
   /// score without touching any data; retained backups age out naturally.
   void DismissAlarm();
 
-  /// Let idle virtual time pass: advances the clock, ticks the detector's
-  /// empty slices, and ages out recovery-queue backups.
+  /// Let idle virtual time pass: advances the clock and drains the firmware
+  /// scheduler up to `t` (detector slice ticks, retention aging, background
+  /// and idle GC).
   void IdleUntil(SimTime t);
+
+  // Firmware scheduler ----------------------------------------------------
+
+  /// Run every scheduled firmware task due at or before `until`. The
+  /// multi-queue engine calls this (via SsdTarget::RunBackgroundUntil) with
+  /// the next command's time, handing housekeeping the inter-command gap.
+  void DrainFirmware(SimTime until);
+
+  FirmwareScheduler& Firmware() { return scheduler_; }
+  const FirmwareScheduler& Firmware() const { return scheduler_; }
 
   // Introspection ----------------------------------------------------------
 
@@ -119,12 +147,22 @@ class Ssd final : public fs::BlockDevice {
 
  private:
   void Observe(const IoRequest& request);
+  void InstallFirmwareTasks();
+  /// Close detector slices up to `now`, propagating an alarm transition
+  /// exactly like Observe() does for request-driven closes.
+  void AdvanceDetector(SimTime now);
+  /// Arm the one-shot background-GC task when the free pool has dipped to
+  /// the low watermark (no-op while already armed).
+  void MaybeArmBackgroundGc();
 
   SsdConfig config_;
   ftl::PageFtl ftl_;
   core::Detector detector_;
   SimClock clock_;
   std::function<void(SimTime)> alarm_callback_;
+  FirmwareScheduler scheduler_;
+  FirmwareScheduler::TaskId detector_tick_ = FirmwareScheduler::kInvalidTask;
+  bool bg_gc_armed_ = false;
 };
 
 }  // namespace insider::host

@@ -24,6 +24,12 @@ class SsdTarget final : public io::DeviceTarget {
     return {outcome.status == ftl::FtlStatus::kOk, outcome.complete_time};
   }
 
+  /// Inter-command gaps drain the SSD's firmware scheduler: background GC
+  /// armed at the low watermark, detector slice ticks, retention aging.
+  void RunBackgroundUntil(SimTime until) override {
+    ssd_.DrainFirmware(until);
+  }
+
  private:
   Ssd& ssd_;
 };

@@ -8,7 +8,10 @@ namespace insider::host {
 std::vector<core::Sample> ExtractSamples(const BuiltScenario& scenario,
                                          const core::DetectorConfig& detector,
                                          std::uint64_t label_min_writes) {
-  core::Detector extractor(detector, core::DecisionTree{});
+  // Feature extraction reads every slice back; disable the firmware ring cap.
+  core::DetectorConfig full_history = detector;
+  full_history.history_limit = 0;
+  core::Detector extractor(full_history, core::DecisionTree{});
 
   // Ground truth: ransomware write blocks per slice.
   std::unordered_map<core::SliceIndex, std::uint64_t> ransom_writes;

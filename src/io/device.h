@@ -38,6 +38,13 @@ class DeviceTarget {
   /// and lets internal resource occupancy serialize what must serialize.
   virtual DispatchResult Dispatch(const IoRequest& request,
                                   std::uint64_t stamp_base) = 0;
+
+  /// Called by the engine before it processes its next event, with that
+  /// event's virtual time: the inter-command gap belongs to the device's
+  /// firmware (background GC, detector ticks, retention aging). The engine
+  /// processes events in non-decreasing time order, so `until` is monotone.
+  /// Default: the device has no background work.
+  virtual void RunBackgroundUntil(SimTime /*until*/) {}
 };
 
 }  // namespace insider::io

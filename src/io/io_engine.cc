@@ -92,9 +92,20 @@ bool IoEngine::Step() {
 
   // Process whichever event comes first in virtual time; completions win
   // ties so a freed slot is visible to the tick that needs it.
-  if (can_complete &&
+  bool complete_first =
+      can_complete &&
       (!can_dispatch ||
-       in_flight_.top().completion.complete_time <= earliest_dispatch)) {
+       in_flight_.top().completion.complete_time <= earliest_dispatch);
+
+  // The gap up to the next event is firmware time: let the device run its
+  // scheduled background work (GC, housekeeping ticks) before the event.
+  // Firmware only touches device internals, never the engine's queues, so
+  // the eligibility computed above stays valid.
+  device_.RunBackgroundUntil(complete_first
+                                 ? in_flight_.top().completion.complete_time
+                                 : earliest_dispatch);
+
+  if (complete_first) {
     Completion completion = in_flight_.top().completion;
     in_flight_.pop();
     --in_flight_per_pair_[completion.queue];

@@ -1,0 +1,178 @@
+// Watermark-driven background GC on the firmware scheduler: foreground
+// writes must not pay inline reclamation until the free pool is at the hard
+// floor, because the background task armed at the low watermark refills the
+// pool during command gaps — and every firmware step must leave the FTL's
+// invariants intact.
+#include <gtest/gtest.h>
+
+#include "host/ssd.h"
+#include "host/ssd_target.h"
+#include "io/io_engine.h"
+#include "nand/geometry.h"
+
+namespace insider::host {
+namespace {
+
+std::uint64_t Lcg(std::uint64_t& s) {
+  s = s * 6364136223846793005ull + 1442695040888963407ull;
+  return s >> 33;
+}
+
+SsdConfig Cfg(bool delayed = false) {
+  SsdConfig cfg;
+  cfg.ftl.geometry = nand::TestGeometry();
+  cfg.ftl.latency = nand::LatencyModel::Zero();
+  cfg.ftl.delayed_deletion = delayed;
+  cfg.ftl.exported_fraction = 0.5;
+  cfg.detector_enabled = false;  // isolate the GC machinery
+  return cfg;
+}
+
+/// Rewrite the whole exported range `rounds` times, one write per
+/// millisecond, draining the firmware scheduler after every write the way
+/// the I/O engine does between commands.
+void RewriteWithDrains(Ssd& ssd, int rounds, SimTime* t_inout) {
+  const Lba n = ssd.Ftl().ExportedLbas();
+  SimTime t = *t_inout;
+  for (int round = 0; round < rounds; ++round) {
+    for (Lba lba = 0; lba < n; ++lba) {
+      t += Milliseconds(1);
+      ASSERT_EQ(ssd.WriteBlockAt(lba, {static_cast<std::uint64_t>(round), {}},
+                                 t).status,
+                ftl::FtlStatus::kOk);
+      ssd.DrainFirmware(t);
+    }
+  }
+  *t_inout = t;
+}
+
+TEST(BackgroundGcTest, WritesNeverBlockBeforeTheHardFloor) {
+  Ssd ssd(Cfg(), core::DecisionTree{});
+  SimTime t = 0;
+  RewriteWithDrains(ssd, 6, &t);
+
+  const ftl::FtlStats& s = ssd.Ftl().Stats();
+  // Background GC carried the whole reclamation load: the free pool never
+  // fell to gc_reserve_blocks, so no write invoked inline GC.
+  EXPECT_EQ(s.gc_invocations, 0u);
+  EXPECT_EQ(s.gc_stall_time, 0);
+  EXPECT_GT(s.gc_background_blocks, 0u);
+  EXPECT_GT(ssd.Ftl().FreeBlockCount(),
+            ssd.Config().ftl.gc_reserve_blocks);
+  EXPECT_EQ(ssd.Ftl().CheckInvariants(), "");
+}
+
+TEST(BackgroundGcTest, ForegroundGcIsTheFallbackWithoutWatermarks) {
+  SsdConfig cfg = Cfg();
+  cfg.ftl.gc_low_watermark_blocks = 0;  // background never arms
+  Ssd ssd(cfg, core::DecisionTree{});
+  SimTime t = 0;
+  RewriteWithDrains(ssd, 6, &t);
+
+  const ftl::FtlStats& s = ssd.Ftl().Stats();
+  // Same workload, no background task: writes hit the floor and stall on
+  // inline GC — the contrast the watermark design removes.
+  EXPECT_EQ(s.gc_background_blocks, 0u);
+  EXPECT_GT(s.gc_invocations, 0u);
+  EXPECT_EQ(ssd.Ftl().CheckInvariants(), "");
+}
+
+TEST(BackgroundGcTest, BackgroundStopsAtTheHighWatermark) {
+  Ssd ssd(Cfg(), core::DecisionTree{});
+  SimTime t = 0;
+  RewriteWithDrains(ssd, 6, &t);
+  // After a long drained-out stretch the pool sits in the hysteresis band:
+  // at or above the arm threshold, no higher than the stop threshold plus
+  // what the last quantum's budget overshot.
+  ssd.IdleUntil(t + Seconds(1));
+  EXPECT_LE(ssd.Ftl().FreeBlockCount(),
+            static_cast<std::size_t>(
+                ssd.Config().ftl.gc_high_watermark_blocks +
+                ssd.Config().gc_task_block_budget));
+  EXPECT_EQ(ssd.Ftl().CheckInvariants(), "");
+}
+
+TEST(BackgroundGcTest, InvariantsHoldAfterEveryFirmwareStep) {
+  SsdConfig cfg = Cfg(/*delayed=*/true);
+  cfg.ftl.retention_window = Milliseconds(50);
+  Ssd ssd(cfg, core::DecisionTree{});
+  const Lba n = ssd.Ftl().ExportedLbas();
+
+  std::uint64_t seed = 0xFEED;
+  SimTime t = 0;
+  for (int i = 0; i < 3000; ++i) {
+    t += Milliseconds(1);
+    Lba lba = Lcg(seed) % n;
+    if (Lcg(seed) % 10 < 8) {
+      ssd.WriteBlockAt(lba, {static_cast<std::uint64_t>(i), {}}, t);
+    } else {
+      ssd.TrimBlockAt(lba, t);
+    }
+    ssd.DrainFirmware(t);
+    ASSERT_EQ(ssd.Ftl().CheckInvariants(), "") << "after op " << i;
+  }
+  EXPECT_GT(ssd.Ftl().Stats().gc_background_blocks, 0u);
+}
+
+TEST(BackgroundGcTest, IdleGcBudgetComesFromConfig) {
+  SsdConfig cfg = Cfg();
+  cfg.ftl.gc_low_watermark_blocks = 0;  // only the idle one-shot collects
+  cfg.gc_task_block_budget = 2;
+  Ssd ssd(cfg, core::DecisionTree{});
+  const Lba n = ssd.Ftl().ExportedLbas();
+  SimTime t = 0;
+  // Two full rewrites leave plenty of fully-invalid blocks behind.
+  for (int round = 0; round < 2; ++round) {
+    for (Lba lba = 0; lba < n; ++lba) {
+      t += Milliseconds(1);
+      ssd.WriteBlockAt(lba, {static_cast<std::uint64_t>(round), {}}, t);
+    }
+  }
+  std::size_t free_before = ssd.Ftl().FreeBlockCount();
+  ssd.IdleUntil(t + Seconds(1));
+  std::size_t gained = ssd.Ftl().FreeBlockCount() - free_before;
+  EXPECT_GT(gained, 0u);
+  EXPECT_LE(gained, cfg.gc_task_block_budget);
+  EXPECT_EQ(ssd.Ftl().CheckInvariants(), "");
+}
+
+TEST(BackgroundGcTest, EngineGapsDriveBackgroundGc) {
+  Ssd ssd(Cfg(), core::DecisionTree{});
+  SsdTarget target(ssd);
+  io::EngineConfig ec;
+  ec.queue_count = 2;
+  ec.queue.sq_depth = 16;
+  io::IoEngine engine(target, ec);
+
+  const Lba n = ssd.Ftl().ExportedLbas();
+  SimTime t = 0;
+  std::uint64_t stamp = 0;
+  for (int round = 0; round < 6; ++round) {
+    for (Lba lba = 0; lba < n; ++lba) {
+      t += Milliseconds(1);
+      IoRequest req{t, lba, 1, IoMode::kWrite};
+      io::QueueId q = lba % ec.queue_count;
+      if (!engine.TrySubmit(q, req, stamp++)) {
+        engine.Drain();
+        while (engine.PopCompletion(q)) {
+        }
+        ASSERT_TRUE(engine.TrySubmit(q, req, stamp++));
+      }
+    }
+    engine.Drain();
+    for (io::QueueId q = 0; q < ec.queue_count; ++q) {
+      while (engine.PopCompletion(q)) {
+      }
+    }
+  }
+
+  const ftl::FtlStats& s = ssd.Ftl().Stats();
+  // The engine's RunBackgroundUntil hook handed the inter-command gaps to
+  // the firmware scheduler, which kept the pool off the floor.
+  EXPECT_GT(s.gc_background_blocks, 0u);
+  EXPECT_EQ(s.gc_invocations, 0u);
+  EXPECT_EQ(ssd.Ftl().CheckInvariants(), "");
+}
+
+}  // namespace
+}  // namespace insider::host

@@ -186,6 +186,45 @@ TEST(DetectorTest, WriteLongAfterReadIsNotOverwrite) {
   EXPECT_DOUBLE_EQ(d.History()[15].features.owio(), 0.0);
 }
 
+TEST(DetectorTest, HistoryRingDropsOldestBeyondTheCap) {
+  DetectorConfig cfg = TestConfig();
+  cfg.history_limit = 8;
+  Detector d(cfg, OwioTree());
+  d.AdvanceTo(Seconds(30));
+  ASSERT_EQ(d.History().size(), 8u);
+  // The ring keeps the newest slices: 22..29.
+  EXPECT_EQ(d.History().front().slice, 22u);
+  EXPECT_EQ(d.History().back().slice, 29u);
+  // Score and alarm bookkeeping are unaffected by record truncation.
+  EXPECT_EQ(d.Score(), 0);
+  EXPECT_EQ(d.NextSliceEnd(), Seconds(31));
+}
+
+TEST(DetectorTest, ZeroHistoryLimitOptsIntoUnboundedHistory) {
+  DetectorConfig cfg = TestConfig();
+  cfg.history_limit = 0;
+  Detector d(cfg, OwioTree());
+  d.AdvanceTo(Seconds(5000));
+  EXPECT_EQ(d.History().size(), 5000u);
+  EXPECT_EQ(d.History().front().slice, 0u);
+}
+
+TEST(DetectorTest, AlarmStateSurvivesRingEviction) {
+  // The slice that raised the alarm may fall off the ring; FirstAlarmTime
+  // and the running score must not depend on it staying resident.
+  DetectorConfig cfg = TestConfig();
+  cfg.history_limit = 4;
+  Detector d(cfg, OwioTree());
+  for (int s = 0; s < 5; ++s) {
+    Overwrite(d, Seconds(s) + 1000, static_cast<Lba>(s) * 1000, 100);
+  }
+  d.AdvanceTo(Seconds(40));
+  ASSERT_TRUE(d.FirstAlarmTime().has_value());
+  EXPECT_EQ(*d.FirstAlarmTime(), Seconds(3));
+  EXPECT_EQ(d.History().size(), 4u);
+  EXPECT_GT(d.History().front().slice, 3u);
+}
+
 class DetectorParamTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(DetectorParamTest, AlarmLatencyMatchesThreshold) {
