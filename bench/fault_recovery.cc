@@ -1,0 +1,270 @@
+// Device-fault resilience characterization.
+//
+// Part 1 — OOB rebuild cost vs fill level: how long the power-loss mapping
+// reconstruction (PageFtl::RebuildFromNand) takes as a function of how much
+// of the device holds data. The scan is linear in programmed pages, so this
+// is the firmware's worst-case boot-after-crash latency curve.
+//
+// Part 2 — fault absorption under sustained load: a write-heavy mix on
+// media with realistic grown-defect rates (2e-4 program fails, 1e-4 erase
+// fails). Reports how many faults the FTL re-drove / how many blocks it
+// retired, with the full invariant check as the pass criterion.
+//
+// Part 3 — detection robustness: the multi-tenant detection scenario of
+// mqueue_throughput on ideal vs faulty media; the paper's scores must not
+// move (the detector sees headers, the fault handling stays below it).
+//
+// Part 4 — the recovery promise through a power cut: benign fill, attack,
+// power loss mid-attack, reboot, rollback; counts how many victim LBAs read
+// back their pre-attack payload (the paper's claim: all of them).
+//
+// Emits BENCH_fault.json. INSIDER_BENCH_REPS scales workload sizes.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/pretrained.h"
+#include "ftl/page_ftl.h"
+#include "host/experiment.h"
+#include "host/power_loss.h"
+#include "host/ssd.h"
+#include "json_writer.h"
+#include "nand/geometry.h"
+
+namespace insider::bench {
+namespace {
+
+std::uint64_t Lcg(std::uint64_t& s) {
+  s = s * 6364136223846793005ull + 1442695040888963407ull;
+  return s >> 33;
+}
+
+nand::Geometry BenchGeometry() {
+  nand::Geometry g;  // 4x4 chips, 32k pages = 128 MB simulated
+  g.channels = 4;
+  g.ways = 4;
+  g.blocks_per_chip = 64;
+  g.pages_per_block = 32;
+  return g;
+}
+
+// ---------------------------------------------------------------------------
+// Part 1: rebuild scan time vs fill level.
+
+void RebuildVsFill(JsonWriter& json) {
+  PrintHeader("fault_recovery — OOB rebuild cost vs fill level");
+  std::printf("%-8s %12s %12s %10s %12s\n", "fill", "scanned", "mappings",
+              "backups", "rebuild_ms");
+
+  json.Key("rebuild_vs_fill").BeginArray();
+  for (double fill : {0.25, 0.5, 0.75, 0.9}) {
+    ftl::FtlConfig cfg;
+    cfg.geometry = BenchGeometry();  // default (non-zero) latency model
+    ftl::PageFtl ftl(cfg);
+    const Lba n = static_cast<Lba>(
+        static_cast<double>(ftl.ExportedLbas()) * fill);
+    SimTime t = Seconds(1);
+    for (Lba lba = 0; lba < n; ++lba) {
+      ftl.WritePage(lba, {lba, {}}, t);
+      t += Microseconds(20);
+    }
+    // A fresh overwrite tail so the scan also rebuilds recovery-queue
+    // entries, not just clean mappings.
+    SimTime crash = t + Seconds(1);
+    for (Lba lba = 0; lba < n / 10; ++lba) {
+      ftl.WritePage(lba, {1'000'000 + lba, {}}, crash - Milliseconds(500));
+    }
+
+    ftl::PageFtl::RebuildReport r = ftl.RebuildFromNand(crash);
+    double ms = ToSeconds(r.duration) * 1e3;
+    std::printf("%-8.2f %12zu %12zu %10zu %12.2f\n", fill, r.pages_scanned,
+                r.mappings_restored, r.backups_restored, ms);
+    json.BeginObject()
+        .Field("fill", fill)
+        .Field("pages_scanned", static_cast<std::uint64_t>(r.pages_scanned))
+        .Field("mappings_restored",
+               static_cast<std::uint64_t>(r.mappings_restored))
+        .Field("backups_restored",
+               static_cast<std::uint64_t>(r.backups_restored))
+        .Field("rebuild_ms", ms)
+        .EndObject();
+  }
+  json.EndArray();
+}
+
+// ---------------------------------------------------------------------------
+// Part 2: fault absorption under sustained writes.
+
+void FaultAbsorption(JsonWriter& json, std::size_t reps) {
+  PrintHeader("fault_recovery — grown-defect absorption under load");
+  ftl::FtlConfig cfg;
+  cfg.geometry = BenchGeometry();
+  cfg.latency = nand::LatencyModel::Zero();
+  cfg.errors.program_fail_prob = 2e-4;
+  cfg.errors.erase_fail_prob = 1e-4;
+  cfg.retention_window = Seconds(2);
+  ftl::PageFtl ftl(cfg);
+
+  const Lba n = ftl.ExportedLbas();
+  const Lba span = n / 2;
+  const std::size_t ops = 20'000 * reps;
+  SimTime t = Seconds(1);
+  for (Lba lba = 0; lba < span; ++lba) {
+    ftl.WritePage(lba, {lba, {}}, t);
+    t += Microseconds(20);
+  }
+  std::uint64_t seed = 0xFA017;
+  for (std::size_t i = 0; i < ops; ++i) {
+    t += Milliseconds(1);
+    ftl.WritePage(Lcg(seed) % span, {1'000'000 + i, {}}, t);
+  }
+
+  const ftl::FtlStats& s = ftl.Stats();
+  bool invariants_ok = ftl.CheckInvariants().empty();
+  std::printf(
+      "ops %zu: %llu program fails re-driven, %llu erase fails, "
+      "%llu blocks retired, degraded=%s, invariants=%s\n",
+      ops, (unsigned long long)s.program_fails,
+      (unsigned long long)s.erase_fails, (unsigned long long)s.blocks_retired,
+      ftl.IsDegraded() ? "yes" : "no", invariants_ok ? "ok" : "VIOLATED");
+  json.Key("fault_absorption")
+      .BeginObject()
+      .Field("ops", static_cast<std::uint64_t>(ops))
+      .Field("program_fails", s.program_fails)
+      .Field("write_redrives", s.write_redrives)
+      .Field("erase_fails", s.erase_fails)
+      .Field("blocks_retired", s.blocks_retired)
+      .Field("forced_releases", s.forced_releases)
+      .Field("degraded", ftl.IsDegraded())
+      .Field("invariants_ok", invariants_ok)
+      .EndObject();
+}
+
+// ---------------------------------------------------------------------------
+// Part 3: detection scores on ideal vs faulty media.
+
+void DetectionUnderFaults(JsonWriter& json) {
+  PrintHeader("fault_recovery — detection scores, ideal vs faulty media");
+  core::DecisionTree tree = core::PretrainedTree();
+  std::printf("%-16s %12s %12s %8s\n", "family", "clean_score", "faulty_score",
+              "delta");
+
+  json.Key("detection_under_faults").BeginArray();
+  for (const char* family : {"WannaCry", "Mole", "InHouse.inplace"}) {
+    host::InterleavedConfig cfg;
+    cfg.benign_tenants = 2;
+    cfg.ransomware = family;
+    cfg.duration = Seconds(30);
+    cfg.ransom_start = Seconds(8);
+    cfg.seed = 7;
+    host::InterleavedResult clean = host::RunInterleavedDetection(tree, cfg);
+    cfg.ftl.errors.program_fail_prob = 1e-3;
+    cfg.ftl.error_seed = 0xFA17;
+    host::InterleavedResult faulty = host::RunInterleavedDetection(tree, cfg);
+
+    int delta = faulty.max_score - clean.max_score;
+    std::printf("%-16s %12d %12d %8d\n", family, clean.max_score,
+                faulty.max_score, delta);
+    json.BeginObject()
+        .Field("family", family)
+        .Field("clean_score", clean.max_score)
+        .Field("faulty_score", faulty.max_score)
+        .Field("clean_alarm", clean.alarm)
+        .Field("faulty_alarm", faulty.alarm)
+        .Field("score_delta", delta)
+        .EndObject();
+  }
+  json.EndArray();
+}
+
+// ---------------------------------------------------------------------------
+// Part 4: rollback through a power cut.
+
+/// Tree voting ransomware iff OWIO > 30 — deterministic alarm behavior, so
+/// the trial measures the recovery path, not detector variance.
+core::DecisionTree OwioTree() {
+  std::vector<core::DecisionTree::Node> nodes(3);
+  nodes[0].is_leaf = false;
+  nodes[0].feature = core::FeatureId::kOwIo;
+  nodes[0].threshold = 30.0;
+  nodes[0].left = 1;
+  nodes[0].right = 2;
+  nodes[1].is_leaf = true;
+  nodes[1].label = false;
+  nodes[2].is_leaf = true;
+  nodes[2].label = true;
+  return core::DecisionTree(std::move(nodes));
+}
+
+void PowerLossTrial(JsonWriter& json) {
+  PrintHeader("fault_recovery — rollback through a mid-attack power cut");
+  host::SsdConfig cfg;
+  cfg.ftl.geometry = BenchGeometry();
+  cfg.detector.slice_length = Seconds(1);
+  cfg.detector.window_slices = 10;
+  cfg.detector.score_threshold = 3;
+  host::Ssd ssd(cfg, OwioTree());
+
+  const Lba victims = 512;
+  std::vector<IoRequest> trace;
+  for (Lba lba = 0; lba < victims; ++lba) {
+    trace.push_back({Seconds(1) + static_cast<SimTime>(lba) * Milliseconds(5),
+                     lba, 1, IoMode::kWrite});
+  }
+  // Attack: read+overwrite sweeps of 64 blocks from t = 20 s.
+  for (int s = 0; s < 8; ++s) {
+    SimTime at = Seconds(20 + s);
+    Lba base = static_cast<Lba>(s) * 64;
+    trace.push_back({at, base, 64, IoMode::kRead});
+    trace.push_back({at + 1000, base, 64, IoMode::kWrite});
+  }
+
+  host::PowerLossConfig plc;
+  plc.crash_times = {Seconds(23)};  // mid-attack
+  host::PowerLossInjector injector(ssd, plc);
+  host::PowerLossReport report = injector.Replay(trace, 0);
+
+  ssd.IdleUntil(ssd.Clock().Now() + Seconds(2));
+  bool alarm = ssd.AlarmActive();
+  if (alarm) ssd.RollBackNow();
+
+  Lba recovered = 0;
+  for (Lba lba = 0; lba < victims; ++lba) {
+    ftl::FtlResult r = ssd.Ftl().ReadPage(lba, ssd.Clock().Now());
+    // Benign request index == lba, so its payload stamp is 65536 * lba.
+    if (r.ok() && r.data.stamp == 65536ull * lba) ++recovered;
+  }
+  double rebuild_ms =
+      report.rebuilds.empty() ? 0.0 : ToSeconds(report.rebuilds[0].duration) * 1e3;
+  std::printf(
+      "crashes %zu, rebuild %.2f ms, alarm %s, recovered %llu/%llu LBAs\n",
+      report.crashes, rebuild_ms, alarm ? "yes" : "NO",
+      (unsigned long long)recovered, (unsigned long long)victims);
+  json.Key("power_loss_trial")
+      .BeginObject()
+      .Field("crashes", static_cast<std::uint64_t>(report.crashes))
+      .Field("rebuild_ms", rebuild_ms)
+      .Field("alarm", alarm)
+      .Field("lbas_checked", static_cast<std::uint64_t>(victims))
+      .Field("lbas_recovered", static_cast<std::uint64_t>(recovered))
+      .Field("perfect_recovery", recovered == victims)
+      .EndObject();
+}
+
+}  // namespace
+}  // namespace insider::bench
+
+int main() {
+  using insider::bench::JsonWriter;
+  const std::size_t reps = insider::bench::RepsFromEnv(4);
+  JsonWriter json("BENCH_fault.json");
+  json.BeginObject();
+  json.Field("bench", "fault_recovery").Field("reps", reps);
+  insider::bench::RebuildVsFill(json);
+  insider::bench::FaultAbsorption(json, reps);
+  insider::bench::DetectionUnderFaults(json);
+  insider::bench::PowerLossTrial(json);
+  json.EndObject();
+  std::printf("[bench] wrote %s\n", json.Path().c_str());
+  return 0;
+}

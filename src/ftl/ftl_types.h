@@ -12,6 +12,7 @@
 #include "common/io.h"
 #include "common/time.h"
 #include "nand/errors.h"
+#include "nand/fault_plan.h"
 #include "nand/geometry.h"
 #include "nand/latency.h"
 #include "nand/page_data.h"
@@ -58,6 +59,9 @@ struct FtlConfig {
   /// Media error model (disabled by default) and its deterministic seed.
   nand::ErrorModel errors;
   std::uint64_t error_seed = 0x5eed;
+  /// Scripted fault plan installed on the flash array at construction
+  /// (deterministic "fail op N / at time T" injection for tests).
+  nand::FaultPlan fault_plan;
 
   /// SSD-Insider delayed deletion on/off (off = conventional baseline).
   bool delayed_deletion = true;
@@ -109,6 +113,19 @@ struct FtlStats {
   /// Virtual time host writes spent blocked inside inline (foreground) GC —
   /// the write-stall metric the background-GC path exists to shrink.
   SimTime gc_stall_time = 0;
+  /// Program operations the NAND reported failed (page burned).
+  std::uint64_t program_fails = 0;
+  /// Erase operations the NAND reported failed (block retired).
+  std::uint64_t erase_fails = 0;
+  /// Host/GC writes transparently re-driven to a fresh page after a
+  /// program failure.
+  std::uint64_t write_redrives = 0;
+  /// Blocks permanently removed from service (grown bad blocks).
+  std::uint64_t blocks_retired = 0;
+  /// Mapping-table reconstructions from an OOB flash scan (power loss).
+  std::uint64_t rebuilds = 0;
+
+  friend bool operator==(const FtlStats&, const FtlStats&) = default;
 };
 
 struct RollbackReport {
@@ -123,6 +140,14 @@ enum class PageState : std::uint8_t {
   kValid,     ///< current version of some LBA
   kInvalid,   ///< superseded and reclaimable
   kRetained,  ///< superseded but guarded by the recovery queue
+  kBad,       ///< consumed by a failed program; unreadable until retirement
+};
+
+/// Lifecycle of an erase block with respect to grown-bad-block management.
+enum class BlockHealth : std::uint8_t {
+  kHealthy,       ///< in normal service
+  kPendingRetire, ///< program/erase fault observed; awaiting evacuation
+  kRetired,       ///< permanently out of service (grown bad block)
 };
 
 /// Per-erase-block occupancy counters the mapping core maintains and the

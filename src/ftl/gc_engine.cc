@@ -14,10 +14,10 @@ bool GcEngine::CollectOne(SimTime& now, std::uint32_t max_movable) {
   return CollectVictim(victim, now);
 }
 
-bool GcEngine::CollectVictim(std::uint32_t victim, SimTime& now) {
+bool GcEngine::EvacuateBlock(std::uint32_t block_id, SimTime& now) {
   PageFtl& f = ftl_;
   const nand::Geometry& geo = f.config_.geometry;
-  nand::BlockAddr addr = f.AddrOfBlockId(victim);
+  nand::BlockAddr addr = f.AddrOfBlockId(block_id);
   for (std::uint32_t p = 0; p < geo.pages_per_block; ++p) {
     nand::Ppa src = geo.MakePpa(addr.chip, addr.block, p);
     PageState st = f.page_state_[src];
@@ -26,20 +26,19 @@ bool GcEngine::CollectVictim(std::uint32_t victim, SimTime& now) {
     nand::NandResult rd = f.nand_.ReadPage(src, now);
     now = rd.complete_time;
     if (!rd.ok()) {
-      // Uncorrectable ECC during relocation: the page's content is gone.
-      // A valid page loses its mapping; a retained page loses its backup.
-      assert(rd.status == nand::NandStatus::kUncorrectableEcc);
+      // The page cannot be relocated — its content is gone. Uncorrectable
+      // ECC is the expected cause; any other status on a live page would
+      // mean the mapping is corrupt, and losing the page is still the only
+      // recovery that keeps the device up. A valid page loses its mapping;
+      // a retained page loses its backup.
       ++f.stats_.gc_lost_pages;
       Lba lost_lba = f.p2l_[src];
-      BlockCounters& info = f.block_counters_[victim];
+      BlockCounters& info = f.block_counters_[block_id];
       if (st == PageState::kValid) {
         if (lost_lba != kInvalidLba) f.l2p_[lost_lba] = nand::kInvalidPpa;
         --info.valid;
         --f.valid_pages_;
-      } else {
-        bool dropped = f.queue_.Drop(src);
-        assert(dropped);
-        (void)dropped;
+      } else if (f.queue_.Drop(src)) {
         --info.retained;
         --f.retained_pages_;
       }
@@ -47,18 +46,18 @@ bool GcEngine::CollectVictim(std::uint32_t victim, SimTime& now) {
       f.p2l_[src] = kInvalidLba;
       continue;
     }
-    nand::Ppa dst = f.AllocatePage();
+    // Relocation preserves the version's OOB identity (lba, written_at);
+    // only the program sequence number is fresh. A program fault on the
+    // destination is absorbed by the re-drive.
+    nand::Ppa dst = f.ProgramWithRedrive(*rd.data, now);
     if (dst == nand::kInvalidPpa) return false;  // reserve exhausted
-    nand::NandResult pr = f.nand_.ProgramPage(dst, *rd.data, now);
-    assert(pr.ok());
-    now = pr.complete_time;
 
     ++f.stats_.gc_page_copies;
     Lba lba = f.p2l_[src];
     f.p2l_[dst] = lba;
     f.page_state_[dst] = st;
     BlockCounters& dst_info = f.block_counters_[f.BlockIdOf(dst)];
-    BlockCounters& src_info = f.block_counters_[victim];
+    BlockCounters& src_info = f.block_counters_[block_id];
     if (st == PageState::kValid) {
       ++dst_info.valid;
       --src_info.valid;
@@ -75,16 +74,48 @@ bool GcEngine::CollectVictim(std::uint32_t victim, SimTime& now) {
     f.page_state_[src] = PageState::kInvalid;
     f.p2l_[src] = kInvalidLba;
   }
+  return true;
+}
+
+bool GcEngine::CollectVictim(std::uint32_t victim, SimTime& now) {
+  PageFtl& f = ftl_;
+  const nand::Geometry& geo = f.config_.geometry;
+  nand::BlockAddr addr = f.AddrOfBlockId(victim);
+  if (!EvacuateBlock(victim, now)) return false;
 
   nand::NandResult er = f.nand_.EraseBlock(addr, now);
-  assert(er.ok());
   now = er.complete_time;
+  if (!er.ok()) {
+    // Erase fault: the block grew bad. It is already evacuated, so retire
+    // it on the spot. Return true — the victim left GC's candidate set, so
+    // the caller's loop makes progress even though no block was freed.
+    ++f.stats_.erase_fails;
+    f.RetireBlock(victim);
+    return true;
+  }
   for (std::uint32_t p = 0; p < geo.pages_per_block; ++p) {
     f.page_state_[geo.MakePpa(addr.chip, addr.block, p)] = PageState::kFree;
   }
   assert(f.block_counters_[victim].Movable() == 0);
   f.RecycleBlock(victim);
   ++f.stats_.gc_erases;
+  return true;
+}
+
+bool GcEngine::DrainRetirements(SimTime& now) {
+  PageFtl& f = ftl_;
+  // Evacuation can itself hit program faults and flag more blocks; the loop
+  // picks those up too. A block whose evacuation stalls (frontier dry)
+  // stays flagged for the next call.
+  while (!f.pending_retire_.empty()) {
+    std::uint32_t block_id = f.pending_retire_.back();
+    if (!EvacuateBlock(block_id, now)) return false;
+    // Evacuation may have flagged more blocks, so this one is not
+    // necessarily still at the back — erase it by value.
+    f.pending_retire_.erase(std::find(f.pending_retire_.begin(),
+                                      f.pending_retire_.end(), block_id));
+    f.RetireBlock(block_id);
+  }
   return true;
 }
 

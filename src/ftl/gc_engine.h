@@ -51,14 +51,25 @@ class GcEngine {
   std::size_t CollectCheap(SimTime now, std::size_t max_blocks,
                            std::uint32_t max_movable);
 
+  /// Evacuate and retire every block flagged pending-retire (a program
+  /// fault was observed on it). Returns false when the frontier ran dry
+  /// mid-evacuation — the remaining blocks stay flagged and are retried on
+  /// the next call.
+  bool DrainRetirements(SimTime& now);
+
  private:
   /// Select (via the victim policy) and reclaim one block. Returns false
   /// when no victim qualifies or relocation ran out of frontier space.
   bool CollectOne(SimTime& now, std::uint32_t max_movable);
 
-  /// Relocate every live page out of `victim` and erase it. Returns false
-  /// if the allocation frontier ran dry mid-copy (block left un-erased).
+  /// Relocate every live page out of `victim`, then erase and recycle it —
+  /// or retire it on an erase fault. Returns false if the allocation
+  /// frontier ran dry mid-copy (block left un-erased).
   bool CollectVictim(std::uint32_t victim, SimTime& now);
+
+  /// Relocate every live (valid/retained) page out of `block_id` to fresh
+  /// frontiers. Returns false if the frontier ran dry mid-copy.
+  bool EvacuateBlock(std::uint32_t block_id, SimTime& now);
 
   PageFtl& ftl_;
 };

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <limits>
 #include <sstream>
+#include <unordered_map>
 #include <unordered_set>
 #include <utility>
 
@@ -18,8 +19,9 @@ PageFtl::PageFtl(const FtlConfig& config)
       victim_(MakeVictimPolicy(config)),
       retention_(MakeRetentionPolicy(config)),
       view_(config_.geometry, nand_, block_counters_, active_block_per_chip_,
-            free_blocks_by_chip_),
+            free_blocks_by_chip_, block_health_),
       gc_(*this) {
+  nand_.SetFaultPlan(config_.fault_plan);
   const nand::Geometry& geo = config_.geometry;
   exported_lbas_ = static_cast<Lba>(
       static_cast<double>(geo.TotalPages()) * config_.exported_fraction);
@@ -27,6 +29,7 @@ PageFtl::PageFtl(const FtlConfig& config)
   p2l_.assign(geo.TotalPages(), kInvalidLba);
   page_state_.assign(geo.TotalPages(), PageState::kFree);
   block_counters_.assign(geo.TotalBlocks(), BlockCounters{});
+  block_health_.assign(geo.TotalBlocks(), BlockHealth::kHealthy);
   free_blocks_by_chip_.resize(geo.TotalChips());
   active_block_per_chip_.assign(geo.TotalChips(), kNoActiveBlock);
   // Push each chip's blocks in reverse so pop_back hands out block 0 first;
@@ -142,18 +145,88 @@ void PageFtl::Retire(Lba lba, nand::Ppa old_ppa, SimTime now) {
   }
 }
 
+nand::Ppa PageFtl::ProgramWithRedrive(nand::PageData data, SimTime& now) {
+  for (;;) {
+    nand::Ppa ppa = AllocatePage();
+    if (ppa == nand::kInvalidPpa) return nand::kInvalidPpa;
+    nand::PageData attempt = data;  // the retry loop needs the original
+    attempt.oob.seq = ++write_seq_;
+    nand::NandResult pr = nand_.ProgramPage(ppa, std::move(attempt), now);
+    now = pr.complete_time;
+    if (pr.ok()) return ppa;
+    if (pr.status != nand::NandStatus::kProgramFail) {
+      // Sequencing violation, not a media fault — surface it as frontier
+      // exhaustion rather than corrupting mapping state.
+      return nand::kInvalidPpa;
+    }
+    // The attempt burned its page: record it, close the block as a write
+    // frontier, queue it for retirement, and re-drive on a fresh frontier.
+    ++stats_.program_fails;
+    ++stats_.write_redrives;
+    page_state_[ppa] = PageState::kBad;
+    MarkPendingRetire(BlockIdOf(ppa));
+  }
+}
+
+void PageFtl::MarkPendingRetire(std::uint32_t block_id) {
+  if (block_health_[block_id] != BlockHealth::kHealthy) return;
+  block_health_[block_id] = BlockHealth::kPendingRetire;
+  pending_retire_.push_back(block_id);
+  ++out_of_service_blocks_;
+  std::uint32_t chip = block_id / config_.geometry.blocks_per_chip;
+  if (active_block_per_chip_[chip] == block_id) {
+    active_block_per_chip_[chip] = kNoActiveBlock;
+  }
+}
+
+void PageFtl::RetireBlock(std::uint32_t block_id) {
+  const nand::Geometry& geo = config_.geometry;
+  nand::BlockAddr addr = AddrOfBlockId(block_id);
+  const nand::Block& blk = nand_.BlockAt(addr);
+  for (std::uint32_t p = 0; p < geo.pages_per_block; ++p) {
+    nand::Ppa ppa = geo.MakePpa(addr.chip, addr.block, p);
+    page_state_[ppa] =
+        blk.IsProgrammed(p) ? PageState::kBad : PageState::kFree;
+    p2l_[ppa] = kInvalidLba;
+  }
+  block_counters_[block_id] = BlockCounters{};  // caller evacuated live pages
+  if (active_block_per_chip_[addr.chip] == block_id) {
+    active_block_per_chip_[addr.chip] = kNoActiveBlock;
+  }
+  if (block_health_[block_id] == BlockHealth::kHealthy) {
+    ++out_of_service_blocks_;  // direct retirement (erase fault)
+  }
+  if (block_health_[block_id] != BlockHealth::kRetired) {
+    block_health_[block_id] = BlockHealth::kRetired;
+    ++retired_blocks_;
+    ++stats_.blocks_retired;
+  }
+}
+
+void PageFtl::EnterDegraded() {
+  degraded_ = true;
+  read_only_ = true;
+}
+
 FtlResult PageFtl::WritePage(Lba lba, nand::PageData data, SimTime now) {
   if (read_only_) return {FtlStatus::kReadOnly, now, {}};
   if (lba >= exported_lbas_) return {FtlStatus::kOutOfRange, now, {}};
   ReleaseExpired(now);
+  gc_.DrainRetirements(now);
   // Best-effort GC; the write only fails if no programmable page exists even
   // after collection (AllocatePage can still succeed from the active block
   // when the free pool is empty).
   gc_.EnsureFreeSpace(now);
-  nand::Ppa ppa = AllocatePage();
-  if (ppa == nand::kInvalidPpa) return {FtlStatus::kNoSpace, now, {}};
-  nand::NandResult pr = nand_.ProgramPage(ppa, std::move(data), now);
-  assert(pr.ok());
+  data.oob.lba = lba;
+  data.oob.written_at = now;
+  nand::Ppa ppa = ProgramWithRedrive(std::move(data), now);
+  if (ppa == nand::kInvalidPpa) {
+    // Out of frontier space. When fault-driven retirement shrank the spare
+    // pool this is the graceful end of the device's write life: latch
+    // read-only so in-flight and future reads keep completing.
+    if (out_of_service_blocks_ > 0) EnterDegraded();
+    return {FtlStatus::kNoSpace, now, {}};
+  }
 
   nand::Ppa old = l2p_[lba];
   if (old != nand::kInvalidPpa) Retire(lba, old, now);
@@ -163,7 +236,7 @@ FtlResult PageFtl::WritePage(Lba lba, nand::PageData data, SimTime now) {
   ++block_counters_[BlockIdOf(ppa)].valid;
   ++valid_pages_;
   ++stats_.host_writes;
-  return {FtlStatus::kOk, pr.complete_time, {}};
+  return {FtlStatus::kOk, now, {}};
 }
 
 FtlResult PageFtl::ReadPage(Lba lba, SimTime now) {
@@ -173,11 +246,19 @@ FtlResult PageFtl::ReadPage(Lba lba, SimTime now) {
   if (ppa == nand::kInvalidPpa) return {FtlStatus::kUnmapped, now, {}};
   nand::NandResult rd = nand_.ReadPage(ppa, now);
   ++stats_.host_reads;
-  if (!rd.ok()) {
-    assert(rd.status == nand::NandStatus::kUncorrectableEcc);
-    return {FtlStatus::kReadError, rd.complete_time, {}};
+  switch (rd.status) {
+    case nand::NandStatus::kOk:
+      return {FtlStatus::kOk, rd.complete_time, *rd.data};
+    case nand::NandStatus::kUncorrectableEcc:
+      // The ECC budget was exceeded; the mapping stays (a later soft retry
+      // at the host level may be configured to re-drive the read).
+      return {FtlStatus::kReadError, rd.complete_time, {}};
+    default:
+      // kReadOfErasedPage / kBadAddress on a mapped LBA would mean the
+      // mapping table itself is corrupt. Report the data as lost instead of
+      // asserting — the device stays up.
+      return {FtlStatus::kReadError, rd.complete_time, {}};
   }
-  return {FtlStatus::kOk, rd.complete_time, *rd.data};
 }
 
 FtlResult PageFtl::TrimPage(Lba lba, SimTime now) {
@@ -231,6 +312,7 @@ RollbackReport PageFtl::RollBack(SimTime detect_time) {
 std::size_t PageFtl::BackgroundCollect(SimTime now, std::size_t max_blocks) {
   if (read_only_) return 0;
   ReleaseExpired(now);
+  gc_.DrainRetirements(now);
   return gc_.BackgroundCollect(now, max_blocks);
 }
 
@@ -239,6 +321,178 @@ std::size_t PageFtl::IdleCollect(SimTime now, std::size_t max_blocks,
   if (read_only_) return 0;
   ReleaseExpired(now);
   return gc_.CollectCheap(now, max_blocks, max_movable);
+}
+
+PageFtl::RebuildReport PageFtl::RebuildFromNand(SimTime now) {
+  const nand::Geometry& geo = config_.geometry;
+  RebuildReport report;
+
+  // Power loss wipes everything in DRAM. The grown-bad-block table
+  // (block_health_) and the degraded latch survive — firmware persists them
+  // in a reserved flash region — but an alarm's read-only latch does not:
+  // the detector re-arms after reboot.
+  l2p_.assign(exported_lbas_, nand::kInvalidPpa);
+  p2l_.assign(geo.TotalPages(), kInvalidLba);
+  page_state_.assign(geo.TotalPages(), PageState::kFree);
+  block_counters_.assign(geo.TotalBlocks(), BlockCounters{});
+  for (auto& pool : free_blocks_by_chip_) pool.clear();
+  active_block_per_chip_.assign(geo.TotalChips(), kNoActiveBlock);
+  free_block_count_ = 0;
+  queue_.Clear();
+  pending_retire_.clear();
+  valid_pages_ = 0;
+  retained_pages_ = 0;
+  write_seq_ = 0;
+  read_only_ = degraded_;
+
+  // One physical version of one LBA found by the scan.
+  struct Version {
+    nand::Ppa ppa = nand::kInvalidPpa;
+    std::uint64_t seq = 0;
+    SimTime written_at = 0;
+    const nand::PageData* data = nullptr;
+  };
+  std::unordered_map<Lba, std::vector<Version>> versions;
+
+  for (std::uint32_t b = 0; b < geo.TotalBlocks(); ++b) {
+    nand::BlockAddr addr = AddrOfBlockId(b);
+    const nand::Block& blk = nand_.BlockAt(addr);
+    if (block_health_[b] == BlockHealth::kRetired) {
+      // Out of service: the bad-block table says never touch it again.
+      for (std::uint32_t p = 0; p < geo.pages_per_block; ++p) {
+        nand::Ppa ppa = geo.MakePpa(addr.chip, addr.block, p);
+        page_state_[ppa] =
+            blk.IsProgrammed(p) ? PageState::kBad : PageState::kFree;
+      }
+      ++report.blocks_retired;
+      continue;
+    }
+    if (block_health_[b] == BlockHealth::kPendingRetire) {
+      pending_retire_.push_back(b);  // re-drain after the scan
+    }
+    for (std::uint32_t p = 0; p < blk.WritePointer(); ++p) {
+      nand::Ppa ppa = geo.MakePpa(addr.chip, addr.block, p);
+      if (blk.IsBadPage(p)) {
+        page_state_[ppa] = PageState::kBad;
+        continue;
+      }
+      // The scan uses the raw internal read path: OOB-only reads bypass the
+      // ECC pipeline's RNG so a rebuild never perturbs the deterministic
+      // error sequence. Its cost is modeled in report.duration instead.
+      const nand::PageData* data = blk.Read(p);
+      ++report.pages_scanned;
+      page_state_[ppa] = PageState::kInvalid;  // until a version claims it
+      write_seq_ = std::max(write_seq_, data->oob.seq);
+      if (data->oob.lba == kInvalidLba || data->oob.lba >= exported_lbas_) {
+        continue;  // written outside the FTL (raw NAND tests)
+      }
+      versions[data->oob.lba].push_back(
+          {ppa, data->oob.seq, data->oob.written_at, data});
+    }
+  }
+  report.duration =
+      static_cast<SimTime>(report.pages_scanned) * config_.latency.page_read;
+
+  // Order each LBA's versions oldest-first by logical write time (GC copies
+  // keep their version's written_at), then by program sequence.
+  struct QueuedBackup {
+    SimTime displaced_at = 0;     ///< written_at of the displacing version
+    std::uint64_t displacing_seq = 0;
+    Lba lba = kInvalidLba;
+    nand::Ppa old_ppa = nand::kInvalidPpa;
+  };
+  std::vector<QueuedBackup> backups;
+  for (auto& [lba, vers] : versions) {
+    std::sort(vers.begin(), vers.end(), [](const Version& a, const Version& b) {
+      return a.written_at != b.written_at ? a.written_at < b.written_at
+                                          : a.seq < b.seq;
+    });
+    // GC-relocation ghosts: when a retained or valid page was copied but its
+    // source block not yet erased, both copies survive the crash with equal
+    // written_at and equal payload. The newer program wins; the older stays
+    // invalid.
+    std::vector<const Version*> live;
+    for (std::size_t i = 0; i < vers.size(); ++i) {
+      bool ghost = i + 1 < vers.size() &&
+                   vers[i + 1].written_at == vers[i].written_at &&
+                   vers[i + 1].data->SamePayload(*vers[i].data);
+      if (!ghost) live.push_back(&vers[i]);
+    }
+    // Newest non-ghost version is the current mapping; each older one was
+    // displaced when its successor was written.
+    const Version* newest = live.back();
+    l2p_[lba] = newest->ppa;
+    p2l_[newest->ppa] = lba;
+    page_state_[newest->ppa] = PageState::kValid;
+    ++block_counters_[BlockIdOf(newest->ppa)].valid;
+    ++valid_pages_;
+    ++report.mappings_restored;
+    if (config_.delayed_deletion) {
+      for (std::size_t i = 0; i + 1 < live.size(); ++i) {
+        backups.push_back({live[i + 1]->written_at, live[i + 1]->seq, lba,
+                           live[i]->ppa});
+      }
+    }
+  }
+
+  // Rebuild the recovery queue in displacement order — the order the
+  // original overwrites happened — so rollback replays identically.
+  std::sort(backups.begin(), backups.end(),
+            [](const QueuedBackup& a, const QueuedBackup& b) {
+              return a.displaced_at != b.displaced_at
+                         ? a.displaced_at < b.displaced_at
+                         : a.displacing_seq < b.displacing_seq;
+            });
+  for (const QueuedBackup& qb : backups) {
+    page_state_[qb.old_ppa] = PageState::kRetained;
+    p2l_[qb.old_ppa] = qb.lba;
+    ++block_counters_[BlockIdOf(qb.old_ppa)].retained;
+    ++retained_pages_;
+    std::optional<BackupEntry> evicted =
+        queue_.Push(qb.lba, qb.old_ppa, qb.displaced_at);
+    if (evicted) {
+      ReleaseBackup(*evicted);
+      ++stats_.queue_evictions;
+    }
+    ++report.backups_restored;
+  }
+
+  // Restore the per-chip structures: erased healthy blocks refill the free
+  // pools (descending id, matching construction order); a partially
+  // programmed healthy block is that chip's open write frontier.
+  for (std::uint32_t chip = 0; chip < geo.TotalChips(); ++chip) {
+    std::uint64_t best_seq = 0;
+    for (std::uint32_t i = geo.blocks_per_chip; i-- > 0;) {
+      std::uint32_t b = chip * geo.blocks_per_chip + i;
+      if (block_health_[b] != BlockHealth::kHealthy) continue;
+      const nand::Block& blk = nand_.BlockAt(AddrOfBlockId(b));
+      if (blk.IsErased()) {
+        free_blocks_by_chip_[chip].push_back(b);
+        ++free_block_count_;
+      } else if (!blk.IsFull()) {
+        // At most one open frontier per chip exists; if the scan ever finds
+        // more, keep the one written most recently.
+        std::uint64_t max_seq = 0;
+        for (std::uint32_t p = 0; p < blk.WritePointer(); ++p) {
+          const nand::PageData* d = blk.Read(p);
+          if (d) max_seq = std::max(max_seq, d->oob.seq + 1);
+        }
+        if (active_block_per_chip_[chip] == kNoActiveBlock ||
+            max_seq > best_seq) {
+          active_block_per_chip_[chip] = b;
+          best_seq = max_seq;
+        }
+      }
+    }
+  }
+
+  ++stats_.rebuilds;
+  // Age out anything the window no longer covers (also re-releases backups
+  // whose release the crash erased).
+  ReleaseExpired(now);
+  SimTime t = now;
+  gc_.DrainRetirements(t);
+  return report;
 }
 
 PageFtl::WearStats PageFtl::Wear() const {
@@ -292,6 +546,10 @@ std::string PageFtl::CheckInvariants() const {
       err << "page " << ppa << " not free in FTL but erased in NAND";
       return err.str();
     }
+    if (st == PageState::kBad && !programmed) {
+      err << "page " << ppa << " bad in FTL but erased in NAND";
+      return err.str();
+    }
     std::uint32_t bid =
         geo.ChipOf(ppa) * geo.blocks_per_chip + geo.BlockOf(ppa);
     if (st == PageState::kValid) {
@@ -321,6 +579,25 @@ std::string PageFtl::CheckInvariants() const {
           << block_counters_[b].valid << " vs " << recomputed[b].valid
           << ", retained " << block_counters_[b].retained << " vs "
           << recomputed[b].retained << ")";
+      return err.str();
+    }
+    if (block_health_[b] == BlockHealth::kRetired &&
+        block_counters_[b].Movable() != 0) {
+      err << "retired block " << b << " still holds live pages";
+      return err.str();
+    }
+  }
+  for (std::uint32_t chip = 0; chip < geo.TotalChips(); ++chip) {
+    for (std::uint32_t b : free_blocks_by_chip_[chip]) {
+      if (block_health_[b] != BlockHealth::kHealthy) {
+        err << "out-of-service block " << b << " is in a free pool";
+        return err.str();
+      }
+    }
+    std::uint32_t active = active_block_per_chip_[chip];
+    if (active != kNoActiveBlock &&
+        block_health_[active] != BlockHealth::kHealthy) {
+      err << "out-of-service block " << active << " is an active frontier";
       return err.str();
     }
   }

@@ -70,6 +70,26 @@ class PageFtl {
   /// than the horizon are kept (their versions are deemed safe).
   RollbackReport RollBack(SimTime detect_time);
 
+  // Power-loss recovery ---------------------------------------------------
+
+  struct RebuildReport {
+    std::size_t pages_scanned = 0;      ///< programmed pages visited
+    std::size_t mappings_restored = 0;  ///< LBAs with a current version
+    std::size_t backups_restored = 0;   ///< recovery-queue entries rebuilt
+    std::size_t blocks_retired = 0;     ///< grown bad blocks carried over
+    SimTime duration = 0;               ///< modeled scan time
+  };
+
+  /// Sudden power loss followed by reboot: every volatile structure (L2P/P2L
+  /// tables, page states, free pools, the recovery queue) is discarded and
+  /// reconstructed by scanning per-page OOB metadata, the way real firmware
+  /// rebuilds its mapping from the flash log. The grown-bad-block table and
+  /// the degraded latch persist (firmware keeps them in a reserved region).
+  /// A ransomware-alarm read-only latch does NOT survive — the detector
+  /// re-arms after reboot — but rollback still works because the queue is
+  /// rebuilt from the same OOB scan.
+  RebuildReport RebuildFromNand(SimTime now);
+
   // Policy plumbing ------------------------------------------------------
 
   /// Swap a policy at runtime (experiments sweep these). The default
@@ -124,6 +144,17 @@ class PageFtl {
   std::uint64_t ValidPageCount() const { return valid_pages_; }
   std::uint64_t RetainedPageCount() const { return retained_pages_; }
 
+  // Fault / bad-block introspection --------------------------------------
+
+  BlockHealth HealthOf(std::uint32_t block_id) const {
+    return block_health_[block_id];
+  }
+  std::uint32_t RetiredBlockCount() const { return retired_blocks_; }
+  /// Latched when fault-driven block retirement exhausted the spare pool and
+  /// a write could not be placed: the device degrades to read-only (reads
+  /// keep completing) instead of asserting or corrupting state.
+  bool IsDegraded() const { return degraded_; }
+
   /// Wear summary across erase blocks. GC breaks victim-selection ties
   /// toward the least-worn block, so the spread stays bounded.
   struct WearStats {
@@ -158,6 +189,24 @@ class PageFtl {
   /// Return an erased block to its chip's free pool.
   void RecycleBlock(std::uint32_t block_id);
 
+  /// Program `data` at a fresh frontier page, transparently re-driving past
+  /// program failures: a failed attempt burns its page, flags the block for
+  /// retirement, and retries on a new frontier. Preserves data.oob.lba and
+  /// .written_at; assigns a fresh global sequence number per attempt.
+  /// Advances `now` by all NAND time spent. Returns kInvalidPpa when the
+  /// frontier ran dry before an attempt succeeded.
+  nand::Ppa ProgramWithRedrive(nand::PageData data, SimTime& now);
+
+  /// A program fault was observed on this block: close it as a write
+  /// frontier and queue it for evacuation + retirement.
+  void MarkPendingRetire(std::uint32_t block_id);
+
+  /// Take an (already evacuated) block permanently out of service.
+  void RetireBlock(std::uint32_t block_id);
+
+  /// Fault-driven retirement left no room for a write: latch read-only.
+  void EnterDegraded();
+
   FtlConfig config_;
   nand::FlashArray nand_;
   Lba exported_lbas_;
@@ -174,6 +223,17 @@ class PageFtl {
 
   RecoveryQueue queue_;
   bool read_only_ = false;
+
+  /// Grown-bad-block state (persists across power loss, like a real bad
+  /// block table) and the blocks queued for evacuation + retirement.
+  std::vector<BlockHealth> block_health_;
+  std::vector<std::uint32_t> pending_retire_;
+  std::uint32_t retired_blocks_ = 0;
+  std::uint32_t out_of_service_blocks_ = 0;  ///< pending-retire + retired
+  bool degraded_ = false;
+  /// Global program sequence number stamped into each page's OOB; the last
+  /// value assigned (restored from the scan maximum on rebuild).
+  std::uint64_t write_seq_ = 0;
 
   std::uint64_t valid_pages_ = 0;
   std::uint64_t retained_pages_ = 0;

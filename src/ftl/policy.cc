@@ -23,7 +23,7 @@ std::uint32_t GreedyVictimPolicy::SelectVictim(const PolicyView& view,
   std::uint64_t best_erases = 0;
   const std::uint32_t total = view.TotalBlocks();
   for (std::uint32_t b = 0; b < total; ++b) {
-    if (view.IsActive(b)) continue;
+    if (view.IsActive(b) || view.IsOutOfService(b)) continue;
     if (!view.IsFull(b)) continue;
     std::uint32_t movable = view.MovablePages(b);
     // Greedy on copy cost; ties go to the least-worn block (wear leveling).
@@ -46,7 +46,7 @@ std::uint32_t CostBenefitVictimPolicy::SelectVictim(
   // First pass: the wear ceiling among candidates, to normalize coldness.
   std::uint64_t max_erases = 0;
   for (std::uint32_t b = 0; b < total; ++b) {
-    if (view.IsActive(b) || !view.IsFull(b)) continue;
+    if (view.IsActive(b) || view.IsOutOfService(b) || !view.IsFull(b)) continue;
     if (view.MovablePages(b) > max_movable) continue;
     max_erases = std::max(max_erases, view.EraseCount(b));
   }
@@ -54,7 +54,7 @@ std::uint32_t CostBenefitVictimPolicy::SelectVictim(
   std::uint32_t victim = kNoVictim;
   double best_score = -1.0;
   for (std::uint32_t b = 0; b < total; ++b) {
-    if (view.IsActive(b) || !view.IsFull(b)) continue;
+    if (view.IsActive(b) || view.IsOutOfService(b) || !view.IsFull(b)) continue;
     std::uint32_t movable = view.MovablePages(b);
     if (movable > max_movable) continue;
     double u = static_cast<double>(movable) / pages;

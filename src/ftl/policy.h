@@ -37,10 +37,12 @@ class PolicyView {
   PolicyView(const nand::Geometry& geometry, const nand::FlashArray& nand,
              const std::vector<BlockCounters>& block_counters,
              const std::vector<std::uint32_t>& active_block_per_chip,
-             const std::vector<std::vector<std::uint32_t>>& free_blocks_by_chip)
+             const std::vector<std::vector<std::uint32_t>>& free_blocks_by_chip,
+             const std::vector<BlockHealth>& block_health)
       : geometry_(geometry), nand_(nand), block_counters_(block_counters),
         active_block_per_chip_(active_block_per_chip),
-        free_blocks_by_chip_(free_blocks_by_chip) {}
+        free_blocks_by_chip_(free_blocks_by_chip),
+        block_health_(block_health) {}
 
   const nand::Geometry& Geo() const { return geometry_; }
   std::uint32_t TotalBlocks() const {
@@ -70,6 +72,11 @@ class PolicyView {
   }
   std::uint64_t EraseCount(std::uint32_t block_id) const {
     return nand_.BlockAt(AddrOf(block_id)).EraseCount();
+  }
+  /// Grown bad blocks — retired or awaiting retirement — are handled by the
+  /// retirement drain, never offered to GC as victims.
+  bool IsOutOfService(std::uint32_t block_id) const {
+    return block_health_[block_id] != BlockHealth::kHealthy;
   }
 
   // Allocation side ------------------------------------------------------
@@ -102,6 +109,7 @@ class PolicyView {
   const std::vector<BlockCounters>& block_counters_;
   const std::vector<std::uint32_t>& active_block_per_chip_;
   const std::vector<std::vector<std::uint32_t>>& free_blocks_by_chip_;
+  const std::vector<BlockHealth>& block_health_;
 };
 
 // ---------------------------------------------------------------------------

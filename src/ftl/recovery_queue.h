@@ -65,6 +65,15 @@ class RecoveryQueue {
   /// Is some entry currently guarding this PPA?
   bool Guards(nand::Ppa ppa) const { return by_ppa_.contains(ppa); }
 
+  /// Discard everything (power loss: the queue lives in DRAM). The rebuild
+  /// path reconstructs entries from the OOB flash scan.
+  void Clear() {
+    entries_.clear();
+    by_ppa_.clear();
+    head_id_ = 0;
+    live_ = 0;
+  }
+
   /// Roll back: walk entries newer than `horizon` from the back (newest)
   /// to the front, invoking `revert` on each, then discard them. Entries at
   /// or older than the horizon stay queued (their new versions are deemed

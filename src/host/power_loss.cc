@@ -1,0 +1,29 @@
+#include "host/power_loss.h"
+
+namespace insider::host {
+
+PowerLossReport PowerLossInjector::Replay(const std::vector<IoRequest>& trace,
+                                          std::uint64_t stamp_base) {
+  PowerLossReport report;
+  std::size_t next_crash = 0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const IoRequest& request = trace[i];
+    while (next_crash < config_.crash_times.size() &&
+           request.time >= config_.crash_times[next_crash]) {
+      SimTime off = config_.crash_times[next_crash];
+      report.rebuilds.push_back(ssd_.PowerCycle(off, off + config_.outage));
+      ++report.crashes;
+      ++next_crash;
+    }
+    ftl::FtlStatus status =
+        ssd_.Submit(request, stamp_base + 65536 * static_cast<std::uint64_t>(i));
+    ++report.requests_submitted;
+    if (status != ftl::FtlStatus::kOk &&
+        status != ftl::FtlStatus::kUnmapped) {
+      ++report.request_errors;
+    }
+  }
+  return report;
+}
+
+}  // namespace insider::host

@@ -117,10 +117,20 @@ ftl::FtlStatus Ssd::Submit(const IoRequest& request, std::uint64_t stamp_base) {
 
 Ssd::SubmitOutcome Ssd::SubmitAsync(const IoRequest& request,
                                     std::uint64_t stamp_base) {
+  return ExecuteAsync(request, stamp_base, /*observe=*/true);
+}
+
+Ssd::SubmitOutcome Ssd::ResubmitAsync(const IoRequest& request,
+                                      std::uint64_t stamp_base) {
+  return ExecuteAsync(request, stamp_base, /*observe=*/false);
+}
+
+Ssd::SubmitOutcome Ssd::ExecuteAsync(const IoRequest& request,
+                                     std::uint64_t stamp_base, bool observe) {
   IoRequest effective = request;
   if (effective.time < clock_.Now()) effective.time = clock_.Now();
   clock_.AdvanceTo(effective.time);
-  Observe(effective);
+  if (observe) Observe(effective);
   SimTime now = effective.time;
   SubmitOutcome outcome;
   outcome.complete_time = now;
@@ -236,6 +246,21 @@ void Ssd::Reboot() {
   if (detector_tick_ != FirmwareScheduler::kInvalidTask) {
     scheduler_.Reschedule(detector_tick_, detector_.NextSliceEnd());
   }
+}
+
+ftl::PageFtl::RebuildReport Ssd::PowerCycle(SimTime off_time, SimTime on_time) {
+  clock_.AdvanceTo(off_time);
+  // Nothing runs while the power is out; the clock jumps to power-on and
+  // the FTL rebuilds from flash. The detector's sliding-window state lived
+  // in DRAM, so it restarts cold (Reboot also clears any alarm latch — the
+  // FTL's rebuild reinstates the degraded latch if one persisted).
+  SimTime resume = on_time > off_time ? on_time : off_time;
+  clock_.AdvanceTo(resume);
+  ftl::PageFtl::RebuildReport report = ftl_.RebuildFromNand(resume);
+  Reboot();
+  if (ftl_.IsDegraded()) ftl_.SetReadOnly(true);  // Reboot cleared the latch
+  MaybeArmBackgroundGc();
+  return report;
 }
 
 void Ssd::DismissAlarm() {

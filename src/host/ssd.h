@@ -83,6 +83,13 @@ class Ssd final : public fs::BlockDevice {
   /// last block's FTL completion.
   SubmitOutcome SubmitAsync(const IoRequest& request, std::uint64_t stamp_base);
 
+  /// Device-internal re-drive of a previously observed request (the I/O
+  /// engine's bounded read retry). Identical to SubmitAsync except the
+  /// detector does NOT observe the header again — a retried read is the same
+  /// host request, and double-counting it would skew the detection features.
+  SubmitOutcome ResubmitAsync(const IoRequest& request,
+                              std::uint64_t stamp_base);
+
   /// Convenience single-block ops at the current clock.
   ftl::FtlResult WriteBlockAt(Lba lba, nand::PageData data, SimTime now);
   ftl::FtlResult ReadBlockAt(Lba lba, SimTime now);
@@ -114,6 +121,13 @@ class Ssd final : public fs::BlockDevice {
   /// "Reboot": clear the read-only latch and reset detector state, as the
   /// user does after removing the ransomware.
   void Reboot();
+
+  /// Sudden power loss at `off_time`, power restored at `on_time`: the FTL
+  /// rebuilds its mapping table and recovery queue from the OOB flash scan
+  /// (PageFtl::RebuildFromNand), and the detector restarts cold — its DRAM
+  /// state is gone. Rollback remains possible afterwards because the queue
+  /// is reconstructed from flash. Returns the rebuild report.
+  ftl::PageFtl::RebuildReport PowerCycle(SimTime off_time, SimTime on_time);
 
   /// The user answered "no" to the recovery prompt (paper §III-C: the drive
   /// asks before recovering). Clears the read-only latch and the detector's
@@ -147,6 +161,8 @@ class Ssd final : public fs::BlockDevice {
 
  private:
   void Observe(const IoRequest& request);
+  SubmitOutcome ExecuteAsync(const IoRequest& request,
+                             std::uint64_t stamp_base, bool observe);
   void InstallFirmwareTasks();
   /// Close detector slices up to `now`, propagating an alarm transition
   /// exactly like Observe() does for request-driven closes.

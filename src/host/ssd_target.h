@@ -21,7 +21,17 @@ class SsdTarget final : public io::DeviceTarget {
   io::DispatchResult Dispatch(const IoRequest& request,
                               std::uint64_t stamp_base) override {
     Ssd::SubmitOutcome outcome = ssd_.SubmitAsync(request, stamp_base);
-    return {outcome.status == ftl::FtlStatus::kOk, outcome.complete_time};
+    return {outcome.status == ftl::FtlStatus::kOk, StatusOf(outcome.status),
+            outcome.complete_time};
+  }
+
+  /// Engine-level read retry: same execution path, but the detector must not
+  /// observe the header a second time (it is the same host request).
+  io::DispatchResult Redrive(const IoRequest& request,
+                             std::uint64_t stamp_base) override {
+    Ssd::SubmitOutcome outcome = ssd_.ResubmitAsync(request, stamp_base);
+    return {outcome.status == ftl::FtlStatus::kOk, StatusOf(outcome.status),
+            outcome.complete_time};
   }
 
   /// Inter-command gaps drain the SSD's firmware scheduler: background GC
@@ -31,6 +41,23 @@ class SsdTarget final : public io::DeviceTarget {
   }
 
  private:
+  static io::DeviceStatus StatusOf(ftl::FtlStatus status) {
+    switch (status) {
+      case ftl::FtlStatus::kOk:
+      case ftl::FtlStatus::kUnmapped:  // absorbed inside SubmitAsync
+        return io::DeviceStatus::kOk;
+      case ftl::FtlStatus::kReadOnly:
+        return io::DeviceStatus::kReadOnly;
+      case ftl::FtlStatus::kOutOfRange:
+        return io::DeviceStatus::kInvalidAddress;
+      case ftl::FtlStatus::kNoSpace:
+        return io::DeviceStatus::kNoSpace;
+      case ftl::FtlStatus::kReadError:
+        return io::DeviceStatus::kReadError;
+    }
+    return io::DeviceStatus::kWriteError;
+  }
+
   Ssd& ssd_;
 };
 

@@ -11,6 +11,7 @@
 
 #include "common/io.h"
 #include "common/time.h"
+#include "io/device.h"
 
 namespace insider::io {
 
@@ -33,6 +34,8 @@ struct Completion {
   QueueId queue = 0;
   IoRequest request;  ///< echo of the submitted header
   bool ok = true;     ///< device reported success
+  DeviceStatus status = DeviceStatus::kOk;  ///< device status detail
+  std::uint32_t retries = 0;  ///< transparent engine-level read retries
 
   SimTime submit_time = 0;    ///< host-stamped request time
   SimTime dispatch_time = 0;  ///< device clock when the command started

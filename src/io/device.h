@@ -13,8 +13,22 @@
 
 namespace insider::io {
 
+/// Device-level completion status, the NVMe-status-field analogue the engine
+/// propagates into Completions. kReadError is the one status the engine
+/// treats as possibly transient (an uncorrectable-ECC read may succeed on a
+/// soft retry); everything else is final.
+enum class DeviceStatus : std::uint8_t {
+  kOk,
+  kInvalidAddress,  ///< LBA beyond the device's exported capacity
+  kReadOnly,        ///< device latched read-only (alarm or degraded)
+  kNoSpace,         ///< write could not be placed (device full/degraded)
+  kReadError,       ///< media read failure; retryable
+  kWriteError,      ///< unclassified write-path failure
+};
+
 struct DispatchResult {
   bool ok = true;
+  DeviceStatus status = DeviceStatus::kOk;
   /// Virtual time when the request's last block finished in the media. May
   /// exceed Now(): a pipelined device accepts the command, schedules it on
   /// busy media, and reports the finish time up front — the engine holds the
@@ -38,6 +52,16 @@ class DeviceTarget {
   /// and lets internal resource occupancy serialize what must serialize.
   virtual DispatchResult Dispatch(const IoRequest& request,
                                   std::uint64_t stamp_base) = 0;
+
+  /// Re-issue a request the engine is retrying after a transient failure
+  /// (bounded read retry). Semantically a Dispatch, except the device must
+  /// NOT treat it as new host traffic — e.g. the SSD skips the detector's
+  /// header observation so a retried read is not double-counted. Default:
+  /// devices with no such side channel just dispatch again.
+  virtual DispatchResult Redrive(const IoRequest& request,
+                                 std::uint64_t stamp_base) {
+    return Dispatch(request, stamp_base);
+  }
 
   /// Called by the engine before it processes its next event, with that
   /// event's virtual time: the inter-command gap belongs to the device's

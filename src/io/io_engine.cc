@@ -21,7 +21,8 @@ std::vector<std::uint32_t> WeightsOf(const EngineConfig& config) {
 }  // namespace
 
 IoEngine::IoEngine(DeviceTarget& device, const EngineConfig& config)
-    : device_(device), arbiter_(config.arbiter, WeightsOf(config)) {
+    : device_(device), arbiter_(config.arbiter, WeightsOf(config)),
+      max_read_retries_(config.max_read_retries) {
   assert(config.queue_count > 0);
   assert(config.per_queue.empty() ||
          config.per_queue.size() == config.queue_count);
@@ -108,8 +109,31 @@ bool IoEngine::Step() {
   if (complete_first) {
     Completion completion = in_flight_.top().completion;
     in_flight_.pop();
-    --in_flight_per_pair_[completion.queue];
     if (completion.complete_time > clock_) clock_ = completion.complete_time;
+
+    // Bounded transparent retry: a failed read may succeed on a re-drive
+    // (soft-decode over a marginal page). The retry bypasses the device's
+    // host-traffic side effects (detector observation) and keeps the
+    // command in flight; only the final outcome posts to the host.
+    if (!completion.ok && completion.status == DeviceStatus::kReadError &&
+        completion.request.mode == IoMode::kRead &&
+        completion.retries < max_read_retries_) {
+      IoRequest retry = completion.request;
+      retry.time = completion.complete_time;
+      DispatchResult result = device_.Redrive(retry, 0);
+      completion.ok = result.ok;
+      completion.status = result.status;
+      completion.complete_time =
+          result.complete_time > completion.complete_time
+              ? result.complete_time
+              : completion.complete_time;
+      ++completion.retries;
+      ++stats_.read_retries;
+      in_flight_.push(InFlightEntry{completion});
+      return true;
+    }
+
+    --in_flight_per_pair_[completion.queue];
     bool pushed = pairs_[completion.queue].cq().TryPush(completion);
     assert(pushed);  // slot reserved at dispatch
     (void)pushed;
@@ -145,6 +169,7 @@ bool IoEngine::Step() {
   completion.queue = cmd.queue;
   completion.request = cmd.request;
   completion.ok = result.ok;
+  completion.status = result.status;
   completion.submit_time = submit_time;
   completion.dispatch_time = earliest_dispatch;
   completion.complete_time = result.complete_time > earliest_dispatch

@@ -46,6 +46,11 @@ struct EngineConfig {
   /// Optional per-queue overrides; if non-empty, size must equal queue_count.
   std::vector<QueueConfig> per_queue;
   ArbiterConfig arbiter;
+  /// Bounded transparent retry for failed reads (uncorrectable ECC can be
+  /// transient under soft-decode). A read completion carrying
+  /// DeviceStatus::kReadError is re-driven up to this many times before the
+  /// error posts to the host. 0 disables retries.
+  std::uint32_t max_read_retries = 2;
 };
 
 struct EngineStats {
@@ -55,6 +60,7 @@ struct EngineStats {
   std::uint64_t sq_rejections = 0;  ///< host-side backpressure events
   std::uint64_t cq_stalls = 0;      ///< pair skipped: completion ring full
   std::uint64_t max_in_flight = 0;  ///< peak concurrently executing commands
+  std::uint64_t read_retries = 0;   ///< transparent read re-drives
 };
 
 class IoEngine {
@@ -120,6 +126,7 @@ class IoEngine {
   SimTime clock_ = 0;
   EngineStats stats_;
   CommandId next_id_ = 1;
+  std::uint32_t max_read_retries_ = 0;
 };
 
 }  // namespace insider::io

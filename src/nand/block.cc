@@ -11,8 +11,17 @@ bool Block::Program(std::uint32_t page, PageData data) {
   return true;
 }
 
+bool Block::BurnPage(std::uint32_t page) {
+  if (page != write_ptr_ || IsFull()) return false;
+  if (bad_.empty()) bad_.assign(pages_.size(), false);
+  pages_[page] = PageData{};
+  bad_[page] = true;
+  ++write_ptr_;
+  return true;
+}
+
 const PageData* Block::Read(std::uint32_t page) const {
-  if (!IsProgrammed(page)) return nullptr;
+  if (!IsProgrammed(page) || IsBadPage(page)) return nullptr;
   return &pages_[page];
 }
 
@@ -20,6 +29,9 @@ void Block::Erase() {
   for (std::uint32_t i = 0; i < write_ptr_; ++i) {
     pages_[i] = PageData{};
   }
+  // A successful erase restores burned pages too; deciding whether a block
+  // with program-fail history may be reused is the FTL's call, not ours.
+  bad_.clear();
   write_ptr_ = 0;
   ++erase_count_;
 }

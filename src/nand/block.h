@@ -33,13 +33,27 @@ class Block {
   /// full block.
   bool Program(std::uint32_t page, PageData data);
 
-  /// Read a programmed page. Returns nullptr for erased pages.
+  /// A program attempt on the page at the write pointer failed: the page's
+  /// cells are in an indeterminate state. The write pointer still advances
+  /// (the position is consumed — NAND cannot retry in place) and the page is
+  /// marked bad: reads return uncorrectable. Same rule checks as Program.
+  bool BurnPage(std::uint32_t page);
+
+  /// True when the page was consumed by a failed program (unreadable).
+  bool IsBadPage(std::uint32_t page) const {
+    return page < bad_.size() && bad_[page];
+  }
+
+  /// Read a programmed page. Returns nullptr for erased pages and burned
+  /// (bad) pages.
   const PageData* Read(std::uint32_t page) const;
 
   void Erase();
 
  private:
   std::vector<PageData> pages_;
+  /// Lazily sized to pages_per_block on the first burn; empty = no bad pages.
+  std::vector<bool> bad_;
   std::uint32_t write_ptr_ = 0;
   std::uint64_t erase_count_ = 0;
 };

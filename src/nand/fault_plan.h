@@ -1,0 +1,97 @@
+// Scripted, deterministic device-fault injection.
+//
+// The probabilistic ErrorModel answers "how often does real NAND fail"; the
+// FaultPlan answers "what happens when *this* operation fails" — it fires a
+// chosen fault at an exact operation index or virtual time, so every failure
+// scenario (program fail on the 3rd GC copy, erase fail under space
+// pressure, uncorrectable read mid-rebuild) is replayable bit-for-bit.
+// FlashArray consults the plan before the probabilistic model; a consumed
+// event never fires again.
+//
+// Triggers:
+//   * at_op  — fires on the Nth attempt (1-based) of that operation kind,
+//     counted across the whole array. 0 = not op-triggered.
+//   * at_time — fires on the first attempt of that kind submitted at or
+//     after the given virtual time (only consulted when at_op == 0).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.h"
+
+namespace insider::nand {
+
+enum class FaultKind : std::uint8_t {
+  kProgramFail,
+  kEraseFail,
+  kReadUncorrectable,
+};
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kProgramFail;
+  /// 1-based attempt index among operations of `kind`; 0 = time-triggered.
+  std::uint64_t at_op = 0;
+  /// Fires on the first matching attempt with submit time >= at_time.
+  SimTime at_time = 0;
+  bool fired = false;
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  bool Empty() const { return events_.empty(); }
+  std::size_t Pending() const {
+    std::size_t n = 0;
+    for (const FaultEvent& e : events_) {
+      if (!e.fired) ++n;
+    }
+    return n;
+  }
+
+  FaultPlan& FailProgramAtOp(std::uint64_t op) {
+    events_.push_back({FaultKind::kProgramFail, op, 0, false});
+    return *this;
+  }
+  FaultPlan& FailEraseAtOp(std::uint64_t op) {
+    events_.push_back({FaultKind::kEraseFail, op, 0, false});
+    return *this;
+  }
+  FaultPlan& FailReadAtOp(std::uint64_t op) {
+    events_.push_back({FaultKind::kReadUncorrectable, op, 0, false});
+    return *this;
+  }
+  FaultPlan& FailProgramAt(SimTime t) {
+    events_.push_back({FaultKind::kProgramFail, 0, t, false});
+    return *this;
+  }
+  FaultPlan& FailEraseAt(SimTime t) {
+    events_.push_back({FaultKind::kEraseFail, 0, t, false});
+    return *this;
+  }
+  FaultPlan& FailReadAt(SimTime t) {
+    events_.push_back({FaultKind::kReadUncorrectable, 0, t, false});
+    return *this;
+  }
+
+  /// Consult the plan for the `op_index`-th attempt (1-based) of `kind` at
+  /// submit time `now`. Consumes and returns true if a scheduled event
+  /// matches; at most one event fires per attempt.
+  bool Consume(FaultKind kind, std::uint64_t op_index, SimTime now) {
+    for (FaultEvent& e : events_) {
+      if (e.fired || e.kind != kind) continue;
+      bool match = e.at_op != 0 ? e.at_op == op_index : now >= e.at_time;
+      if (match) {
+        e.fired = true;
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace insider::nand

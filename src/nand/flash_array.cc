@@ -77,17 +77,39 @@ NandStatus FlashArray::SampleReadErrors(std::uint64_t erase_count,
   return NandStatus::kUncorrectableEcc;
 }
 
+bool FlashArray::SampleFault(FaultKind kind, std::uint64_t op_index,
+                             SimTime now, double prob) {
+  if (plan_.Consume(kind, op_index, now)) return true;
+  return prob > 0.0 && error_rng_.Chance(prob);
+}
+
 NandResult FlashArray::ReadPage(Ppa ppa, SimTime now) {
   if (!geo_.ValidPpa(ppa)) return {NandStatus::kBadAddress, now, nullptr};
   std::uint32_t chip = geo_.ChipOf(ppa);
   const Block& block = chips_[chip].BlockAt(geo_.BlockOf(ppa));
-  const PageData* data = block.Read(geo_.PageOf(ppa));
+  std::uint32_t page = geo_.PageOf(ppa);
+  if (block.IsProgrammed(page) && block.IsBadPage(page)) {
+    // A burned page always reads uncorrectable: the failed program left its
+    // cells in an indeterminate state.
+    ++counters_.page_reads;
+    ++counters_.uncorrectable_reads;
+    SimTime done = Occupy(chip, now, latency_.page_read,
+                          latency_.channel_transfer, /*bus_first=*/false);
+    return {NandStatus::kUncorrectableEcc, done, nullptr};
+  }
+  const PageData* data = block.Read(page);
   if (data == nullptr) {
     return {NandStatus::kReadOfErasedPage, now, nullptr};
   }
   SimTime extra = 0;
   NandStatus ecc = SampleReadErrors(block.EraseCount(), extra);
   ++counters_.page_reads;
+  if (ecc == NandStatus::kOk &&
+      SampleFault(FaultKind::kReadUncorrectable, counters_.page_reads, now,
+                  0.0)) {
+    ecc = NandStatus::kUncorrectableEcc;
+    ++counters_.uncorrectable_reads;
+  }
   SimTime done = Occupy(chip, now, latency_.page_read + extra,
                         latency_.channel_transfer, /*bus_first=*/false);
   if (ecc != NandStatus::kOk) {
@@ -102,6 +124,20 @@ NandResult FlashArray::ProgramPage(Ppa ppa, PageData data, SimTime now) {
   Block& block = chips_[chip].BlockAt(geo_.BlockOf(ppa));
   std::uint32_t page = geo_.PageOf(ppa);
   if (block.IsFull()) return {NandStatus::kProgramToFullBlock, now, nullptr};
+  std::uint64_t attempt =
+      counters_.page_programs + counters_.program_fails + 1;
+  if (SampleFault(FaultKind::kProgramFail, attempt, now,
+                  errors_.program_fail_prob)) {
+    if (!block.BurnPage(page)) {
+      return {NandStatus::kProgramOutOfOrder, now, nullptr};
+    }
+    ++counters_.program_fails;
+    // A failed program holds the die for the full program time — the status
+    // check only reports failure at the end of the operation.
+    SimTime done = Occupy(chip, now, latency_.page_program,
+                          latency_.channel_transfer, /*bus_first=*/true);
+    return {NandStatus::kProgramFail, done, nullptr};
+  }
   if (!block.Program(page, std::move(data))) {
     return {NandStatus::kProgramOutOfOrder, now, nullptr};
   }
@@ -115,6 +151,16 @@ NandResult FlashArray::EraseBlock(BlockAddr addr, SimTime now) {
   if (addr.chip >= geo_.TotalChips() || addr.block >= geo_.blocks_per_chip) {
     return {NandStatus::kBadAddress, now, nullptr};
   }
+  std::uint64_t attempt = counters_.block_erases + counters_.erase_fails + 1;
+  if (SampleFault(FaultKind::kEraseFail, attempt, now,
+                  errors_.erase_fail_prob)) {
+    ++counters_.erase_fails;
+    // Failed erase: the block's contents are untouched; the die was still
+    // busy for the erase pulse.
+    SimTime done = Occupy(addr.chip, now, latency_.block_erase, 0,
+                          /*bus_first=*/false);
+    return {NandStatus::kEraseFail, done, nullptr};
+  }
   chips_[addr.chip].BlockAt(addr.block).Erase();
   ++counters_.block_erases;
   SimTime done =
@@ -127,6 +173,13 @@ bool FlashArray::IsProgrammed(Ppa ppa) const {
   const Block& block =
       chips_[geo_.ChipOf(ppa)].BlockAt(geo_.BlockOf(ppa));
   return block.IsProgrammed(geo_.PageOf(ppa));
+}
+
+bool FlashArray::IsBadPage(Ppa ppa) const {
+  if (!geo_.ValidPpa(ppa)) return false;
+  const Block& block =
+      chips_[geo_.ChipOf(ppa)].BlockAt(geo_.BlockOf(ppa));
+  return block.IsBadPage(geo_.PageOf(ppa));
 }
 
 std::uint64_t FlashArray::TotalEraseCount() const {

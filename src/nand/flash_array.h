@@ -10,6 +10,7 @@
 #include "common/time.h"
 #include "nand/chip.h"
 #include "nand/errors.h"
+#include "nand/fault_plan.h"
 #include "nand/geometry.h"
 #include "nand/latency.h"
 
@@ -22,6 +23,8 @@ enum class NandStatus {
   kProgramToFullBlock,   ///< block has no free pages left; erase first
   kBadAddress,
   kUncorrectableEcc,     ///< raw bit errors exceeded the ECC budget
+  kProgramFail,          ///< program op failed; the page is burned
+  kEraseFail,            ///< erase op failed; block contents untouched
 };
 
 struct NandResult {
@@ -37,11 +40,15 @@ struct NandResult {
 
 struct NandCounters {
   std::uint64_t page_reads = 0;
-  std::uint64_t page_programs = 0;
-  std::uint64_t block_erases = 0;
+  std::uint64_t page_programs = 0;      ///< successful programs
+  std::uint64_t block_erases = 0;       ///< successful erases
   std::uint64_t corrected_reads = 0;    ///< in-line ECC fixed bit errors
   std::uint64_t read_retries = 0;       ///< soft-decode retries
   std::uint64_t uncorrectable_reads = 0;
+  std::uint64_t program_fails = 0;      ///< failed programs (page burned)
+  std::uint64_t erase_fails = 0;        ///< failed erases
+
+  friend bool operator==(const NandCounters&, const NandCounters&) = default;
 };
 
 class FlashArray {
@@ -56,6 +63,11 @@ class FlashArray {
   const ErrorModel& Errors() const { return errors_; }
   const NandCounters& Counters() const { return counters_; }
   void ResetCounters() { counters_ = NandCounters{}; }
+
+  /// Install a scripted fault plan (consulted before the probabilistic
+  /// model). Replaces any previous plan.
+  void SetFaultPlan(FaultPlan plan) { plan_ = std::move(plan); }
+  const FaultPlan& Plan() const { return plan_; }
 
   /// Read one physical page. `now` is the submission time; the result's
   /// complete_time accounts for die busy time, cell read, and bus transfer.
@@ -72,6 +84,8 @@ class FlashArray {
     return chips_[addr.chip].BlockAt(addr.block);
   }
   bool IsProgrammed(Ppa ppa) const;
+  /// Page consumed by a failed program (unreadable until the block erases).
+  bool IsBadPage(Ppa ppa) const;
   std::uint64_t TotalEraseCount() const;
   std::uint64_t MaxEraseCount() const;
 
@@ -88,10 +102,16 @@ class FlashArray {
   /// extra latency. kOk with extra latency models a soft-decode retry.
   NandStatus SampleReadErrors(std::uint64_t erase_count, SimTime& extra);
 
+  /// Should this attempt of `kind` fail? Scripted plan first, then the
+  /// probabilistic model with probability `prob`.
+  bool SampleFault(FaultKind kind, std::uint64_t op_index, SimTime now,
+                   double prob);
+
   Geometry geo_;
   LatencyModel latency_;
   ErrorModel errors_;
   Rng error_rng_;
+  FaultPlan plan_;
   std::vector<Chip> chips_;
   std::vector<SimTime> channel_busy_until_;
   NandCounters counters_;

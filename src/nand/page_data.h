@@ -11,15 +11,52 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/time.h"
+
 namespace insider::nand {
 
+/// Out-of-band (spare-area) metadata the FTL programs with every page, the
+/// way real firmware tags each page so the mapping table can be rebuilt by
+/// scanning flash after power loss. Modeled as 24 bytes of the page's OOB
+/// region: 8 B logical address, 8 B global write sequence, 8 B timestamp.
+struct PageOob {
+  /// Logical address this page holds a version of; kInvalidLba (the
+  /// default) marks a page written outside the FTL (raw NAND tests).
+  std::uint64_t lba = static_cast<std::uint64_t>(-1);
+  /// Global program sequence number — strictly increasing across the
+  /// device's lifetime, so a flash scan can order versions of one LBA.
+  std::uint64_t seq = 0;
+  /// Virtual time of the *logical* write. GC relocation preserves it (the
+  /// copy is the same version), which is how a rebuild tells a relocated
+  /// ghost from a genuinely newer version.
+  SimTime written_at = 0;
+
+  friend bool operator==(const PageOob&, const PageOob&) = default;
+};
+
 struct PageData {
+  PageData() = default;
+  /// Positional construction with the OOB defaulted, so the pervasive
+  /// `{stamp, bytes}` literals predating the OOB area keep working.
+  PageData(std::uint64_t stamp_in, std::vector<std::byte> bytes_in,
+           PageOob oob_in = PageOob{})
+      : stamp(stamp_in), bytes(std::move(bytes_in)), oob(oob_in) {}
+
   /// Opaque version stamp chosen by the writer (the FTL passes through the
   /// host's stamp). Used by tests and the recovery checker to tell original
   /// content from ransomware-encrypted content.
   std::uint64_t stamp = 0;
   /// Optional real contents (page_size bytes when present).
   std::vector<std::byte> bytes;
+  /// Spare-area metadata (filled by the FTL on program).
+  PageOob oob;
+
+  /// Payload equality, ignoring OOB — two pages hold the same version when
+  /// stamp and contents match even if their program sequence differs (GC
+  /// copies get fresh sequence numbers).
+  bool SamePayload(const PageData& other) const {
+    return stamp == other.stamp && bytes == other.bytes;
+  }
 
   friend bool operator==(const PageData&, const PageData&) = default;
 };

@@ -77,6 +77,30 @@ TEST_F(DetectionMatrixTest, BenignBackgroundsStayQuiet) {
   }
 }
 
+TEST_F(DetectionMatrixTest, ScoresUnmovedByProgramFaults) {
+  // Device-fault robustness: a realistic grown-defect rate (1e-3 program
+  // fails, absorbed by write re-drive + block retirement inside the FTL)
+  // must not perturb what the detector sees — same families, same seeds,
+  // scores within +-1 of the ideal-media run.
+  for (const char* family : {"WannaCry", "Mole", "InHouse.inplace"}) {
+    InterleavedConfig cfg;
+    cfg.benign_tenants = 2;
+    cfg.ransomware = family;
+    cfg.duration = Seconds(30);
+    cfg.ransom_start = Seconds(8);
+    cfg.seed = 4247;
+    InterleavedResult clean = RunInterleavedDetection(*tree_, cfg);
+    cfg.ftl.errors.program_fail_prob = 1e-3;
+    cfg.ftl.error_seed = 0xFA17;
+    InterleavedResult faulty = RunInterleavedDetection(*tree_, cfg);
+
+    EXPECT_TRUE(clean.alarm) << family;
+    EXPECT_TRUE(faulty.alarm) << family;
+    int diff = clean.max_score - faulty.max_score;
+    EXPECT_LE(diff < 0 ? -diff : diff, 1) << family;
+  }
+}
+
 TEST_F(DetectionMatrixTest, DetectionLatencyWithinPaperBoundWhenAlone) {
   for (const std::string& family : wl::AllRansomwareNames()) {
     DetectionRun run = Run(wl::AppKind::kNone, family, 4246);

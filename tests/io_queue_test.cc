@@ -24,7 +24,7 @@ class FakeDevice final : public DeviceTarget {
     SimTime start = request.time > now_ ? request.time : now_;
     now_ = start + cost_ * request.length;
     order_.push_back(request);
-    return {true, now_};
+    return {true, DeviceStatus::kOk, now_};
   }
 
   const std::vector<IoRequest>& Order() const { return order_; }

@@ -1,0 +1,331 @@
+// Power-loss recovery: PageFtl::RebuildFromNand reconstructs the mapping
+// table and the recovery queue from per-page OOB metadata, and the
+// host-level PowerLossInjector proves the paper's rollback promise survives
+// an ill-timed power cut (detection state is DRAM and restarts cold; the
+// backups live in flash).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ftl/page_ftl.h"
+#include "host/power_loss.h"
+#include "host/ssd.h"
+#include "nand/geometry.h"
+
+namespace insider {
+namespace {
+
+nand::PageData Page(std::uint64_t stamp) {
+  nand::PageData d;
+  d.stamp = stamp;
+  return d;
+}
+
+ftl::FtlConfig SmallFtl() {
+  ftl::FtlConfig c;
+  c.geometry = nand::TestGeometry();  // 2x2 chips, 16 blocks/chip, 8 pp/b
+  c.latency = nand::LatencyModel::Zero();
+  c.exported_fraction = 0.5;  // 256 LBAs
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// FTL layer: the OOB scan restores what the crash destroyed.
+
+TEST(RebuildTest, RebuildReconstructsMappingAndRecoveryQueue) {
+  ftl::PageFtl ftl(SmallFtl());
+
+  // Old state, aged out of the window by the time of the crash.
+  for (Lba lba = 0; lba < 100; ++lba) {
+    ASSERT_TRUE(ftl.WritePage(lba, Page(1000 + lba), Seconds(1)).ok());
+  }
+  ftl.ReleaseExpired(Seconds(15));
+  // Fresh overwrites inside the window: these must stay recoverable.
+  for (Lba lba = 0; lba < 50; ++lba) {
+    ASSERT_TRUE(ftl.WritePage(lba, Page(2000 + lba), Seconds(20)).ok());
+  }
+
+  std::size_t queue_before = ftl.RecoveryQueueSize();
+  std::uint64_t valid_before = ftl.ValidPageCount();
+  std::uint64_t retained_before = ftl.RetainedPageCount();
+  ASSERT_EQ(queue_before, 50u);
+
+  ftl::PageFtl::RebuildReport report = ftl.RebuildFromNand(Seconds(22));
+  EXPECT_GT(report.pages_scanned, 0u);
+  EXPECT_EQ(report.mappings_restored, 100u);
+  EXPECT_EQ(report.backups_restored, 50u);
+  EXPECT_GE(report.duration, 0);
+  EXPECT_EQ(ftl.Stats().rebuilds, 1u);
+
+  EXPECT_EQ(ftl.RecoveryQueueSize(), queue_before);
+  EXPECT_EQ(ftl.ValidPageCount(), valid_before);
+  EXPECT_EQ(ftl.RetainedPageCount(), retained_before);
+  EXPECT_EQ(ftl.CheckInvariants(), "");
+
+  // Current versions survived byte-for-byte.
+  for (Lba lba = 0; lba < 100; ++lba) {
+    ftl::FtlResult r = ftl.ReadPage(lba, Seconds(22));
+    ASSERT_TRUE(r.ok()) << lba;
+    EXPECT_EQ(r.data.stamp, (lba < 50 ? 2000 : 1000) + lba) << lba;
+  }
+
+  // And the rebuilt queue still rolls the burst back.
+  ftl.SetReadOnly(true);
+  ftl.RollBack(Seconds(22));
+  for (Lba lba = 0; lba < 100; ++lba) {
+    ftl::FtlResult r = ftl.ReadPage(lba, Seconds(23));
+    ASSERT_TRUE(r.ok()) << lba;
+    EXPECT_EQ(r.data.stamp, 1000 + lba) << lba;
+  }
+  EXPECT_EQ(ftl.CheckInvariants(), "");
+}
+
+TEST(RebuildTest, RollbackAfterCrashMatchesUncrashedTwin) {
+  ftl::PageFtl crashed(SmallFtl());
+  ftl::PageFtl twin(SmallFtl());
+
+  auto both_write = [&](Lba lba, std::uint64_t stamp, SimTime t) {
+    ASSERT_TRUE(crashed.WritePage(lba, Page(stamp), t).ok());
+    ASSERT_TRUE(twin.WritePage(lba, Page(stamp), t).ok());
+  };
+
+  for (Lba lba = 0; lba < 80; ++lba) both_write(lba, 100 + lba, Seconds(1));
+  crashed.ReleaseExpired(Seconds(15));
+  twin.ReleaseExpired(Seconds(15));
+
+  // Attack burst from t = 30 s; power dies mid-burst on one device only.
+  for (Lba lba = 0; lba < 40; ++lba) {
+    both_write(lba, 9000 + lba, Seconds(30) + lba * Milliseconds(50));
+  }
+  crashed.RebuildFromNand(Seconds(33));
+  for (Lba lba = 40; lba < 80; ++lba) {
+    both_write(lba, 9000 + lba, Seconds(33) + lba * Milliseconds(50));
+  }
+
+  ASSERT_EQ(crashed.Stats().forced_releases, 0u);
+  ASSERT_EQ(crashed.Stats().queue_evictions, 0u);
+
+  // Detection at t = 38 s; horizon 28 s predates the whole burst.
+  crashed.SetReadOnly(true);
+  twin.SetReadOnly(true);
+  crashed.RollBack(Seconds(38));
+  twin.RollBack(Seconds(38));
+
+  for (Lba lba = 0; lba < 80; ++lba) {
+    ftl::FtlResult a = crashed.ReadPage(lba, Seconds(39));
+    ftl::FtlResult b = twin.ReadPage(lba, Seconds(39));
+    ASSERT_EQ(a.status, b.status) << lba;
+    if (a.ok()) {
+      EXPECT_EQ(a.data.stamp, b.data.stamp) << lba;
+      EXPECT_EQ(a.data.stamp, 100 + lba) << lba;
+    }
+  }
+  EXPECT_EQ(crashed.CheckInvariants(), "");
+}
+
+TEST(RebuildTest, DeviceKeepsWorkingAfterRebuild) {
+  ftl::PageFtl ftl(SmallFtl());
+  for (Lba lba = 0; lba < 64; ++lba) {
+    ASSERT_TRUE(ftl.WritePage(lba, Page(lba), Seconds(1)).ok());
+  }
+  ftl.RebuildFromNand(Seconds(2));
+
+  // Overwrites after the rebuild must keep producing backups (the global
+  // write sequence continued past the scan maximum).
+  for (Lba lba = 0; lba < 64; ++lba) {
+    ASSERT_TRUE(ftl.WritePage(lba, Page(500 + lba), Seconds(3)).ok());
+  }
+  EXPECT_EQ(ftl.RecoveryQueueSize(), 64u);
+  EXPECT_EQ(ftl.CheckInvariants(), "");
+
+  ftl.SetReadOnly(true);
+  ftl.RollBack(Seconds(5));
+  for (Lba lba = 0; lba < 64; ++lba) {
+    EXPECT_EQ(ftl.ReadPage(lba, Seconds(6)).data.stamp, lba) << lba;
+  }
+}
+
+TEST(RebuildTest, TrimsInsideTheBurstRollBackIdentically) {
+  // Trim persistence is the documented wart (DESIGN.md §8): a trim leaves no
+  // OOB record, so the rebuild resurrects the trimmed version. Rollback must
+  // erase the difference for trims inside the retention window: both devices
+  // end up with the pre-burst mapping.
+  ftl::PageFtl crashed(SmallFtl());
+  ftl::PageFtl twin(SmallFtl());
+  for (Lba lba = 0; lba < 20; ++lba) {
+    ASSERT_TRUE(crashed.WritePage(lba, Page(100 + lba), Seconds(1)).ok());
+    ASSERT_TRUE(twin.WritePage(lba, Page(100 + lba), Seconds(1)).ok());
+  }
+  crashed.ReleaseExpired(Seconds(15));
+  twin.ReleaseExpired(Seconds(15));
+
+  // Ransomware that trims (deletes) half its victims mid-burst.
+  for (Lba lba = 0; lba < 10; ++lba) {
+    ASSERT_TRUE(crashed.TrimPage(lba, Seconds(30)).ok());
+    ASSERT_TRUE(twin.TrimPage(lba, Seconds(30)).ok());
+  }
+  crashed.RebuildFromNand(Seconds(31));
+
+  crashed.SetReadOnly(true);
+  twin.SetReadOnly(true);
+  crashed.RollBack(Seconds(36));
+  twin.RollBack(Seconds(36));
+  for (Lba lba = 0; lba < 20; ++lba) {
+    ftl::FtlResult a = crashed.ReadPage(lba, Seconds(37));
+    ftl::FtlResult b = twin.ReadPage(lba, Seconds(37));
+    ASSERT_EQ(a.status, b.status) << lba;
+    ASSERT_TRUE(a.ok()) << lba;
+    EXPECT_EQ(a.data.stamp, 100 + lba) << lba;
+  }
+}
+
+TEST(RebuildTest, GrownBadBlocksSurviveThePowerCut) {
+  ftl::FtlConfig c = SmallFtl();
+  c.fault_plan.FailProgramAtOp(3);
+  ftl::PageFtl ftl(c);
+  for (Lba lba = 0; lba < 16; ++lba) {
+    ASSERT_TRUE(ftl.WritePage(lba, Page(lba), Seconds(1)).ok());
+  }
+  ASSERT_EQ(ftl.RetiredBlockCount(), 1u);
+
+  ftl::PageFtl::RebuildReport report = ftl.RebuildFromNand(Seconds(2));
+  EXPECT_EQ(report.blocks_retired, 1u);
+  EXPECT_EQ(ftl.RetiredBlockCount(), 1u);
+  EXPECT_EQ(ftl.CheckInvariants(), "");
+  for (Lba lba = 0; lba < 16; ++lba) {
+    EXPECT_EQ(ftl.ReadPage(lba, Seconds(3)).data.stamp, lba) << lba;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Host layer: PowerLossInjector against the assembled Ssd.
+
+host::SsdConfig SmallSsd() {
+  host::SsdConfig c;
+  c.ftl.geometry = nand::TestGeometry();
+  c.ftl.latency = nand::LatencyModel::Zero();
+  c.detector.slice_length = Seconds(1);
+  c.detector.window_slices = 10;
+  c.detector.score_threshold = 3;
+  return c;
+}
+
+/// Tree voting ransomware iff OWIO > 30 (deterministic for tests).
+core::DecisionTree SimpleTree() {
+  std::vector<core::DecisionTree::Node> nodes(3);
+  nodes[0].is_leaf = false;
+  nodes[0].feature = core::FeatureId::kOwIo;
+  nodes[0].threshold = 30.0;
+  nodes[0].left = 1;
+  nodes[0].right = 2;
+  nodes[1].is_leaf = true;
+  nodes[1].label = false;
+  nodes[2].is_leaf = true;
+  nodes[2].label = true;
+  return core::DecisionTree(std::move(nodes));
+}
+
+TEST(PowerLossInjectorTest, CrashBeforeAttackStillDetectsAndRollsBack) {
+  host::Ssd ssd(SmallSsd(), SimpleTree());
+
+  // Benign fill: 64 single-block writes; request i carries stamp 65536 * i.
+  std::vector<IoRequest> trace;
+  for (Lba lba = 0; lba < 64; ++lba) {
+    trace.push_back(
+        {Seconds(1) + static_cast<SimTime>(lba) * 1000, lba, 1, IoMode::kWrite});
+  }
+  std::size_t benign_requests = trace.size();
+  // Attack after the crash point: read + overwrite sweeps of 40 blocks.
+  for (int s = 0; s < 6; ++s) {
+    SimTime t = Seconds(21 + s);
+    trace.push_back({t, 0, 40, IoMode::kRead});
+    trace.push_back({t + 1000, 0, 40, IoMode::kWrite});
+  }
+
+  host::PowerLossConfig plc;
+  plc.crash_times = {Seconds(20)};
+  host::PowerLossInjector injector(ssd, plc);
+  host::PowerLossReport report = injector.Replay(trace, /*stamp_base=*/0);
+
+  EXPECT_EQ(report.crashes, 1u);
+  ASSERT_EQ(report.rebuilds.size(), 1u);
+  EXPECT_EQ(report.rebuilds[0].mappings_restored, 64u);
+  EXPECT_EQ(report.requests_submitted, trace.size());
+
+  ssd.IdleUntil(ssd.Clock().Now() + Seconds(2));
+  ASSERT_TRUE(ssd.AlarmActive());
+  ssd.RollBackNow();
+
+  // The attacked LBAs hold their benign payloads again.
+  for (Lba lba = 0; lba < 40; ++lba) {
+    ftl::FtlResult r = ssd.Ftl().ReadPage(lba, ssd.Clock().Now());
+    ASSERT_TRUE(r.ok()) << lba;
+    EXPECT_EQ(r.data.stamp, 65536u * lba) << lba;
+  }
+  (void)benign_requests;
+  EXPECT_EQ(ssd.Ftl().CheckInvariants(), "");
+  EXPECT_EQ(ssd.Ftl().Stats().rebuilds, 1u);
+}
+
+TEST(PowerLossInjectorTest, CrashMidAttackStillRestoresPreAttackState) {
+  host::Ssd ssd(SmallSsd(), SimpleTree());
+
+  std::vector<IoRequest> trace;
+  for (Lba lba = 0; lba < 64; ++lba) {
+    trace.push_back(
+        {Seconds(1) + static_cast<SimTime>(lba) * 1000, lba, 1, IoMode::kWrite});
+  }
+  // Attack spans the crash at t = 23 s: backups made before the cut must be
+  // honored by the rollback after it.
+  for (int s = 0; s < 8; ++s) {
+    SimTime t = Seconds(21 + s);
+    trace.push_back({t, 0, 40, IoMode::kRead});
+    trace.push_back({t + 1000, 0, 40, IoMode::kWrite});
+  }
+
+  host::PowerLossConfig plc;
+  plc.crash_times = {Seconds(23)};
+  host::PowerLossInjector injector(ssd, plc);
+  host::PowerLossReport report = injector.Replay(trace, /*stamp_base=*/0);
+  EXPECT_EQ(report.crashes, 1u);
+
+  ssd.IdleUntil(ssd.Clock().Now() + Seconds(2));
+  ASSERT_TRUE(ssd.AlarmActive());
+  // The alarm fired after the reboot; its 10 s horizon predates the attack's
+  // first write, so every backup — including those recovered by the OOB
+  // scan — participates.
+  ssd.RollBackNow();
+  for (Lba lba = 0; lba < 40; ++lba) {
+    ftl::FtlResult r = ssd.Ftl().ReadPage(lba, ssd.Clock().Now());
+    ASSERT_TRUE(r.ok()) << lba;
+    EXPECT_EQ(r.data.stamp, 65536u * lba) << lba;
+  }
+  EXPECT_EQ(ssd.Ftl().CheckInvariants(), "");
+}
+
+TEST(PowerLossInjectorTest, MultipleCrashesAreSurvivable) {
+  host::Ssd ssd(SmallSsd(), SimpleTree());
+  std::vector<IoRequest> trace;
+  for (Lba lba = 0; lba < 48; ++lba) {
+    trace.push_back({Seconds(1) + static_cast<SimTime>(lba) * Milliseconds(100),
+                     lba, 1, IoMode::kWrite});
+  }
+  host::PowerLossConfig plc;
+  plc.crash_times = {Seconds(2), Seconds(4), Seconds(5)};
+  host::PowerLossInjector injector(ssd, plc);
+  host::PowerLossReport report = injector.Replay(trace, /*stamp_base=*/0);
+  EXPECT_EQ(report.crashes, 3u);
+  EXPECT_EQ(report.request_errors, 0u);
+  EXPECT_EQ(ssd.Ftl().Stats().rebuilds, 3u);
+  for (Lba lba = 0; lba < 48; ++lba) {
+    ftl::FtlResult r = ssd.Ftl().ReadPage(lba, ssd.Clock().Now());
+    ASSERT_TRUE(r.ok()) << lba;
+    EXPECT_EQ(r.data.stamp, 65536u * lba) << lba;
+  }
+  EXPECT_EQ(ssd.Ftl().CheckInvariants(), "");
+}
+
+}  // namespace
+}  // namespace insider

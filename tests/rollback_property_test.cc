@@ -143,6 +143,134 @@ TEST_P(RollbackPropertyTest, RollbackEqualsModelAtHorizon) {
 INSTANTIATE_TEST_SUITE_P(Seeds, RollbackPropertyTest,
                          ::testing::Range<std::uint64_t>(1, 13));
 
+// ---------------------------------------------------------------------------
+// Device-fault robustness: the recovery promise must hold on degraded
+// hardware. Each seed drives two devices through an identical history —
+// device A on ideal media, device B with random program/erase faults and a
+// power cut (RebuildFromNand) at a random point inside the attack burst.
+// After both roll back, their logical states must be byte-equivalent: media
+// faults are absorbed by write re-drive + block retirement, and the crash by
+// the OOB rebuild of the mapping table and recovery queue.
+//
+// Phase 1 is write-only: a trim leaves no OOB record, so a trim that is the
+// *final* state of an LBA at the power cut is resurrected by the rebuild
+// (the documented wart in DESIGN.md §8). Inside the burst trims are fair
+// game — rollback unwinds to the oldest in-window backup on both devices,
+// which is the same pre-burst version either way.
+class FaultPowerLossPropertyTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FaultPowerLossPropertyTest, RollbackAfterFaultsAndCrashMatchesBaseline) {
+  Rng rng(GetParam() * 104729 + 17);
+
+  FtlConfig clean_cfg;
+  clean_cfg.geometry = nand::TestGeometry();  // 512 physical pages
+  clean_cfg.latency = nand::LatencyModel::Zero();
+  clean_cfg.exported_fraction = 0.5;  // 256 LBAs
+
+  FtlConfig faulty_cfg = clean_cfg;
+  faulty_cfg.errors.program_fail_prob = 5e-3;
+  faulty_cfg.errors.erase_fail_prob = 2e-3;
+  faulty_cfg.error_seed = GetParam();
+
+  PageFtl clean(clean_cfg);
+  PageFtl faulty(faulty_cfg);
+  Lba n = clean.ExportedLbas();
+
+  // Pre-generate the shared op sequence so device state never influences it.
+  struct Op {
+    SimTime t = 0;
+    Lba lba = 0;
+    bool is_write = true;
+    std::uint64_t stamp = 0;
+  };
+  std::vector<Op> history;
+  std::vector<bool> mapped(n, false);
+
+  // Phase 1: write-only background history, done well before the window.
+  SimTime t = 0;
+  for (int op = 0; op < 300; ++op) {
+    t += rng.Below(9'000);
+    Lba lba = rng.Below(n);
+    history.push_back({t, lba, true, static_cast<std::uint64_t>(1000 + op)});
+    mapped[lba] = true;
+  }
+  ASSERT_LT(t, Seconds(3));
+
+  // Phase 2: attack burst confined to [30 s, 36 s), writes + trims.
+  SimTime attack_begin = Seconds(30);
+  SimTime bt = attack_begin;
+  std::size_t burst_start = history.size();
+  for (int op = 0; op < 150; ++op) {
+    bt += rng.Below(40'000);
+    Lba lba = rng.Below(n);
+    if (rng.Chance(0.8) || !mapped[lba]) {
+      history.push_back(
+          {bt, lba, true, static_cast<std::uint64_t>(900000 + op)});
+      mapped[lba] = true;
+    } else {
+      history.push_back({bt, lba, false, 0});
+      mapped[lba] = false;
+    }
+  }
+  ASSERT_LT(bt, attack_begin + Seconds(6));
+
+  // The power cut hits device B at a random op inside the burst.
+  std::size_t crash_at = burst_start + 20 + rng.Below(110);
+  ASSERT_LT(crash_at, history.size());
+
+  bool crashed = false;
+  for (std::size_t i = 0; i < history.size(); ++i) {
+    const Op& op = history[i];
+    if (i == burst_start) {
+      // Let every phase-1 backup expire before the burst on both devices.
+      clean.ReleaseExpired(attack_begin);
+      faulty.ReleaseExpired(attack_begin);
+      ASSERT_EQ(clean.RecoveryQueueSize(), 0u);
+    }
+    if (i == crash_at) {
+      faulty.RebuildFromNand(op.t);
+      crashed = true;
+    }
+    if (op.is_write) {
+      ASSERT_TRUE(clean.WritePage(op.lba, {op.stamp, {}}, op.t).ok()) << i;
+      ASSERT_TRUE(faulty.WritePage(op.lba, {op.stamp, {}}, op.t).ok()) << i;
+    } else {
+      ASSERT_TRUE(clean.TrimPage(op.lba, op.t).ok()) << i;
+      ASSERT_TRUE(faulty.TrimPage(op.lba, op.t).ok()) << i;
+    }
+  }
+  ASSERT_TRUE(crashed);
+  ASSERT_EQ(faulty.Stats().rebuilds, 1u);
+
+  // Exactness preconditions, on both devices.
+  for (const PageFtl* dev : {&clean, &faulty}) {
+    ASSERT_EQ(dev->Stats().forced_releases, 0u);
+    ASSERT_EQ(dev->Stats().queue_evictions, 0u);
+    ASSERT_FALSE(dev->IsDegraded());
+  }
+
+  // Detect at 38 s: the 28 s horizon predates the whole burst.
+  SimTime detect = attack_begin + Seconds(8);
+  clean.RollBack(detect);
+  faulty.RollBack(detect);
+  EXPECT_EQ(clean.CheckInvariants(), "");
+  EXPECT_EQ(faulty.CheckInvariants(), "");
+
+  // Byte-equivalence with the no-fault, no-crash baseline.
+  for (Lba lba = 0; lba < n; ++lba) {
+    FtlResult a = clean.ReadPage(lba, detect);
+    FtlResult b = faulty.ReadPage(lba, detect);
+    ASSERT_EQ(a.status, b.status) << "lba " << lba;
+    if (a.ok()) {
+      ASSERT_EQ(a.data.stamp, b.data.stamp) << "lba " << lba;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultPowerLossPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 101));
+
 TEST(RollbackEdgeTest, RollbackOnEmptyDeviceIsNoop) {
   PageFtl ftl({});
   RollbackReport r = ftl.RollBack(Seconds(100));
