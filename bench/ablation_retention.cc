@@ -18,7 +18,8 @@ int main() {
   host::ScenarioConfig sc = bench::BenchScenario();
   sc.duration = Seconds(30);
   host::GcExperimentConfig base;
-  sc.lba_space = static_cast<Lba>(base.geometry.TotalPages() * 0.9);
+  sc.lba_space =
+      static_cast<Lba>(static_cast<double>(base.geometry.TotalPages()) * 0.9);
 
   // A write-heavy testing trace (database + in-house ransomware).
   host::BuiltScenario heavy = host::BuildScenario(
@@ -41,7 +42,8 @@ int main() {
     fc.latency = nand::LatencyModel::Zero();
     fc.retention_window = window;
     ftl::PageFtl ftl(fc);
-    Lba fill = static_cast<Lba>(ftl.ExportedLbas() * 0.9);
+    Lba fill =
+        static_cast<Lba>(static_cast<double>(ftl.ExportedLbas()) * 0.9);
     for (Lba lba = 0; lba < fill; ++lba) {
       ftl.WritePage(lba, {lba, {}}, 0);
     }

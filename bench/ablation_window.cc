@@ -63,8 +63,10 @@ int main() {
       }
     }
     std::printf("%-10zu %12.1f %12.1f %12.2f\n", n,
-                100.0 * misses / attacks, 100.0 * fas / benigns,
-                lat_n ? lat_sum / lat_n : 0.0);
+                100.0 * static_cast<double>(misses) /
+                    static_cast<double>(attacks),
+                100.0 * static_cast<double>(fas) / static_cast<double>(benigns),
+                lat_n ? lat_sum / static_cast<double>(lat_n) : 0.0);
   }
 
   bench::PrintHeader("Ablation: slice length (N = 10, threshold 3)");
@@ -107,8 +109,10 @@ int main() {
     }
     std::printf("%-10lld %12.1f %12.1f %12.2f\n",
                 static_cast<long long>(slice / 1000),
-                100.0 * misses / attacks, 100.0 * fas / benigns,
-                lat_n ? lat_sum / lat_n : 0.0);
+                100.0 * static_cast<double>(misses) /
+                    static_cast<double>(attacks),
+                100.0 * static_cast<double>(fas) / static_cast<double>(benigns),
+                lat_n ? lat_sum / static_cast<double>(lat_n) : 0.0);
   }
   std::printf("\nNote: the trained tree's thresholds are calibrated for 1-s "
               "slices;\nother slice lengths shift the feature scales, which "

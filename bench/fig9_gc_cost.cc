@@ -19,7 +19,8 @@ int main() {
   // ~236k exported LBAs at 90%).
   host::GcExperimentConfig gc_cfg;
   nand::Geometry geo = gc_cfg.geometry;
-  sc.lba_space = static_cast<Lba>(geo.TotalPages() * 0.9);
+  sc.lba_space =
+      static_cast<Lba>(static_cast<double>(geo.TotalPages()) * 0.9);
 
   for (double fill : {0.9, 0.7}) {
     bench::PrintHeader(fill == 0.9

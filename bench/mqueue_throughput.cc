@@ -30,7 +30,8 @@ namespace {
 SimTime Percentile(std::vector<SimTime> v, double p) {
   if (v.empty()) return 0;
   std::sort(v.begin(), v.end());
-  std::size_t idx = static_cast<std::size_t>(p * (v.size() - 1));
+  std::size_t idx =
+      static_cast<std::size_t>(p * static_cast<double>(v.size() - 1));
   return v[idx];
 }
 

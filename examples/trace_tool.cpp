@@ -95,7 +95,7 @@ int Stats(const std::string& in) {
               static_cast<unsigned long long>(blocks),
               static_cast<unsigned long long>(min_lba),
               static_cast<unsigned long long>(max_lba), span_s,
-              span_s > 0 ? blocks * 4096.0 / 1e6 / span_s : 0.0);
+              span_s > 0 ? static_cast<double>(blocks) * 4096.0 / 1e6 / span_s : 0.0);
   return 0;
 }
 

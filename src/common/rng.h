@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <limits>
 
+#include "common/time.h"
+
 namespace insider {
 
 class Rng {
@@ -34,6 +36,13 @@ class Rng {
   /// Uniform integer in [0, bound). Requires bound > 0. Uses Lemire's
   /// multiply-shift rejection method for unbiased results.
   std::uint64_t Below(std::uint64_t bound);
+
+  /// Uniform virtual-time delta in [0, bound). Requires bound > 0. The
+  /// SimTime-typed twin of Below() so timestamp arithmetic stays in the
+  /// signed sim_time domain end to end.
+  SimTime BelowTime(SimTime bound) {
+    return static_cast<SimTime>(Below(static_cast<std::uint64_t>(bound)));
+  }
 
   /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
   std::int64_t Between(std::int64_t lo, std::int64_t hi);

@@ -69,7 +69,8 @@ double Histogram::Quantile(double q) const {
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     double next = cum + static_cast<double>(counts_[i]);
     if (next >= target) {
-      double frac = counts_[i] ? (target - cum) / counts_[i] : 0.0;
+      double frac =
+          counts_[i] ? (target - cum) / static_cast<double>(counts_[i]) : 0.0;
       return lo_ + (static_cast<double>(i) + frac) * width_;
     }
     cum = next;

@@ -58,8 +58,9 @@ BestSplit FindBestSplit(std::span<const Sample> samples,
       std::size_t right_n = n - left_n;
       if (left_n < min_leaf || right_n < min_leaf) continue;
       double child_entropy =
-          (static_cast<double>(left_n) / n) * BinaryEntropy(left_pos, left_n) +
-          (static_cast<double>(right_n) / n) *
+          (static_cast<double>(left_n) / static_cast<double>(n)) *
+              BinaryEntropy(left_pos, left_n) +
+          (static_cast<double>(right_n) / static_cast<double>(n)) *
               BinaryEntropy(total_pos - left_pos, right_n);
       double gain = parent_entropy - child_entropy;
       if (gain > best.gain) {

@@ -2,13 +2,58 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <limits>
-#include <sstream>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
 
+#include "ftl/invariant_auditor.h"
+
 namespace insider::ftl {
+
+#ifdef INSIDER_AUDIT
+namespace {
+
+/// Audit every Nth mutation. One audit costs O(physical pages), so a fixed
+/// stride of 1 would make audited workloads O(ops x pages) — fine for the
+/// unit-test geometries, quadratic pain for the GB-scale detection runs.
+/// Default: every mutation on devices up to 2048 pages, then scaling with
+/// device size so the amortized audit cost stays near one page-check per
+/// mutation. INSIDER_AUDIT_STRIDE overrides (any positive integer).
+std::uint64_t AuditStride(std::uint64_t total_pages) {
+  static const std::uint64_t env_stride = [] {
+    const char* env = std::getenv("INSIDER_AUDIT_STRIDE");
+    if (env == nullptr) return std::uint64_t{0};
+    char* end = nullptr;
+    unsigned long long v = std::strtoull(env, &end, 10);
+    return end == env ? std::uint64_t{0} : std::uint64_t{v};
+  }();
+  if (env_stride != 0) return env_stride;
+  return std::max<std::uint64_t>(1, total_pages / 2048);
+}
+
+}  // namespace
+
+bool PageFtl::AuditHooksEnabled() { return true; }
+
+PageFtl::MutationAudit::~MutationAudit() {
+  if (--ftl_.audit_depth_ != 0) return;  // audit only the outermost mutation
+  std::uint64_t stride = AuditStride(ftl_.config_.geometry.TotalPages());
+  if (++ftl_.audit_tick_ % stride != 0) return;
+  AuditReport report = InvariantAuditor::Audit(ftl_);
+  if (report.ok()) return;
+  std::fprintf(stderr, "INSIDER_AUDIT failure after %s:\n%s", op_,
+               report.Diff().c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+#else
+bool PageFtl::AuditHooksEnabled() { return false; }
+
+PageFtl::MutationAudit::~MutationAudit() { --ftl_.audit_depth_; }
+#endif
 
 PageFtl::PageFtl(const FtlConfig& config)
     : config_(config),
@@ -109,11 +154,13 @@ void PageFtl::ReleaseBackup(const BackupEntry& entry) {
 
 void PageFtl::ReleaseExpired(SimTime now) {
   if (!config_.delayed_deletion) return;
-  queue_.ReleaseUpTo(retention_->ExpiryHorizon(now),
-                     [this](const BackupEntry& e) {
-                       ReleaseBackup(e);
-                       ++stats_.retained_released;
-                     });
+  MutationAudit audit_scope(*this, "ReleaseExpired");
+  SimTime horizon = retention_->ExpiryHorizon(now);
+  last_release_horizon_ = std::max(last_release_horizon_, horizon);
+  queue_.ReleaseUpTo(horizon, [this](const BackupEntry& e) {
+    ReleaseBackup(e);
+    ++stats_.retained_released;
+  });
 }
 
 void PageFtl::MarkInvalid(nand::Ppa ppa) {
@@ -211,6 +258,7 @@ void PageFtl::EnterDegraded() {
 FtlResult PageFtl::WritePage(Lba lba, nand::PageData data, SimTime now) {
   if (read_only_) return {FtlStatus::kReadOnly, now, {}};
   if (lba >= exported_lbas_) return {FtlStatus::kOutOfRange, now, {}};
+  MutationAudit audit_scope(*this, "WritePage");
   ReleaseExpired(now);
   gc_.DrainRetirements(now);
   // Best-effort GC; the write only fails if no programmable page exists even
@@ -241,6 +289,7 @@ FtlResult PageFtl::WritePage(Lba lba, nand::PageData data, SimTime now) {
 
 FtlResult PageFtl::ReadPage(Lba lba, SimTime now) {
   if (lba >= exported_lbas_) return {FtlStatus::kOutOfRange, now, {}};
+  MutationAudit audit_scope(*this, "ReadPage");
   ReleaseExpired(now);
   nand::Ppa ppa = l2p_[lba];
   if (ppa == nand::kInvalidPpa) return {FtlStatus::kUnmapped, now, {}};
@@ -264,6 +313,7 @@ FtlResult PageFtl::ReadPage(Lba lba, SimTime now) {
 FtlResult PageFtl::TrimPage(Lba lba, SimTime now) {
   if (read_only_) return {FtlStatus::kReadOnly, now, {}};
   if (lba >= exported_lbas_) return {FtlStatus::kOutOfRange, now, {}};
+  MutationAudit audit_scope(*this, "TrimPage");
   ReleaseExpired(now);
   nand::Ppa old = l2p_[lba];
   if (old == nand::kInvalidPpa) return {FtlStatus::kUnmapped, now, {}};
@@ -283,6 +333,7 @@ std::optional<nand::Ppa> PageFtl::Lookup(Lba lba) const {
 RollbackReport PageFtl::RollBack(SimTime detect_time) {
   RollbackReport report;
   if (!config_.delayed_deletion) return report;
+  MutationAudit audit_scope(*this, "RollBack");
   SetReadOnly(true);
   SimTime horizon = detect_time - config_.retention_window;
   std::unordered_set<Lba> touched;
@@ -311,6 +362,7 @@ RollbackReport PageFtl::RollBack(SimTime detect_time) {
 
 std::size_t PageFtl::BackgroundCollect(SimTime now, std::size_t max_blocks) {
   if (read_only_) return 0;
+  MutationAudit audit_scope(*this, "BackgroundCollect");
   ReleaseExpired(now);
   gc_.DrainRetirements(now);
   return gc_.BackgroundCollect(now, max_blocks);
@@ -319,11 +371,13 @@ std::size_t PageFtl::BackgroundCollect(SimTime now, std::size_t max_blocks) {
 std::size_t PageFtl::IdleCollect(SimTime now, std::size_t max_blocks,
                                  std::uint32_t max_movable) {
   if (read_only_) return 0;
+  MutationAudit audit_scope(*this, "IdleCollect");
   ReleaseExpired(now);
   return gc_.CollectCheap(now, max_blocks, max_movable);
 }
 
 PageFtl::RebuildReport PageFtl::RebuildFromNand(SimTime now) {
+  MutationAudit audit_scope(*this, "RebuildFromNand");
   const nand::Geometry& geo = config_.geometry;
   RebuildReport report;
 
@@ -344,6 +398,9 @@ PageFtl::RebuildReport PageFtl::RebuildFromNand(SimTime now) {
   retained_pages_ = 0;
   write_seq_ = 0;
   read_only_ = degraded_;
+  // The release horizon is volatile firmware state too; the post-scan
+  // ReleaseExpired() below re-establishes it from the caller's clock.
+  last_release_horizon_ = std::numeric_limits<SimTime>::min();
 
   // One physical version of one LBA found by the scan.
   struct Version {
@@ -507,7 +564,8 @@ PageFtl::WearStats PageFtl::Wear() const {
     total += e;
   }
   if (geo.TotalBlocks() > 0) {
-    w.mean_erases = static_cast<double>(total) / geo.TotalBlocks();
+    w.mean_erases =
+        static_cast<double>(total) / static_cast<double>(geo.TotalBlocks());
   } else {
     w.min_erases = 0;
   }
@@ -515,102 +573,11 @@ PageFtl::WearStats PageFtl::Wear() const {
 }
 
 std::string PageFtl::CheckInvariants() const {
-  const nand::Geometry& geo = config_.geometry;
-  std::ostringstream err;
-
-  // L2P -> P2L agreement.
-  for (Lba lba = 0; lba < exported_lbas_; ++lba) {
-    nand::Ppa ppa = l2p_[lba];
-    if (ppa == nand::kInvalidPpa) continue;
-    if (page_state_[ppa] != PageState::kValid) {
-      err << "l2p[" << lba << "]=" << ppa << " but page state is not valid";
-      return err.str();
-    }
-    if (p2l_[ppa] != lba) {
-      err << "p2l[" << ppa << "] disagrees with l2p[" << lba << "]";
-      return err.str();
-    }
-  }
-
-  // Per-page state vs NAND programmed state, per-block counters, totals.
-  std::uint64_t valid_total = 0, retained_total = 0;
-  std::vector<BlockCounters> recomputed(geo.TotalBlocks());
-  for (nand::Ppa ppa = 0; ppa < geo.TotalPages(); ++ppa) {
-    PageState st = page_state_[ppa];
-    bool programmed = nand_.IsProgrammed(ppa);
-    if (st == PageState::kFree && programmed) {
-      err << "page " << ppa << " free in FTL but programmed in NAND";
-      return err.str();
-    }
-    if (st != PageState::kFree && !programmed) {
-      err << "page " << ppa << " not free in FTL but erased in NAND";
-      return err.str();
-    }
-    if (st == PageState::kBad && !programmed) {
-      err << "page " << ppa << " bad in FTL but erased in NAND";
-      return err.str();
-    }
-    std::uint32_t bid =
-        geo.ChipOf(ppa) * geo.blocks_per_chip + geo.BlockOf(ppa);
-    if (st == PageState::kValid) {
-      ++valid_total;
-      ++recomputed[bid].valid;
-      if (p2l_[ppa] == kInvalidLba) {
-        err << "valid page " << ppa << " has no reverse mapping";
-        return err.str();
-      }
-      if (l2p_[p2l_[ppa]] != ppa) {
-        err << "valid page " << ppa << " reverse mapping is stale";
-        return err.str();
-      }
-    } else if (st == PageState::kRetained) {
-      ++retained_total;
-      ++recomputed[bid].retained;
-      if (!queue_.Guards(ppa)) {
-        err << "retained page " << ppa << " is not guarded by the queue";
-        return err.str();
-      }
-    }
-  }
-  for (std::uint32_t b = 0; b < geo.TotalBlocks(); ++b) {
-    if (recomputed[b].valid != block_counters_[b].valid ||
-        recomputed[b].retained != block_counters_[b].retained) {
-      err << "block " << b << " counters stale (valid "
-          << block_counters_[b].valid << " vs " << recomputed[b].valid
-          << ", retained " << block_counters_[b].retained << " vs "
-          << recomputed[b].retained << ")";
-      return err.str();
-    }
-    if (block_health_[b] == BlockHealth::kRetired &&
-        block_counters_[b].Movable() != 0) {
-      err << "retired block " << b << " still holds live pages";
-      return err.str();
-    }
-  }
-  for (std::uint32_t chip = 0; chip < geo.TotalChips(); ++chip) {
-    for (std::uint32_t b : free_blocks_by_chip_[chip]) {
-      if (block_health_[b] != BlockHealth::kHealthy) {
-        err << "out-of-service block " << b << " is in a free pool";
-        return err.str();
-      }
-    }
-    std::uint32_t active = active_block_per_chip_[chip];
-    if (active != kNoActiveBlock &&
-        block_health_[active] != BlockHealth::kHealthy) {
-      err << "out-of-service block " << active << " is an active frontier";
-      return err.str();
-    }
-  }
-  if (valid_total != valid_pages_ || retained_total != retained_pages_) {
-    err << "global page totals stale";
-    return err.str();
-  }
-  if (retained_total != queue_.Size()) {
-    err << "retained pages (" << retained_total << ") != queue size ("
-        << queue_.Size() << ")";
-    return err.str();
-  }
-  return {};
+  AuditReport report = InvariantAuditor::Audit(*this, /*max_violations=*/1);
+  if (report.ok()) return {};
+  const InvariantViolation& v = report.violations.front();
+  return std::string(ToString(v.kind)) + " at " + v.where + ": expected " +
+         v.expected + ", actual " + v.actual;
 }
 
 }  // namespace insider::ftl

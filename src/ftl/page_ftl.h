@@ -28,6 +28,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <string>
@@ -164,15 +165,44 @@ class PageFtl {
   };
   WearStats Wear() const;
 
+  /// True when this build compiled the INSIDER_AUDIT mutation hooks in
+  /// (tests use this to decide whether the abort-on-violation path exists).
+  static bool AuditHooksEnabled();
+
   /// Exhaustive cross-check of every FTL invariant (L2P/P2L agreement, block
-  /// counters, queue guards). Used by property tests; returns a description
-  /// of the first violation or empty string if consistent.
+  /// counters, queue guards, NAND OOB tags). Delegates to InvariantAuditor;
+  /// returns a description of the first violation or empty string if
+  /// consistent. Used by property tests.
   std::string CheckInvariants() const;
 
  private:
   friend class GcEngine;  // the engine mutates mapping state via the helpers
                           // below; it lives in gc_engine.cc to keep the
                           // mechanics out of the mapping core
+  friend class InvariantAuditor;  // read-only cross-layer state audit
+  friend class FtlStateTamperer;  // test-only corruption injector proving
+                                  // the auditor detects each violation class
+
+  /// RAII hook the public mutating entry points open. Under INSIDER_AUDIT
+  /// its destructor runs a full InvariantAuditor pass once the outermost
+  /// scope closes (the depth counter keeps internally nested entry points —
+  /// e.g. ReleaseExpired inside WritePage — from auditing twice) and aborts
+  /// with the structured diff on any violation. Without the option the
+  /// destructor is a no-op.
+  class MutationAudit {
+   public:
+    MutationAudit(const PageFtl& ftl, const char* op)
+        : ftl_(ftl), op_(op) {
+      ++ftl_.audit_depth_;
+    }
+    ~MutationAudit();
+    MutationAudit(const MutationAudit&) = delete;
+    MutationAudit& operator=(const MutationAudit&) = delete;
+
+   private:
+    const PageFtl& ftl_;
+    const char* op_;
+  };
 
   std::uint32_t BlockIdOf(nand::Ppa ppa) const;
   nand::BlockAddr AddrOfBlockId(std::uint32_t block_id) const;
@@ -223,6 +253,13 @@ class PageFtl {
 
   RecoveryQueue queue_;
   bool read_only_ = false;
+  /// Largest expiry horizon ever passed to the recovery queue's release
+  /// pass: every live entry must be younger than this (the auditor's
+  /// in-window check Q3).
+  SimTime last_release_horizon_ = std::numeric_limits<SimTime>::min();
+  /// MutationAudit nesting depth and mutation counter (see INSIDER_AUDIT).
+  mutable std::uint32_t audit_depth_ = 0;
+  mutable std::uint64_t audit_tick_ = 0;
 
   /// Grown-bad-block state (persists across power loss, like a real bad
   /// block table) and the blocks queued for evacuation + retirement.

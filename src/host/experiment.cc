@@ -1,7 +1,6 @@
 #include "host/experiment.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cstring>
 #include <numeric>
 
@@ -109,11 +108,13 @@ std::vector<CategoryAccuracy> EvaluateAccuracy(
       p.benign_runs = tally.benign_runs;
       p.ransom_runs = tally.ransom_runs;
       p.far = tally.benign_runs
-                  ? static_cast<double>(tally.far_hits[th]) / tally.benign_runs
+                  ? static_cast<double>(tally.far_hits[th]) /
+                        static_cast<double>(tally.benign_runs)
                   : 0.0;
-      p.frr = tally.ransom_runs ? static_cast<double>(tally.frr_misses[th]) /
-                                      tally.ransom_runs
-                                : 0.0;
+      p.frr = tally.ransom_runs
+                  ? static_cast<double>(tally.frr_misses[th]) /
+                        static_cast<double>(tally.ransom_runs)
+                  : 0.0;
       ca.points.push_back(p);
     }
     out.push_back(std::move(ca));
@@ -212,8 +213,7 @@ GcResult RunGcExperiment(const BuiltScenario& scenario,
       nand::PageData d;
       d.stamp = lba;
       ftl::FtlResult r = ftl.WritePage(lba, std::move(d), 0);
-      assert(r.ok());
-      (void)r;
+      if (!r.ok()) break;  // device full / degraded: run with what landed
     }
     ftl.ResetStats();
     ftl.Nand().ResetCounters();

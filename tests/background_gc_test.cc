@@ -151,7 +151,7 @@ TEST(BackgroundGcTest, EngineGapsDriveBackgroundGc) {
     for (Lba lba = 0; lba < n; ++lba) {
       t += Milliseconds(1);
       IoRequest req{t, lba, 1, IoMode::kWrite};
-      io::QueueId q = lba % ec.queue_count;
+      io::QueueId q = static_cast<io::QueueId>(lba % ec.queue_count);
       if (!engine.TrySubmit(q, req, stamp++)) {
         engine.Drain();
         while (engine.PopCompletion(q)) {

@@ -160,7 +160,8 @@ TEST(HashCapacityTest, EvictionKeepsIndexAndRunsInSync) {
   CountingTable t(cfg);
   Rng rng(4);
   for (int i = 0; i < 200; ++i) {
-    t.OnRead(rng.Below(100000), 1 + rng.Below(16), i / 20);
+    t.OnRead(rng.Below(100000),
+             static_cast<std::uint32_t>(1 + rng.Below(16)), i / 20);
   }
   EXPECT_EQ(t.CheckInvariants(), "");
   EXPECT_LE(t.KeyCount(), 256u + 16u);

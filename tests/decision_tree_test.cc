@@ -10,6 +10,12 @@
 namespace insider::core {
 namespace {
 
+/// Uniform double in [0, bound) — keeps the feature math in the double
+/// domain without a cast at every call site.
+double Dice(Rng& rng, std::uint64_t bound) {
+  return static_cast<double>(rng.Below(bound));
+}
+
 FeatureVector Fv(double owio, double owst, double pwio, double avgwio,
                  double owslope, double io) {
   FeatureVector f;
@@ -60,8 +66,9 @@ TEST(DecisionTreeTest, SerializeRoundTrip) {
   EXPECT_EQ(back.NodeCount(), t.NodeCount());
   Rng rng(5);
   for (int i = 0; i < 1000; ++i) {
-    FeatureVector f = Fv(rng.Below(5000), rng.Uniform(), rng.Below(20000),
-                         rng.Below(512), rng.Uniform() * 10, rng.Below(50000));
+    FeatureVector f =
+        Fv(Dice(rng, 5000), rng.Uniform(), Dice(rng, 20000), Dice(rng, 512),
+           rng.Uniform() * 10, Dice(rng, 50000));
     EXPECT_EQ(t.Classify(f), back.Classify(f));
   }
 }
@@ -154,7 +161,7 @@ TEST(Id3Test, LearnsConjunction) {
   std::vector<Sample> samples;
   Rng rng(3);
   for (int i = 0; i < 400; ++i) {
-    double owio = rng.Below(200);
+    double owio = Dice(rng, 200);
     double owst = rng.Uniform();
     Sample s;
     s.features = Fv(owio, owst, 0, 0, 0, 0);
@@ -171,8 +178,8 @@ TEST(Id3Test, MaxDepthLimitsTree) {
   Rng rng(3);
   for (int i = 0; i < 500; ++i) {
     Sample s;
-    s.features = Fv(rng.Below(100), rng.Uniform(), rng.Below(100),
-                    rng.Below(100), rng.Uniform(), rng.Below(100));
+    s.features = Fv(Dice(rng, 100), rng.Uniform(), Dice(rng, 100),
+                    Dice(rng, 100), rng.Uniform(), Dice(rng, 100));
     s.ransomware = rng.Chance(0.5);  // pure noise
     samples.push_back(s);
   }
@@ -187,7 +194,7 @@ TEST(Id3Test, IgnoresIrrelevantFeatures) {
   std::vector<Sample> samples;
   Rng rng(8);
   for (int i = 0; i < 300; ++i) {
-    double avg = rng.Below(100);
+    double avg = Dice(rng, 100);
     Sample s;
     s.features = Fv(50, 0.5, 50, avg, 1.0, 100);
     s.ransomware = avg < 30;
@@ -205,8 +212,8 @@ TEST(Id3Test, TrainedTreeSerializesAndReloads) {
   Rng rng(13);
   for (int i = 0; i < 200; ++i) {
     Sample s;
-    s.features = Fv(rng.Below(1000), rng.Uniform(), rng.Below(1000),
-                    rng.Below(100), rng.Uniform(), rng.Below(1000));
+    s.features = Fv(Dice(rng, 1000), rng.Uniform(), Dice(rng, 1000),
+                    Dice(rng, 100), rng.Uniform(), Dice(rng, 1000));
     s.ransomware = s.features.owio() > 500 || s.features.owst() > 0.8;
     samples.push_back(s);
   }

@@ -179,7 +179,9 @@ TEST(FtlFaultTest, EraseFailDuringGcRetiresTheBlock) {
   Lba lbas = ftl.ExportedLbas();
   for (int pass = 0; pass < 4; ++pass) {
     for (Lba lba = 0; lba < lbas; ++lba) {
-      ASSERT_TRUE(ftl.WritePage(lba, Page(pass * 1000 + lba), t).ok());
+      ASSERT_TRUE(
+          ftl.WritePage(lba, Page(static_cast<Lba>(pass) * 1000 + lba), t)
+              .ok());
       t += Milliseconds(1);
     }
   }
@@ -253,10 +255,10 @@ ftl::FtlStats RunSeededFaultWorkload(std::uint64_t seed,
   SimTime t = 0;
   Lba lbas = ftl.ExportedLbas();
   for (int op = 0; op < 1500; ++op) {
-    t += rng.Below(5'000);
+    t += rng.BelowTime(5'000);
     Lba lba = rng.Below(lbas);
     if (rng.Below(100) < 80) {
-      ftl.WritePage(lba, Page(op), t);
+      ftl.WritePage(lba, Page(static_cast<std::uint64_t>(op)), t);
     } else {
       ftl.TrimPage(lba, t);
     }

@@ -143,15 +143,15 @@ TEST_F(LazyFsTest, IndirectFilesSurviveFreeAndReallocate) {
 
 TEST_F(LazyFsTest, InterleavedWritesToManyFilesThrashTheCacheSafely) {
   Rng rng(7);
-  constexpr int kFiles = 6;  // more files than cache slots
+  constexpr std::size_t kFiles = 6;  // more files than cache slots
   std::vector<std::vector<std::byte>> contents(kFiles);
-  for (int i = 0; i < kFiles; ++i) {
+  for (std::size_t i = 0; i < kFiles; ++i) {
     ASSERT_EQ(fs_->CreateFile("/t" + std::to_string(i)), FsStatus::kOk);
   }
   // Round-robin appends so every file's indirect block keeps getting
   // evicted and re-read.
   for (int round = 0; round < 6; ++round) {
-    for (int i = 0; i < kFiles; ++i) {
+    for (std::size_t i = 0; i < kFiles; ++i) {
       auto chunk = RandomBytes(rng, 64 * 1024);
       ASSERT_EQ(fs_->WriteFile("/t" + std::to_string(i),
                                contents[i].size(), chunk),
@@ -159,7 +159,7 @@ TEST_F(LazyFsTest, InterleavedWritesToManyFilesThrashTheCacheSafely) {
       contents[i].insert(contents[i].end(), chunk.begin(), chunk.end());
     }
   }
-  for (int i = 0; i < kFiles; ++i) {
+  for (std::size_t i = 0; i < kFiles; ++i) {
     std::vector<std::byte> out(contents[i].size());
     std::uint64_t n = 0;
     ASSERT_EQ(fs_->ReadFile("/t" + std::to_string(i), 0, out, &n),

@@ -23,7 +23,7 @@ class FsckTest : public ::testing::Test {
     for (int i = 0; i < 5; ++i) {
       std::string path = "/f" + std::to_string(i);
       ASSERT_EQ(fs->CreateFile(path), FsStatus::kOk);
-      std::vector<std::byte> data((i + 1) * kBlockSize);
+      std::vector<std::byte> data(static_cast<std::size_t>(i + 1) * kBlockSize);
       for (auto& b : data) b = static_cast<std::byte>(rng.Below(256));
       ASSERT_EQ(fs->WriteFile(path, 0, data), FsStatus::kOk);
     }

@@ -31,7 +31,7 @@ TEST(StripingTest, ConsecutiveWritesRotateAcrossChips) {
   }
   // Round-robin over 4 chips: positions i and i+4 share a chip, adjacent
   // positions don't.
-  for (int i = 0; i < 4; ++i) {
+  for (std::size_t i = 0; i < 4; ++i) {
     EXPECT_EQ(chips[i], chips[i + 4]);
     EXPECT_NE(chips[i], chips[(i + 1) % 4]);
   }
@@ -132,7 +132,7 @@ TEST_P(StripingFuzzTest, InvariantsAndDataSurviveChurn) {
   std::vector<std::int64_t> model(n, -1);  // expected stamp, -1 = unmapped
   SimTime now = 0;
   for (int op = 0; op < 3000; ++op) {
-    now += rng.Below(100'000);  // ~0-0.1 s steps: backups keep expiring
+    now += rng.BelowTime(100'000);  // ~0-0.1 s steps: backups keep expiring
     Lba lba = rng.Below(n);
     double dice = rng.Uniform();
     if (dice < 0.6) {

@@ -23,7 +23,8 @@ FtlConfig SmallConfig(bool delayed) {
 TEST(PageFtlTest, ExportedCapacityRespectsFraction) {
   PageFtl ftl(SmallConfig(true));
   EXPECT_EQ(ftl.ExportedLbas(),
-            static_cast<Lba>(ftl.Config().geometry.TotalPages() * 0.75));
+            static_cast<Lba>(
+                static_cast<double>(ftl.Config().geometry.TotalPages()) * 0.75));
 }
 
 TEST(PageFtlTest, WriteThenReadRoundTrip) {
@@ -178,7 +179,8 @@ TEST(PageFtlTest, GcPreservesAllValidData) {
   for (int round = 0; round < 3; ++round) {
     for (Lba lba = 0; lba < n; ++lba) {
       ASSERT_TRUE(
-          ftl.WritePage(lba, {round * 10000 + lba, {}}, 0).ok());
+          ftl.WritePage(lba, {static_cast<Lba>(round) * 10000 + lba, {}}, 0)
+              .ok());
     }
   }
   for (Lba lba = 0; lba < n; ++lba) {
@@ -299,7 +301,7 @@ TEST(PageFtlTest, InvariantsHoldUnderRandomizedWorkload) {
   Lba n = ftl.ExportedLbas();
   SimTime now = 0;
   for (int op = 0; op < 5000; ++op) {
-    now += rng.Below(50'000);
+    now += rng.BelowTime(50'000);
     Lba lba = rng.Below(n);
     double dice = rng.Uniform();
     if (dice < 0.55) {
@@ -328,7 +330,7 @@ TEST(PageFtlTest, InvariantsHoldAfterRandomizedRollback) {
   // must be perfect.
   SimTime now = Seconds(20);
   for (int op = 0; op < 120; ++op) {
-    now += rng.Below(10'000);
+    now += rng.BelowTime(10'000);
     Lba lba = rng.Below(n / 2);
     if (rng.Chance(0.8)) {
       ASSERT_TRUE(ftl.WritePage(lba, {99999, {}}, now).ok());

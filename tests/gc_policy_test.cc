@@ -42,7 +42,7 @@ void RunHighUtilWorkload(PageFtl& ftl) {
     std::uint64_t op = Lcg(seed) % 10;
     t += Milliseconds(1);
     if (op < 8) {
-      ftl.WritePage(lba, {1000000ull + i, {}}, t);
+      ftl.WritePage(lba, {1000000 + static_cast<std::uint64_t>(i), {}}, t);
     } else if (op < 9) {
       ftl.TrimPage(lba, t);
     } else {
@@ -119,7 +119,7 @@ TEST(GcPolicyParityTest, ModerateUtilShortWindowMatchesMonolithGolden) {
     std::uint64_t op = Lcg(seed) % 10;
     t += Milliseconds(1);
     if (op < 7) {
-      ftl.WritePage(lba, {2000000ull + i, {}}, t);
+      ftl.WritePage(lba, {2000000 + static_cast<std::uint64_t>(i), {}}, t);
     } else if (op < 8) {
       ftl.TrimPage(lba, t);
     } else {

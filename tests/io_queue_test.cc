@@ -143,7 +143,9 @@ TEST(IoEngineTest, RoundRobinIsFairWithinOneTick) {
   for (int i = 0; i < 6; ++i) {
     for (QueueId q = 0; q < 3; ++q) {
       ASSERT_TRUE(
-          engine.TrySubmit(q, {1000, q * 100ull + i, 1, IoMode::kRead}));
+          engine.TrySubmit(
+              q, {1000, std::uint64_t{q} * 100 + static_cast<std::uint64_t>(i),
+                  1, IoMode::kRead}));
     }
   }
 

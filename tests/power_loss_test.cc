@@ -97,11 +97,13 @@ TEST(RebuildTest, RollbackAfterCrashMatchesUncrashedTwin) {
 
   // Attack burst from t = 30 s; power dies mid-burst on one device only.
   for (Lba lba = 0; lba < 40; ++lba) {
-    both_write(lba, 9000 + lba, Seconds(30) + lba * Milliseconds(50));
+    both_write(lba, 9000 + lba,
+               Seconds(30) + static_cast<SimTime>(lba) * Milliseconds(50));
   }
   crashed.RebuildFromNand(Seconds(33));
   for (Lba lba = 40; lba < 80; ++lba) {
-    both_write(lba, 9000 + lba, Seconds(33) + lba * Milliseconds(50));
+    both_write(lba, 9000 + lba,
+               Seconds(33) + static_cast<SimTime>(lba) * Milliseconds(50));
   }
 
   ASSERT_EQ(crashed.Stats().forced_releases, 0u);

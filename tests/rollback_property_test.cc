@@ -41,7 +41,7 @@ TEST_P(RollbackPropertyTest, RollbackEqualsModelAtHorizon) {
   // --- Phase 1: arbitrary history, old enough to be fully released. ----
   SimTime t = 0;
   for (int op = 0; op < 400; ++op) {
-    t += rng.Below(10'000);
+    t += rng.BelowTime(10'000);
     Lba lba = rng.Below(n);
     if (rng.Chance(0.75)) {
       ASSERT_TRUE(
@@ -72,7 +72,7 @@ TEST_P(RollbackPropertyTest, RollbackEqualsModelAtHorizon) {
   std::vector<bool> has_backup(n, false);
   SimTime bt = attack_begin;
   for (int op = 0; op < 150; ++op) {
-    bt += rng.Below(40'000);  // burst spans < 6 s << 10 s window
+    bt += rng.BelowTime(40'000);  // burst spans < 6 s << 10 s window
     Lba lba = rng.Below(n);
     if (rng.Chance(0.8)) {
       ASSERT_TRUE(
@@ -190,7 +190,7 @@ TEST_P(FaultPowerLossPropertyTest, RollbackAfterFaultsAndCrashMatchesBaseline) {
   // Phase 1: write-only background history, done well before the window.
   SimTime t = 0;
   for (int op = 0; op < 300; ++op) {
-    t += rng.Below(9'000);
+    t += rng.BelowTime(9'000);
     Lba lba = rng.Below(n);
     history.push_back({t, lba, true, static_cast<std::uint64_t>(1000 + op)});
     mapped[lba] = true;
@@ -202,7 +202,7 @@ TEST_P(FaultPowerLossPropertyTest, RollbackAfterFaultsAndCrashMatchesBaseline) {
   SimTime bt = attack_begin;
   std::size_t burst_start = history.size();
   for (int op = 0; op < 150; ++op) {
-    bt += rng.Below(40'000);
+    bt += rng.BelowTime(40'000);
     Lba lba = rng.Below(n);
     if (rng.Chance(0.8) || !mapped[lba]) {
       history.push_back(

@@ -196,8 +196,8 @@ TEST_P(AppTraceTest, ProducesSortedBoundedRequests) {
 INSTANTIATE_TEST_SUITE_P(
     AllApps, AppTraceTest,
     ::testing::ValuesIn(AllAppKinds()),
-    [](const ::testing::TestParamInfo<AppKind>& info) {
-      return AppKindName(info.param);
+    [](const ::testing::TestParamInfo<AppKind>& param_info) {
+      return AppKindName(param_info.param);
     });
 
 TEST(AppTest, CategoriesMatchTableI) {
@@ -227,7 +227,8 @@ TEST(AppTest, WipingWritesDwarfItsReads) {
     if (r.mode == IoMode::kWrite) writes += r.length;
   }
   // Seven write passes per read pass.
-  EXPECT_NEAR(static_cast<double>(writes) / reads, 7.0, 0.5);
+  EXPECT_NEAR(static_cast<double>(writes) / static_cast<double>(reads), 7.0,
+              0.5);
 }
 
 TEST(AppTest, P2pWritesBeforeVerifyReads) {
@@ -294,7 +295,7 @@ TEST(TraceTest, FileRoundTrip) {
   Rng rng(9);
   SimTime t = 0;
   for (int i = 0; i < 500; ++i) {
-    t += rng.Below(5000);
+    t += rng.BelowTime(5000);
     reqs.push_back({t, rng.Below(1 << 20),
                     1 + static_cast<std::uint32_t>(rng.Below(64)),
                     rng.Chance(0.5) ? IoMode::kWrite : IoMode::kRead});

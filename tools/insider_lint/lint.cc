@@ -1,0 +1,348 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <utility>
+
+namespace insider::lint {
+namespace {
+
+std::string Lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(
+                       std::tolower(c)); });
+  return s;
+}
+
+bool Contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+/// The deterministic substrate itself is the one place allowed to name the
+/// banned primitives (it wraps or documents them).
+bool TimeRngExempt(const std::string& path) {
+  return Contains(path, "src/common/time") || Contains(path, "src/common/rng");
+}
+
+bool IsHeaderPath(const std::string& path) {
+  return path.size() > 2 &&
+         (path.rfind(".h") == path.size() - 2 ||
+          (path.size() > 4 && path.rfind(".hpp") == path.size() - 4));
+}
+
+/// A declared uint64_t whose name reads as a point in time.
+bool NameLooksLikeTimestamp(const std::string& raw_name) {
+  std::string n = Lower(raw_name);
+  while (!n.empty() && n.back() == '_') n.pop_back();  // member suffix
+  if (n == "now" || n == "when") return true;
+  if (n.size() >= 3 && n.rfind("_at") == n.size() - 3) return true;
+  return Contains(n, "time") || Contains(n, "deadline") ||
+         Contains(n, "horizon") || Contains(n, "timestamp");
+}
+
+std::vector<std::string> SplitLines(const std::string& content) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : content) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) lines.push_back(cur);
+  return lines;
+}
+
+const std::regex& WallClockRe() {
+  static const std::regex re(
+      R"((?:^|[^A-Za-z0-9_])(gettimeofday|time)\s*\()");
+  return re;
+}
+
+const std::regex& RandCallRe() {
+  static const std::regex re(R"((?:^|[^A-Za-z0-9_])(srand|rand)\s*\()");
+  return re;
+}
+
+const std::regex& AssertRe() {
+  static const std::regex re(R"((?:^|[^A-Za-z0-9_])assert\s*\()");
+  return re;
+}
+
+const std::regex& StatusTokenRe() {
+  static const std::regex re(R"(Status|status\b|\.\s*ok\s*\()");
+  return re;
+}
+
+const std::regex& Uint64DeclRe() {
+  // A uint64_t (possibly qualified/const/ref) followed by the declared name.
+  static const std::regex re(
+      R"((?:std::)?uint64_t\s+(?:const\s+)?&?\s*([A-Za-z_][A-Za-z0-9_]*))");
+  return re;
+}
+
+}  // namespace
+
+std::string Format(const Finding& finding) {
+  std::ostringstream out;
+  out << finding.file;
+  if (finding.line != 0) out << ':' << finding.line;
+  out << ": [" << finding.rule << "] " << finding.message;
+  return out.str();
+}
+
+std::string ScrubCommentsAndStrings(const std::string& content) {
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString,
+  };
+  std::string out = content;
+  State state = State::kCode;
+  std::string raw_terminator;  // for R"delim( ... )delim"
+  for (std::size_t i = 0; i < content.size(); ++i) {
+    char c = content[i];
+    char next = i + 1 < content.size() ? content[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out[i] = ' ';
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(
+                                   content[i - 1])) &&
+                               content[i - 1] != '_'))) {
+          std::size_t paren = content.find('(', i + 2);
+          if (paren != std::string::npos) {
+            raw_terminator =
+                ")" + content.substr(i + 2, paren - (i + 2)) + "\"";
+            state = State::kRawString;
+            i = paren;  // keep prefix; blank from after '('
+          }
+        } else if (c == '"') {
+          state = State::kString;
+        } else if (c == '\'') {
+          state = State::kChar;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (next != '\n' && next != '\0') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (next != '\n' && next != '\0') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kRawString:
+        if (content.compare(i, raw_terminator.size(), raw_terminator) == 0) {
+          i += raw_terminator.size() - 1;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<Finding> LintSource(const std::string& path_label,
+                                const std::string& content) {
+  std::vector<Finding> findings;
+  const bool exempt = TimeRngExempt(path_label);
+  const std::string scrubbed = ScrubCommentsAndStrings(content);
+  const std::vector<std::string> lines = SplitLines(scrubbed);
+
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    const std::size_t lineno = i + 1;
+
+    if (!exempt) {
+      if (Contains(line, "std::chrono::system_clock") ||
+          std::regex_search(line, WallClockRe())) {
+        findings.push_back({path_label, lineno, "wall-clock",
+                            "wall-clock access outside src/common/time; "
+                            "simulation time must flow through SimTime"});
+      }
+      if (Contains(line, "std::random_device") ||
+          std::regex_search(line, RandCallRe())) {
+        findings.push_back({path_label, lineno, "unseeded-rng",
+                            "unseeded randomness outside src/common/rng; "
+                            "use the seeded insider::Rng"});
+      }
+      std::smatch decl;
+      std::string rest = line;
+      std::size_t offset = 0;
+      while (std::regex_search(rest, decl, Uint64DeclRe())) {
+        if (NameLooksLikeTimestamp(decl[1].str())) {
+          findings.push_back(
+              {path_label, lineno, "naked-timestamp",
+               "uint64_t '" + decl[1].str() +
+                   "' reads as a point in time; declare it SimTime"});
+        }
+        offset += static_cast<std::size_t>(decl.position(0) + decl.length(0));
+        rest = line.substr(offset);
+      }
+    }
+
+    std::smatch m;
+    if (std::regex_search(line, m, AssertRe())) {
+      std::string tail =
+          line.substr(static_cast<std::size_t>(m.position(0)));
+      if (std::regex_search(tail, StatusTokenRe())) {
+        findings.push_back({path_label, lineno, "assert-on-status",
+                            "assert() on a status value; media errors are "
+                            "modeled outcomes — return a status instead"});
+      }
+    }
+  }
+
+  // Checked against the scrubbed text so a comment merely *mentioning* the
+  // directive doesn't satisfy the rule.
+  if (IsHeaderPath(path_label) && !Contains(scrubbed, "#pragma once")) {
+    findings.push_back(
+        {path_label, 0, "pragma-once", "header is missing #pragma once"});
+  }
+  return findings;
+}
+
+std::vector<Finding> CheckIncludeCycles(
+    const std::vector<std::pair<std::string, std::string>>& headers) {
+  std::map<std::string, std::vector<std::string>> edges;
+  static const std::regex include_re(R"(^\s*#\s*include\s+"([^"]+)\")");
+  std::set<std::string> known;
+  for (const auto& [name, _] : headers) known.insert(name);
+  for (const auto& [name, content] : headers) {
+    for (const std::string& line : SplitLines(content)) {
+      std::smatch m;
+      if (std::regex_search(line, m, include_re) && known.count(m[1].str())) {
+        edges[name].push_back(m[1].str());
+      }
+    }
+  }
+
+  // Iterative tricolor DFS; report the first back edge's cycle.
+  std::map<std::string, int> color;  // 0 white, 1 grey, 2 black
+  std::vector<Finding> findings;
+  std::vector<std::string> stack;
+  std::function<bool(const std::string&)> visit =
+      [&](const std::string& node) -> bool {
+    color[node] = 1;
+    stack.push_back(node);
+    for (const std::string& dep : edges[node]) {
+      if (color[dep] == 1) {
+        std::ostringstream chain;
+        auto it = std::find(stack.begin(), stack.end(), dep);
+        for (; it != stack.end(); ++it) chain << *it << " -> ";
+        chain << dep;
+        findings.push_back({dep, 0, "include-cycle",
+                            "include cycle: " + chain.str()});
+        return true;
+      }
+      if (color[dep] == 0 && visit(dep)) return true;
+    }
+    stack.pop_back();
+    color[node] = 2;
+    return false;
+  };
+  for (const auto& [name, _] : headers) {
+    if (color[name] == 0 && visit(name)) break;
+  }
+  return findings;
+}
+
+std::vector<Finding> LintTree(
+    const std::vector<std::filesystem::path>& roots) {
+  namespace fs = std::filesystem;
+  std::vector<Finding> findings;
+  std::vector<std::pair<std::string, std::string>> headers;
+  static const std::set<std::string> kExtensions = {".h", ".hpp", ".cc",
+                                                    ".cpp", ".cxx"};
+  for (const fs::path& root : roots) {
+    if (!fs::exists(root)) {
+      findings.push_back({root.generic_string(), 0, "missing-root",
+                          "lint root does not exist"});
+      continue;
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(root)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string label = entry.path().generic_string();
+      // Skip fixture directories nested under a scanned root (they hold
+      // deliberately violating files) — but allow pointing a root directly
+      // AT a testdata tree, which is how the negative CI check runs.
+      std::error_code ec;
+      const std::string rel =
+          fs::relative(entry.path(), root, ec).generic_string();
+      if (!ec && Contains(rel, "testdata")) continue;
+      if (!kExtensions.count(entry.path().extension().string())) continue;
+
+      std::ifstream in(entry.path(), std::ios::binary);
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      const std::string content = buf.str();
+
+      std::vector<Finding> file_findings = LintSource(label, content);
+      findings.insert(findings.end(), file_findings.begin(),
+                      file_findings.end());
+
+      // Headers under a src/ directory participate in the include graph
+      // under their quoted-include spelling (paths are relative to src/).
+      if (IsHeaderPath(label)) {
+        std::size_t pos = label.rfind("src/");
+        if (pos != std::string::npos) {
+          headers.emplace_back(label.substr(pos + 4), content);
+        }
+      }
+    }
+  }
+  std::vector<Finding> cycles = CheckIncludeCycles(headers);
+  findings.insert(findings.end(), cycles.begin(), cycles.end());
+  return findings;
+}
+
+}  // namespace insider::lint

@@ -1,0 +1,67 @@
+// insider_lint — project-specific correctness lint for the SSD-Insider tree.
+//
+// The simulator's results are only reproducible if every component runs on
+// the deterministic substrate: virtual SimTime microseconds and the seeded
+// SplitMix64 Rng. A single stray wall-clock read or unseeded random draw
+// makes runs non-replayable; an assert() on a media-error path turns a
+// modeled device fault into a process abort; a naked uint64_t timestamp
+// silently mixes time units. Generic linters cannot know these rules, so
+// this pass enforces them:
+//
+//   wall-clock        std::chrono::system_clock / time() / gettimeofday()
+//                     anywhere outside src/common/time.* — all simulation
+//                     time must flow through SimTime.
+//   unseeded-rng      rand() / srand() / std::random_device outside
+//                     src/common/rng.* — randomness must come from the
+//                     seeded Rng so runs replay bit-for-bit.
+//   assert-on-status  assert() whose condition inspects a status value
+//                     (NandStatus / FtlStatus / .ok()). Media errors are
+//                     modeled outcomes and must be returned, not asserted.
+//   naked-timestamp   uint64_t declarations whose name reads as a point in
+//                     time (*time*, *_at, now, deadline, horizon,
+//                     timestamp). Timestamps must use SimTime so signed
+//                     arithmetic and unit conventions hold.
+//   pragma-once       every header must open with #pragma once.
+//   include-cycle     quoted project includes must form a DAG.
+//
+// Comments and string literals are scrubbed before matching, so prose about
+// `time()` never trips the lint. Paths containing "testdata" are skipped by
+// the tree walker (they hold the deliberately violating fixtures).
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace insider::lint {
+
+struct Finding {
+  std::string file;     ///< path as given to the linter
+  std::size_t line = 0; ///< 1-based; 0 for whole-file findings
+  std::string rule;     ///< rule id, e.g. "wall-clock"
+  std::string message;
+};
+
+/// "path:line: [rule] message" (line omitted when 0).
+std::string Format(const Finding& finding);
+
+/// Replace comment bodies and string/char-literal contents with spaces,
+/// preserving length and newlines so line/column arithmetic still works.
+std::string ScrubCommentsAndStrings(const std::string& content);
+
+/// Lint one file's content. `path_label` is used both for reporting and for
+/// the src/common/{time,rng} exemption. Does not touch the filesystem.
+std::vector<Finding> LintSource(const std::string& path_label,
+                                const std::string& content);
+
+/// Cross-file pass: detect a cycle among quoted project includes.
+/// `headers` maps include-spelling (e.g. "ftl/page_ftl.h") to file content.
+std::vector<Finding> CheckIncludeCycles(
+    const std::vector<std::pair<std::string, std::string>>& headers);
+
+/// Walk the given roots (skipping any path containing "testdata"), lint
+/// every C++ source/header, and run the include-cycle pass over headers
+/// found under a directory named "src".
+std::vector<Finding> LintTree(const std::vector<std::filesystem::path>& roots);
+
+}  // namespace insider::lint

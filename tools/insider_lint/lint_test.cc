@@ -1,0 +1,152 @@
+// Tests for the insider_lint rules: every rule must fire on its planted
+// fixture (an auditor that never fails is untestable), must stay quiet on
+// idiomatic clean code, and the real tree must lint clean.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace insider::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string ReadFile(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::vector<std::string> RulesOf(const std::vector<Finding>& findings) {
+  std::vector<std::string> rules;
+  for (const Finding& f : findings) rules.push_back(f.rule);
+  return rules;
+}
+
+bool HasRule(const std::vector<Finding>& findings, const std::string& rule) {
+  return std::any_of(findings.begin(), findings.end(),
+                     [&](const Finding& f) { return f.rule == rule; });
+}
+
+fs::path Testdata() { return fs::path(INSIDER_LINT_TESTDATA); }
+
+TEST(InsiderLintTest, FlagsWallClockFixture) {
+  auto findings = LintSource("testdata/bad_wallclock.cc",
+                             ReadFile(Testdata() / "bad_wallclock.cc"));
+  EXPECT_TRUE(HasRule(findings, "wall-clock")) << findings.size();
+  // system_clock twice, time(), gettimeofday().
+  EXPECT_GE(findings.size(), 4u);
+}
+
+TEST(InsiderLintTest, FlagsUnseededRngFixture) {
+  auto findings = LintSource("testdata/bad_rng.cc",
+                             ReadFile(Testdata() / "bad_rng.cc"));
+  EXPECT_TRUE(HasRule(findings, "unseeded-rng"));
+  EXPECT_GE(findings.size(), 3u);  // random_device, srand, rand
+}
+
+TEST(InsiderLintTest, FlagsAssertOnStatusFixture) {
+  auto findings = LintSource("testdata/bad_assert.cc",
+                             ReadFile(Testdata() / "bad_assert.cc"));
+  EXPECT_TRUE(HasRule(findings, "assert-on-status"));
+}
+
+TEST(InsiderLintTest, FlagsNakedTimestampAndMissingPragmaFixture) {
+  auto findings = LintSource("testdata/bad_timestamp.h",
+                             ReadFile(Testdata() / "bad_timestamp.h"));
+  EXPECT_TRUE(HasRule(findings, "naked-timestamp"));
+  EXPECT_TRUE(HasRule(findings, "pragma-once"));
+  // written_at, expiry_deadline, now, release_horizon.
+  std::vector<std::string> rules = RulesOf(findings);
+  EXPECT_EQ(std::count(rules.begin(), rules.end(),
+                       std::string("naked-timestamp")),
+            4);
+}
+
+TEST(InsiderLintTest, FlagsIncludeCycleFixture) {
+  std::vector<std::pair<std::string, std::string>> headers = {
+      {"cycle/cycle_a.h", ReadFile(Testdata() / "src/cycle/cycle_a.h")},
+      {"cycle/cycle_b.h", ReadFile(Testdata() / "src/cycle/cycle_b.h")},
+  };
+  auto findings = CheckIncludeCycles(headers);
+  ASSERT_TRUE(HasRule(findings, "include-cycle"));
+  EXPECT_NE(findings.front().message.find("->"), std::string::npos);
+}
+
+TEST(InsiderLintTest, LintTreeOnTestdataFiresEveryFileRule) {
+  auto findings = LintTree({Testdata()});
+  EXPECT_TRUE(HasRule(findings, "wall-clock"));
+  EXPECT_TRUE(HasRule(findings, "unseeded-rng"));
+  EXPECT_TRUE(HasRule(findings, "assert-on-status"));
+  EXPECT_TRUE(HasRule(findings, "naked-timestamp"));
+  EXPECT_TRUE(HasRule(findings, "pragma-once"));
+  EXPECT_TRUE(HasRule(findings, "include-cycle"));
+}
+
+TEST(InsiderLintTest, CommentsAndStringsDoNotTrip) {
+  const std::string clean = R"cpp(
+// Comparing against time() and rand() would break determinism.
+/* std::chrono::system_clock is banned; gettimeofday too. */
+#pragma once
+const char* kDoc = "call time(nullptr) and rand() at your peril";
+SimTime runtime(SimTime now);
+)cpp";
+  auto findings = LintSource("src/example.h", clean);
+  EXPECT_TRUE(findings.empty()) << Format(findings.front());
+}
+
+TEST(InsiderLintTest, SimTimeIdentifiersAreNotWallClockCalls) {
+  auto findings = LintSource(
+      "src/example.cc",
+      "SimTime t = SimTime(5); RetentionTime(t); my_time(t);\n");
+  EXPECT_TRUE(findings.empty()) << Format(findings.front());
+}
+
+TEST(InsiderLintTest, TimeAndRngSubstrateIsExempt) {
+  const std::string substrate =
+      "#pragma once\nstd::uint64_t wall_time = time(nullptr);\n"
+      "int r = rand();\n";
+  EXPECT_FALSE(LintSource("src/ftl/clock.h", substrate).empty());
+  EXPECT_TRUE(LintSource("src/common/time.h", substrate).empty());
+  EXPECT_TRUE(LintSource("src/common/rng.h", substrate).empty());
+}
+
+TEST(InsiderLintTest, PlainAssertIsAllowed) {
+  auto findings =
+      LintSource("src/example.cc", "assert(index < pages.size());\n");
+  EXPECT_TRUE(findings.empty()) << Format(findings.front());
+}
+
+TEST(InsiderLintTest, SimTimeTimestampsAreAllowed) {
+  auto findings = LintSource(
+      "src/example.h",
+      "#pragma once\nSimTime written_at = 0;\nstd::uint64_t seq = 0;\n");
+  EXPECT_TRUE(findings.empty()) << Format(findings.front());
+}
+
+TEST(InsiderLintTest, FormatCarriesFileLineRule) {
+  Finding f{"src/a.cc", 12, "wall-clock", "boom"};
+  EXPECT_EQ(Format(f), "src/a.cc:12: [wall-clock] boom");
+  Finding whole_file{"src/b.h", 0, "pragma-once", "missing"};
+  EXPECT_EQ(Format(whole_file), "src/b.h: [pragma-once] missing");
+}
+
+// The gate that matters: the real tree lints clean. This is the same scan
+// CI's insider_lint job runs via the CLI binary.
+TEST(InsiderLintTest, RepositoryTreeIsClean) {
+  fs::path root(INSIDER_LINT_SOURCE_ROOT);
+  auto findings = LintTree(
+      {root / "src", root / "tests", root / "bench", root / "examples"});
+  for (const Finding& f : findings) ADD_FAILURE() << Format(f);
+}
+
+}  // namespace
+}  // namespace insider::lint

@@ -1,0 +1,30 @@
+// CLI entry point: `insider_lint <root>...` lints every C++ file under the
+// given roots and exits non-zero if any rule fires. CI runs it over
+// src/ tests/ bench/ examples/ from the repository root.
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <root-dir>...\n", argv[0]);
+    return 2;
+  }
+  std::vector<std::filesystem::path> roots;
+  for (int i = 1; i < argc; ++i) roots.emplace_back(argv[i]);
+
+  std::vector<insider::lint::Finding> findings =
+      insider::lint::LintTree(roots);
+  for (const insider::lint::Finding& f : findings) {
+    std::fprintf(stderr, "%s\n", insider::lint::Format(f).c_str());
+  }
+  if (!findings.empty()) {
+    std::fprintf(stderr, "insider_lint: %zu violation(s)\n", findings.size());
+    return 1;
+  }
+  std::printf("insider_lint: clean\n");
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Fixture: assert() on a media-error status. Never compiled.
+#include <cassert>
+
+enum class NandStatus { kOk, kEccFailure };
+
+struct Result {
+  NandStatus status;
+  bool ok() const { return status == NandStatus::kOk; }
+};
+
+void Violations(Result r) {
+  assert(r.status == NandStatus::kOk);
+  assert(r.ok());
+}

@@ -1,0 +1,9 @@
+// Fixture: unseeded randomness outside src/common/rng. Never compiled.
+#include <cstdlib>
+#include <random>
+
+int Violations() {
+  std::random_device rd;
+  srand(42);
+  return rand() + static_cast<int>(rd());
+}

@@ -1,0 +1,10 @@
+// Fixture: an obvious bugprone-use-after-move, used by CI to prove the
+// clang-tidy gate actually fails on a violation. Never compiled by CMake.
+#include <string>
+#include <utility>
+
+std::string UseAfterMove() {
+  std::string s = "planted";
+  std::string sink = std::move(s);
+  return s + sink;
+}

@@ -1,0 +1,10 @@
+// Fixture: naked uint64_t timestamps in an API (and no #pragma once).
+// Never compiled.
+#include <cstdint>
+
+struct BadOob {
+  std::uint64_t written_at = 0;
+  std::uint64_t expiry_deadline = 0;
+};
+
+void Schedule(std::uint64_t now, std::uint64_t release_horizon);

@@ -1,0 +1,13 @@
+// Fixture: wall-clock access outside src/common/time. Never compiled.
+#include <chrono>
+#include <ctime>
+#include <sys/time.h>
+
+long Violations() {
+  auto tp = std::chrono::system_clock::now();
+  std::time_t t = time(nullptr);
+  struct timeval tv;
+  gettimeofday(&tv, nullptr);
+  return static_cast<long>(t) + tv.tv_sec +
+         std::chrono::system_clock::to_time_t(tp);
+}

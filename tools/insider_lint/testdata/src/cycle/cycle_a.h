@@ -1,0 +1,4 @@
+// Fixture: half of an include cycle. Never compiled.
+#pragma once
+#include "cycle/cycle_b.h"
+struct CycleA {};

@@ -1,0 +1,4 @@
+// Fixture: other half of an include cycle. Never compiled.
+#pragma once
+#include "cycle/cycle_a.h"
+struct CycleB {};
