@@ -4,7 +4,9 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "core/pretrained.h"
 #include "host/experiment.h"
+#include "obs/metrics.h"
 
 int main() {
   using namespace insider;
@@ -30,6 +32,38 @@ int main() {
   }
   std::printf("\nall attacks detected: %s   worst latency: %.2f s "
               "(paper bound: 10 s)\n", all ? "yes" : "NO", worst);
+
+  // Where a command's time goes while an attack is being detected: one
+  // WannaCry-vs-3-tenants run through the queue frontend with the metrics
+  // registry attached. The registry's phase histograms split end-to-end
+  // latency into queue wait vs device time and expose the device-internal
+  // GC-stall and NAND-occupancy distributions underneath it.
+  bench::PrintHeader("Phase breakdown during detection (WannaCry + 3 tenants)");
+  {
+    obs::MetricsRegistry metrics;
+    host::InterleavedConfig ic;
+    ic.seed = 7;
+    ic.metrics = &metrics;
+    // The shipped tree, not the freshly trained one: this section is about
+    // the latency pipeline, and the pretrained tree's thresholds are the
+    // ones the rest of the suite validates against.
+    host::InterleavedResult ir =
+        host::RunInterleavedDetection(core::PretrainedTree(), ic);
+    std::printf("alarm: %s  latency %.2f s\n", ir.alarm ? "yes" : "NO",
+                ir.alarm ? ToSeconds(ir.detection_latency) : 0.0);
+    std::printf("%-22s %10s %10s %10s %10s\n", "phase", "count", "p50_us",
+                "p99_us", "max_us");
+    for (const char* name :
+         {"engine.queue_wait_us", "engine.device_us", "engine.latency_us",
+          "ftl.gc_stall_us", "nand.bus_us", "nand.cell_read_us",
+          "nand.cell_program_us"}) {
+      const obs::LogHistogram& h = metrics.GetHistogram(name);
+      if (h.Count() == 0) continue;
+      std::printf("%-22s %10llu %10.0f %10.0f %10.0f\n", name,
+                  static_cast<unsigned long long>(h.Count()), h.Quantile(0.50),
+                  h.Quantile(0.99), h.Max());
+    }
+  }
 
   // Rollback timing: fill a device, attack it, roll back, report the
   // modeled firmware time (mapping-table updates only).

@@ -73,6 +73,8 @@ int main() {
     for (std::size_t i = 0; i < s.owio_per_slice.size(); ++i) {
       if (s.active_us_per_slice[i] > 0) active_owio.Add(s.owio_per_slice[i]);
     }
+    // A family with no active slices has no mean; Mean() is NaN then, which
+    // printf renders as "nan" — never a fabricated 0 blocks/s.
     std::printf("%-16s %-22.3f %.0f blocks/s\n", fam, corr,
                 active_owio.Mean());
   }

@@ -91,6 +91,8 @@ int main() {
   };
   auto print_row = [&](const std::string& label, const FeatureSeries& s) {
     auto stats = summarize(s);
+    // A workload with zero I/O-bearing slices leaves every accumulator
+    // empty; Mean() is NaN then and the row reads "nan", not a fake 0.
     std::printf("%-24s %10.3f %10.0f %10.1f %10.0f\n", label.c_str(),
                 stats[static_cast<std::size_t>(core::FeatureId::kOwSt)].Mean(),
                 stats[static_cast<std::size_t>(core::FeatureId::kPwIo)].Mean(),

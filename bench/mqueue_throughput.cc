@@ -22,6 +22,7 @@
 #include "host/ssd_target.h"
 #include "io/io_engine.h"
 #include "json_writer.h"
+#include "obs/metrics.h"
 #include "workload/multi_tenant.h"
 
 namespace insider::bench {
@@ -47,8 +48,9 @@ host::SsdConfig SweepDevice() {
 
 void ThroughputSweep(JsonWriter& json) {
   PrintHeader("mqueue_throughput — IOPS and latency vs queues x depth");
-  std::printf("%7s %6s %12s %12s %12s %10s %8s\n", "queues", "depth", "IOPS",
-              "p50_us", "p99_us", "stalls", "max_inf");
+  std::printf("%7s %6s %12s %12s %12s %9s %9s %9s %9s %8s %8s\n", "queues",
+              "depth", "IOPS", "p50_us", "p99_us", "qw_p50", "qw_p99",
+              "dev_p50", "dev_p99", "stalls", "max_inf");
 
   const std::size_t kCommandsPerQueue = RepsFromEnv(4) * 1000;
   json.Key("throughput_sweep").BeginArray();
@@ -82,6 +84,12 @@ void ThroughputSweep(JsonWriter& json) {
       ecfg.queue_count = queues;
       ecfg.queue.sq_depth = depth;
       io::IoEngine engine(target, ecfg);
+      // Phase breakdown via the metrics registry: the engine splits each
+      // command's life into queue-wait and device time (engine.queue_wait_us
+      // / engine.device_us). Recording never touches virtual time, so the
+      // IOPS column is identical with or without the registry attached.
+      obs::MetricsRegistry metrics;
+      engine.AttachObs(nullptr, &metrics);
       wl::MultiTenantDriver driver(std::move(tenants));
       wl::MultiTenantReport report = driver.Run(engine);
 
@@ -93,10 +101,14 @@ void ThroughputSweep(JsonWriter& json) {
       }
       const SimTime p50 = Percentile(lat, 0.50);
       const SimTime p99 = Percentile(lat, 0.99);
-      std::printf("%7zu %6zu %12.0f %12lld %12lld %10llu %8llu\n", queues,
-                  depth, report.TotalIops(), static_cast<long long>(p50),
-                  static_cast<long long>(p99),
-                  static_cast<unsigned long long>(stalls),
+      const obs::LogHistogram& qw = metrics.GetHistogram("engine.queue_wait_us");
+      const obs::LogHistogram& dev = metrics.GetHistogram("engine.device_us");
+      std::printf("%7zu %6zu %12.0f %12lld %12lld %9.0f %9.0f %9.0f %9.0f "
+                  "%8llu %8llu\n",
+                  queues, depth, report.TotalIops(),
+                  static_cast<long long>(p50), static_cast<long long>(p99),
+                  qw.Quantile(0.50), qw.Quantile(0.99), dev.Quantile(0.50),
+                  dev.Quantile(0.99), static_cast<unsigned long long>(stalls),
                   static_cast<unsigned long long>(
                       engine.Stats().max_in_flight));
       json.BeginObject()
@@ -106,6 +118,10 @@ void ThroughputSweep(JsonWriter& json) {
           .Field("iops", report.TotalIops())
           .Field("p50_us", p50)
           .Field("p99_us", p99)
+          .Field("queue_wait_p50_us", qw.Quantile(0.50))
+          .Field("queue_wait_p99_us", qw.Quantile(0.99))
+          .Field("device_p50_us", dev.Quantile(0.50))
+          .Field("device_p99_us", dev.Quantile(0.99))
           .Field("stalls", stalls)
           .Field("max_in_flight", engine.Stats().max_in_flight)
           .EndObject();

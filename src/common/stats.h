@@ -3,26 +3,33 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
 namespace insider {
 
 /// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+///
+/// An empty accumulator has no moments: Mean/Min/Max return NaN rather than
+/// a fabricated 0.0 that could be mistaken for a measurement. Callers that
+/// want a display default must choose one explicitly at the call site.
 class RunningStats {
  public:
   void Add(double x);
   void Merge(const RunningStats& other);
 
   std::size_t Count() const { return n_; }
-  double Mean() const { return n_ ? mean_ : 0.0; }
+  double Mean() const { return n_ ? mean_ : Nan(); }
   double Variance() const;  ///< Sample variance (n-1 denominator).
   double Stddev() const;
-  double Min() const { return n_ ? min_ : 0.0; }
-  double Max() const { return n_ ? max_ : 0.0; }
+  double Min() const { return n_ ? min_ : Nan(); }
+  double Max() const { return n_ ? max_ : Nan(); }
   double Sum() const { return sum_; }
 
  private:
+  static double Nan() { return std::numeric_limits<double>::quiet_NaN(); }
+
   std::size_t n_ = 0;
   double mean_ = 0.0;
   double m2_ = 0.0;
@@ -31,16 +38,25 @@ class RunningStats {
   double sum_ = 0.0;
 };
 
-/// Fixed-bucket histogram over [lo, hi) with out-of-range clamping; used for
-/// latency distributions in benches.
+/// Fixed-bucket histogram over [lo, hi); used for latency distributions in
+/// benches. Out-of-range samples are NOT clamped into the edge buckets: they
+/// are counted out-of-band in Underflow()/Overflow() so a tail that escapes
+/// the configured range can never fabricate an in-range quantile. For
+/// auto-ranging without a priori bounds, prefer obs::LogHistogram.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t buckets);
 
   void Add(double x);
+  /// All samples ever added, including under/overflow.
   std::size_t TotalCount() const { return total_; }
+  std::uint64_t Underflow() const { return underflow_; }
+  std::uint64_t Overflow() const { return overflow_; }
   /// Value at the given quantile q in [0,1], linearly interpolated within the
-  /// winning bucket. Returns lo for an empty histogram.
+  /// winning bucket. Returns lo for an empty histogram. A quantile landing in
+  /// the underflow mass saturates to lo; one landing in the overflow mass
+  /// saturates to hi — the caller sees the bound, not an invented interior
+  /// value (check Overflow() when an exact tail matters).
   double Quantile(double q) const;
   std::string ToString() const;
 
@@ -48,6 +64,8 @@ class Histogram {
   double lo_, hi_, width_;
   std::vector<std::size_t> counts_;
   std::size_t total_ = 0;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
 };
 
 /// Pearson correlation of two equally sized series; the paper's Fig. 1/2

@@ -6,10 +6,13 @@
 
 namespace insider::core {
 
-bool DecisionTree::Classify(const FeatureVector& features) const {
+bool DecisionTree::Classify(const FeatureVector& features,
+                            std::vector<std::int32_t>* path) const {
+  if (path != nullptr) path->clear();
   if (nodes_.empty()) return false;
   std::int32_t idx = 0;
   while (true) {
+    if (path != nullptr) path->push_back(idx);
     const Node& n = nodes_[static_cast<std::size_t>(idx)];
     if (n.is_leaf) return n.label;
     idx = (features[n.feature] <= n.threshold) ? n.left : n.right;

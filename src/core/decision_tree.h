@@ -35,7 +35,15 @@ class DecisionTree {
   const std::vector<Node>& Nodes() const { return nodes_; }
 
   /// True = ransomware. An empty tree votes false.
-  bool Classify(const FeatureVector& features) const;
+  bool Classify(const FeatureVector& features) const {
+    return Classify(features, nullptr);
+  }
+  /// As above; when `path` is non-null it receives the indices of every node
+  /// visited, root to leaf (empty for an empty tree). This is the detector's
+  /// introspection hook: a recorded path makes a surprising vote replayable
+  /// node-by-node against the feature vector that produced it.
+  bool Classify(const FeatureVector& features,
+                std::vector<std::int32_t>* path) const;
 
   /// Human-readable if/else rendering (for docs and debugging).
   std::string ToPrettyString() const;

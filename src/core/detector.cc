@@ -68,7 +68,8 @@ FeatureVector Detector::ComputeFeatures(const SliceCounters& counters) const {
 void Detector::CloseSlice() {
   SliceCounters counters = table_.EndSlice();
   FeatureVector fv = ComputeFeatures(counters);
-  bool vote = tree_.Classify(fv);
+  std::vector<std::int32_t> tree_path;
+  bool vote = tree_.Classify(fv, &tree_path);
 
   votes_.push_back(vote);
   score_ += vote ? 1 : 0;
@@ -84,7 +85,8 @@ void Detector::CloseSlice() {
   if (!first_alarm_ && score_ >= config_.score_threshold) {
     first_alarm_ = end_time;
   }
-  history_.push_back(SliceRecord{current_slice_, end_time, fv, vote, score_});
+  history_.push_back(SliceRecord{current_slice_, end_time, fv, vote, score_,
+                                 std::move(tree_path)});
   if (config_.history_limit > 0 && history_.size() > config_.history_limit) {
     history_.pop_front();
   }

@@ -40,6 +40,10 @@ struct SliceRecord {
   FeatureVector features;
   bool vote = false;
   int score = 0;
+  /// Decision-tree nodes visited for this slice, root to leaf — the "why"
+  /// behind the vote. obs::DetectorIntrospectionJson renders it alongside
+  /// the feature values so detection-matrix regressions are diagnosable.
+  std::vector<std::int32_t> tree_path;
 };
 
 class Detector {

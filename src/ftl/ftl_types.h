@@ -65,6 +65,15 @@ struct FtlConfig {
 
   /// SSD-Insider delayed deletion on/off (off = conventional baseline).
   bool delayed_deletion = true;
+  /// Persist trims as tombstone pages (delayed-deletion mode only). A trim
+  /// programs one page whose OOB says "lba unmapped at written_at"; the
+  /// page is born invalid (reclaimable immediately, never relocated) and
+  /// exists purely so RebuildFromNand can replay in-window trims instead of
+  /// resurrecting the trimmed version — closing the trim-persistence wart
+  /// (DESIGN.md §8). Costs one page program per trim of a mapped LBA; the
+  /// golden-counter parity tests opt out to keep their pinned monolith
+  /// numbers meaningful.
+  bool trim_tombstones = true;
   /// How long displaced versions stay recoverable (paper: 10 s).
   SimTime retention_window = Seconds(10);
   /// Recovery-queue capacity in entries (paper Table III: 2,621,440 ~ 30 MB;
@@ -124,6 +133,8 @@ struct FtlStats {
   std::uint64_t blocks_retired = 0;
   /// Mapping-table reconstructions from an OOB flash scan (power loss).
   std::uint64_t rebuilds = 0;
+  /// Tombstone pages programmed to persist trims (FtlConfig::trim_tombstones).
+  std::uint64_t trim_tombstones = 0;
 
   friend bool operator==(const FtlStats&, const FtlStats&) = default;
 };

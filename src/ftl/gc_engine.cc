@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "ftl/page_ftl.h"
+#include "obs/trace.h"
 
 namespace insider::ftl {
 
@@ -90,6 +91,8 @@ bool GcEngine::CollectVictim(std::uint32_t victim, SimTime& now) {
     // it on the spot. Return true — the victim left GC's candidate set, so
     // the caller's loop makes progress even though no block was freed.
     ++f.stats_.erase_fails;
+    obs::EmitInstant(f.tracer_, "ftl.retire_block", "ftl", 0, now,
+                     static_cast<std::int64_t>(victim), "block");
     f.RetireBlock(victim);
     return true;
   }
@@ -114,6 +117,8 @@ bool GcEngine::DrainRetirements(SimTime& now) {
     // necessarily still at the back — erase it by value.
     f.pending_retire_.erase(std::find(f.pending_retire_.begin(),
                                       f.pending_retire_.end(), block_id));
+    obs::EmitInstant(f.tracer_, "ftl.retire_block", "ftl", 0, now,
+                     static_cast<std::int64_t>(block_id), "block");
     f.RetireBlock(block_id);
   }
   return true;
@@ -149,6 +154,14 @@ bool GcEngine::EnsureFreeSpace(SimTime& now) {
     }
   }
   f.stats_.gc_stall_time += now - start;
+  if (now > start) {
+    obs::EmitSpan(f.tracer_, "ftl.gc_stall", "ftl", 0, start, now,
+                  static_cast<std::int64_t>(f.free_block_count_),
+                  "free_blocks_after");
+  }
+  if (f.gc_stall_hist_ != nullptr) {
+    f.gc_stall_hist_->Add(static_cast<double>(now - start));
+  }
   return ok;
 }
 

@@ -2,13 +2,13 @@
 
 #include <algorithm>
 #include <cassert>
-#include <cstdio>
 #include <cstdlib>
 #include <limits>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
 
+#include "common/log.h"
 #include "ftl/invariant_auditor.h"
 
 namespace insider::ftl {
@@ -44,9 +44,8 @@ PageFtl::MutationAudit::~MutationAudit() {
   if (++ftl_.audit_tick_ % stride != 0) return;
   AuditReport report = InvariantAuditor::Audit(ftl_);
   if (report.ok()) return;
-  std::fprintf(stderr, "INSIDER_AUDIT failure after %s:\n%s", op_,
-               report.Diff().c_str());
-  std::fflush(stderr);
+  INSIDER_LOG_ERROR << "INSIDER_AUDIT failure after " << op_ << ":\n"
+                    << report.Diff();
   std::abort();
 }
 #else
@@ -161,6 +160,20 @@ void PageFtl::ReleaseExpired(SimTime now) {
     ReleaseBackup(e);
     ++stats_.retained_released;
   });
+  // Tombstones age out with the window too: once the trim can no longer be
+  // rolled back there is nothing left to persist, so the page stops being a
+  // current mapping and becomes reclaimable garbage. A journal entry whose
+  // LBA was since rewritten (the mapping no longer points at a tombstone)
+  // is simply stale — the rewrite already retired the tombstone page.
+  while (!trim_journal_.empty() && trim_journal_.front().time <= horizon) {
+    TrimRecord rec = trim_journal_.front();
+    trim_journal_.pop_front();
+    nand::Ppa ppa = l2p_[rec.lba];
+    if (ppa != nand::kInvalidPpa && IsTombstone(ppa)) {
+      MarkInvalid(ppa);
+      l2p_[rec.lba] = nand::kInvalidPpa;
+    }
+  }
 }
 
 void PageFtl::MarkInvalid(nand::Ppa ppa) {
@@ -210,6 +223,8 @@ nand::Ppa PageFtl::ProgramWithRedrive(nand::PageData data, SimTime& now) {
     // frontier, queue it for retirement, and re-drive on a fresh frontier.
     ++stats_.program_fails;
     ++stats_.write_redrives;
+    obs::EmitInstant(tracer_, "ftl.redrive", "ftl", 0, now,
+                     static_cast<std::int64_t>(ppa), "burned_ppa");
     page_state_[ppa] = PageState::kBad;
     MarkPendingRetire(BlockIdOf(ppa));
   }
@@ -293,6 +308,14 @@ FtlResult PageFtl::ReadPage(Lba lba, SimTime now) {
   ReleaseExpired(now);
   nand::Ppa ppa = l2p_[lba];
   if (ppa == nand::kInvalidPpa) return {FtlStatus::kUnmapped, now, {}};
+  obs::EmitInstant(tracer_, "ftl.map_lookup", "ftl", 0, now,
+                   static_cast<std::int64_t>(ppa), "ppa");
+  if (config_.delayed_deletion && config_.trim_tombstones &&
+      IsTombstone(ppa)) {
+    // The mapping points at a trim tombstone: host-visibly the LBA is
+    // unmapped; the tombstone page only persists the trim for power loss.
+    return {FtlStatus::kUnmapped, now, {}};
+  }
   nand::NandResult rd = nand_.ReadPage(ppa, now);
   ++stats_.host_reads;
   switch (rd.status) {
@@ -317,16 +340,70 @@ FtlResult PageFtl::TrimPage(Lba lba, SimTime now) {
   ReleaseExpired(now);
   nand::Ppa old = l2p_[lba];
   if (old == nand::kInvalidPpa) return {FtlStatus::kUnmapped, now, {}};
+  if (config_.delayed_deletion && config_.trim_tombstones) {
+    if (IsTombstone(old)) return {FtlStatus::kUnmapped, now, {}};
+    // Persist the trim as a first-class version: program a tombstone page
+    // ("lba unmapped at now") and map it exactly like an overwrite, so the
+    // displaced version enters the recovery queue, GC relocates the
+    // tombstone while it matters, rollback unwinds it like any version, and
+    // a post-power-loss OOB scan replays the trim instead of resurrecting
+    // the trimmed data. The trim journal ages the mapping out once the
+    // retention window has passed. Best-effort: with the frontier dry the
+    // trim still proceeds un-persisted (the pre-tombstone behavior).
+    gc_.DrainRetirements(now);
+    gc_.EnsureFreeSpace(now);
+    nand::PageData tomb;
+    tomb.oob.lba = lba;
+    tomb.oob.written_at = now;
+    tomb.oob.tombstone = true;
+    nand::Ppa tppa = ProgramWithRedrive(std::move(tomb), now);
+    if (tppa != nand::kInvalidPpa) {
+      old = l2p_[lba];  // GC above may have relocated the current version
+      Retire(lba, old, now);
+      l2p_[lba] = tppa;
+      p2l_[tppa] = lba;
+      page_state_[tppa] = PageState::kValid;
+      ++block_counters_[BlockIdOf(tppa)].valid;
+      ++valid_pages_;
+      trim_journal_.push_back({now, lba});
+      ++stats_.trim_tombstones;
+      ++stats_.host_trims;
+      return {FtlStatus::kOk, now, {}};
+    }
+    old = l2p_[lba];
+  }
   Retire(lba, old, now);
   l2p_[lba] = nand::kInvalidPpa;
   ++stats_.host_trims;
   return {FtlStatus::kOk, now, {}};
 }
 
+void PageFtl::AttachObs(obs::Tracer* tracer, obs::MetricsRegistry* metrics) {
+  tracer_ = tracer;
+  metrics_ = metrics;
+  gc_stall_hist_ = metrics == nullptr
+                       ? nullptr
+                       : &metrics->GetHistogram("ftl.gc_stall_us");
+  nand_.AttachObs(tracer, metrics);
+}
+
+bool PageFtl::IsTombstone(nand::Ppa ppa) const {
+  const nand::Geometry& geo = config_.geometry;
+  // Raw OOB peek (no timing, no ECC sampling) — the same internal path the
+  // rebuild scan uses, so checking never perturbs the error sequence.
+  const nand::PageData* d = nand_.BlockAt({geo.ChipOf(ppa), geo.BlockOf(ppa)})
+                                .Read(geo.PageOf(ppa));
+  return d != nullptr && d->oob.tombstone;
+}
+
 std::optional<nand::Ppa> PageFtl::Lookup(Lba lba) const {
   if (lba >= exported_lbas_) return std::nullopt;
   nand::Ppa ppa = l2p_[lba];
   if (ppa == nand::kInvalidPpa) return std::nullopt;
+  if (config_.delayed_deletion && config_.trim_tombstones &&
+      IsTombstone(ppa)) {
+    return std::nullopt;  // a trimmed LBA is host-visibly unmapped
+  }
   return ppa;
 }
 
@@ -393,6 +470,7 @@ PageFtl::RebuildReport PageFtl::RebuildFromNand(SimTime now) {
   active_block_per_chip_.assign(geo.TotalChips(), kNoActiveBlock);
   free_block_count_ = 0;
   queue_.Clear();
+  trim_journal_.clear();
   pending_retire_.clear();
   valid_pages_ = 0;
   retained_pages_ = 0;
@@ -459,6 +537,7 @@ PageFtl::RebuildReport PageFtl::RebuildFromNand(SimTime now) {
     nand::Ppa old_ppa = nand::kInvalidPpa;
   };
   std::vector<QueuedBackup> backups;
+  std::vector<TrimRecord> rebuilt_trims;
   for (auto& [lba, vers] : versions) {
     std::sort(vers.begin(), vers.end(), [](const Version& a, const Version& b) {
       return a.written_at != b.written_at ? a.written_at < b.written_at
@@ -466,24 +545,32 @@ PageFtl::RebuildReport PageFtl::RebuildFromNand(SimTime now) {
     });
     // GC-relocation ghosts: when a retained or valid page was copied but its
     // source block not yet erased, both copies survive the crash with equal
-    // written_at and equal payload. The newer program wins; the older stays
-    // invalid.
+    // written_at and equal payload (tombstones ghost against tombstones
+    // only — a data page and a tombstone are never the same version).
     std::vector<const Version*> live;
     for (std::size_t i = 0; i < vers.size(); ++i) {
       bool ghost = i + 1 < vers.size() &&
                    vers[i + 1].written_at == vers[i].written_at &&
+                   vers[i + 1].data->oob.tombstone ==
+                       vers[i].data->oob.tombstone &&
                    vers[i + 1].data->SamePayload(*vers[i].data);
       if (!ghost) live.push_back(&vers[i]);
     }
     // Newest non-ghost version is the current mapping; each older one was
-    // displaced when its successor was written.
+    // displaced when its successor was written. A newest *tombstone* is the
+    // trim being replayed: it stays mapped (host-visibly unmapped) and
+    // rejoins the trim journal so the window still ages it out.
     const Version* newest = live.back();
     l2p_[lba] = newest->ppa;
     p2l_[newest->ppa] = lba;
     page_state_[newest->ppa] = PageState::kValid;
     ++block_counters_[BlockIdOf(newest->ppa)].valid;
     ++valid_pages_;
-    ++report.mappings_restored;
+    if (newest->data->oob.tombstone) {
+      rebuilt_trims.push_back({newest->written_at, lba});
+    } else {
+      ++report.mappings_restored;
+    }
     if (config_.delayed_deletion) {
       for (std::size_t i = 0; i + 1 < live.size(); ++i) {
         backups.push_back({live[i + 1]->written_at, live[i + 1]->seq, lba,
@@ -543,9 +630,18 @@ PageFtl::RebuildReport PageFtl::RebuildFromNand(SimTime now) {
     }
   }
 
+  // The trim journal is volatile too: rebuild it time-ordered from the
+  // still-mapped tombstones the scan found.
+  std::sort(rebuilt_trims.begin(), rebuilt_trims.end(),
+            [](const TrimRecord& a, const TrimRecord& b) {
+              return a.time < b.time;
+            });
+  trim_journal_.assign(rebuilt_trims.begin(), rebuilt_trims.end());
+
   ++stats_.rebuilds;
   // Age out anything the window no longer covers (also re-releases backups
-  // whose release the crash erased).
+  // whose release the crash erased, and expires replayed trims the window
+  // no longer guards).
   ReleaseExpired(now);
   SimTime t = now;
   gc_.DrainRetirements(t);

@@ -28,6 +28,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <limits>
 #include <memory>
 #include <optional>
@@ -41,6 +42,8 @@
 #include "ftl/policy.h"
 #include "ftl/recovery_queue.h"
 #include "nand/flash_array.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace insider::ftl {
 
@@ -138,8 +141,22 @@ class PageFtl {
   nand::FlashArray& Nand() { return nand_; }
   const nand::FlashArray& Nand() const { return nand_; }
 
+  /// Attach the observability sinks (either may be null) and forward them to
+  /// the NAND array. The tracer gets `ftl.map_lookup` instants on host
+  /// reads, `ftl.redrive` instants when a program fault forces a re-drive,
+  /// `ftl.retire_block` instants when a grown-bad block leaves service, and
+  /// an `ftl.gc_stall` span covering each foreground GC invocation a host
+  /// write blocked on; the registry mirrors the stalls as ftl.gc_stall_us.
+  void AttachObs(obs::Tracer* tracer, obs::MetricsRegistry* metrics);
+
   std::optional<nand::Ppa> Lookup(Lba lba) const;
   PageState StateOf(nand::Ppa ppa) const { return page_state_[ppa]; }
+  /// True when this page carries a trim tombstone (OOB flag peek). An LBA
+  /// mapped to a tombstone is host-visibly unmapped; the mapping exists only
+  /// so the trim survives power loss (FtlConfig::trim_tombstones).
+  bool IsTombstone(nand::Ppa ppa) const;
+  /// Trims whose tombstone mapping is still inside the retention window.
+  std::size_t TrimJournalSize() const { return trim_journal_.size(); }
   std::size_t FreeBlockCount() const { return free_block_count_; }
   std::size_t RecoveryQueueSize() const { return queue_.Size(); }
   std::uint64_t ValidPageCount() const { return valid_pages_; }
@@ -252,6 +269,14 @@ class PageFtl {
   static constexpr std::uint32_t kNoActiveBlock = PolicyView::kNoActiveBlockId;
 
   RecoveryQueue queue_;
+  /// Time-ordered record of trims whose tombstone is still the current
+  /// mapping; ReleaseExpired unmaps and invalidates the tombstone once the
+  /// retention window has passed (bounded by trims-per-window).
+  struct TrimRecord {
+    SimTime time = 0;
+    Lba lba = kInvalidLba;
+  };
+  std::deque<TrimRecord> trim_journal_;
   bool read_only_ = false;
   /// Largest expiry horizon ever passed to the recovery queue's release
   /// pass: every live entry must be younger than this (the auditor's
@@ -281,6 +306,10 @@ class PageFtl {
   std::unique_ptr<RetentionPolicy> retention_;
   PolicyView view_;
   GcEngine gc_;
+
+  obs::Tracer* tracer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::LogHistogram* gc_stall_hist_ = nullptr;
 };
 
 }  // namespace insider::ftl

@@ -489,6 +489,8 @@ InterleavedResult RunInterleavedDetection(const core::DecisionTree& tree,
   ecfg.queue.sq_depth = config.queue_depth;
   ecfg.arbiter = config.arbiter;
   io::IoEngine engine(target, ecfg);
+  ssd.AttachObs(config.tracer, config.metrics);
+  engine.AttachObs(config.tracer, config.metrics);
 
   wl::MultiTenantDriver driver(std::move(tenants));
   InterleavedResult result;
@@ -500,7 +502,9 @@ InterleavedResult RunInterleavedDetection(const core::DecisionTree& tree,
   ssd.IdleUntil(std::max(result.report.end_time, ssd.Clock().Now()) +
                 config.detector.slice_length);
 
-  for (const core::SliceRecord& rec : ssd.Detector().History()) {
+  const auto& history = ssd.Detector().History();
+  result.slices.assign(history.begin(), history.end());
+  for (const core::SliceRecord& rec : result.slices) {
     result.max_score = std::max(result.max_score, rec.score);
   }
   result.alarm_time = ssd.FirstAlarmTime();
@@ -508,6 +512,7 @@ InterleavedResult RunInterleavedDetection(const core::DecisionTree& tree,
   if (result.alarm && attack) {
     result.detection_latency = *result.alarm_time - attack_begin;
   }
+  if (config.inspect) config.inspect(ssd);
   return result;
 }
 

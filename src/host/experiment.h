@@ -4,6 +4,7 @@
 // (Table II).
 #pragma once
 
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
@@ -16,6 +17,8 @@
 #include "host/scenario.h"
 #include "host/ssd.h"
 #include "io/io_engine.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "workload/multi_tenant.h"
 
 namespace insider::host {
@@ -203,6 +206,16 @@ struct InterleavedConfig {
   std::size_t fileset_files = 600;
   std::uint64_t seed = 1;
 
+  /// Optional observability sinks (either may be null). Attached to both the
+  /// I/O engine and the device before the run, so the trace covers the whole
+  /// path: queue wait -> arbitration -> FTL -> NAND, plus detector alarms.
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Invoked on the settled device right before the run returns — the hook
+  /// tools use to dump state the result struct doesn't carry (e.g. the
+  /// detector introspection JSON, FTL stats).
+  std::function<void(Ssd&)> inspect;
+
   InterleavedConfig() {
     ftl.geometry.channels = 4;
     ftl.geometry.ways = 4;
@@ -218,6 +231,9 @@ struct InterleavedResult {
   /// Alarm time minus the attack's first request (0 when no alarm/attack).
   SimTime detection_latency = 0;
   wl::MultiTenantReport report;
+  /// The detector's full per-slice history (feature values, tree path,
+  /// score): the introspection record tools/trace_dump renders.
+  std::vector<core::SliceRecord> slices;
 };
 
 /// Build the tenant streams, run them through a fresh Ssd via the queue

@@ -55,6 +55,8 @@ std::size_t FirmwareScheduler::RunUntil(SimTime now) {
     }
     if (top.due > now) break;
     heap_.pop();
+    obs::EmitInstant(tracer_, it->second.name.c_str(), "fw", 0, top.due,
+                     static_cast<std::int64_t>(top.id), "task");
     // Run at the task's own due time, not the drain horizon: a periodic
     // task catching up through a long gap sees each period's timestamp.
     SimTime next = it->second.fn(top.due);

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common/time.h"
+#include "obs/trace.h"
 
 namespace insider::host {
 
@@ -68,6 +69,11 @@ class FirmwareScheduler {
   std::size_t PendingTasks() const { return tasks_.size(); }
   const Stats& GetStats() const { return stats_; }
 
+  /// Attach the tracer (may be null): each task invocation emits a
+  /// `fw.task` instant named after the task, on the background trace —
+  /// firmware work belongs to no host command.
+  void AttachObs(obs::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   struct Task {
     std::string name;
@@ -92,6 +98,7 @@ class FirmwareScheduler {
   TaskId next_id_ = 1;
   std::uint64_t next_seq_ = 0;
   Stats stats_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace insider::host

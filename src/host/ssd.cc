@@ -41,6 +41,8 @@ void Ssd::AdvanceDetector(SimTime now) {
   bool was_active = detector_.AlarmActive();
   detector_.AdvanceTo(now);
   if (!was_active && detector_.AlarmActive()) {
+    obs::EmitInstant(tracer_, "ssd.alarm", "ssd", 0, now,
+                     static_cast<std::int64_t>(detector_.Score()), "score");
     if (config_.auto_read_only) ftl_.SetReadOnly(true);
     if (alarm_callback_) alarm_callback_(now);
   }
@@ -73,6 +75,8 @@ void Ssd::Observe(const IoRequest& request) {
   bool was_active = detector_.AlarmActive();
   detector_.OnRequest(request);
   if (!was_active && detector_.AlarmActive()) {
+    obs::EmitInstant(tracer_, "ssd.alarm", "ssd", 0, request.time,
+                     static_cast<std::int64_t>(detector_.Score()), "score");
     if (config_.auto_read_only) ftl_.SetReadOnly(true);
     if (alarm_callback_) alarm_callback_(request.time);
   }

@@ -151,6 +151,17 @@ class Ssd final : public fs::BlockDevice {
 
   // Introspection ----------------------------------------------------------
 
+  /// Attach the observability sinks (either may be null) to every layer the
+  /// device owns: the FTL (which forwards to the NAND array), the firmware
+  /// scheduler, and the device itself (`ssd.alarm` instants when the
+  /// detector's score crosses the threshold). The multi-queue engine attaches
+  /// itself separately — it sits above the device.
+  void AttachObs(obs::Tracer* tracer, obs::MetricsRegistry* metrics) {
+    tracer_ = tracer;
+    ftl_.AttachObs(tracer, metrics);
+    scheduler_.AttachObs(tracer);
+  }
+
   SimClock& Clock() { return clock_; }
   const SimClock& Clock() const { return clock_; }
   ftl::PageFtl& Ftl() { return ftl_; }
@@ -176,6 +187,7 @@ class Ssd final : public fs::BlockDevice {
   core::Detector detector_;
   SimClock clock_;
   std::function<void(SimTime)> alarm_callback_;
+  obs::Tracer* tracer_ = nullptr;
   FirmwareScheduler scheduler_;
   FirmwareScheduler::TaskId detector_tick_ = FirmwareScheduler::kInvalidTask;
   bool bg_gc_armed_ = false;

@@ -12,6 +12,7 @@
 #include "common/io.h"
 #include "common/time.h"
 #include "io/device.h"
+#include "obs/trace.h"
 
 namespace insider::io {
 
@@ -26,6 +27,10 @@ struct Command {
   QueueId queue = 0;
   IoRequest request;
   std::uint64_t stamp_base = 0;
+  /// Causal id for the obs tracer; the engine assigns the command id at
+  /// submit, and every span the command triggers down the stack (FTL, GC
+  /// stalls, NAND bus/cell) carries it.
+  obs::TraceId trace = obs::kBackgroundTrace;
 };
 
 /// Completion record posted by the engine when a command finishes.
@@ -36,6 +41,7 @@ struct Completion {
   bool ok = true;     ///< device reported success
   DeviceStatus status = DeviceStatus::kOk;  ///< device status detail
   std::uint32_t retries = 0;  ///< transparent engine-level read retries
+  obs::TraceId trace = obs::kBackgroundTrace;  ///< echo of Command::trace
 
   SimTime submit_time = 0;    ///< host-stamped request time
   SimTime dispatch_time = 0;  ///< device clock when the command started

@@ -54,12 +54,30 @@ bool IoEngine::TrySubmit(QueueId q, const IoRequest& request,
   cmd.queue = q;
   cmd.request = request;
   cmd.stamp_base = stamp_base;
+  cmd.trace = cmd.id;
   bool pushed = pair.sq().TryPush(cmd);
   assert(pushed);  // outstanding < sq_depth implies ring room
   (void)pushed;
   ++next_id_;
   ++pair.stats().submitted;
+  {
+    obs::Tracer::TraceScope scope(tracer_, cmd.trace);
+    obs::EmitInstant(tracer_, "engine.submit", "engine", q, request.time,
+                     static_cast<std::int64_t>(request.lba), "lba");
+  }
   return true;
+}
+
+void IoEngine::AttachObs(obs::Tracer* tracer, obs::MetricsRegistry* metrics) {
+  tracer_ = tracer;
+  metrics_ = metrics;
+  if (metrics_ != nullptr) {
+    queue_wait_hist_ = &metrics_->GetHistogram("engine.queue_wait_us");
+    device_hist_ = &metrics_->GetHistogram("engine.device_us");
+    latency_hist_ = &metrics_->GetHistogram("engine.latency_us");
+  } else {
+    queue_wait_hist_ = device_hist_ = latency_hist_ = nullptr;
+  }
 }
 
 std::optional<Completion> IoEngine::PopCompletion(QueueId q) {
@@ -120,6 +138,11 @@ bool IoEngine::Step() {
         completion.retries < max_read_retries_) {
       IoRequest retry = completion.request;
       retry.time = completion.complete_time;
+      obs::Tracer::TraceScope scope(tracer_, completion.trace);
+      obs::EmitInstant(tracer_, "engine.read_retry", "engine",
+                       completion.queue, completion.complete_time,
+                       static_cast<std::int64_t>(completion.retries + 1),
+                       "attempt");
       DispatchResult result = device_.Redrive(retry, 0);
       completion.ok = result.ok;
       completion.status = result.status;
@@ -134,6 +157,12 @@ bool IoEngine::Step() {
     }
 
     --in_flight_per_pair_[completion.queue];
+    if (metrics_ != nullptr) {
+      queue_wait_hist_->Add(static_cast<double>(completion.QueueDelay()));
+      device_hist_->Add(static_cast<double>(completion.complete_time -
+                                            completion.dispatch_time));
+      latency_hist_->Add(static_cast<double>(completion.Latency()));
+    }
     bool pushed = pairs_[completion.queue].cq().TryPush(completion);
     assert(pushed);  // slot reserved at dispatch
     (void)pushed;
@@ -162,6 +191,16 @@ bool IoEngine::Step() {
   // not when the host produced it — restamp before handing it down.
   const SimTime submit_time = cmd.request.time;
   cmd.request.time = earliest_dispatch;
+  // Everything the device does for this command — FTL lookups, GC stalls,
+  // NAND bus/cell occupancy — happens under the command's trace scope.
+  obs::Tracer::TraceScope scope(tracer_, cmd.trace);
+  obs::EmitSpan(tracer_, "engine.queue_wait", "engine", cmd.queue,
+                submit_time, earliest_dispatch,
+                static_cast<std::int64_t>(cmd.request.lba), "lba");
+  obs::EmitInstant(tracer_, "engine.arbitration", "engine", cmd.queue,
+                   earliest_dispatch,
+                   static_cast<std::int64_t>(candidates.size()),
+                   "candidates");
   DispatchResult result = device_.Dispatch(cmd.request, cmd.stamp_base);
 
   Completion completion;
@@ -175,6 +214,10 @@ bool IoEngine::Step() {
   completion.complete_time = result.complete_time > earliest_dispatch
                                  ? result.complete_time
                                  : earliest_dispatch;
+  completion.trace = cmd.trace;
+  obs::EmitSpan(tracer_, "engine.device", "engine", cmd.queue,
+                earliest_dispatch, completion.complete_time,
+                static_cast<std::int64_t>(cmd.request.lba), "lba");
   in_flight_.push(InFlightEntry{completion});
   ++in_flight_per_pair_[chosen];
   if (in_flight_.size() > stats_.max_in_flight) {

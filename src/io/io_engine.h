@@ -36,6 +36,8 @@
 #include "io/arbiter.h"
 #include "io/device.h"
 #include "io/queue_pair.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace insider::io {
 
@@ -103,6 +105,14 @@ class IoEngine {
 
   const EngineStats& Stats() const { return stats_; }
 
+  /// Attach the observability sinks (either may be null). The tracer gets
+  /// submit/arbitration/queue-wait/device spans, each carrying the command's
+  /// trace id; dispatch additionally opens a Tracer::TraceScope so spans the
+  /// device emits underneath inherit the id. The metrics registry gets the
+  /// per-phase latency histograms engine.queue_wait_us / engine.device_us /
+  /// engine.latency_us, recorded when a completion finally posts.
+  void AttachObs(obs::Tracer* tracer, obs::MetricsRegistry* metrics);
+
  private:
   struct InFlightEntry {
     Completion completion;
@@ -127,6 +137,13 @@ class IoEngine {
   EngineStats stats_;
   CommandId next_id_ = 1;
   std::uint32_t max_read_retries_ = 0;
+
+  obs::Tracer* tracer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  // Cached so the completion hot path skips the registry's name lookup.
+  obs::LogHistogram* queue_wait_hist_ = nullptr;
+  obs::LogHistogram* device_hist_ = nullptr;
+  obs::LogHistogram* latency_hist_ = nullptr;
 };
 
 }  // namespace insider::io

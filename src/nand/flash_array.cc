@@ -17,12 +17,33 @@ FlashArray::FlashArray(const Geometry& geometry, const LatencyModel& latency,
   }
 }
 
+void FlashArray::AttachObs(obs::Tracer* tracer,
+                           obs::MetricsRegistry* metrics) {
+  tracer_ = tracer;
+  metrics_ = metrics;
+  if (metrics_ != nullptr) {
+    bus_hist_ = &metrics_->GetHistogram("nand.bus_us");
+    cell_read_hist_ = &metrics_->GetHistogram("nand.cell_read_us");
+    cell_program_hist_ = &metrics_->GetHistogram("nand.cell_program_us");
+    cell_erase_hist_ = &metrics_->GetHistogram("nand.cell_erase_us");
+  } else {
+    bus_hist_ = cell_read_hist_ = cell_program_hist_ = cell_erase_hist_ =
+        nullptr;
+  }
+}
+
 SimTime FlashArray::Occupy(std::uint32_t chip, SimTime now, SimTime die_time,
                            SimTime bus_time, bool bus_first) {
   SimTime start = std::max(now, chips_[chip].BusyUntil());
+  std::int64_t chip_arg = static_cast<std::int64_t>(chip);
   if (bus_time == 0) {  // erase: pure cell work, the channel is untouched
     SimTime done = start + die_time;
     chips_[chip].SetBusyUntil(done);
+    obs::EmitSpan(tracer_, "nand.cell_erase", "nand", chip, start, done,
+                  chip_arg, "chip");
+    if (cell_erase_hist_ != nullptr) {
+      cell_erase_hist_->Add(static_cast<double>(die_time));
+    }
     return done;
   }
   std::uint32_t channel = geo_.ChannelOfChip(chip);
@@ -33,6 +54,13 @@ SimTime FlashArray::Occupy(std::uint32_t chip, SimTime now, SimTime die_time,
     SimTime bus_start = std::max(start, channel_busy_until_[channel]);
     channel_busy_until_[channel] = bus_start + bus_time;
     done = bus_start + bus_time + die_time;
+    obs::EmitSpan(tracer_, "nand.bus", "nand", channel, bus_start,
+                  bus_start + bus_time, chip_arg, "chip");
+    obs::EmitSpan(tracer_, "nand.cell_program", "nand", chip,
+                  bus_start + bus_time, done, chip_arg, "chip");
+    if (cell_program_hist_ != nullptr) {
+      cell_program_hist_->Add(static_cast<double>(die_time));
+    }
   } else {
     // Read: the die senses on its own, then the page streams out over the
     // bus once it is free.
@@ -40,7 +68,15 @@ SimTime FlashArray::Occupy(std::uint32_t chip, SimTime now, SimTime die_time,
                                  channel_busy_until_[channel]);
     done = bus_start + bus_time;
     channel_busy_until_[channel] = done;
+    obs::EmitSpan(tracer_, "nand.cell_read", "nand", chip, start,
+                  start + die_time, chip_arg, "chip");
+    obs::EmitSpan(tracer_, "nand.bus", "nand", channel, bus_start, done,
+                  chip_arg, "chip");
+    if (cell_read_hist_ != nullptr) {
+      cell_read_hist_->Add(static_cast<double>(die_time));
+    }
   }
+  if (bus_hist_ != nullptr) bus_hist_->Add(static_cast<double>(bus_time));
   chips_[chip].SetBusyUntil(done);
   return done;
 }

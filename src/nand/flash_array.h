@@ -13,6 +13,8 @@
 #include "nand/fault_plan.h"
 #include "nand/geometry.h"
 #include "nand/latency.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace insider::nand {
 
@@ -89,12 +91,21 @@ class FlashArray {
   std::uint64_t TotalEraseCount() const;
   std::uint64_t MaxEraseCount() const;
 
+  /// Attach the observability sinks (either may be null). The tracer gets a
+  /// `nand.bus` span per channel transfer window (track = channel id) and a
+  /// `nand.cell_{read,program,erase}` span per die occupancy (track = chip
+  /// id); the registry mirrors them as duration histograms nand.bus_us /
+  /// nand.cell_*_us.
+  void AttachObs(obs::Tracer* tracer, obs::MetricsRegistry* metrics);
+
  private:
   /// Reserve the die and its channel starting at `now`; returns completion.
   /// The channel is held only for the `bus_time` transfer window: before the
   /// cell work for programs (`bus_first`), after it for reads — dies on one
   /// channel overlap their cell time and serialize only on the bus. An op
-  /// with `bus_time == 0` (erase) never touches the channel.
+  /// with `bus_time == 0` (erase) never touches the channel. The shape also
+  /// names the op for the tracer: bus_time == 0 is an erase, bus_first a
+  /// program, bus-last a read.
   SimTime Occupy(std::uint32_t chip, SimTime now, SimTime die_time,
                  SimTime bus_time, bool bus_first);
 
@@ -115,6 +126,13 @@ class FlashArray {
   std::vector<Chip> chips_;
   std::vector<SimTime> channel_busy_until_;
   NandCounters counters_;
+
+  obs::Tracer* tracer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::LogHistogram* bus_hist_ = nullptr;
+  obs::LogHistogram* cell_read_hist_ = nullptr;
+  obs::LogHistogram* cell_program_hist_ = nullptr;
+  obs::LogHistogram* cell_erase_hist_ = nullptr;
 };
 
 }  // namespace insider::nand

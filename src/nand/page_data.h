@@ -17,8 +17,9 @@ namespace insider::nand {
 
 /// Out-of-band (spare-area) metadata the FTL programs with every page, the
 /// way real firmware tags each page so the mapping table can be rebuilt by
-/// scanning flash after power loss. Modeled as 24 bytes of the page's OOB
-/// region: 8 B logical address, 8 B global write sequence, 8 B timestamp.
+/// scanning flash after power loss. Modeled as 25 bytes of the page's OOB
+/// region: 8 B logical address, 8 B global write sequence, 8 B timestamp,
+/// 1 B flags (the tombstone marker).
 struct PageOob {
   /// Logical address this page holds a version of; kInvalidLba (the
   /// default) marks a page written outside the FTL (raw NAND tests).
@@ -30,6 +31,11 @@ struct PageOob {
   /// copy is the same version), which is how a rebuild tells a relocated
   /// ghost from a genuinely newer version.
   SimTime written_at = 0;
+  /// Trim tombstone: this page carries no data — it records "lba was
+  /// unmapped at written_at" so a post-power-loss OOB scan can replay the
+  /// trim instead of resurrecting the trimmed version (FtlConfig::
+  /// trim_tombstones). The page is born invalid and is never relocated.
+  bool tombstone = false;
 
   friend bool operator==(const PageOob&, const PageOob&) = default;
 };

@@ -1,0 +1,105 @@
+#include "obs/detector_probe.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+namespace insider::obs {
+
+namespace {
+
+void AppendNumber(std::ostringstream& os, double v) {
+  if (std::isfinite(v)) {
+    os << v;
+  } else {
+    os << "null";
+  }
+}
+
+void AppendEscaped(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      os << '\\' << c;
+    } else if (c == '\n') {
+      os << "\\n";
+    } else {
+      os << c;
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+std::string DetectorIntrospectionJson(const core::Detector& detector) {
+  const core::DetectorConfig& config = detector.Config();
+  const core::DecisionTree& tree = detector.Tree();
+  std::ostringstream os;
+  os.precision(12);
+  os << "{\n";
+  os << "  \"slice_length_us\": " << config.slice_length << ",\n";
+  os << "  \"window_slices\": " << config.window_slices << ",\n";
+  os << "  \"score_threshold\": " << config.score_threshold << ",\n";
+  os << "  \"score\": " << detector.Score() << ",\n";
+  os << "  \"alarm_active\": " << (detector.AlarmActive() ? "true" : "false")
+     << ",\n";
+  os << "  \"first_alarm_us\": ";
+  if (detector.FirstAlarmTime()) {
+    os << *detector.FirstAlarmTime();
+  } else {
+    os << "null";
+  }
+  os << ",\n  \"tree\": ";
+  AppendEscaped(os, tree.ToPrettyString());
+  // Node table so a recorded path can be replayed without the pretty string:
+  // path entry i names a node; splits show feature/threshold, leaves the
+  // verdict.
+  os << ",\n  \"tree_nodes\": [";
+  const std::vector<core::DecisionTree::Node>& nodes = tree.Nodes();
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const core::DecisionTree::Node& n = nodes[i];
+    os << (i ? ",\n    " : "\n    ");
+    if (n.is_leaf) {
+      os << "{\"leaf\": " << (n.label ? "true" : "false") << "}";
+    } else {
+      os << "{\"feature\": \"" << core::FeatureName(n.feature)
+         << "\", \"threshold\": ";
+      AppendNumber(os, n.threshold);
+      os << ", \"left\": " << n.left << ", \"right\": " << n.right << "}";
+    }
+  }
+  os << (nodes.empty() ? "" : "\n  ") << "],\n";
+  os << "  \"slices\": [";
+  bool first = true;
+  for (const core::SliceRecord& rec : detector.History()) {
+    os << (first ? "\n" : ",\n") << "    {\"slice\": " << rec.slice
+       << ", \"end_time_us\": " << rec.end_time << ", \"features\": {";
+    for (std::size_t f = 0; f < core::kFeatureCount; ++f) {
+      if (f) os << ", ";
+      os << '"' << core::FeatureName(static_cast<core::FeatureId>(f))
+         << "\": ";
+      AppendNumber(os, rec.features.values[f]);
+    }
+    os << "}, \"vote\": " << (rec.vote ? "true" : "false")
+       << ", \"score\": " << rec.score << ", \"tree_path\": [";
+    for (std::size_t p = 0; p < rec.tree_path.size(); ++p) {
+      if (p) os << ", ";
+      os << rec.tree_path[p];
+    }
+    os << "]}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "]\n}\n";
+  return os.str();
+}
+
+bool WriteDetectorIntrospection(const core::Detector& detector,
+                                const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.good()) return false;
+  out << DetectorIntrospectionJson(detector);
+  return out.good();
+}
+
+}  // namespace insider::obs

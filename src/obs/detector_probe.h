@@ -1,0 +1,26 @@
+// Detector introspection dumps.
+//
+// The detection matrix gives a single bit per run (alarm / no alarm); when
+// it regresses, the question is always *which slice* flipped and *why the
+// tree voted that way*. This probe renders the detector's per-slice history
+// — the six feature values, the decision-tree path taken, and the score
+// timeline — as JSON, alongside the tree itself, so a regression is
+// diagnosable from one artifact.
+#pragma once
+
+#include <string>
+
+#include "core/detector.h"
+
+namespace insider::obs {
+
+/// One JSON object: the detector config, the serialized + pretty-printed
+/// tree, and a "slices" array with per-slice features (by name), vote,
+/// running score, and the root-to-leaf node path behind the vote.
+std::string DetectorIntrospectionJson(const core::Detector& detector);
+
+/// Writes DetectorIntrospectionJson to `path`; false on I/O failure.
+bool WriteDetectorIntrospection(const core::Detector& detector,
+                                const std::string& path);
+
+}  // namespace insider::obs

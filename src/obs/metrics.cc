@@ -1,0 +1,188 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+namespace insider::obs {
+
+namespace {
+
+constexpr int kMaxOctave = 63;  // overflow past resolution * 2^63
+
+double Nan() { return std::numeric_limits<double>::quiet_NaN(); }
+
+void AppendJsonNumber(std::ostringstream& os, double v) {
+  if (std::isfinite(v)) {
+    os << v;
+  } else {
+    os << "null";  // JSON has no NaN/Inf; mirror bench/json_writer.h
+  }
+}
+
+void AppendJsonString(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+  os << '"';
+}
+
+}  // namespace
+
+LogHistogram::LogHistogram(double resolution, std::uint32_t sub_buckets)
+    : resolution_(resolution > 0.0 ? resolution : 1.0),
+      sub_buckets_(sub_buckets > 0 ? sub_buckets : 1) {}
+
+std::size_t LogHistogram::BucketOf(double x) const {
+  // Callers guarantee x >= resolution_.
+  double v = x / resolution_;
+  int exp = 0;
+  double mantissa = std::frexp(v, &exp);  // v = mantissa * 2^exp, m in [0.5,1)
+  int octave = exp - 1;                   // v in [2^octave, 2^(octave+1))
+  if (octave >= kMaxOctave) return std::numeric_limits<std::size_t>::max();
+  // Linear position inside the octave: mantissa*2 in [1, 2).
+  auto sub = static_cast<std::uint32_t>(
+      (mantissa * 2.0 - 1.0) * static_cast<double>(sub_buckets_));
+  sub = std::min(sub, sub_buckets_ - 1);
+  return 2 + static_cast<std::size_t>(octave) * sub_buckets_ + sub;
+}
+
+LogHistogram::Bounds LogHistogram::BucketBounds(std::size_t index) const {
+  if (index == 0) return {0.0, 0.0};
+  if (index == 1) return {0.0, resolution_};
+  std::size_t i = index - 2;
+  auto octave = static_cast<double>(i / sub_buckets_);
+  auto sub = static_cast<double>(i % sub_buckets_);
+  double base = resolution_ * std::exp2(octave);
+  double step = base / static_cast<double>(sub_buckets_);
+  return {base + sub * step, base + (sub + 1.0) * step};
+}
+
+void LogHistogram::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  if (x < 0.0 || std::isnan(x)) {
+    ++underflow_;
+    return;
+  }
+  std::size_t index;
+  if (x == 0.0) {
+    index = 0;
+  } else if (x < resolution_) {
+    index = 1;
+  } else {
+    index = BucketOf(x);
+    if (index == std::numeric_limits<std::size_t>::max()) {
+      ++overflow_;
+      return;
+    }
+  }
+  if (index >= counts_.size()) counts_.resize(index + 1, 0);
+  ++counts_[index];
+}
+
+double LogHistogram::Min() const { return count_ ? min_ : Nan(); }
+double LogHistogram::Max() const { return count_ ? max_ : Nan(); }
+double LogHistogram::Mean() const {
+  return count_ ? sum_ / static_cast<double>(count_) : Nan();
+}
+
+LogHistogram::Bounds LogHistogram::QuantileBounds(double q) const {
+  if (count_ == 0) return {Nan(), Nan()};
+  q = std::clamp(q, 0.0, 1.0);
+  // k-th smallest sample, k = max(1, ceil(q*n)): the exact quantile lives in
+  // the first bucket whose cumulative count reaches k. Tightening the bucket
+  // edges to the observed extremes keeps the sandwich valid (min <= exact
+  // <= max always) while giving single-sample buckets exact bounds.
+  auto k = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  k = std::max<std::uint64_t>(k, 1);
+  auto tighten = [this](Bounds b) {
+    return Bounds{std::max(b.lower, min_), std::min(b.upper, max_)};
+  };
+  std::uint64_t cum = underflow_;
+  if (cum >= k) return tighten({min_, 0.0});
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cum += counts_[i];
+    if (cum >= k) return tighten(BucketBounds(i));
+  }
+  // Landed in the overflow mass: everything at or past resolution * 2^63.
+  return tighten({resolution_ * std::exp2(kMaxOctave),
+                  std::numeric_limits<double>::infinity()});
+}
+
+std::string LogHistogram::ToString() const {
+  std::ostringstream os;
+  os << "loghist n=" << count_;
+  if (count_ > 0) {
+    os << " min=" << Min() << " max=" << Max() << " p50<=" << Quantile(0.5)
+       << " p99<=" << Quantile(0.99);
+  }
+  if (underflow_ > 0) os << " underflow=" << underflow_;
+  if (overflow_ > 0) os << " overflow=" << overflow_;
+  return os.str();
+}
+
+std::string MetricsRegistry::SnapshotJson() const {
+  std::ostringstream os;
+  os.precision(12);
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    os << (first ? "\n" : ",\n") << "    ";
+    AppendJsonString(os, name);
+    os << ": " << c.Value();
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    os << (first ? "\n" : ",\n") << "    ";
+    AppendJsonString(os, name);
+    os << ": ";
+    AppendJsonNumber(os, g.Value());
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    os << (first ? "\n" : ",\n") << "    ";
+    AppendJsonString(os, name);
+    os << ": {\"count\": " << h.Count() << ", \"min\": ";
+    AppendJsonNumber(os, h.Min());
+    os << ", \"max\": ";
+    AppendJsonNumber(os, h.Max());
+    os << ", \"mean\": ";
+    AppendJsonNumber(os, h.Mean());
+    os << ", \"p50\": ";
+    AppendJsonNumber(os, h.Quantile(0.5));
+    os << ", \"p90\": ";
+    AppendJsonNumber(os, h.Quantile(0.9));
+    os << ", \"p99\": ";
+    AppendJsonNumber(os, h.Quantile(0.99));
+    os << ", \"underflow\": " << h.Underflow()
+       << ", \"overflow\": " << h.Overflow() << "}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "}\n}\n";
+  return os.str();
+}
+
+bool MetricsRegistry::WriteSnapshot(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.good()) return false;
+  out << SnapshotJson();
+  return out.good();
+}
+
+}  // namespace insider::obs

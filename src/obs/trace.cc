@@ -1,0 +1,122 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace insider::obs {
+
+TraceBuffer::TraceBuffer(std::size_t capacity)
+    : capacity_(capacity > 0 ? capacity : 1) {
+  ring_.reserve(std::min<std::size_t>(capacity_, 4096));
+}
+
+void TraceBuffer::Push(TraceEvent event) {
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+    ++size_;
+    next_ = ring_.size() % capacity_;
+    return;
+  }
+  ring_[next_] = std::move(event);
+  next_ = (next_ + 1) % capacity_;
+  ++dropped_;  // an old event was overwritten
+}
+
+std::vector<TraceEvent> TraceBuffer::Snapshot() const {
+  std::vector<TraceEvent> out;
+  out.reserve(size_);
+  if (ring_.size() < capacity_) {
+    out.assign(ring_.begin(), ring_.end());
+    return out;
+  }
+  // Full ring: next_ is the oldest slot.
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % capacity_]);
+  }
+  return out;
+}
+
+void TraceBuffer::Clear() {
+  ring_.clear();
+  next_ = 0;
+  size_ = 0;
+  dropped_ = 0;
+}
+
+void Tracer::Span(const char* name, const char* cat, std::uint32_t track,
+                  SimTime begin, SimTime end, std::int64_t arg,
+                  const char* arg_name) {
+  TraceEvent e;
+  e.name = name;
+  e.cat = cat;
+  e.trace = current_;
+  e.track = track;
+  e.begin = begin;
+  e.end = end;
+  e.arg = arg;
+  e.arg_name = arg_name;
+  buffer_.Push(std::move(e));
+}
+
+void Tracer::Instant(const char* name, const char* cat, std::uint32_t track,
+                     SimTime at, std::int64_t arg, const char* arg_name) {
+  Span(name, cat, track, at, at, arg, arg_name);
+}
+
+namespace {
+
+void AppendEscaped(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+  os << '"';
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const std::vector<TraceEvent>& events,
+                            const ChromeTraceOptions& options) {
+  std::ostringstream os;
+  os << "{\"traceEvents\": [";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (options.only_trace != 0 && e.trace != options.only_trace) continue;
+    os << (first ? "\n" : ",\n") << "  {\"name\": ";
+    AppendEscaped(os, e.name);
+    os << ", \"cat\": ";
+    AppendEscaped(os, e.cat);
+    // SimTime is already microseconds, the unit chrome://tracing expects.
+    if (e.IsInstant()) {
+      os << ", \"ph\": \"i\", \"s\": \"t\", \"ts\": " << e.begin;
+    } else {
+      os << ", \"ph\": \"X\", \"ts\": " << e.begin
+         << ", \"dur\": " << (e.end - e.begin);
+    }
+    std::uint64_t tid = options.row_per_trace ? e.trace : e.track;
+    os << ", \"pid\": 1, \"tid\": " << tid << ", \"args\": {\"trace\": "
+       << e.trace;
+    if (!e.arg_name.empty()) {
+      os << ", ";
+      AppendEscaped(os, e.arg_name);
+      os << ": " << e.arg;
+    }
+    os << "}}";
+    first = false;
+  }
+  os << (first ? "" : "\n") << "]}\n";
+  return os.str();
+}
+
+bool WriteChromeTrace(const std::vector<TraceEvent>& events,
+                      const std::string& path,
+                      const ChromeTraceOptions& options) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.good()) return false;
+  out << ChromeTraceJson(events, options);
+  return out.good();
+}
+
+}  // namespace insider::obs

@@ -127,10 +127,15 @@ TEST(RngTest, ForkDecorrelates) {
   EXPECT_TRUE(differs);
 }
 
-TEST(RunningStatsTest, EmptyIsZero) {
+TEST(RunningStatsTest, EmptyHasNoFabricatedMoments) {
+  // An empty accumulator used to report Mean()/Min()/Max() == 0.0, which is
+  // indistinguishable from a real measurement of zero. NaN is unambiguous
+  // (and bench/json_writer.h already serializes non-finite values as null).
   RunningStats s;
   EXPECT_EQ(s.Count(), 0u);
-  EXPECT_DOUBLE_EQ(s.Mean(), 0.0);
+  EXPECT_TRUE(std::isnan(s.Mean()));
+  EXPECT_TRUE(std::isnan(s.Min()));
+  EXPECT_TRUE(std::isnan(s.Max()));
   EXPECT_DOUBLE_EQ(s.Variance(), 0.0);
 }
 
@@ -160,6 +165,43 @@ TEST(RunningStatsTest, MergeMatchesCombinedStream) {
   EXPECT_DOUBLE_EQ(a.Max(), combined.Max());
 }
 
+// Property: merging any partition of a stream is equivalent to accumulating
+// the stream in one pass, within 1e-9 on every moment. Randomizes the split
+// count, split points, and value distribution across seeds.
+TEST(RunningStatsTest, MergeOfArbitrarySplitsMatchesSinglePass) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed * 0x9E3779B97F4A7C15ull);
+    const std::size_t n = 100 + rng.Below(2000);
+    std::vector<double> values(n);
+    for (double& v : values) {
+      // Mix of scales so the parallel-variance path sees hostile data.
+      v = rng.Chance(0.5) ? rng.Gaussian(1e6, 50.0) : rng.Exponential(3.0);
+    }
+
+    RunningStats single;
+    for (double v : values) single.Add(v);
+
+    const std::size_t parts = 2 + rng.Below(7);
+    std::vector<RunningStats> splits(parts);
+    for (double v : values) splits[rng.Below(parts)].Add(v);
+    RunningStats merged;
+    for (const RunningStats& s : splits) merged.Merge(s);
+
+    ASSERT_EQ(merged.Count(), single.Count()) << "seed " << seed;
+    EXPECT_NEAR(merged.Mean(), single.Mean(),
+                1e-9 * std::abs(single.Mean()) + 1e-9)
+        << "seed " << seed;
+    EXPECT_NEAR(merged.Variance(), single.Variance(),
+                1e-9 * single.Variance() + 1e-9)
+        << "seed " << seed;
+    EXPECT_DOUBLE_EQ(merged.Min(), single.Min()) << "seed " << seed;
+    EXPECT_DOUBLE_EQ(merged.Max(), single.Max()) << "seed " << seed;
+    EXPECT_NEAR(merged.Sum(), single.Sum(),
+                1e-9 * std::abs(single.Sum()) + 1e-9)
+        << "seed " << seed;
+  }
+}
+
 TEST(HistogramTest, QuantilesOfUniformData) {
   Histogram h(0.0, 100.0, 100);
   for (int i = 0; i < 100; ++i) h.Add(i + 0.5);
@@ -167,11 +209,38 @@ TEST(HistogramTest, QuantilesOfUniformData) {
   EXPECT_NEAR(h.Quantile(0.99), 99.0, 2.0);
 }
 
-TEST(HistogramTest, ClampsOutOfRange) {
+TEST(HistogramTest, OutOfRangeSamplesAreCountedOutOfBand) {
   Histogram h(0.0, 10.0, 10);
   h.Add(-5.0);
   h.Add(50.0);
   EXPECT_EQ(h.TotalCount(), 2u);
+  EXPECT_EQ(h.Underflow(), 1u);
+  EXPECT_EQ(h.Overflow(), 1u);
+}
+
+// Regression for the clamping bug: Add() used to clamp an out-of-range
+// sample into the edge bucket and Quantile() then interpolated *inside*
+// that bucket, inventing an in-range tail. A p99 that actually lands in the
+// overflow mass must now saturate to the declared bound, with the overflow
+// count reported, instead of producing a plausible-looking interior value.
+TEST(HistogramTest, OverflowCannotFabricateAnInRangeTail) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 100; ++i) h.Add(5.0);
+  for (int i = 0; i < 5; ++i) h.Add(1e6);  // tail escapes the range entirely
+
+  // 0.99 * 105 = 103.95 samples: past the 100 in-range ones, into overflow.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 10.0);  // the bound, not an interior lie
+  EXPECT_EQ(h.Overflow(), 5u);
+  EXPECT_NE(h.ToString().find("overflow=5"), std::string::npos);
+  // The in-range mass is untouched by the escaped tail.
+  EXPECT_NEAR(h.Quantile(0.5), 5.5, 1.0);
+
+  // Same story below the range.
+  Histogram u(10.0, 20.0, 10);
+  u.Add(-3.0);
+  u.Add(15.0);
+  EXPECT_DOUBLE_EQ(u.Quantile(0.01), 10.0);
+  EXPECT_EQ(u.Underflow(), 1u);
 }
 
 TEST(PearsonCorrelationTest, PerfectPositive) {

@@ -1,0 +1,275 @@
+// Observability layer unit tests: metrics registry (counters, gauges,
+// auto-ranging log-bucketed histograms), the trace ring + causal scope, and
+// the Chrome-trace / introspection exporters.
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/detector.h"
+#include "core/pretrained.h"
+#include "obs/detector_probe.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace insider::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Counters, gauges, registry
+
+TEST(MetricsRegistryTest, CounterAndGaugeBasics) {
+  MetricsRegistry reg;
+  reg.GetCounter("a.events").Inc();
+  reg.GetCounter("a.events").Inc(41);
+  reg.GetGauge("a.level").Set(2.5);
+  EXPECT_EQ(reg.GetCounter("a.events").Value(), 42u);
+  EXPECT_DOUBLE_EQ(reg.GetGauge("a.level").Value(), 2.5);
+  // Get* creates on first use and returns the same object afterwards.
+  Counter& c = reg.GetCounter("b.new");
+  EXPECT_EQ(c.Value(), 0u);
+  c.Inc();
+  EXPECT_EQ(&reg.GetCounter("b.new"), &c);
+}
+
+TEST(MetricsRegistryTest, ReferencesSurviveLaterInsertions) {
+  MetricsRegistry reg;
+  LogHistogram& h = reg.GetHistogram("m.lat");
+  for (int i = 0; i < 64; ++i) {
+    reg.GetHistogram("m.other" + std::to_string(i));
+  }
+  h.Add(7.0);
+  EXPECT_EQ(reg.GetHistogram("m.lat").Count(), 1u);
+}
+
+TEST(MetricsRegistryTest, SnapshotJsonHasAllSectionsAndNullsForEmpty) {
+  MetricsRegistry reg;
+  reg.GetCounter("x.count").Inc(3);
+  reg.GetGauge("x.gauge").Set(1.0);
+  reg.GetHistogram("x.empty");  // no samples: stats must export as null
+  LogHistogram& h = reg.GetHistogram("x.lat");
+  h.Add(10.0);
+  h.Add(20.0);
+  std::string json = reg.SnapshotJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"x.count\": 3"), std::string::npos);
+  EXPECT_NE(json.find("null"), std::string::npos);  // x.empty's min/max/mean
+  EXPECT_EQ(json.find("nan"), std::string::npos);   // never raw NaN text
+}
+
+// ---------------------------------------------------------------------------
+// LogHistogram
+
+TEST(LogHistogramTest, EmptyFabricatesNothing) {
+  LogHistogram h;
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_TRUE(std::isnan(h.Min()));
+  EXPECT_TRUE(std::isnan(h.Max()));
+  EXPECT_TRUE(std::isnan(h.Mean()));
+  EXPECT_TRUE(std::isnan(h.Quantile(0.5)));
+}
+
+TEST(LogHistogramTest, ZeroAndSubResolutionSamplesLand) {
+  LogHistogram h(/*resolution=*/1.0);
+  h.Add(0.0);
+  h.Add(0.25);
+  h.Add(1.0);
+  EXPECT_EQ(h.Count(), 3u);
+  EXPECT_EQ(h.Underflow(), 0u);
+  EXPECT_EQ(h.Overflow(), 0u);
+  EXPECT_DOUBLE_EQ(h.Min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 1.0);
+}
+
+TEST(LogHistogramTest, NegativesAndAstronomicalValuesAreOutOfBand) {
+  LogHistogram h(/*resolution=*/1.0);
+  h.Add(-5.0);
+  h.Add(std::ldexp(1.0, 70));  // past resolution * 2^63
+  h.Add(100.0);
+  EXPECT_EQ(h.Count(), 3u);
+  EXPECT_EQ(h.Underflow(), 1u);
+  EXPECT_EQ(h.Overflow(), 1u);
+  // The out-of-band mass saturates quantiles to the observed extremes
+  // instead of being invented inside the bucketed range.
+  EXPECT_DOUBLE_EQ(h.QuantileBounds(0.0).lower, -5.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), std::ldexp(1.0, 70));
+}
+
+TEST(LogHistogramTest, RelativeBucketErrorIsBoundedBySubBuckets) {
+  // One sample: the sandwich must pin it to its bucket, whose relative
+  // width is at most 1/sub_buckets. Tightening to observed min/max makes a
+  // single sample exact.
+  LogHistogram h(1.0, 8);
+  h.Add(1000.0);
+  LogHistogram::Bounds b = h.QuantileBounds(0.5);
+  EXPECT_DOUBLE_EQ(b.lower, 1000.0);
+  EXPECT_DOUBLE_EQ(b.upper, 1000.0);
+}
+
+// Satellite property test: for random streams, every quantile's exact
+// sorted-vector value (k-th smallest, k = max(1, ceil(q*n))) is sandwiched
+// by QuantileBounds.
+TEST(LogHistogramPropertyTest, QuantileSandwichHoldsForRandomStreams) {
+  Rng rng(0x10C4157u);
+  const double qs[] = {0.0, 0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0};
+  for (int trial = 0; trial < 40; ++trial) {
+    LogHistogram h(1.0, 8);
+    std::vector<double> samples;
+    const std::size_t n = 1 + rng.Below(2000);
+    for (std::size_t i = 0; i < n; ++i) {
+      double x = 0.0;
+      switch (rng.Below(4)) {
+        case 0: x = rng.Uniform() * 1e4; break;             // uniform
+        case 1: x = rng.Exponential(250.0); break;          // heavy tail
+        case 2: x = static_cast<double>(rng.Below(32)); break;  // ties + 0
+        default: x = std::ldexp(rng.Uniform() + 0.5,
+                                static_cast<int>(rng.Below(40))); break;
+      }
+      samples.push_back(x);
+      h.Add(x);
+    }
+    std::sort(samples.begin(), samples.end());
+    ASSERT_EQ(h.Count(), samples.size());
+    for (double q : qs) {
+      auto k = static_cast<std::size_t>(
+          std::ceil(q * static_cast<double>(samples.size())));
+      k = std::max<std::size_t>(k, 1);
+      double exact = samples[k - 1];
+      LogHistogram::Bounds b = h.QuantileBounds(q);
+      EXPECT_LE(b.lower, exact) << "trial " << trial << " q=" << q;
+      EXPECT_GE(b.upper, exact) << "trial " << trial << " q=" << q;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Trace ring + scope
+
+TraceEvent Instant(const char* name, SimTime at) {
+  TraceEvent e;
+  e.name = name;
+  e.cat = "test";
+  e.begin = at;
+  e.end = at;
+  return e;
+}
+
+TEST(TraceBufferTest, KeepsNewestWhenFullAndReportsDropped) {
+  TraceBuffer buf(3);
+  for (int i = 0; i < 5; ++i) {
+    buf.Push(Instant(("e" + std::to_string(i)).c_str(), i));
+  }
+  EXPECT_EQ(buf.Size(), 3u);
+  EXPECT_EQ(buf.Dropped(), 2u);
+  std::vector<TraceEvent> events = buf.Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  // Oldest-first, and the survivors are the newest three.
+  EXPECT_EQ(events[0].name, "e2");
+  EXPECT_EQ(events[1].name, "e3");
+  EXPECT_EQ(events[2].name, "e4");
+}
+
+TEST(TraceBufferTest, ClearResets) {
+  TraceBuffer buf(2);
+  buf.Push(Instant("a", 1));
+  buf.Push(Instant("b", 2));
+  buf.Push(Instant("c", 3));
+  buf.Clear();
+  EXPECT_EQ(buf.Size(), 0u);
+  EXPECT_EQ(buf.Dropped(), 0u);
+  EXPECT_TRUE(buf.Snapshot().empty());
+}
+
+TEST(TracerTest, ScopeSetsRestoresAndNests) {
+  Tracer tracer(16);
+  EXPECT_EQ(tracer.Current(), kBackgroundTrace);
+  {
+    Tracer::TraceScope outer(&tracer, 7);
+    EXPECT_EQ(tracer.Current(), 7u);
+    {
+      Tracer::TraceScope inner(&tracer, 9);
+      EXPECT_EQ(tracer.Current(), 9u);
+      tracer.Instant("in.inner", "test", 0, 10);
+    }
+    EXPECT_EQ(tracer.Current(), 7u);
+    tracer.Instant("in.outer", "test", 0, 20);
+  }
+  EXPECT_EQ(tracer.Current(), kBackgroundTrace);
+  std::vector<TraceEvent> events = tracer.Buffer().Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].trace, 9u);
+  EXPECT_EQ(events[1].trace, 7u);
+}
+
+TEST(TracerTest, NullTracerIsToleratedEverywhere) {
+  // Instrumented call sites never branch on attachment; both the scope and
+  // the emit helpers must accept a null tracer.
+  Tracer::TraceScope scope(nullptr, 42);
+  EmitSpan(nullptr, "x", "test", 0, 1, 2);
+  EmitInstant(nullptr, "y", "test", 0, 3);
+}
+
+// ---------------------------------------------------------------------------
+// Chrome-trace export
+
+TEST(ChromeTraceTest, SpansAndInstantsFilterAndRowing) {
+  Tracer tracer(16);
+  {
+    Tracer::TraceScope scope(&tracer, 5);
+    tracer.Span("engine.queue_wait", "engine", 2, 100, 180, 17, "lba");
+    tracer.Instant("engine.arbitration", "engine", 2, 180);
+  }
+  tracer.Span("nand.bus", "nand", 1, 200, 210);  // background trace
+
+  std::vector<TraceEvent> events = tracer.Buffer().Snapshot();
+  std::string all = ChromeTraceJson(events);
+  EXPECT_NE(all.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(all.find("\"ph\": \"i\""), std::string::npos);
+  EXPECT_NE(all.find("\"dur\": 80"), std::string::npos);
+  EXPECT_NE(all.find("\"lba\": 17"), std::string::npos);
+  EXPECT_NE(all.find("nand.bus"), std::string::npos);
+
+  ChromeTraceOptions only;
+  only.only_trace = 5;
+  only.row_per_trace = true;
+  std::string filtered = ChromeTraceJson(events, only);
+  EXPECT_EQ(filtered.find("nand.bus"), std::string::npos);
+  EXPECT_NE(filtered.find("engine.queue_wait"), std::string::npos);
+  // Rowed by trace id, not by the hardware track (2).
+  EXPECT_NE(filtered.find("\"tid\": 5"), std::string::npos);
+  EXPECT_EQ(filtered.find("\"tid\": 2"), std::string::npos);
+}
+
+TEST(ChromeTraceTest, EmptyExportIsValidJson) {
+  std::string json = ChromeTraceJson({});
+  EXPECT_EQ(json, "{\"traceEvents\": []}\n");
+}
+
+// ---------------------------------------------------------------------------
+// Detector introspection
+
+TEST(DetectorProbeTest, IntrospectionJsonCarriesTreeAndSlices) {
+  core::DetectorConfig config;
+  core::Detector detector(config, core::PretrainedTree());
+  IoRequest req;
+  req.time = 1000;
+  req.lba = 4;
+  req.length = 8;
+  req.mode = IoMode::kWrite;
+  detector.OnRequest(req);
+  detector.AdvanceTo(config.slice_length * 3 + 1);
+  std::string json = DetectorIntrospectionJson(detector);
+  EXPECT_NE(json.find("\"tree\""), std::string::npos);
+  EXPECT_NE(json.find("\"slices\""), std::string::npos);
+  EXPECT_NE(json.find("\"tree_path\""), std::string::npos);
+  EXPECT_NE(json.find("\"score\""), std::string::npos);
+  EXPECT_NE(json.find("OWIO"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace insider::obs

@@ -150,10 +150,12 @@ TEST(RebuildTest, DeviceKeepsWorkingAfterRebuild) {
 }
 
 TEST(RebuildTest, TrimsInsideTheBurstRollBackIdentically) {
-  // Trim persistence is the documented wart (DESIGN.md §8): a trim leaves no
-  // OOB record, so the rebuild resurrects the trimmed version. Rollback must
-  // erase the difference for trims inside the retention window: both devices
-  // end up with the pre-burst mapping.
+  // Trim persistence: each trim programs a tombstone page (FtlConfig::
+  // trim_tombstones), so the OOB scan replays in-window trims instead of
+  // resurrecting the trimmed version — the wart DESIGN.md §8 used to
+  // document is fixed. The rebuilt device must match its uncrashed twin
+  // both right after the rebuild (trimmed LBAs stay unmapped) and after
+  // rollback (both restore the pre-burst mapping).
   ftl::PageFtl crashed(SmallFtl());
   ftl::PageFtl twin(SmallFtl());
   for (Lba lba = 0; lba < 20; ++lba) {
@@ -169,6 +171,17 @@ TEST(RebuildTest, TrimsInsideTheBurstRollBackIdentically) {
     ASSERT_TRUE(twin.TrimPage(lba, Seconds(30)).ok());
   }
   crashed.RebuildFromNand(Seconds(31));
+  EXPECT_EQ(crashed.CheckInvariants(), "");
+
+  // The tombstones replayed: trimmed LBAs are unmapped on the rebuilt
+  // device exactly as on the twin, with the trim still recoverable.
+  for (Lba lba = 0; lba < 10; ++lba) {
+    EXPECT_EQ(crashed.ReadPage(lba, Seconds(31)).status,
+              ftl::FtlStatus::kUnmapped)
+        << lba;
+    EXPECT_FALSE(crashed.Lookup(lba).has_value()) << lba;
+  }
+  EXPECT_EQ(crashed.TrimJournalSize(), twin.TrimJournalSize());
 
   crashed.SetReadOnly(true);
   twin.SetReadOnly(true);

@@ -24,10 +24,22 @@ bool Contains(const std::string& haystack, const std::string& needle) {
   return haystack.find(needle) != std::string::npos;
 }
 
+bool IsHexDigit(char c) {
+  return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') ||
+         (c >= 'A' && c <= 'F');
+}
+
 /// The deterministic substrate itself is the one place allowed to name the
 /// banned primitives (it wraps or documents them).
 bool TimeRngExempt(const std::string& path) {
   return Contains(path, "src/common/time") || Contains(path, "src/common/rng");
+}
+
+/// The raw-output rule covers simulator code only: anything under a src/
+/// directory except the logging substrate itself. CLIs (tools/, bench/,
+/// examples/) and tests print by design.
+bool RawOutputApplies(const std::string& path) {
+  return Contains(path, "src/") && !Contains(path, "src/common/log");
 }
 
 bool IsHeaderPath(const std::string& path) {
@@ -69,6 +81,14 @@ const std::regex& WallClockRe() {
 
 const std::regex& RandCallRe() {
   static const std::regex re(R"((?:^|[^A-Za-z0-9_])(srand|rand)\s*\()");
+  return re;
+}
+
+const std::regex& StdioOutputRe() {
+  // Left word-boundary keeps the string formatters (snprintf, sprintf)
+  // out: they build strings, they don't emit them.
+  static const std::regex re(
+      R"((?:^|[^A-Za-z0-9_])(printf|fprintf|vprintf|vfprintf|puts|fputs|fputc|putchar)\s*\()");
   return re;
 }
 
@@ -136,7 +156,13 @@ std::string ScrubCommentsAndStrings(const std::string& content) {
         } else if (c == '"') {
           state = State::kString;
         } else if (c == '\'') {
-          state = State::kChar;
+          // A quote between two hex digits is a C++14 digit separator
+          // (1'000'000, 0xBE5C'0000), not a char literal — treating it as
+          // one desyncs the state machine for the rest of the file. (The
+          // heuristic misreads u8'7' prefixed char literals; those don't
+          // appear in this tree.)
+          char prev = i > 0 ? content[i - 1] : '\0';
+          if (!(IsHexDigit(prev) && IsHexDigit(next))) state = State::kChar;
         }
         break;
       case State::kLineComment:
@@ -227,6 +253,17 @@ std::vector<Finding> LintSource(const std::string& path_label,
         }
         offset += static_cast<std::size_t>(decl.position(0) + decl.length(0));
         rest = line.substr(offset);
+      }
+    }
+
+    if (RawOutputApplies(path_label)) {
+      if (Contains(line, "std::cout") || Contains(line, "std::cerr") ||
+          Contains(line, "std::clog") ||
+          std::regex_search(line, StdioOutputRe())) {
+        findings.push_back({path_label, lineno, "raw-output",
+                            "direct console output in simulator code; "
+                            "route diagnostics through INSIDER_LOG "
+                            "(src/common/log.h)"});
       }
     }
 

@@ -21,6 +21,14 @@
 //                     time (*time*, *_at, now, deadline, horizon,
 //                     timestamp). Timestamps must use SimTime so signed
 //                     arithmetic and unit conventions hold.
+//   raw-output        std::cout / std::cerr / std::clog or stdio output
+//                     calls (printf, fprintf, puts, fputs, fputc, putchar)
+//                     in simulator code (paths containing src/) outside
+//                     src/common/log.* — diagnostics must flow through
+//                     INSIDER_LOG so they carry severity and can be muted;
+//                     CLIs (tools/, bench/, examples/) are exempt. String
+//                     formatters (snprintf/sprintf) are not output and stay
+//                     allowed.
 //   pragma-once       every header must open with #pragma once.
 //   include-cycle     quoted project includes must form a DAG.
 //

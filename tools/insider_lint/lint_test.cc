@@ -81,6 +81,33 @@ TEST(InsiderLintTest, FlagsIncludeCycleFixture) {
   EXPECT_NE(findings.front().message.find("->"), std::string::npos);
 }
 
+TEST(InsiderLintTest, FlagsRawOutputFixture) {
+  auto findings = LintSource("testdata/src/bad_output.cc",
+                             ReadFile(Testdata() / "src" / "bad_output.cc"));
+  std::size_t raw = 0;
+  for (const Finding& f : findings) {
+    EXPECT_EQ(f.rule, "raw-output") << Format(f);
+    ++raw;
+  }
+  // cout, cerr, clog, printf, fprintf, puts, fputs, fputc, putchar — but
+  // NOT the snprintf.
+  EXPECT_EQ(raw, 9u);
+}
+
+TEST(InsiderLintTest, RawOutputRuleScopesToSimulatorCode) {
+  const std::string printing = "std::printf(\"hello\\n\");\n";
+  EXPECT_TRUE(HasRule(LintSource("src/ftl/page_ftl.cc", printing),
+                      "raw-output"));
+  // The logging substrate and non-src code (CLIs, benches, tests) may print.
+  EXPECT_TRUE(LintSource("src/common/log.cc", printing).empty());
+  EXPECT_TRUE(LintSource("tools/trace_dump/main.cc", printing).empty());
+  EXPECT_TRUE(LintSource("bench/mqueue_throughput.cc", printing).empty());
+  // String formatting stays allowed everywhere.
+  EXPECT_TRUE(
+      LintSource("src/ftl/page_ftl.cc", "std::snprintf(buf, n, \"%d\", v);\n")
+          .empty());
+}
+
 TEST(InsiderLintTest, LintTreeOnTestdataFiresEveryFileRule) {
   auto findings = LintTree({Testdata()});
   EXPECT_TRUE(HasRule(findings, "wall-clock"));
@@ -88,6 +115,7 @@ TEST(InsiderLintTest, LintTreeOnTestdataFiresEveryFileRule) {
   EXPECT_TRUE(HasRule(findings, "assert-on-status"));
   EXPECT_TRUE(HasRule(findings, "naked-timestamp"));
   EXPECT_TRUE(HasRule(findings, "pragma-once"));
+  EXPECT_TRUE(HasRule(findings, "raw-output"));
   EXPECT_TRUE(HasRule(findings, "include-cycle"));
 }
 
@@ -100,6 +128,20 @@ const char* kDoc = "call time(nullptr) and rand() at your peril";
 SimTime runtime(SimTime now);
 )cpp";
   auto findings = LintSource("src/example.h", clean);
+  EXPECT_TRUE(findings.empty()) << Format(findings.front());
+}
+
+TEST(InsiderLintTest, DigitSeparatorsDoNotDesyncTheScrubber) {
+  // 0xBE5C'0000 and 1'000'000 contain apostrophes that are digit
+  // separators, not char-literal starts. A scrubber that opens a char
+  // literal there swallows real code until the next apostrophe — here the
+  // one in "device's" — and then exposes comment text like "time (" to the
+  // wall-clock regex.
+  const std::string code =
+      "Rng rng(0xBE5C'0000 + depth);\n"
+      "std::uint64_t stamp = q * 1'000'000ull;\n"
+      "// the device's elapsed time (virtual) stays on the SimTime clock\n";
+  auto findings = LintSource("src/example.cc", code);
   EXPECT_TRUE(findings.empty()) << Format(findings.front());
 }
 

@@ -1,0 +1,22 @@
+// Fixture for the raw-output rule: direct console output in simulator code
+// (a path containing src/) outside src/common/log.*. Every emission form
+// below must be flagged; the snprintf at the bottom must NOT be — it builds
+// a string, it doesn't print one.
+#include <cstdio>
+#include <iostream>
+
+void Noisy(int fault_count) {
+  std::cout << "fault count " << fault_count << "\n";
+  std::cerr << "something went wrong\n";
+  std::clog << "note\n";
+  std::printf("fault count %d\n", fault_count);
+  fprintf(stderr, "something went wrong\n");
+  puts("done");
+  fputs("done\n", stdout);
+  fputc('\n', stderr);
+  putchar('.');
+}
+
+int Quiet(char* buf, std::size_t n, int v) {
+  return std::snprintf(buf, n, "%d", v);  // formatting, not output: allowed
+}
