@@ -83,6 +83,9 @@ int Stats(const std::string& in) {
       case IoMode::kRead: ++reads; break;
       case IoMode::kWrite: ++writes; break;
       case IoMode::kTrim: ++trims; break;
+      case IoMode::kRangeLock:
+      case IoMode::kRangeUnlock:
+        break;  // admin commands move no data blocks
     }
   }
   double span_s = ToSeconds(requests.back().time - requests.front().time);

@@ -16,6 +16,11 @@ enum class IoMode : std::uint8_t {
   kRead,
   kWrite,
   kTrim,  ///< host discard/delete; Class-C ransomware deletes files
+  /// KEY-SSD-style admin commands: lock/unlock [lba, lba+length) under the
+  /// submitter's auth key. Consumed at the multi-queue frontend
+  /// (io::IoEngine + version::RangeLockTable); they never reach the FTL.
+  kRangeLock,
+  kRangeUnlock,
 };
 
 struct IoRequest {

@@ -31,9 +31,12 @@ void Detector::OnRequest(const IoRequest& request) {
       table_.OnWrite(request.lba, request.length, current_slice_);
       break;
     case IoMode::kTrim:
+    case IoMode::kRangeLock:
+    case IoMode::kRangeUnlock:
       // The paper's IOMode is R/W only; discards are invisible to the
       // detector (Class-C ransomware is caught by the overwrites it still
-      // must perform to destroy the plaintext).
+      // must perform to destroy the plaintext), and lock admin commands are
+      // consumed at the frontend before they could reach a data path.
       break;
   }
 }

@@ -8,6 +8,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <string>
 
 #include "common/io.h"
 #include "common/time.h"
@@ -16,6 +18,7 @@
 #include "nand/geometry.h"
 #include "nand/latency.h"
 #include "nand/page_data.h"
+#include "version/range_policy.h"
 
 namespace insider::ftl {
 
@@ -99,6 +102,12 @@ struct FtlConfig {
   double exported_fraction = 0.9;
   /// Modeled firmware cost of reverting one mapping entry during rollback.
   SimTime rollback_entry_cost = Microseconds(1);
+  /// Per-LBA-range versioning policies (src/version). Released backups of
+  /// protected LBAs are archived into the content-addressed version store
+  /// instead of being freed, giving those ranges policy-bound retention
+  /// depth. Null or an empty table = exact seed behavior: every release is
+  /// final and the whole device keeps only the paper-default window.
+  std::shared_ptr<const version::RangePolicyTable> range_policies;
 };
 
 struct FtlStats {
@@ -135,6 +144,23 @@ struct FtlStats {
   std::uint64_t rebuilds = 0;
   /// Tombstone pages programmed to persist trims (FtlConfig::trim_tombstones).
   std::uint64_t trim_tombstones = 0;
+  /// Released backups of protected LBAs handed to the version store (all
+  /// outcomes: stored, deduplicated, or pruned on arrival).
+  std::uint64_t archived_versions = 0;
+  /// Archived versions whose payload was already stored (content dedupe).
+  std::uint64_t archive_dedupe_hits = 0;
+  /// Archived object pages released because their versions aged out of the
+  /// range policy.
+  std::uint64_t archived_pruned = 0;
+  /// Archived object pages sacrificed to free space (store eviction after
+  /// the recovery queue ran dry).
+  std::uint64_t archived_evictions = 0;
+  /// Archived versions lost to uncorrectable ECC during GC relocation.
+  std::uint64_t archived_lost = 0;
+  /// Selective per-range rollbacks performed (PageFtl::RollBackRange).
+  std::uint64_t range_rollbacks = 0;
+  /// LBAs whose content a selective rollback changed (restored or unmapped).
+  std::uint64_t range_rollback_restored = 0;
 
   friend bool operator==(const FtlStats&, const FtlStats&) = default;
 };
@@ -145,6 +171,38 @@ struct RollbackReport {
   SimTime duration = 0;               ///< modeled firmware time (paper: <1 s)
 };
 
+/// Outcome of a selective per-range rollback (PageFtl::RollBackRange): every
+/// LBA in [begin, end) was examined and classified exactly once.
+struct RangeRollbackReport {
+  Lba begin = 0;
+  Lba end = 0;                   ///< clamped to the exported capacity
+  std::size_t lbas_examined = 0;
+  std::size_t restored = 0;      ///< an older version's payload re-programmed
+  std::size_t unmapped = 0;      ///< the restore point shows a trim
+  std::size_t unchanged = 0;     ///< current content already at/before point
+  std::size_t unversioned = 0;   ///< no retained version at or before point
+  std::size_t failed = 0;        ///< no free page could be placed
+  SimTime duration = 0;          ///< modeled firmware time
+};
+
+/// Why a retention configuration was rejected (typed validation instead of
+/// silently constructing a no-op policy).
+enum class RetentionConfigIssue : std::uint8_t {
+  kNone,
+  kNegativeWindow,      ///< retention_window < 0
+  kNoOpRetention,       ///< delayed deletion on but the window retains nothing
+  kInvalidRangePolicy,  ///< range_policies present but unusable
+};
+
+const char* ToString(RetentionConfigIssue issue);
+
+struct RetentionConfigError {
+  RetentionConfigIssue issue = RetentionConfigIssue::kNone;
+  std::string detail;  ///< human-readable specifics for logs/tests
+
+  bool ok() const { return issue == RetentionConfigIssue::kNone; }
+};
+
 /// Per-physical-page state from the FTL's point of view.
 enum class PageState : std::uint8_t {
   kFree,      ///< erased, programmable
@@ -152,6 +210,10 @@ enum class PageState : std::uint8_t {
   kInvalid,   ///< superseded and reclaimable
   kRetained,  ///< superseded but guarded by the recovery queue
   kBad,       ///< consumed by a failed program; unreadable until retirement
+  /// Superseded, aged out of the ring, but pinned as a content-addressed
+  /// object of the version store (protected-range retention). Relocated by
+  /// GC like retained pages; released only by policy pruning or eviction.
+  kArchived,
 };
 
 /// Lifecycle of an erase block with respect to grown-bad-block management.
@@ -166,7 +228,8 @@ enum class BlockHealth : std::uint8_t {
 struct BlockCounters {
   std::uint32_t valid = 0;
   std::uint32_t retained = 0;
-  std::uint32_t Movable() const { return valid + retained; }
+  std::uint32_t archived = 0;
+  std::uint32_t Movable() const { return valid + retained + archived; }
 };
 
 }  // namespace insider::ftl

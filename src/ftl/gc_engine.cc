@@ -22,7 +22,10 @@ bool GcEngine::EvacuateBlock(std::uint32_t block_id, SimTime& now) {
   for (std::uint32_t p = 0; p < geo.pages_per_block; ++p) {
     nand::Ppa src = geo.MakePpa(addr.chip, addr.block, p);
     PageState st = f.page_state_[src];
-    if (st != PageState::kValid && st != PageState::kRetained) continue;
+    if (st != PageState::kValid && st != PageState::kRetained &&
+        st != PageState::kArchived) {
+      continue;
+    }
 
     nand::NandResult rd = f.nand_.ReadPage(src, now);
     now = rd.complete_time;
@@ -31,7 +34,8 @@ bool GcEngine::EvacuateBlock(std::uint32_t block_id, SimTime& now) {
       // ECC is the expected cause; any other status on a live page would
       // mean the mapping is corrupt, and losing the page is still the only
       // recovery that keeps the device up. A valid page loses its mapping;
-      // a retained page loses its backup.
+      // a retained page loses its backup; an archived page loses every
+      // version record that referenced its content.
       ++f.stats_.gc_lost_pages;
       Lba lost_lba = f.p2l_[src];
       BlockCounters& info = f.block_counters_[block_id];
@@ -39,6 +43,10 @@ bool GcEngine::EvacuateBlock(std::uint32_t block_id, SimTime& now) {
         if (lost_lba != kInvalidLba) f.l2p_[lost_lba] = nand::kInvalidPpa;
         --info.valid;
         --f.valid_pages_;
+      } else if (st == PageState::kArchived) {
+        f.stats_.archived_lost += f.store_.DropPpa(src);
+        --info.archived;
+        --f.archived_pages_;
       } else if (f.queue_.Drop(src)) {
         --info.retained;
         --f.retained_pages_;
@@ -64,6 +72,12 @@ bool GcEngine::EvacuateBlock(std::uint32_t block_id, SimTime& now) {
       --src_info.valid;
       assert(lba != kInvalidLba);
       f.l2p_[lba] = dst;
+    } else if (st == PageState::kArchived) {
+      ++dst_info.archived;
+      --src_info.archived;
+      bool moved = f.store_.Relocate(src, dst);
+      assert(moved);
+      (void)moved;
     } else {
       ++f.stats_.gc_retained_copies;
       ++dst_info.retained;
@@ -144,10 +158,23 @@ bool GcEngine::EnsureFreeSpace(SimTime& now) {
         for (std::uint32_t i = 0; i < batch; ++i) {
           std::optional<BackupEntry> e = f.queue_.PopOldest();
           if (!e) break;
-          f.ReleaseBackup(*e);
+          f.ReleaseBackup(*e, now);
           ++f.stats_.forced_releases;
         }
         continue;
+      }
+      // The ring is dry. If the version store still pins archived objects,
+      // sacrifice the oldest versions next — protected ranges degrade last,
+      // but they do degrade before the device refuses writes.
+      if (f.store_.VersionCount() > 0) {
+        std::uint32_t batch =
+            f.retention_->ForcedReleaseBatch(f.config_.geometry);
+        std::size_t freed = f.store_.EvictOldest(
+            batch, [&f](nand::Ppa p) {
+              f.ReleaseArchived(p);
+              ++f.stats_.archived_evictions;
+            });
+        if (freed > 0) continue;
       }
       ok = f.free_block_count_ > 0;
       break;

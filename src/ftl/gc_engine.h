@@ -16,9 +16,10 @@
 //     stays with whoever actually needs the space.
 //
 // Victim choice is delegated to the pluggable VictimPolicy; the engine owns
-// only the mechanics: copy valid/retained pages to fresh frontiers (through
-// the shared AllocationPolicy), repoint mappings and recovery-queue guards,
-// absorb uncorrectable-ECC losses, erase, and recycle the block.
+// only the mechanics: copy valid/retained/archived pages to fresh frontiers
+// (through the shared AllocationPolicy), repoint mappings, recovery-queue
+// guards and version-store objects, absorb uncorrectable-ECC losses, erase,
+// and recycle the block.
 #pragma once
 
 #include <cstddef>
@@ -36,8 +37,9 @@ class GcEngine {
 
   /// Foreground: run GC until the free pool exceeds the hard floor,
   /// accumulating NAND time into `now` (the caller's write blocks for all
-  /// of it). Falls back to sacrificing the oldest backups when nothing is
-  /// reclaimable. Returns false if the device is genuinely full.
+  /// of it). Falls back to sacrificing the oldest backups — then the oldest
+  /// archived versions — when nothing is reclaimable. Returns false if the
+  /// device is genuinely full.
   bool EnsureFreeSpace(SimTime& now);
 
   /// Background: reclaim up to `max_blocks` blocks, stopping early once the
@@ -67,8 +69,8 @@ class GcEngine {
   /// frontier ran dry mid-copy (block left un-erased).
   bool CollectVictim(std::uint32_t victim, SimTime& now);
 
-  /// Relocate every live (valid/retained) page out of `block_id` to fresh
-  /// frontiers. Returns false if the frontier ran dry mid-copy.
+  /// Relocate every live (valid/retained/archived) page out of `block_id`
+  /// to fresh frontiers. Returns false if the frontier ran dry mid-copy.
   bool EvacuateBlock(std::uint32_t block_id, SimTime& now);
 
   PageFtl& ftl_;

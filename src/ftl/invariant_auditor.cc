@@ -1,8 +1,11 @@
 #include "ftl/invariant_auditor.h"
 
+#include <optional>
 #include <sstream>
+#include <unordered_map>
 
 #include "ftl/page_ftl.h"
+#include "version/version_store.h"
 
 namespace insider::ftl {
 
@@ -14,6 +17,8 @@ const char* ToString(InvariantViolation::Kind kind) {
     case InvariantViolation::Kind::kBadBlockMismatch:
       return "bad-block-mismatch";
     case InvariantViolation::Kind::kStructural: return "structural";
+    case InvariantViolation::Kind::kVersionStoreMismatch:
+      return "version-store-mismatch";
   }
   return "unknown";
 }
@@ -77,6 +82,7 @@ std::string PageStateName(PageState s) {
     case PageState::kInvalid: return "Invalid";
     case PageState::kRetained: return "Retained";
     case PageState::kBad: return "Bad";
+    case PageState::kArchived: return "Archived";
   }
   return "?";
 }
@@ -223,6 +229,7 @@ AuditReport InvariantAuditor::Audit(const PageFtl& ftl,
   // counters and the queue should say.
   std::uint64_t valid_total = 0;
   std::uint64_t retained_total = 0;
+  std::uint64_t archived_total = 0;
   std::vector<BlockCounters> recomputed(geo.TotalBlocks());
   for (nand::Ppa ppa = 0; ppa < geo.TotalPages() && !rec.Full(); ++ppa) {
     PageState st = ftl.page_state_[ppa];
@@ -267,19 +274,51 @@ AuditReport InvariantAuditor::Audit(const PageFtl& ftl,
                   v.expected = "a recovery-queue entry guarding it";
                   v.actual = "no guard (backup lost)";
                 });
+    } else if (st == PageState::kArchived) {
+      // V1: an archived page is exactly a version-store object page.
+      ++archived_total;
+      ++recomputed[bid].archived;
+      std::optional<version::PayloadHash> hash = ftl.store_.HashAt(ppa);
+      rec.Check(hash.has_value(), Kind::kVersionStoreMismatch,
+                [&](InvariantViolation& v) {
+                  v.where = "archived page " + Str(ppa);
+                  v.expected = "a version-store object stored at this page";
+                  v.actual = "no object (orphaned archive)";
+                });
+      if (hash.has_value()) {
+        std::optional<nand::Ppa> obj_ppa = ftl.store_.ObjectPpa(*hash);
+        rec.Check(obj_ppa.has_value() && *obj_ppa == ppa,
+                  Kind::kVersionStoreMismatch, [&](InvariantViolation& v) {
+                    v.where = "archived page " + Str(ppa);
+                    v.expected = "object ppa round-trips to this page";
+                    v.actual = obj_ppa.has_value()
+                                   ? "object points at ppa " + Str(*obj_ppa)
+                                   : "hash resolves to no object";
+                  });
+        rec.Check(ftl.store_.RefcountOf(*hash) >= 1,
+                  Kind::kVersionStoreMismatch, [&](InvariantViolation& v) {
+                    v.where = "archived page " + Str(ppa);
+                    v.expected = "object refcount >= 1";
+                    v.actual = "refcount 0 (unreferenced object page)";
+                  });
+      }
     }
   }
   for (std::uint32_t b = 0; b < geo.TotalBlocks() && !rec.Full(); ++b) {
     rec.Check(recomputed[b].valid == ftl.block_counters_[b].valid &&
-                  recomputed[b].retained == ftl.block_counters_[b].retained,
+                  recomputed[b].retained == ftl.block_counters_[b].retained &&
+                  recomputed[b].archived == ftl.block_counters_[b].archived,
               Kind::kCounterDrift, [&](InvariantViolation& v) {
                 v.where = "block " + Str(b) + " counters";
                 v.expected = "valid " + Str(recomputed[b].valid) +
                              ", retained " + Str(recomputed[b].retained) +
+                             ", archived " + Str(recomputed[b].archived) +
                              " (recomputed from page states)";
                 v.actual = "valid " + Str(ftl.block_counters_[b].valid) +
                            ", retained " +
-                           Str(ftl.block_counters_[b].retained);
+                           Str(ftl.block_counters_[b].retained) +
+                           ", archived " +
+                           Str(ftl.block_counters_[b].archived);
               });
   }
   rec.Check(valid_total == ftl.valid_pages_, Kind::kCounterDrift,
@@ -300,6 +339,63 @@ AuditReport InvariantAuditor::Audit(const PageFtl& ftl,
               v.expected = Str(retained_total) + " (retained page total)";
               v.actual = Str(ftl.queue_.Size());
             });
+  rec.Check(archived_total == ftl.archived_pages_, Kind::kCounterDrift,
+            [&](InvariantViolation& v) {
+              v.where = "global archived-page total";
+              v.expected = Str(archived_total) + " (recomputed)";
+              v.actual = Str(ftl.archived_pages_);
+            });
+
+  // --- V2-V4: the version store's index against page states and itself. --
+  rec.Check(ftl.store_.ObjectCount() == archived_total,
+            Kind::kVersionStoreMismatch, [&](InvariantViolation& v) {
+              v.where = "version-store object count";
+              v.expected = Str(archived_total) + " (archived page total)";
+              v.actual = Str(ftl.store_.ObjectCount());
+            });
+  std::unordered_map<version::PayloadHash, std::uint32_t> ref_from_chains;
+  ftl.store_.ForEachChain(
+      [&](Lba lba, const std::vector<version::VersionRecord>& records) {
+        for (const version::VersionRecord& r : records) {
+          if (r.tombstone) continue;
+          ++ref_from_chains[r.hash];
+          // V3: every data record's content must still be resolvable.
+          rec.Check(ftl.store_.ObjectPpa(r.hash).has_value(),
+                    Kind::kVersionStoreMismatch, [&](InvariantViolation& v) {
+                      v.where = "version record {lba " + Str(lba) +
+                                ", written_at " +
+                                std::to_string(r.written_at) + "}";
+                      v.expected = "its hash resolves to a stored object";
+                      v.actual = "no object (payload lost without pruning "
+                                 "the record)";
+                    });
+        }
+      });
+  ftl.store_.ForEachObject(
+      [&](version::PayloadHash hash, const version::StoreObject& obj) {
+        if (rec.Full()) return;
+        rec.Check(obj.ppa < geo.TotalPages() &&
+                      ftl.page_state_[obj.ppa] == PageState::kArchived,
+                  Kind::kVersionStoreMismatch, [&](InvariantViolation& v) {
+                    v.where = "store object at ppa " + Str(obj.ppa);
+                    v.expected = "page state Archived";
+                    v.actual = obj.ppa < geo.TotalPages()
+                                   ? "page state " +
+                                         PageStateName(ftl.page_state_[obj.ppa])
+                                   : "ppa out of range";
+                  });
+        // V2: the refcount is exactly the number of referencing records.
+        auto it = ref_from_chains.find(hash);
+        std::uint32_t expected_refs =
+            it == ref_from_chains.end() ? 0 : it->second;
+        rec.Check(obj.refcount == expected_refs && expected_refs >= 1,
+                  Kind::kVersionStoreMismatch, [&](InvariantViolation& v) {
+                    v.where = "store object at ppa " + Str(obj.ppa);
+                    v.expected = Str(expected_refs) +
+                                 " refs (recomputed from chains, >= 1)";
+                    v.actual = Str(obj.refcount) + " refs";
+                  });
+      });
 
   // --- B1-B3 + structural: block health vs pools, frontiers, and NAND. ---
   std::size_t pool_total = 0;

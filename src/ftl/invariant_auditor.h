@@ -29,6 +29,12 @@
 //   B2  ∀ b: health[b] = PendingRetire ⇒ b ∉ pools ∧ b not a frontier
 //   B3  ∀ b ∈ pools: health[b] = Healthy ∧ erased(b)
 //   B4  ∀ p: bad-in-NAND(p) ⇒ state[p] = Bad; state[p] = Free ⇔ ¬programmed(p)
+//   V1  ∀ p: state[p] = Archived ⇒ programmed(p) ∧ store resolves p to an
+//                object whose ppa round-trips back to p with refcount ≥ 1
+//   V2  ∀ object o ∈ store: state[o.ppa] = Archived, and o.refcount equals
+//                the number of version records referencing o's hash
+//   V3  ∀ non-tombstone record r ∈ store: r.hash resolves to an object
+//   V4  |store objects| = archived page total = Σ_b counters[b].archived
 //
 // Audit() never mutates the FTL. The INSIDER_AUDIT build option additionally
 // compiles a hook into PageFtl that runs Audit() after every mutation and
@@ -55,6 +61,7 @@ struct InvariantViolation {
     kCounterDrift,     ///< occupancy counters disagree with the mapping
     kBadBlockMismatch, ///< block-health table disagrees with NAND reality
     kStructural,       ///< free-pool / frontier bookkeeping broken
+    kVersionStoreMismatch, ///< version store disagrees with page states
   };
   Kind kind = Kind::kStructural;
   std::string where;     ///< which entity, e.g. "l2p[42]" or "block 3"

@@ -61,10 +61,25 @@ PageFtl::PageFtl(const FtlConfig& config)
       queue_(config.recovery_queue_capacity),
       allocation_(MakeAllocationPolicy(config)),
       victim_(MakeVictimPolicy(config)),
-      retention_(MakeRetentionPolicy(config)),
+      retention_(nullptr),
+      // A config the validator rejects must not half-enable versioning: the
+      // store only receives the policy table when the config is sound.
+      store_(ValidateRetentionConfig(config).ok() ? config.range_policies
+                                                  : nullptr),
       view_(config_.geometry, nand_, block_counters_, active_block_per_chip_,
             free_blocks_by_chip_, block_health_),
       gc_(*this) {
+  retention_ = MakeRetentionPolicy(config_, &retention_error_);
+  if (retention_ == nullptr) {
+    // A config that would retain nothing defeats the device's whole purpose;
+    // refuse it loudly and run with the paper's default instead of silently
+    // constructing a no-op policy.
+    INSIDER_LOG_ERROR << "rejected retention config ("
+                      << ToString(retention_error_.issue) << ": "
+                      << retention_error_.detail
+                      << "); falling back to the 10 s window policy";
+    retention_ = std::make_unique<WindowRetentionPolicy>(Seconds(10));
+  }
   nand_.SetFaultPlan(config_.fault_plan);
   const nand::Geometry& geo = config_.geometry;
   exported_lbas_ = static_cast<Lba>(
@@ -141,14 +156,74 @@ void PageFtl::RecycleBlock(std::uint32_t block_id) {
   ++free_block_count_;
 }
 
-void PageFtl::ReleaseBackup(const BackupEntry& entry) {
+void PageFtl::ReleaseBackup(const BackupEntry& entry, SimTime now) {
   assert(page_state_[entry.old_ppa] == PageState::kRetained);
-  page_state_[entry.old_ppa] = PageState::kInvalid;
   BlockCounters& info = block_counters_[BlockIdOf(entry.old_ppa)];
   assert(info.retained > 0);
   --info.retained;
   --retained_pages_;
+  if (store_.Enabled() && store_.Protected(entry.lba) &&
+      ArchiveBackup(entry, now)) {
+    // The page is now a version-store object: it stays on NAND with its p2l
+    // tag intact so GC relocation and the rebuild scan keep working on it.
+    return;
+  }
+  page_state_[entry.old_ppa] = PageState::kInvalid;
   p2l_[entry.old_ppa] = kInvalidLba;
+}
+
+bool PageFtl::ArchiveBackup(const BackupEntry& entry, SimTime now) {
+  const nand::PageData* d = RawPage(entry.old_ppa);
+  if (d == nullptr) return false;  // page unreadable; nothing to archive
+  auto on_prune = [this](nand::Ppa p) {
+    ReleaseArchived(p);
+    ++stats_.archived_pruned;
+  };
+  ++stats_.archived_versions;
+  if (d->oob.tombstone) {
+    // A trimmed state is a version too — the chain records it so rollback
+    // can reproduce the deletion — but it has no payload to pin: the
+    // tombstone page is freed like an unprotected release. (This makes
+    // tombstone chain records best-effort across power loss; data versions
+    // are the crash-exact substrate. DESIGN.md §11.)
+    store_.Archive(entry.lba, entry.old_ppa, d->oob.written_at, 0,
+                   /*tombstone=*/true, now, on_prune);
+    return false;
+  }
+  version::PayloadHash hash = version::HashPayload(d->stamp, d->bytes);
+  version::ArchiveResult result = store_.Archive(
+      entry.lba, entry.old_ppa, d->oob.written_at, hash,
+      /*tombstone=*/false, now, on_prune);
+  switch (result) {
+    case version::ArchiveResult::kStored:
+      page_state_[entry.old_ppa] = PageState::kArchived;
+      ++block_counters_[BlockIdOf(entry.old_ppa)].archived;
+      ++archived_pages_;
+      return true;
+    case version::ArchiveResult::kDeduped:
+      ++stats_.archive_dedupe_hits;
+      return false;
+    case version::ArchiveResult::kDropped:
+      ++stats_.archived_pruned;  // pruned on arrival (already out of policy)
+      return false;
+  }
+  return false;
+}
+
+void PageFtl::ReleaseArchived(nand::Ppa ppa) {
+  assert(page_state_[ppa] == PageState::kArchived);
+  page_state_[ppa] = PageState::kInvalid;
+  BlockCounters& info = block_counters_[BlockIdOf(ppa)];
+  assert(info.archived > 0);
+  --info.archived;
+  --archived_pages_;
+  p2l_[ppa] = kInvalidLba;
+}
+
+const nand::PageData* PageFtl::RawPage(nand::Ppa ppa) const {
+  const nand::Geometry& geo = config_.geometry;
+  return nand_.BlockAt({geo.ChipOf(ppa), geo.BlockOf(ppa)})
+      .Read(geo.PageOf(ppa));
 }
 
 void PageFtl::ReleaseExpired(SimTime now) {
@@ -156,10 +231,18 @@ void PageFtl::ReleaseExpired(SimTime now) {
   MutationAudit audit_scope(*this, "ReleaseExpired");
   SimTime horizon = retention_->ExpiryHorizon(now);
   last_release_horizon_ = std::max(last_release_horizon_, horizon);
-  queue_.ReleaseUpTo(horizon, [this](const BackupEntry& e) {
-    ReleaseBackup(e);
+  queue_.ReleaseUpTo(horizon, [this, now](const BackupEntry& e) {
+    ReleaseBackup(e, now);
     ++stats_.retained_released;
   });
+  // Age archived chains against their range policies (amortized O(1): the
+  // store tracks the earliest possible expiry).
+  if (store_.Enabled()) {
+    store_.PruneExpired(now, [this](nand::Ppa p) {
+      ReleaseArchived(p);
+      ++stats_.archived_pruned;
+    });
+  }
   // Tombstones age out with the window too: once the trim can no longer be
   // rolled back there is nothing left to persist, so the page stops being a
   // current mapping and becomes reclaimable garbage. A journal entry whose
@@ -168,6 +251,11 @@ void PageFtl::ReleaseExpired(SimTime now) {
   while (!trim_journal_.empty() && trim_journal_.front().time <= horizon) {
     TrimRecord rec = trim_journal_.front();
     trim_journal_.pop_front();
+    // Protected LBAs keep their tombstone mapped past the window: archived
+    // history outlives the ring, and dropping the tombstone would let a
+    // post-crash rebuild resurrect an archived version as current. Costs
+    // one pinned page per trimmed protected LBA.
+    if (store_.Enabled() && store_.Protected(rec.lba)) continue;
     nand::Ppa ppa = l2p_[rec.lba];
     if (ppa != nand::kInvalidPpa && IsTombstone(ppa)) {
       MarkInvalid(ppa);
@@ -200,7 +288,7 @@ void PageFtl::Retire(Lba lba, nand::Ppa old_ppa, SimTime now) {
   ++retained_pages_;
   std::optional<BackupEntry> evicted = queue_.Push(lba, old_ppa, now);
   if (evicted) {
-    ReleaseBackup(*evicted);
+    ReleaseBackup(*evicted, now);
     ++stats_.queue_evictions;
   }
 }
@@ -384,15 +472,17 @@ void PageFtl::AttachObs(obs::Tracer* tracer, obs::MetricsRegistry* metrics) {
   gc_stall_hist_ = metrics == nullptr
                        ? nullptr
                        : &metrics->GetHistogram("ftl.gc_stall_us");
+  restore_age_hist_ = metrics == nullptr
+                          ? nullptr
+                          : &metrics->GetHistogram("version.restore_age_us");
+  if (store_.Enabled()) {
+    store_.AttachMetrics(metrics, config_.geometry.page_size);
+  }
   nand_.AttachObs(tracer, metrics);
 }
 
 bool PageFtl::IsTombstone(nand::Ppa ppa) const {
-  const nand::Geometry& geo = config_.geometry;
-  // Raw OOB peek (no timing, no ECC sampling) — the same internal path the
-  // rebuild scan uses, so checking never perturbs the error sequence.
-  const nand::PageData* d = nand_.BlockAt({geo.ChipOf(ppa), geo.BlockOf(ppa)})
-                                .Read(geo.PageOf(ppa));
+  const nand::PageData* d = RawPage(ppa);
   return d != nullptr && d->oob.tombstone;
 }
 
@@ -437,6 +527,135 @@ RollbackReport PageFtl::RollBack(SimTime detect_time) {
   return report;
 }
 
+RangeRollbackReport PageFtl::RollBackRange(Lba begin, Lba end,
+                                           SimTime restore_point,
+                                           SimTime now) {
+  RangeRollbackReport report;
+  report.begin = begin;
+  report.end = std::min<Lba>(end, exported_lbas_);
+  if (!config_.delayed_deletion || begin >= report.end) return report;
+  MutationAudit audit_scope(*this, "RollBackRange");
+  const SimTime start = now;
+  ReleaseExpired(now);
+
+  for (Lba lba = begin; lba < report.end; ++lba) {
+    ++report.lbas_examined;
+    // The newest version written at or before the restore point, from the
+    // three places a version can live. Source priority on equal times:
+    // current mapping > ring > store (current wins so the LBA counts as
+    // unchanged; a ring page wins over a store object so the copy reads
+    // the original page).
+    struct Candidate {
+      SimTime written_at = std::numeric_limits<SimTime>::min();
+      nand::Ppa ppa = nand::kInvalidPpa;  // kInvalidPpa = tombstone record
+      bool tombstone = false;
+      bool found = false;
+      bool is_current = false;
+    };
+    Candidate best;
+    const nand::Ppa cur = l2p_[lba];
+    if (cur != nand::kInvalidPpa) {
+      const nand::PageData* d = RawPage(cur);
+      if (d != nullptr && d->oob.written_at <= restore_point) {
+        best = {d->oob.written_at, cur, d->oob.tombstone, true, true};
+      }
+    }
+    // Ring entries, oldest first; only a strictly newer version displaces
+    // the running best (the current version, if eligible, is always the
+    // newest eligible one).
+    queue_.ForEach([&](const BackupEntry& e) {
+      if (e.lba != lba) return;
+      const nand::PageData* d = RawPage(e.old_ppa);
+      if (d == nullptr || d->oob.written_at > restore_point) return;
+      if (!best.found || d->oob.written_at > best.written_at) {
+        best = {d->oob.written_at, e.old_ppa, d->oob.tombstone, true, false};
+      }
+    });
+    if (const std::vector<version::VersionRecord>* chain = store_.ChainOf(lba);
+        chain != nullptr) {
+      for (const version::VersionRecord& rec : *chain) {  // oldest first
+        if (rec.written_at > restore_point) break;
+        if (best.found && rec.written_at <= best.written_at) continue;
+        if (rec.tombstone) {
+          best = {rec.written_at, nand::kInvalidPpa, true, true, false};
+        } else if (std::optional<nand::Ppa> obj = store_.ObjectPpa(rec.hash);
+                   obj.has_value()) {
+          best = {rec.written_at, *obj, false, true, false};
+        }
+      }
+    }
+
+    if (!best.found) {
+      ++report.unversioned;
+      continue;
+    }
+    const bool currently_unmapped =
+        cur == nand::kInvalidPpa ||
+        (config_.trim_tombstones && IsTombstone(cur));
+    if (best.is_current) {
+      ++report.unchanged;
+      continue;
+    }
+    if (best.tombstone) {
+      if (currently_unmapped) {
+        ++report.unchanged;
+        continue;
+      }
+      // The restore point shows a trim: retire the current version (the
+      // unmap is undoable through the ring) and clear the mapping.
+      Retire(lba, cur, now);
+      l2p_[lba] = nand::kInvalidPpa;
+      ++report.unmapped;
+      if (restore_age_hist_ != nullptr) {
+        restore_age_hist_->Add(static_cast<double>(now - best.written_at));
+      }
+      continue;
+    }
+
+    // Data restore: copy the winner's payload *before* the program path can
+    // trigger GC (which may relocate or reclaim the source page), then
+    // program it as a fresh logical write. Stamping written_at = now keeps
+    // the OOB log ordered — a post-crash rebuild must see the restored copy
+    // as newer than the version it displaces — and makes the rollback
+    // itself undoable.
+    const nand::PageData* src = RawPage(best.ppa);
+    if (src == nullptr) {
+      ++report.unversioned;
+      continue;
+    }
+    nand::PageData data;
+    data.stamp = src->stamp;
+    data.bytes = src->bytes;
+    data.oob.lba = lba;
+    data.oob.written_at = now;
+    gc_.DrainRetirements(now);
+    gc_.EnsureFreeSpace(now);
+    nand::Ppa fresh = ProgramWithRedrive(std::move(data), now);
+    if (fresh == nand::kInvalidPpa) {
+      ++report.failed;
+      continue;
+    }
+    const nand::Ppa displaced = l2p_[lba];  // GC may have moved it
+    if (displaced != nand::kInvalidPpa) Retire(lba, displaced, now);
+    l2p_[lba] = fresh;
+    p2l_[fresh] = lba;
+    page_state_[fresh] = PageState::kValid;
+    ++block_counters_[BlockIdOf(fresh)].valid;
+    ++valid_pages_;
+    ++report.restored;
+    if (restore_age_hist_ != nullptr) {
+      restore_age_hist_->Add(static_cast<double>(now - best.written_at));
+    }
+  }
+
+  report.duration = (now - start) +
+                    static_cast<SimTime>(report.lbas_examined) *
+                        config_.rollback_entry_cost;
+  ++stats_.range_rollbacks;
+  stats_.range_rollback_restored += report.restored + report.unmapped;
+  return report;
+}
+
 std::size_t PageFtl::BackgroundCollect(SimTime now, std::size_t max_blocks) {
   if (read_only_) return 0;
   MutationAudit audit_scope(*this, "BackgroundCollect");
@@ -470,10 +689,16 @@ PageFtl::RebuildReport PageFtl::RebuildFromNand(SimTime now) {
   active_block_per_chip_.assign(geo.TotalChips(), kNoActiveBlock);
   free_block_count_ = 0;
   queue_.Clear();
+  // The version store's index is DRAM too. Archived pages rescan as
+  // ordinary old versions, re-enter the rebuilt ring, and re-archive in
+  // displacement order through the post-scan ReleaseExpired() — converging
+  // to the pre-crash chains (exact when no cross-page dedupe occurred).
+  store_.Clear();
   trim_journal_.clear();
   pending_retire_.clear();
   valid_pages_ = 0;
   retained_pages_ = 0;
+  archived_pages_ = 0;
   write_seq_ = 0;
   read_only_ = degraded_;
   // The release horizon is volatile firmware state too; the post-scan
@@ -595,7 +820,7 @@ PageFtl::RebuildReport PageFtl::RebuildFromNand(SimTime now) {
     std::optional<BackupEntry> evicted =
         queue_.Push(qb.lba, qb.old_ppa, qb.displaced_at);
     if (evicted) {
-      ReleaseBackup(*evicted);
+      ReleaseBackup(*evicted, now);
       ++stats_.queue_evictions;
     }
     ++report.backups_restored;

@@ -44,6 +44,7 @@
 #include "nand/flash_array.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "version/version_store.h"
 
 namespace insider::ftl {
 
@@ -73,6 +74,16 @@ class PageFtl {
   /// retention_window`. The device must already be read-only. Backups older
   /// than the horizon are kept (their versions are deemed safe).
   RollbackReport RollBack(SimTime detect_time);
+
+  /// Selective rollback: restore every LBA of [begin, end) to the newest
+  /// retained version written at or before `restore_point`, drawing
+  /// candidates from the current mapping, the recovery ring, and the
+  /// version store's archived chains. Each restore is an ordinary new write
+  /// (the displaced current version retires into the ring, so a selective
+  /// rollback is itself undoable), which also keeps the OOB log consistent
+  /// for power-loss rebuilds. Works with the device latched read-only.
+  RangeRollbackReport RollBackRange(Lba begin, Lba end, SimTime restore_point,
+                                    SimTime now);
 
   // Power-loss recovery ---------------------------------------------------
 
@@ -161,6 +172,16 @@ class PageFtl {
   std::size_t RecoveryQueueSize() const { return queue_.Size(); }
   std::uint64_t ValidPageCount() const { return valid_pages_; }
   std::uint64_t RetainedPageCount() const { return retained_pages_; }
+  std::uint64_t ArchivedPageCount() const { return archived_pages_; }
+  /// The content-addressed version store behind the range policies (empty
+  /// and inert when FtlConfig::range_policies is null/empty).
+  const version::VersionStore& Store() const { return store_; }
+  /// Outcome of validating FtlConfig's retention settings at construction.
+  /// On rejection the FTL logged the issue and fell back to the paper's
+  /// 10 s window policy rather than running with no-op retention.
+  const RetentionConfigError& RetentionConfigStatus() const {
+    return retention_error_;
+  }
 
   // Fault / bad-block introspection --------------------------------------
 
@@ -232,7 +253,20 @@ class PageFtl {
 
   void MarkInvalid(nand::Ppa ppa);
   void Retire(Lba lba, nand::Ppa old_ppa, SimTime now);
-  void ReleaseBackup(const BackupEntry& entry);
+  /// Release one ring backup: archive it into the version store when its
+  /// LBA is protected (page becomes kArchived, zero-copy), free it
+  /// otherwise. `now` drives the store's inline pruning.
+  void ReleaseBackup(const BackupEntry& entry, SimTime now);
+  /// Archive path of ReleaseBackup. True = the page became a store object
+  /// and must stay on NAND.
+  bool ArchiveBackup(const BackupEntry& entry, SimTime now);
+  /// The version store stopped needing an object page: kArchived → kInvalid.
+  void ReleaseArchived(nand::Ppa ppa);
+  /// Raw OOB/payload peek that bypasses the timed/ECC read path (the same
+  /// trick IsTombstone uses), so bookkeeping never perturbs the
+  /// deterministic media-error sequence. Null for erased/bad pages.
+  const nand::PageData* RawPage(nand::Ppa ppa) const;
+  bool IsProtected(Lba lba) const { return store_.Protected(lba); }
   /// Return an erased block to its chip's free pool.
   void RecycleBlock(std::uint32_t block_id);
 
@@ -299,17 +333,25 @@ class PageFtl {
 
   std::uint64_t valid_pages_ = 0;
   std::uint64_t retained_pages_ = 0;
+  std::uint64_t archived_pages_ = 0;
   FtlStats stats_;
 
   std::unique_ptr<AllocationPolicy> allocation_;
   std::unique_ptr<VictimPolicy> victim_;
   std::unique_ptr<RetentionPolicy> retention_;
+  /// Why MakeRetentionPolicy rejected the config, if it did (the ctor then
+  /// falls back to the paper-default window policy).
+  RetentionConfigError retention_error_;
+  /// Long-term home of protected ranges' old versions (ftl_types.h
+  /// range_policies); inert when no ranges are configured.
+  version::VersionStore store_;
   PolicyView view_;
   GcEngine gc_;
 
   obs::Tracer* tracer_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::LogHistogram* gc_stall_hist_ = nullptr;
+  obs::LogHistogram* restore_age_hist_ = nullptr;
 };
 
 }  // namespace insider::ftl

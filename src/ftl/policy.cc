@@ -94,7 +94,53 @@ std::unique_ptr<VictimPolicy> MakeVictimPolicy(const FtlConfig& config) {
   return std::make_unique<GreedyVictimPolicy>();
 }
 
-std::unique_ptr<RetentionPolicy> MakeRetentionPolicy(const FtlConfig& config) {
+const char* ToString(RetentionConfigIssue issue) {
+  switch (issue) {
+    case RetentionConfigIssue::kNone: return "none";
+    case RetentionConfigIssue::kNegativeWindow: return "negative-window";
+    case RetentionConfigIssue::kNoOpRetention: return "no-op-retention";
+    case RetentionConfigIssue::kInvalidRangePolicy:
+      return "invalid-range-policy";
+  }
+  return "?";
+}
+
+RetentionConfigError ValidateRetentionConfig(const FtlConfig& config) {
+  if (config.retention_window < 0) {
+    return {RetentionConfigIssue::kNegativeWindow,
+            "retention_window must be >= 0"};
+  }
+  if (config.delayed_deletion && config.retention_window == 0) {
+    // Every backup would age out the instant it is displaced: the device
+    // pays delayed deletion's bookkeeping yet can never recover anything.
+    return {RetentionConfigIssue::kNoOpRetention,
+            "delayed_deletion with a zero retention_window retains nothing"};
+  }
+  if (config.range_policies != nullptr &&
+      config.range_policies->RangeCount() > 0) {
+    if (!config.delayed_deletion) {
+      return {RetentionConfigIssue::kInvalidRangePolicy,
+              "range_policies require delayed_deletion: without the ring "
+              "there is nothing to archive"};
+    }
+    // RangePolicyTable::Add enforces these per entry; re-check so a table
+    // built by other means cannot smuggle a no-op range in.
+    for (const version::RangePolicy& r : config.range_policies->Ranges()) {
+      if (r.begin >= r.end || r.keep_window < 0 ||
+          (r.keep_versions == 0 && r.keep_window == 0)) {
+        return {RetentionConfigIssue::kInvalidRangePolicy,
+                "range policy retains nothing or has an empty range"};
+      }
+    }
+  }
+  return {};
+}
+
+std::unique_ptr<RetentionPolicy> MakeRetentionPolicy(
+    const FtlConfig& config, RetentionConfigError* error) {
+  RetentionConfigError check = ValidateRetentionConfig(config);
+  if (error != nullptr) *error = check;
+  if (!check.ok()) return nullptr;
   switch (config.retention_policy) {
     case RetentionPolicyKind::kWindow:
       break;

@@ -227,6 +227,16 @@ class WindowRetentionPolicy final : public RetentionPolicy {
 
 std::unique_ptr<AllocationPolicy> MakeAllocationPolicy(const FtlConfig& config);
 std::unique_ptr<VictimPolicy> MakeVictimPolicy(const FtlConfig& config);
-std::unique_ptr<RetentionPolicy> MakeRetentionPolicy(const FtlConfig& config);
+
+/// Checks the retention-related parts of a config for combinations that
+/// would silently retain nothing (or contradict each other) instead of
+/// implementing the paper's recovery guarantee.
+RetentionConfigError ValidateRetentionConfig(const FtlConfig& config);
+
+/// Builds the retention policy, or returns nullptr when
+/// ValidateRetentionConfig rejects the config (the error is copied into
+/// `error` when non-null). Existing one-argument callers keep compiling.
+std::unique_ptr<RetentionPolicy> MakeRetentionPolicy(
+    const FtlConfig& config, RetentionConfigError* error = nullptr);
 
 }  // namespace insider::ftl

@@ -49,6 +49,15 @@ class FtlStateTamperer {
     ftl_.block_health_[block_id] = BlockHealth::kRetired;
   }
 
+  /// Violation class 5 — version-store mismatch: flip a programmed-but-
+  /// invalid page to Archived (with the counters kept consistent, so only
+  /// the store cross-checks fire: no object stores this page).
+  void OrphanArchivedPage(nand::Ppa ppa) {
+    ftl_.page_state_[ppa] = PageState::kArchived;
+    ++ftl_.block_counters_[ftl_.BlockIdOf(ppa)].archived;
+    ++ftl_.archived_pages_;
+  }
+
  private:
   PageFtl& ftl_;
 };

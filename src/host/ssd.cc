@@ -105,6 +105,13 @@ ftl::FtlStatus Ssd::Submit(const IoRequest& request, std::uint64_t stamp_base) {
       case IoMode::kTrim:
         r = ftl_.TrimPage(request.lba + i, now);
         break;
+      case IoMode::kRangeLock:
+      case IoMode::kRangeUnlock:
+        // Lock admin commands are enforced at the multi-queue frontend
+        // (io::IoEngine); a device submitted to directly has no lock table,
+        // so they complete as no-ops.
+        r = {ftl::FtlStatus::kOk, now, {}};
+        break;
     }
     if (!r.ok()) {
       // kUnmapped reads/trims are normal for never-written LBAs in replayed
@@ -152,6 +159,11 @@ Ssd::SubmitOutcome Ssd::ExecuteAsync(const IoRequest& request,
       }
       case IoMode::kTrim:
         r = ftl_.TrimPage(request.lba + i, now);
+        break;
+      case IoMode::kRangeLock:
+      case IoMode::kRangeUnlock:
+        // See Submit(): enforced at the frontend, no-op at the device.
+        r = {ftl::FtlStatus::kOk, now, {}};
         break;
     }
     if (!r.ok()) {
@@ -241,6 +253,14 @@ std::optional<SimTime> Ssd::FirstAlarmTime() const {
 ftl::RollbackReport Ssd::RollBackNow() {
   SimTime detect = detector_.FirstAlarmTime().value_or(clock_.Now());
   return ftl_.RollBack(detect);
+}
+
+ftl::RangeRollbackReport Ssd::RollBackRange(Lba begin, Lba end,
+                                            SimTime restore_point) {
+  ftl::RangeRollbackReport report =
+      ftl_.RollBackRange(begin, end, restore_point, clock_.Now());
+  clock_.Advance(report.duration);
+  return report;
 }
 
 void Ssd::Reboot() {

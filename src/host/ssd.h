@@ -118,6 +118,13 @@ class Ssd final : public fs::BlockDevice {
   /// `detect_time - window`. Uses the detector's first alarm time by
   /// default.
   ftl::RollbackReport RollBackNow();
+  /// Selective recovery: roll one LBA range back to the retained version
+  /// closest at-or-before `restore_point`, leaving the rest of the device
+  /// untouched (requires a range policy covering the range for depth beyond
+  /// the paper window). The device clock advances by the modeled firmware
+  /// cost of the walk.
+  ftl::RangeRollbackReport RollBackRange(Lba begin, Lba end,
+                                         SimTime restore_point);
   /// "Reboot": clear the read-only latch and reset detector state, as the
   /// user does after removing the ransomware.
   void Reboot();

@@ -27,6 +27,10 @@ struct Command {
   QueueId queue = 0;
   IoRequest request;
   std::uint64_t stamp_base = 0;
+  /// Authorization credential for range-locked LBAs (0 = unauthenticated).
+  /// Carried by kRangeLock/kRangeUnlock as the key to take or release, and
+  /// by writes/trims as proof of authority over a locked range.
+  std::uint64_t auth_key = 0;
   /// Causal id for the obs tracer; the engine assigns the command id at
   /// submit, and every span the command triggers down the stack (FTL, GC
   /// stalls, NAND bus/cell) carries it.

@@ -24,6 +24,10 @@ enum class DeviceStatus : std::uint8_t {
   kNoSpace,         ///< write could not be placed (device full/degraded)
   kReadError,       ///< media read failure; retryable
   kWriteError,      ///< unclassified write-path failure
+  /// Write/trim rejected at the frontend: the range is locked and the
+  /// command's auth key doesn't match (version::RangeLockTable). Also the
+  /// status of a failed lock/unlock admin command. Never reaches the FTL.
+  kRangeLocked,
 };
 
 struct DispatchResult {

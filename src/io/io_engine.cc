@@ -41,7 +41,7 @@ std::size_t IoEngine::Outstanding(QueueId q) const {
 }
 
 bool IoEngine::TrySubmit(QueueId q, const IoRequest& request,
-                         std::uint64_t stamp_base) {
+                         std::uint64_t stamp_base, std::uint64_t auth_key) {
   assert(q < pairs_.size());
   QueuePair& pair = pairs_[q];
   if (Outstanding(q) >= pair.sq().Capacity()) {
@@ -54,6 +54,7 @@ bool IoEngine::TrySubmit(QueueId q, const IoRequest& request,
   cmd.queue = q;
   cmd.request = request;
   cmd.stamp_base = stamp_base;
+  cmd.auth_key = auth_key;
   cmd.trace = cmd.id;
   bool pushed = pair.sq().TryPush(cmd);
   assert(pushed);  // outstanding < sq_depth implies ring room
@@ -201,7 +202,36 @@ bool IoEngine::Step() {
                    earliest_dispatch,
                    static_cast<std::int64_t>(candidates.size()),
                    "candidates");
-  DispatchResult result = device_.Dispatch(cmd.request, cmd.stamp_base);
+
+  // Access control happens here, between arbitration and the device: lock
+  // and unlock admin commands are consumed in-engine, and a write/trim that
+  // overlaps a locked range without the right key is rejected before the
+  // device ever sees it — the FTL provably cannot have mutated state.
+  DispatchResult result;
+  bool handled = false;
+  if (locks_ != nullptr) {
+    const IoRequest& rq = cmd.request;
+    if (rq.mode == IoMode::kRangeLock || rq.mode == IoMode::kRangeUnlock) {
+      bool applied =
+          rq.mode == IoMode::kRangeLock
+              ? locks_->Lock(rq.lba, rq.lba + rq.length, cmd.auth_key)
+              : locks_->Unlock(rq.lba, rq.lba + rq.length, cmd.auth_key);
+      result = {applied,
+                applied ? DeviceStatus::kOk : DeviceStatus::kRangeLocked,
+                earliest_dispatch};
+      ++stats_.lock_admin_ops;
+      handled = true;
+    } else if ((rq.mode == IoMode::kWrite || rq.mode == IoMode::kTrim) &&
+               !locks_->WriteAllowed(rq.lba, rq.length, cmd.auth_key)) {
+      result = {false, DeviceStatus::kRangeLocked, earliest_dispatch};
+      ++stats_.lock_rejections;
+      obs::EmitInstant(tracer_, "engine.range_locked", "engine", cmd.queue,
+                       earliest_dispatch,
+                       static_cast<std::int64_t>(rq.lba), "lba");
+      handled = true;
+    }
+  }
+  if (!handled) result = device_.Dispatch(cmd.request, cmd.stamp_base);
 
   Completion completion;
   completion.id = cmd.id;

@@ -38,6 +38,7 @@
 #include "io/queue_pair.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "version/range_lock.h"
 
 namespace insider::io {
 
@@ -63,6 +64,8 @@ struct EngineStats {
   std::uint64_t cq_stalls = 0;      ///< pair skipped: completion ring full
   std::uint64_t max_in_flight = 0;  ///< peak concurrently executing commands
   std::uint64_t read_retries = 0;   ///< transparent read re-drives
+  std::uint64_t lock_admin_ops = 0;   ///< range lock/unlock commands handled
+  std::uint64_t lock_rejections = 0;  ///< writes/trims bounced off a lock
 };
 
 class IoEngine {
@@ -74,9 +77,11 @@ class IoEngine {
 
   /// Host side: enqueue a command. False = the pair is at its outstanding
   /// limit (queued + executing + unreaped == sq_depth); the caller must reap
-  /// completions (or wait) and retry — nothing was queued.
+  /// completions (or wait) and retry — nothing was queued. `auth_key` is the
+  /// range-lock credential (the key for kRangeLock/kRangeUnlock, proof of
+  /// authority for writes/trims into locked ranges); 0 = unauthenticated.
   bool TrySubmit(QueueId q, const IoRequest& request,
-                 std::uint64_t stamp_base = 0);
+                 std::uint64_t stamp_base = 0, std::uint64_t auth_key = 0);
 
   /// Host side: reap the oldest posted completion of a pair, if any.
   std::optional<Completion> PopCompletion(QueueId q);
@@ -113,6 +118,13 @@ class IoEngine {
   /// engine.latency_us, recorded when a completion finally posts.
   void AttachObs(obs::Tracer* tracer, obs::MetricsRegistry* metrics);
 
+  /// Attach the access-control table (may be null = no enforcement). With a
+  /// table attached, kRangeLock/kRangeUnlock commands are consumed entirely
+  /// at the frontend, and writes/trims overlapping a locked range without
+  /// the right key complete with DeviceStatus::kRangeLocked — the device
+  /// never sees them, so FTL state provably cannot change.
+  void AttachLockTable(version::RangeLockTable* locks) { locks_ = locks; }
+
  private:
   struct InFlightEntry {
     Completion completion;
@@ -137,6 +149,8 @@ class IoEngine {
   EngineStats stats_;
   CommandId next_id_ = 1;
   std::uint32_t max_read_retries_ = 0;
+
+  version::RangeLockTable* locks_ = nullptr;
 
   obs::Tracer* tracer_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;

@@ -1,0 +1,60 @@
+#include "version/range_lock.h"
+
+#include <algorithm>
+
+namespace insider::version {
+
+bool RangeLockTable::Lock(Lba begin, Lba end, std::uint64_t key) {
+  if (key == 0 || begin >= end) {
+    ++stats_.denied_admin;
+    return false;
+  }
+  auto it = std::upper_bound(
+      ranges_.begin(), ranges_.end(), begin,
+      [](Lba lba, const LockedRange& r) { return lba < r.end; });
+  if (it != ranges_.end() && it->begin < end) {
+    ++stats_.denied_admin;
+    return false;
+  }
+  ranges_.insert(it, LockedRange{begin, end, key});
+  ++stats_.locks;
+  return true;
+}
+
+bool RangeLockTable::Unlock(Lba begin, Lba end, std::uint64_t key) {
+  auto it = std::find_if(ranges_.begin(), ranges_.end(),
+                         [&](const LockedRange& r) {
+                           return r.begin == begin && r.end == end;
+                         });
+  if (it == ranges_.end() || it->key != key) {
+    ++stats_.denied_admin;
+    return false;
+  }
+  ranges_.erase(it);
+  ++stats_.unlocks;
+  return true;
+}
+
+bool RangeLockTable::WriteAllowed(Lba lba, std::uint32_t length,
+                                  std::uint64_t key) {
+  const Lba end = lba + length;
+  auto it = std::upper_bound(
+      ranges_.begin(), ranges_.end(), lba,
+      [](Lba l, const LockedRange& r) { return l < r.end; });
+  for (; it != ranges_.end() && it->begin < end; ++it) {
+    if (key == 0 || it->key != key) {
+      ++stats_.denied_writes;
+      return false;
+    }
+  }
+  return true;
+}
+
+bool RangeLockTable::Locked(Lba lba) const {
+  auto it = std::upper_bound(
+      ranges_.begin(), ranges_.end(), lba,
+      [](Lba l, const LockedRange& r) { return l < r.end; });
+  return it != ranges_.end() && it->begin <= lba;
+}
+
+}  // namespace insider::version

@@ -1,0 +1,61 @@
+// KEY-SSD-style LBA-range access control, enforced at the multi-queue
+// frontend: once a range is locked under a key, writes and trims that don't
+// present the key are rejected before they reach the FTL, so ransomware that
+// has compromised the host cannot mutate the drive's protected data. Reads
+// are never blocked — the drive protects integrity, not confidentiality.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/io.h"
+
+namespace insider::version {
+
+struct LockedRange {
+  Lba begin = 0;
+  Lba end = 0;  ///< exclusive
+  /// Authorization credential presented at lock time; writes/trims must
+  /// present the same key. Never 0 (0 means "unauthenticated").
+  std::uint64_t key = 0;
+};
+
+struct RangeLockStats {
+  std::uint64_t locks = 0;          ///< successful lock commands
+  std::uint64_t unlocks = 0;        ///< successful unlock commands
+  std::uint64_t denied_admin = 0;   ///< rejected lock/unlock attempts
+  std::uint64_t denied_writes = 0;  ///< writes/trims bounced off a lock
+};
+
+/// The set of currently locked ranges. Lives beside the IoEngine (which
+/// consults it on every write/trim dispatch); deliberately volatile — like a
+/// real drive's unlock state, locks do not survive power loss and must be
+/// re-established by the authorized host agent after boot.
+class RangeLockTable {
+ public:
+  /// Locks [begin, end) under `key`. Rejects: key == 0, empty/inverted
+  /// range, overlap with any existing locked range (locks don't stack).
+  bool Lock(Lba begin, Lba end, std::uint64_t key);
+
+  /// Unlocks the exact range [begin, end) previously locked with `key`.
+  /// Rejects a wrong key or a range that doesn't match an existing lock
+  /// exactly — a partial unlock is not a thing.
+  bool Unlock(Lba begin, Lba end, std::uint64_t key);
+
+  /// True when a write/trim of [lba, lba+length) presenting `key` may
+  /// proceed: no overlap with any locked range, or every overlapped range
+  /// was locked under this key. Counts a denial in Stats().
+  bool WriteAllowed(Lba lba, std::uint32_t length, std::uint64_t key);
+
+  bool Locked(Lba lba) const;
+  std::size_t LockCount() const { return ranges_.size(); }
+  const std::vector<LockedRange>& Ranges() const { return ranges_; }
+  const RangeLockStats& Stats() const { return stats_; }
+
+ private:
+  std::vector<LockedRange> ranges_;  // sorted by begin, non-overlapping
+  RangeLockStats stats_;
+};
+
+}  // namespace insider::version

@@ -1,0 +1,35 @@
+#include "version/range_policy.h"
+
+#include <algorithm>
+
+namespace insider::version {
+
+bool RangePolicyTable::Add(const RangePolicy& policy) {
+  if (policy.begin >= policy.end) return false;
+  if (policy.keep_versions == 0 && policy.keep_window == 0) return false;
+  if (policy.keep_window < 0) return false;
+  // First existing range that could overlap: the one with the smallest
+  // `end` strictly above policy.begin.
+  auto it = std::upper_bound(
+      ranges_.begin(), ranges_.end(), policy.begin,
+      [](Lba lba, const RangePolicy& r) { return lba < r.end; });
+  if (it != ranges_.end() && it->begin < policy.end) return false;
+  ranges_.insert(it, policy);
+  return true;
+}
+
+const RangePolicy* RangePolicyTable::Find(Lba lba) const {
+  auto it = std::upper_bound(
+      ranges_.begin(), ranges_.end(), lba,
+      [](Lba l, const RangePolicy& r) { return l < r.end; });
+  if (it == ranges_.end() || lba < it->begin) return nullptr;
+  return &*it;
+}
+
+std::size_t RangePolicyTable::IndexOf(Lba lba) const {
+  const RangePolicy* p = Find(lba);
+  if (p == nullptr) return static_cast<std::size_t>(-1);
+  return static_cast<std::size_t>(p - ranges_.data());
+}
+
+}  // namespace insider::version

@@ -1,0 +1,56 @@
+// Per-LBA-range retention policies (SGX-SSD-style): protected ranges keep
+// N versions or T seconds of history past the device-global window, everything
+// else keeps only the paper-default t-10 s ring. The table is built once at
+// configuration time and shared read-only with the FTL and the version store.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/io.h"
+#include "common/time.h"
+
+namespace insider::version {
+
+/// Retention rule for one protected LBA range. A version survives pruning
+/// while it is among the newest `keep_versions` of its LBA *or* younger than
+/// `keep_window` — i.e. "keep N versions or T seconds", whichever retains
+/// more.
+struct RangePolicy {
+  Lba begin = 0;  ///< first protected LBA (inclusive)
+  Lba end = 0;    ///< one past the last protected LBA (exclusive)
+  /// Minimum number of versions retained per LBA regardless of age.
+  std::uint32_t keep_versions = 0;
+  /// Versions younger than this are retained regardless of count.
+  SimTime keep_window = 0;
+};
+
+/// Sorted, non-overlapping set of protected ranges. Lookup is a binary
+/// search; the table is immutable once handed to an FTL (shared_ptr const).
+class RangePolicyTable {
+ public:
+  /// Adds a range. Rejects (returns false, table unchanged): empty or
+  /// inverted ranges, a policy that retains nothing (keep_versions == 0 and
+  /// keep_window == 0), negative keep_window, and overlap with any range
+  /// already in the table.
+  bool Add(const RangePolicy& policy);
+
+  /// The policy covering `lba`, or nullptr if unprotected.
+  const RangePolicy* Find(Lba lba) const;
+
+  bool Protected(Lba lba) const { return Find(lba) != nullptr; }
+
+  /// Index of the range covering `lba` (position in Ranges()); SIZE_MAX if
+  /// unprotected. Stable for the table's lifetime — used to key per-range
+  /// metrics.
+  std::size_t IndexOf(Lba lba) const;
+
+  std::size_t RangeCount() const { return ranges_.size(); }
+  const std::vector<RangePolicy>& Ranges() const { return ranges_; }
+
+ private:
+  std::vector<RangePolicy> ranges_;  // sorted by begin, non-overlapping
+};
+
+}  // namespace insider::version

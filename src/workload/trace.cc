@@ -12,6 +12,8 @@ char ModeChar(IoMode mode) {
     case IoMode::kRead: return 'R';
     case IoMode::kWrite: return 'W';
     case IoMode::kTrim: return 'T';
+    case IoMode::kRangeLock: return 'L';
+    case IoMode::kRangeUnlock: return 'U';
   }
   return '?';
 }
@@ -21,6 +23,8 @@ IoMode ModeFromChar(char c) {
     case 'R': return IoMode::kRead;
     case 'W': return IoMode::kWrite;
     case 'T': return IoMode::kTrim;
+    case 'L': return IoMode::kRangeLock;
+    case 'U': return IoMode::kRangeUnlock;
     default:
       throw std::invalid_argument(std::string("bad trace mode: ") + c);
   }

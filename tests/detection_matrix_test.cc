@@ -101,6 +101,32 @@ TEST_F(DetectionMatrixTest, ScoresUnmovedByProgramFaults) {
   }
 }
 
+TEST_F(DetectionMatrixTest, ScoresUnmovedByVersionStore) {
+  // Versioning robustness: enabling per-range retention (protected LBAs,
+  // archived versions, the content-addressed store) is firmware-internal
+  // bookkeeping — the request stream the detector scores must be identical,
+  // so the same families under the same seeds alarm with the same scores.
+  for (const char* family : {"WannaCry", "Mole", "InHouse.inplace"}) {
+    InterleavedConfig cfg;
+    cfg.benign_tenants = 2;
+    cfg.ransomware = family;
+    cfg.duration = Seconds(30);
+    cfg.ransom_start = Seconds(8);
+    cfg.seed = 4247;
+    InterleavedResult plain = RunInterleavedDetection(*tree_, cfg);
+
+    auto table = std::make_shared<version::RangePolicyTable>();
+    ASSERT_TRUE(table->Add({0, 4096, 8, Seconds(120)}));
+    cfg.ftl.range_policies = table;
+    InterleavedResult versioned = RunInterleavedDetection(*tree_, cfg);
+
+    EXPECT_TRUE(plain.alarm) << family;
+    EXPECT_TRUE(versioned.alarm) << family;
+    EXPECT_EQ(plain.max_score, versioned.max_score) << family;
+    EXPECT_EQ(plain.alarm_time, versioned.alarm_time) << family;
+  }
+}
+
 TEST_F(DetectionMatrixTest, DetectionLatencyWithinPaperBoundWhenAlone) {
   for (const std::string& family : wl::AllRansomwareNames()) {
     DetectionRun run = Run(wl::AppKind::kNone, family, 4246);

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 
 #include "common/rng.h"
@@ -163,6 +164,51 @@ TEST(InvariantAuditorTest, DetectsBadBlockMismatch) {
   AuditReport report = InvariantAuditor::Audit(ftl, /*max_violations=*/64);
   EXPECT_FALSE(report.ok());
   EXPECT_TRUE(report.Has(Kind::kBadBlockMismatch)) << report.Diff();
+}
+
+// Versioning enabled (a protected range with archived history) must still
+// audit clean — the V1–V4 store cross-checks pass on a healthy device.
+TEST(InvariantAuditorTest, HealthyVersioningAuditsClean) {
+  FtlConfig cfg = SmallConfig();
+  auto table = std::make_shared<version::RangePolicyTable>();
+  ASSERT_TRUE(table->Add({0, 32, 8, Seconds(300)}));
+  cfg.range_policies = table;
+  PageFtl ftl(cfg);
+  SimTime now = Churn(ftl, 0xC0DE, 4000);
+  ftl.ReleaseExpired(now + Seconds(30));  // age survivors into the store
+  ASSERT_GT(ftl.ArchivedPageCount(), 0u);
+
+  AuditReport report = InvariantAuditor::Audit(ftl);
+  EXPECT_TRUE(report.ok()) << report.Diff();
+
+  ftl.RollBackRange(0, 32, now - Seconds(5), now + Seconds(40));
+  report = InvariantAuditor::Audit(ftl);
+  EXPECT_TRUE(report.ok()) << report.Diff();
+}
+
+// Violation class 5 — version-store mismatch: a page flipped to Archived
+// (counters kept consistent) that no store object accounts for.
+TEST(InvariantAuditorTest, DetectsOrphanArchivedPage) {
+  FtlConfig cfg = SmallConfig();
+  auto table = std::make_shared<version::RangePolicyTable>();
+  ASSERT_TRUE(table->Add({0, 32, 8, Seconds(300)}));
+  cfg.range_policies = table;
+  PageFtl ftl(cfg);
+  // A released backup of an *unprotected* LBA leaves a programmed page the
+  // FTL freed — the perfect orphan: flipping it to Archived creates a page
+  // the version store cannot account for.
+  ASSERT_TRUE(ftl.WritePage(40, {1, {}}, Seconds(1)).ok());
+  nand::Ppa victim = *ftl.Lookup(40);
+  ASSERT_TRUE(ftl.WritePage(40, {2, {}}, Seconds(2)).ok());
+  ftl.ReleaseExpired(Seconds(20));
+  ASSERT_EQ(ftl.StateOf(victim), PageState::kInvalid);
+  ASSERT_TRUE(InvariantAuditor::Audit(ftl).ok());
+
+  FtlStateTamperer(ftl).OrphanArchivedPage(victim);
+
+  AuditReport report = InvariantAuditor::Audit(ftl, /*max_violations=*/64);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.Has(Kind::kVersionStoreMismatch)) << report.Diff();
 }
 
 TEST(InvariantAuditorTest, DiffNamesKindLocationAndBothValues) {
