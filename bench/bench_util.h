@@ -1,6 +1,7 @@
 // Shared helpers for the benchmark/reproduction binaries.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -20,6 +21,14 @@ inline std::size_t RepsFromEnv(std::size_t def) {
     if (v > 0) return static_cast<std::size_t>(v);
   }
   return def;
+}
+
+/// Monotonic wall-clock seconds. Virtual SimTime measures the simulated
+/// device; this measures the simulator itself (events/sec, time-to-simulate).
+inline double WallSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 
 /// Scenario sizing shared by the reproduction benches.

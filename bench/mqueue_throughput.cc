@@ -10,6 +10,13 @@
 // with N benign tenant streams through separate queue pairs; the in-SSD
 // detector must still raise the alarm (score >= threshold) even though the
 // header stream it sees is the arbitrated interleaving of all tenants.
+//
+// Part 3 — simulation-engine throughput (ISSUE 7): wall-clock events/sec of
+// the engine itself, swept over geometry (seed vs the paper's 512 GB
+// PaperScale shape) x shard_threads, with the projected time to simulate a
+// 10M-command trace; plus the fleet-parallel dimension (N independent
+// devices across io::ParallelFor threads) where the speedup acceptance
+// lives — each instance stays bit-deterministic while the fleet scales.
 #include <algorithm>
 #include <cstdio>
 #include <vector>
@@ -21,6 +28,7 @@
 #include "host/ssd.h"
 #include "host/ssd_target.h"
 #include "io/io_engine.h"
+#include "io/shard_runtime.h"
 #include "json_writer.h"
 #include "obs/metrics.h"
 #include "workload/multi_tenant.h"
@@ -177,6 +185,159 @@ void InterleavedDetection(JsonWriter& json) {
   json.EndArray();
 }
 
+std::vector<wl::TenantSpec> EngineStreams(std::size_t queues,
+                                          std::size_t commands_per_queue,
+                                          Lba exported, std::uint64_t seed) {
+  const Lba region = exported / static_cast<Lba>(queues);
+  Rng rng(seed);
+  std::vector<wl::TenantSpec> tenants;
+  for (std::size_t q = 0; q < queues; ++q) {
+    wl::TenantSpec t;
+    t.name = "host" + std::to_string(q);
+    t.stamp_base = q * 1'000'000ull;
+    for (std::size_t i = 0; i < commands_per_queue; ++i) {
+      IoRequest req;
+      req.time = static_cast<SimTime>(i) * 10;
+      req.lba = region * q + rng.Below(64);
+      req.length = 1;
+      req.mode = rng.Chance(0.5) ? IoMode::kRead : IoMode::kWrite;
+      t.requests.push_back(req);
+    }
+    tenants.push_back(std::move(t));
+  }
+  return tenants;
+}
+
+struct EngineRun {
+  double wall_s = 0;
+  std::uint64_t dispatched = 0;
+  std::vector<std::uint64_t> lane_ops;  ///< deferred programs per channel
+};
+
+EngineRun RunEngineOnce(const nand::Geometry& geo, std::size_t shard_threads,
+                        std::size_t commands_per_queue, std::uint64_t seed) {
+  constexpr std::size_t kQueues = 8;
+  host::SsdConfig scfg;
+  scfg.ftl.geometry = geo;
+  scfg.detector_enabled = false;
+  host::Ssd ssd(scfg, core::PretrainedTree());
+  host::SsdTarget target(ssd);
+
+  io::EngineConfig ecfg;
+  ecfg.queue_count = kQueues;
+  ecfg.queue.sq_depth = 32;
+  ecfg.shard_threads = shard_threads;
+  io::IoEngine engine(target, ecfg);
+  wl::MultiTenantDriver driver(EngineStreams(
+      kQueues, commands_per_queue, ssd.Ftl().ExportedLbas(), seed));
+
+  EngineRun run;
+  const double begin = WallSeconds();
+  driver.Run(engine);
+  engine.PublishShardMetrics();  // drains the lanes before the clock stops
+  run.wall_s = WallSeconds() - begin;
+  run.dispatched = engine.Stats().dispatched;
+  if (const io::ShardRuntime* shards = engine.Shards()) {
+    for (const io::ShardLaneStats& lane : shards->LaneStats()) {
+      run.lane_ops.push_back(lane.ops);
+    }
+  }
+  return run;
+}
+
+void EngineThroughputSweep(JsonWriter& json) {
+  PrintHeader("simulation-engine throughput — events/sec vs geometry x shards");
+  std::printf("%12s %7s %12s %12s %14s\n", "geometry", "shards", "commands",
+              "events/s", "10M-cmd (s)");
+
+  // INSIDER_BENCH_REPS=1 keeps CI smokes to 80k commands; the default
+  // measures 320k and the projection column scales to the 10M-command trace
+  // the full reproduction replays.
+  const std::size_t kCommandsPerQueue = RepsFromEnv(4) * 10'000;
+  struct GeoCase {
+    const char* name;
+    nand::Geometry geo;
+  };
+  const GeoCase kGeos[] = {
+      {"seed", nand::Geometry::Seed()},
+      {"paper-512g", nand::Geometry::PaperScale()},
+  };
+  json.Key("engine_throughput").BeginArray();
+  for (const GeoCase& gc : kGeos) {
+    for (std::size_t shards : {0u, 1u, 2u, 4u, 8u}) {
+      EngineRun run = RunEngineOnce(gc.geo, shards, kCommandsPerQueue,
+                                    0xE7E'0000 + shards);
+      const double eps = run.wall_s > 0
+                             ? static_cast<double>(run.dispatched) / run.wall_s
+                             : 0.0;
+      const double to_10m = eps > 0 ? 1e7 / eps : 0.0;
+      std::printf("%12s %7zu %12llu %12.0f %14.1f\n", gc.name, shards,
+                  static_cast<unsigned long long>(run.dispatched), eps,
+                  to_10m);
+      json.BeginObject()
+          .Field("geometry", gc.name)
+          .Field("capacity_gib",
+                 static_cast<double>(gc.geo.CapacityBytes()) /
+                     (1024.0 * 1024.0 * 1024.0))
+          .Field("shard_threads", shards)
+          .Field("commands", run.dispatched)
+          .Field("wall_s", run.wall_s)
+          .Field("events_per_sec", eps)
+          .Field("time_to_simulate_10m_cmds_s", to_10m);
+      json.Key("lane_deferred_ops").BeginArray();
+      for (std::uint64_t ops : run.lane_ops) json.Value(ops);
+      json.EndArray();
+      json.EndObject();
+    }
+  }
+  json.EndArray();
+}
+
+void FleetParallelSweep(JsonWriter& json) {
+  PrintHeader("fleet-parallel scaling — 8 independent devices, 8x8 geometry");
+  std::printf("%8s %10s %10s %9s %12s\n", "threads", "instances", "wall_s",
+              "speedup", "events/s");
+
+  // Eight independent simulations (distinct seeds, same 8-channel x 8-way
+  // geometry) spread across a thread pool. Each instance is the serial
+  // deterministic engine; the fleet is where wall-clock scaling comes from —
+  // this is how the detection-accuracy sweeps replay many traces at once.
+  nand::Geometry geo;
+  geo.channels = 8;
+  geo.ways = 8;
+  geo.blocks_per_chip = 256;
+  geo.pages_per_block = 64;
+  constexpr std::size_t kInstances = 8;
+  const std::size_t kCommandsPerQueue = RepsFromEnv(4) * 2'500;
+
+  double baseline_s = 0;
+  json.Key("fleet_parallel").BeginArray();
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+    const double begin = WallSeconds();
+    io::ParallelFor(kInstances, threads, [&](std::size_t i) {
+      RunEngineOnce(geo, 0, kCommandsPerQueue, 0xF1EE7'00 + i);
+    });
+    const double wall_s = WallSeconds() - begin;
+    if (threads == 1) baseline_s = wall_s;
+    const double speedup = wall_s > 0 ? baseline_s / wall_s : 0.0;
+    const double total_cmds =
+        static_cast<double>(kInstances * 8 * kCommandsPerQueue);
+    std::printf("%8zu %10zu %10.2f %9.2f %12.0f\n", threads, kInstances,
+                wall_s, speedup, wall_s > 0 ? total_cmds / wall_s : 0.0);
+    json.BeginObject()
+        .Field("threads", threads)
+        .Field("hardware_threads",
+               static_cast<std::uint64_t>(io::HardwareThreads()))
+        .Field("instances", kInstances)
+        .Field("commands_per_instance", 8 * kCommandsPerQueue)
+        .Field("wall_s", wall_s)
+        .Field("speedup_vs_serial", speedup)
+        .Field("events_per_sec", wall_s > 0 ? total_cmds / wall_s : 0.0)
+        .EndObject();
+  }
+  json.EndArray();
+}
+
 }  // namespace
 }  // namespace insider::bench
 
@@ -187,6 +348,8 @@ int main() {
   json.Field("bench", "mqueue_throughput");
   insider::bench::ThroughputSweep(json);
   insider::bench::InterleavedDetection(json);
+  insider::bench::EngineThroughputSweep(json);
+  insider::bench::FleetParallelSweep(json);
   json.EndObject();
   std::printf("[bench] wrote %s\n", json.Path().c_str());
   return 0;

@@ -21,7 +21,7 @@ bool GcEngine::EvacuateBlock(std::uint32_t block_id, SimTime& now) {
   nand::BlockAddr addr = f.AddrOfBlockId(block_id);
   for (std::uint32_t p = 0; p < geo.pages_per_block; ++p) {
     nand::Ppa src = geo.MakePpa(addr.chip, addr.block, p);
-    PageState st = f.page_state_[src];
+    PageState st = f.page_state_.Get(src);
     if (st != PageState::kValid && st != PageState::kRetained &&
         st != PageState::kArchived) {
       continue;
@@ -37,10 +37,10 @@ bool GcEngine::EvacuateBlock(std::uint32_t block_id, SimTime& now) {
       // a retained page loses its backup; an archived page loses every
       // version record that referenced its content.
       ++f.stats_.gc_lost_pages;
-      Lba lost_lba = f.p2l_[src];
+      Lba lost_lba = f.p2l_.Get(src);
       BlockCounters& info = f.block_counters_[block_id];
       if (st == PageState::kValid) {
-        if (lost_lba != kInvalidLba) f.l2p_[lost_lba] = nand::kInvalidPpa;
+        if (lost_lba != kInvalidLba) f.l2p_.Set(lost_lba, nand::kInvalidPpa);
         --info.valid;
         --f.valid_pages_;
       } else if (st == PageState::kArchived) {
@@ -51,8 +51,8 @@ bool GcEngine::EvacuateBlock(std::uint32_t block_id, SimTime& now) {
         --info.retained;
         --f.retained_pages_;
       }
-      f.page_state_[src] = PageState::kInvalid;
-      f.p2l_[src] = kInvalidLba;
+      f.page_state_.Set(src, PageState::kInvalid);
+      f.p2l_.Set(src, kInvalidLba);
       continue;
     }
     // Relocation preserves the version's OOB identity (lba, written_at);
@@ -62,16 +62,16 @@ bool GcEngine::EvacuateBlock(std::uint32_t block_id, SimTime& now) {
     if (dst == nand::kInvalidPpa) return false;  // reserve exhausted
 
     ++f.stats_.gc_page_copies;
-    Lba lba = f.p2l_[src];
-    f.p2l_[dst] = lba;
-    f.page_state_[dst] = st;
+    Lba lba = f.p2l_.Get(src);
+    f.p2l_.Set(dst, lba);
+    f.page_state_.Set(dst, st);
     BlockCounters& dst_info = f.block_counters_[f.BlockIdOf(dst)];
     BlockCounters& src_info = f.block_counters_[block_id];
     if (st == PageState::kValid) {
       ++dst_info.valid;
       --src_info.valid;
       assert(lba != kInvalidLba);
-      f.l2p_[lba] = dst;
+      f.l2p_.Set(lba, dst);
     } else if (st == PageState::kArchived) {
       ++dst_info.archived;
       --src_info.archived;
@@ -86,8 +86,8 @@ bool GcEngine::EvacuateBlock(std::uint32_t block_id, SimTime& now) {
       assert(relocated);
       (void)relocated;
     }
-    f.page_state_[src] = PageState::kInvalid;
-    f.p2l_[src] = kInvalidLba;
+    f.page_state_.Set(src, PageState::kInvalid);
+    f.p2l_.Set(src, kInvalidLba);
   }
   return true;
 }
@@ -111,7 +111,7 @@ bool GcEngine::CollectVictim(std::uint32_t victim, SimTime& now) {
     return true;
   }
   for (std::uint32_t p = 0; p < geo.pages_per_block; ++p) {
-    f.page_state_[geo.MakePpa(addr.chip, addr.block, p)] = PageState::kFree;
+    f.page_state_.Set(geo.MakePpa(addr.chip, addr.block, p), PageState::kFree);
   }
   assert(f.block_counters_[victim].Movable() == 0);
   f.RecycleBlock(victim);

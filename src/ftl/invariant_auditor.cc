@@ -105,6 +105,10 @@ AuditReport InvariantAuditor::Audit(const PageFtl& ftl,
   AuditReport report;
   Recorder rec(report, max_violations == 0 ? 1 : max_violations);
 
+  // The raw block peeks below bypass the per-channel sync the timed read
+  // path performs; land any payloads still staged in shard lanes first.
+  ftl.nand_.SyncDeferred();
+
   // Raw OOB peek, bypassing the timed/ECC read path (the audit must not
   // perturb the deterministic error sequence). Returns nullptr for erased
   // and burned pages.
@@ -115,7 +119,7 @@ AuditReport InvariantAuditor::Audit(const PageFtl& ftl,
 
   // --- M1/M2: every L2P entry against page state, P2L, and NAND OOB. ----
   for (Lba lba = 0; lba < ftl.exported_lbas_ && !rec.Full(); ++lba) {
-    nand::Ppa ppa = ftl.l2p_[lba];
+    nand::Ppa ppa = ftl.l2p_.Get(lba);
     if (ppa == nand::kInvalidPpa) continue;
     rec.Check(ppa < geo.TotalPages(), Kind::kStaleMapping,
               [&](InvariantViolation& v) {
@@ -124,19 +128,19 @@ AuditReport InvariantAuditor::Audit(const PageFtl& ftl,
                 v.actual = "ppa " + Str(ppa);
               });
     if (ppa >= geo.TotalPages()) continue;
-    rec.Check(ftl.page_state_[ppa] == PageState::kValid, Kind::kStaleMapping,
+    rec.Check(ftl.page_state_.Get(ppa) == PageState::kValid, Kind::kStaleMapping,
               [&](InvariantViolation& v) {
                 v.where = "l2p[" + Str(lba) + "] -> ppa " + Str(ppa);
                 v.expected = "page state Valid";
-                v.actual = "page state " + PageStateName(ftl.page_state_[ppa]);
+                v.actual = "page state " + PageStateName(ftl.page_state_.Get(ppa));
               });
-    rec.Check(ftl.p2l_[ppa] == lba, Kind::kStaleMapping,
+    rec.Check(ftl.p2l_.Get(ppa) == lba, Kind::kStaleMapping,
               [&](InvariantViolation& v) {
                 v.where = "p2l[" + Str(ppa) + "]";
                 v.expected = "lba " + Str(lba) + " (from l2p)";
-                v.actual = ftl.p2l_[ppa] == kInvalidLba
+                v.actual = ftl.p2l_.Get(ppa) == kInvalidLba
                                ? "unmapped"
-                               : "lba " + Str(ftl.p2l_[ppa]);
+                               : "lba " + Str(ftl.p2l_.Get(ppa));
               });
     const nand::PageData* data = oob_of(ppa);
     rec.Check(data != nullptr, Kind::kStaleMapping,
@@ -179,20 +183,20 @@ AuditReport InvariantAuditor::Audit(const PageFtl& ftl,
                 v.expected = "old ppa still programmed (un-erased, not bad)";
                 v.actual = "page is erased or burned";
               });
-    rec.Check(ftl.page_state_[e.old_ppa] == PageState::kRetained,
+    rec.Check(ftl.page_state_.Get(e.old_ppa) == PageState::kRetained,
               Kind::kDanglingBackup, [&](InvariantViolation& v) {
                 v.where = entry;
                 v.expected = "page state Retained";
                 v.actual =
-                    "page state " + PageStateName(ftl.page_state_[e.old_ppa]);
+                    "page state " + PageStateName(ftl.page_state_.Get(e.old_ppa));
               });
-    rec.Check(ftl.p2l_[e.old_ppa] == e.lba, Kind::kDanglingBackup,
+    rec.Check(ftl.p2l_.Get(e.old_ppa) == e.lba, Kind::kDanglingBackup,
               [&](InvariantViolation& v) {
                 v.where = entry;
                 v.expected = "p2l agrees (lba " + Str(e.lba) + ")";
-                v.actual = ftl.p2l_[e.old_ppa] == kInvalidLba
+                v.actual = ftl.p2l_.Get(e.old_ppa) == kInvalidLba
                                ? "p2l unmapped"
-                               : "p2l lba " + Str(ftl.p2l_[e.old_ppa]);
+                               : "p2l lba " + Str(ftl.p2l_.Get(e.old_ppa));
               });
     if (data != nullptr) {
       rec.Check(data->oob.lba == e.lba, Kind::kDanglingBackup,
@@ -232,7 +236,7 @@ AuditReport InvariantAuditor::Audit(const PageFtl& ftl,
   std::uint64_t archived_total = 0;
   std::vector<BlockCounters> recomputed(geo.TotalBlocks());
   for (nand::Ppa ppa = 0; ppa < geo.TotalPages() && !rec.Full(); ++ppa) {
-    PageState st = ftl.page_state_[ppa];
+    PageState st = ftl.page_state_.Get(ppa);
     bool programmed = ftl.nand_.IsProgrammed(ppa);
     rec.Check((st == PageState::kFree) == !programmed, Kind::kBadBlockMismatch,
               [&](InvariantViolation& v) {
@@ -254,15 +258,15 @@ AuditReport InvariantAuditor::Audit(const PageFtl& ftl,
     if (st == PageState::kValid) {
       ++valid_total;
       ++recomputed[bid].valid;
-      bool mapped = ftl.p2l_[ppa] != kInvalidLba &&
-                    ftl.p2l_[ppa] < ftl.exported_lbas_ &&
-                    ftl.l2p_[ftl.p2l_[ppa]] == ppa;
+      bool mapped = ftl.p2l_.Get(ppa) != kInvalidLba &&
+                    ftl.p2l_.Get(ppa) < ftl.exported_lbas_ &&
+                    ftl.l2p_.Get(ftl.p2l_.Get(ppa)) == ppa;
       rec.Check(mapped, Kind::kStaleMapping, [&](InvariantViolation& v) {
         v.where = "valid page " + Str(ppa);
         v.expected = "p2l/l2p round-trip back to this page";
-        v.actual = ftl.p2l_[ppa] == kInvalidLba
+        v.actual = ftl.p2l_.Get(ppa) == kInvalidLba
                        ? "no reverse mapping"
-                       : "p2l lba " + Str(ftl.p2l_[ppa]) +
+                       : "p2l lba " + Str(ftl.p2l_.Get(ppa)) +
                              " maps elsewhere";
       });
     } else if (st == PageState::kRetained) {
@@ -375,13 +379,13 @@ AuditReport InvariantAuditor::Audit(const PageFtl& ftl,
       [&](version::PayloadHash hash, const version::StoreObject& obj) {
         if (rec.Full()) return;
         rec.Check(obj.ppa < geo.TotalPages() &&
-                      ftl.page_state_[obj.ppa] == PageState::kArchived,
+                      ftl.page_state_.Get(obj.ppa) == PageState::kArchived,
                   Kind::kVersionStoreMismatch, [&](InvariantViolation& v) {
                     v.where = "store object at ppa " + Str(obj.ppa);
                     v.expected = "page state Archived";
                     v.actual = obj.ppa < geo.TotalPages()
                                    ? "page state " +
-                                         PageStateName(ftl.page_state_[obj.ppa])
+                                         PageStateName(ftl.page_state_.Get(obj.ppa))
                                    : "ppa out of range";
                   });
         // V2: the refcount is exactly the number of referencing records.

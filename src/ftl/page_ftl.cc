@@ -84,9 +84,9 @@ PageFtl::PageFtl(const FtlConfig& config)
   const nand::Geometry& geo = config_.geometry;
   exported_lbas_ = static_cast<Lba>(
       static_cast<double>(geo.TotalPages()) * config_.exported_fraction);
-  l2p_.assign(exported_lbas_, nand::kInvalidPpa);
-  p2l_.assign(geo.TotalPages(), kInvalidLba);
-  page_state_.assign(geo.TotalPages(), PageState::kFree);
+  l2p_.Assign(exported_lbas_, nand::kInvalidPpa);
+  p2l_.Assign(geo.TotalPages(), kInvalidLba);
+  page_state_.Assign(geo.TotalPages(), PageState::kFree);
   block_counters_.assign(geo.TotalBlocks(), BlockCounters{});
   block_health_.assign(geo.TotalBlocks(), BlockHealth::kHealthy);
   free_blocks_by_chip_.resize(geo.TotalChips());
@@ -157,7 +157,7 @@ void PageFtl::RecycleBlock(std::uint32_t block_id) {
 }
 
 void PageFtl::ReleaseBackup(const BackupEntry& entry, SimTime now) {
-  assert(page_state_[entry.old_ppa] == PageState::kRetained);
+  assert(page_state_.Get(entry.old_ppa) == PageState::kRetained);
   BlockCounters& info = block_counters_[BlockIdOf(entry.old_ppa)];
   assert(info.retained > 0);
   --info.retained;
@@ -168,8 +168,8 @@ void PageFtl::ReleaseBackup(const BackupEntry& entry, SimTime now) {
     // tag intact so GC relocation and the rebuild scan keep working on it.
     return;
   }
-  page_state_[entry.old_ppa] = PageState::kInvalid;
-  p2l_[entry.old_ppa] = kInvalidLba;
+  page_state_.Set(entry.old_ppa, PageState::kInvalid);
+  p2l_.Set(entry.old_ppa, kInvalidLba);
 }
 
 bool PageFtl::ArchiveBackup(const BackupEntry& entry, SimTime now) {
@@ -196,7 +196,7 @@ bool PageFtl::ArchiveBackup(const BackupEntry& entry, SimTime now) {
       /*tombstone=*/false, now, on_prune);
   switch (result) {
     case version::ArchiveResult::kStored:
-      page_state_[entry.old_ppa] = PageState::kArchived;
+      page_state_.Set(entry.old_ppa, PageState::kArchived);
       ++block_counters_[BlockIdOf(entry.old_ppa)].archived;
       ++archived_pages_;
       return true;
@@ -211,19 +211,19 @@ bool PageFtl::ArchiveBackup(const BackupEntry& entry, SimTime now) {
 }
 
 void PageFtl::ReleaseArchived(nand::Ppa ppa) {
-  assert(page_state_[ppa] == PageState::kArchived);
-  page_state_[ppa] = PageState::kInvalid;
+  assert(page_state_.Get(ppa) == PageState::kArchived);
+  page_state_.Set(ppa, PageState::kInvalid);
   BlockCounters& info = block_counters_[BlockIdOf(ppa)];
   assert(info.archived > 0);
   --info.archived;
   --archived_pages_;
-  p2l_[ppa] = kInvalidLba;
+  p2l_.Set(ppa, kInvalidLba);
 }
 
 const nand::PageData* PageFtl::RawPage(nand::Ppa ppa) const {
-  const nand::Geometry& geo = config_.geometry;
-  return nand_.BlockAt({geo.ChipOf(ppa), geo.BlockOf(ppa)})
-      .Read(geo.PageOf(ppa));
+  // PeekPage (not BlockAt().Read()) so a sharded engine's in-flight payload
+  // applications land before firmware inspects page contents.
+  return nand_.PeekPage(ppa);
 }
 
 void PageFtl::ReleaseExpired(SimTime now) {
@@ -256,22 +256,22 @@ void PageFtl::ReleaseExpired(SimTime now) {
     // post-crash rebuild resurrect an archived version as current. Costs
     // one pinned page per trimmed protected LBA.
     if (store_.Enabled() && store_.Protected(rec.lba)) continue;
-    nand::Ppa ppa = l2p_[rec.lba];
+    nand::Ppa ppa = l2p_.Get(rec.lba);
     if (ppa != nand::kInvalidPpa && IsTombstone(ppa)) {
       MarkInvalid(ppa);
-      l2p_[rec.lba] = nand::kInvalidPpa;
+      l2p_.Set(rec.lba, nand::kInvalidPpa);
     }
   }
 }
 
 void PageFtl::MarkInvalid(nand::Ppa ppa) {
-  assert(page_state_[ppa] == PageState::kValid);
-  page_state_[ppa] = PageState::kInvalid;
+  assert(page_state_.Get(ppa) == PageState::kValid);
+  page_state_.Set(ppa, PageState::kInvalid);
   BlockCounters& info = block_counters_[BlockIdOf(ppa)];
   assert(info.valid > 0);
   --info.valid;
   --valid_pages_;
-  p2l_[ppa] = kInvalidLba;
+  p2l_.Set(ppa, kInvalidLba);
 }
 
 void PageFtl::Retire(Lba lba, nand::Ppa old_ppa, SimTime now) {
@@ -279,8 +279,8 @@ void PageFtl::Retire(Lba lba, nand::Ppa old_ppa, SimTime now) {
     MarkInvalid(old_ppa);
     return;
   }
-  assert(page_state_[old_ppa] == PageState::kValid);
-  page_state_[old_ppa] = PageState::kRetained;
+  assert(page_state_.Get(old_ppa) == PageState::kValid);
+  page_state_.Set(old_ppa, PageState::kRetained);
   BlockCounters& info = block_counters_[BlockIdOf(old_ppa)];
   --info.valid;
   ++info.retained;
@@ -313,7 +313,7 @@ nand::Ppa PageFtl::ProgramWithRedrive(nand::PageData data, SimTime& now) {
     ++stats_.write_redrives;
     obs::EmitInstant(tracer_, "ftl.redrive", "ftl", 0, now,
                      static_cast<std::int64_t>(ppa), "burned_ppa");
-    page_state_[ppa] = PageState::kBad;
+    page_state_.Set(ppa, PageState::kBad);
     MarkPendingRetire(BlockIdOf(ppa));
   }
 }
@@ -335,9 +335,8 @@ void PageFtl::RetireBlock(std::uint32_t block_id) {
   const nand::Block& blk = nand_.BlockAt(addr);
   for (std::uint32_t p = 0; p < geo.pages_per_block; ++p) {
     nand::Ppa ppa = geo.MakePpa(addr.chip, addr.block, p);
-    page_state_[ppa] =
-        blk.IsProgrammed(p) ? PageState::kBad : PageState::kFree;
-    p2l_[ppa] = kInvalidLba;
+    page_state_.Set(ppa, blk.IsProgrammed(p) ? PageState::kBad : PageState::kFree);
+    p2l_.Set(ppa, kInvalidLba);
   }
   block_counters_[block_id] = BlockCounters{};  // caller evacuated live pages
   if (active_block_per_chip_[addr.chip] == block_id) {
@@ -379,11 +378,11 @@ FtlResult PageFtl::WritePage(Lba lba, nand::PageData data, SimTime now) {
     return {FtlStatus::kNoSpace, now, {}};
   }
 
-  nand::Ppa old = l2p_[lba];
+  nand::Ppa old = l2p_.Get(lba);
   if (old != nand::kInvalidPpa) Retire(lba, old, now);
-  l2p_[lba] = ppa;
-  p2l_[ppa] = lba;
-  page_state_[ppa] = PageState::kValid;
+  l2p_.Set(lba, ppa);
+  p2l_.Set(ppa, lba);
+  page_state_.Set(ppa, PageState::kValid);
   ++block_counters_[BlockIdOf(ppa)].valid;
   ++valid_pages_;
   ++stats_.host_writes;
@@ -394,7 +393,7 @@ FtlResult PageFtl::ReadPage(Lba lba, SimTime now) {
   if (lba >= exported_lbas_) return {FtlStatus::kOutOfRange, now, {}};
   MutationAudit audit_scope(*this, "ReadPage");
   ReleaseExpired(now);
-  nand::Ppa ppa = l2p_[lba];
+  nand::Ppa ppa = l2p_.Get(lba);
   if (ppa == nand::kInvalidPpa) return {FtlStatus::kUnmapped, now, {}};
   obs::EmitInstant(tracer_, "ftl.map_lookup", "ftl", 0, now,
                    static_cast<std::int64_t>(ppa), "ppa");
@@ -426,7 +425,7 @@ FtlResult PageFtl::TrimPage(Lba lba, SimTime now) {
   if (lba >= exported_lbas_) return {FtlStatus::kOutOfRange, now, {}};
   MutationAudit audit_scope(*this, "TrimPage");
   ReleaseExpired(now);
-  nand::Ppa old = l2p_[lba];
+  nand::Ppa old = l2p_.Get(lba);
   if (old == nand::kInvalidPpa) return {FtlStatus::kUnmapped, now, {}};
   if (config_.delayed_deletion && config_.trim_tombstones) {
     if (IsTombstone(old)) return {FtlStatus::kUnmapped, now, {}};
@@ -446,11 +445,11 @@ FtlResult PageFtl::TrimPage(Lba lba, SimTime now) {
     tomb.oob.tombstone = true;
     nand::Ppa tppa = ProgramWithRedrive(std::move(tomb), now);
     if (tppa != nand::kInvalidPpa) {
-      old = l2p_[lba];  // GC above may have relocated the current version
+      old = l2p_.Get(lba);  // GC above may have relocated the current version
       Retire(lba, old, now);
-      l2p_[lba] = tppa;
-      p2l_[tppa] = lba;
-      page_state_[tppa] = PageState::kValid;
+      l2p_.Set(lba, tppa);
+      p2l_.Set(tppa, lba);
+      page_state_.Set(tppa, PageState::kValid);
       ++block_counters_[BlockIdOf(tppa)].valid;
       ++valid_pages_;
       trim_journal_.push_back({now, lba});
@@ -458,10 +457,10 @@ FtlResult PageFtl::TrimPage(Lba lba, SimTime now) {
       ++stats_.host_trims;
       return {FtlStatus::kOk, now, {}};
     }
-    old = l2p_[lba];
+    old = l2p_.Get(lba);
   }
   Retire(lba, old, now);
-  l2p_[lba] = nand::kInvalidPpa;
+  l2p_.Set(lba, nand::kInvalidPpa);
   ++stats_.host_trims;
   return {FtlStatus::kOk, now, {}};
 }
@@ -488,7 +487,7 @@ bool PageFtl::IsTombstone(nand::Ppa ppa) const {
 
 std::optional<nand::Ppa> PageFtl::Lookup(Lba lba) const {
   if (lba >= exported_lbas_) return std::nullopt;
-  nand::Ppa ppa = l2p_[lba];
+  nand::Ppa ppa = l2p_.Get(lba);
   if (ppa == nand::kInvalidPpa) return std::nullopt;
   if (config_.delayed_deletion && config_.trim_tombstones &&
       IsTombstone(ppa)) {
@@ -506,17 +505,17 @@ RollbackReport PageFtl::RollBack(SimTime detect_time) {
   std::unordered_set<Lba> touched;
   report.entries_reverted = queue_.RollBack(
       horizon, [this, &touched](const BackupEntry& e) {
-        nand::Ppa current = l2p_[e.lba];
+        nand::Ppa current = l2p_.Get(e.lba);
         if (current != nand::kInvalidPpa) MarkInvalid(current);
-        assert(page_state_[e.old_ppa] == PageState::kRetained);
-        page_state_[e.old_ppa] = PageState::kValid;
+        assert(page_state_.Get(e.old_ppa) == PageState::kRetained);
+        page_state_.Set(e.old_ppa, PageState::kValid);
         BlockCounters& info = block_counters_[BlockIdOf(e.old_ppa)];
         --info.retained;
         ++info.valid;
         --retained_pages_;
         ++valid_pages_;
-        l2p_[e.lba] = e.old_ppa;
-        p2l_[e.old_ppa] = e.lba;
+        l2p_.Set(e.lba, e.old_ppa);
+        p2l_.Set(e.old_ppa, e.lba);
         touched.insert(e.lba);
       });
   report.mappings_restored = touched.size();
@@ -553,7 +552,7 @@ RangeRollbackReport PageFtl::RollBackRange(Lba begin, Lba end,
       bool is_current = false;
     };
     Candidate best;
-    const nand::Ppa cur = l2p_[lba];
+    const nand::Ppa cur = l2p_.Get(lba);
     if (cur != nand::kInvalidPpa) {
       const nand::PageData* d = RawPage(cur);
       if (d != nullptr && d->oob.written_at <= restore_point) {
@@ -604,7 +603,7 @@ RangeRollbackReport PageFtl::RollBackRange(Lba begin, Lba end,
       // The restore point shows a trim: retire the current version (the
       // unmap is undoable through the ring) and clear the mapping.
       Retire(lba, cur, now);
-      l2p_[lba] = nand::kInvalidPpa;
+      l2p_.Set(lba, nand::kInvalidPpa);
       ++report.unmapped;
       if (restore_age_hist_ != nullptr) {
         restore_age_hist_->Add(static_cast<double>(now - best.written_at));
@@ -635,11 +634,11 @@ RangeRollbackReport PageFtl::RollBackRange(Lba begin, Lba end,
       ++report.failed;
       continue;
     }
-    const nand::Ppa displaced = l2p_[lba];  // GC may have moved it
+    const nand::Ppa displaced = l2p_.Get(lba);  // GC may have moved it
     if (displaced != nand::kInvalidPpa) Retire(lba, displaced, now);
-    l2p_[lba] = fresh;
-    p2l_[fresh] = lba;
-    page_state_[fresh] = PageState::kValid;
+    l2p_.Set(lba, fresh);
+    p2l_.Set(fresh, lba);
+    page_state_.Set(fresh, PageState::kValid);
     ++block_counters_[BlockIdOf(fresh)].valid;
     ++valid_pages_;
     ++report.restored;
@@ -677,13 +676,17 @@ PageFtl::RebuildReport PageFtl::RebuildFromNand(SimTime now) {
   const nand::Geometry& geo = config_.geometry;
   RebuildReport report;
 
+  // The OOB scan below reads page contents directly; with a sharded engine
+  // every deferred payload must land first.
+  nand_.SyncDeferred();
+
   // Power loss wipes everything in DRAM. The grown-bad-block table
   // (block_health_) and the degraded latch survive — firmware persists them
   // in a reserved flash region — but an alarm's read-only latch does not:
   // the detector re-arms after reboot.
-  l2p_.assign(exported_lbas_, nand::kInvalidPpa);
-  p2l_.assign(geo.TotalPages(), kInvalidLba);
-  page_state_.assign(geo.TotalPages(), PageState::kFree);
+  l2p_.Assign(exported_lbas_, nand::kInvalidPpa);
+  p2l_.Assign(geo.TotalPages(), kInvalidLba);
+  page_state_.Assign(geo.TotalPages(), PageState::kFree);
   block_counters_.assign(geo.TotalBlocks(), BlockCounters{});
   for (auto& pool : free_blocks_by_chip_) pool.clear();
   active_block_per_chip_.assign(geo.TotalChips(), kNoActiveBlock);
@@ -721,8 +724,7 @@ PageFtl::RebuildReport PageFtl::RebuildFromNand(SimTime now) {
       // Out of service: the bad-block table says never touch it again.
       for (std::uint32_t p = 0; p < geo.pages_per_block; ++p) {
         nand::Ppa ppa = geo.MakePpa(addr.chip, addr.block, p);
-        page_state_[ppa] =
-            blk.IsProgrammed(p) ? PageState::kBad : PageState::kFree;
+        page_state_.Set(ppa, blk.IsProgrammed(p) ? PageState::kBad : PageState::kFree);
       }
       ++report.blocks_retired;
       continue;
@@ -733,7 +735,7 @@ PageFtl::RebuildReport PageFtl::RebuildFromNand(SimTime now) {
     for (std::uint32_t p = 0; p < blk.WritePointer(); ++p) {
       nand::Ppa ppa = geo.MakePpa(addr.chip, addr.block, p);
       if (blk.IsBadPage(p)) {
-        page_state_[ppa] = PageState::kBad;
+        page_state_.Set(ppa, PageState::kBad);
         continue;
       }
       // The scan uses the raw internal read path: OOB-only reads bypass the
@@ -741,7 +743,7 @@ PageFtl::RebuildReport PageFtl::RebuildFromNand(SimTime now) {
       // error sequence. Its cost is modeled in report.duration instead.
       const nand::PageData* data = blk.Read(p);
       ++report.pages_scanned;
-      page_state_[ppa] = PageState::kInvalid;  // until a version claims it
+      page_state_.Set(ppa, PageState::kInvalid);  // until a version claims it
       write_seq_ = std::max(write_seq_, data->oob.seq);
       if (data->oob.lba == kInvalidLba || data->oob.lba >= exported_lbas_) {
         continue;  // written outside the FTL (raw NAND tests)
@@ -786,9 +788,9 @@ PageFtl::RebuildReport PageFtl::RebuildFromNand(SimTime now) {
     // trim being replayed: it stays mapped (host-visibly unmapped) and
     // rejoins the trim journal so the window still ages it out.
     const Version* newest = live.back();
-    l2p_[lba] = newest->ppa;
-    p2l_[newest->ppa] = lba;
-    page_state_[newest->ppa] = PageState::kValid;
+    l2p_.Set(lba, newest->ppa);
+    p2l_.Set(newest->ppa, lba);
+    page_state_.Set(newest->ppa, PageState::kValid);
     ++block_counters_[BlockIdOf(newest->ppa)].valid;
     ++valid_pages_;
     if (newest->data->oob.tombstone) {
@@ -813,8 +815,8 @@ PageFtl::RebuildReport PageFtl::RebuildFromNand(SimTime now) {
                          : a.displacing_seq < b.displacing_seq;
             });
   for (const QueuedBackup& qb : backups) {
-    page_state_[qb.old_ppa] = PageState::kRetained;
-    p2l_[qb.old_ppa] = qb.lba;
+    page_state_.Set(qb.old_ppa, PageState::kRetained);
+    p2l_.Set(qb.old_ppa, qb.lba);
     ++block_counters_[BlockIdOf(qb.old_ppa)].retained;
     ++retained_pages_;
     std::optional<BackupEntry> evicted =

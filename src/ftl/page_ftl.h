@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "common/io.h"
+#include "common/lazy_table.h"
 #include "common/time.h"
 #include "ftl/ftl_types.h"
 #include "ftl/gc_engine.h"
@@ -161,7 +162,7 @@ class PageFtl {
   void AttachObs(obs::Tracer* tracer, obs::MetricsRegistry* metrics);
 
   std::optional<nand::Ppa> Lookup(Lba lba) const;
-  PageState StateOf(nand::Ppa ppa) const { return page_state_[ppa]; }
+  PageState StateOf(nand::Ppa ppa) const { return page_state_.Get(ppa); }
   /// True when this page carries a trim tombstone (OOB flag peek). An LBA
   /// mapped to a tombstone is host-visibly unmapped; the mapping exists only
   /// so the trim survives power loss (FtlConfig::trim_tombstones).
@@ -202,6 +203,23 @@ class PageFtl {
     double mean_erases = 0.0;
   };
   WearStats Wear() const;
+
+  /// Resident heap estimate of the capacity-proportional FTL state: lazily
+  /// chunked mapping tables plus the NAND array and dense per-block
+  /// bookkeeping. The paper-scale footprint regression pins this for an
+  /// empty 512 GB device (it must stay in the tens of megabytes).
+  std::uint64_t ResidentBytesEstimate() const {
+    std::uint64_t bytes = l2p_.ResidentBytes() + p2l_.ResidentBytes() +
+                          page_state_.ResidentBytes() +
+                          block_counters_.capacity() * sizeof(BlockCounters) +
+                          block_health_.capacity() * sizeof(BlockHealth) +
+                          active_block_per_chip_.capacity() *
+                              sizeof(std::uint32_t);
+    for (const auto& pool : free_blocks_by_chip_) {
+      bytes += pool.capacity() * sizeof(std::uint32_t);
+    }
+    return bytes + nand_.ResidentBytesEstimate();
+  }
 
   /// True when this build compiled the INSIDER_AUDIT mutation hooks in
   /// (tests use this to decide whether the abort-on-violation path exists).
@@ -292,9 +310,12 @@ class PageFtl {
   nand::FlashArray nand_;
   Lba exported_lbas_;
 
-  std::vector<nand::Ppa> l2p_;
-  std::vector<Lba> p2l_;
-  std::vector<PageState> page_state_;
+  // The three capacity-proportional tables are lazily chunked so a
+  // paper-scale (512 GB) device costs resident memory proportional to the
+  // LBA/PPA space actually touched, not to TotalPages (~1 GB each dense).
+  common::LazyTable<nand::Ppa> l2p_;
+  common::LazyTable<Lba> p2l_;
+  common::LazyTable<PageState> page_state_;
   std::vector<BlockCounters> block_counters_;
   /// Per-chip LIFO pools of erased block ids plus one active block per chip.
   std::vector<std::vector<std::uint32_t>> free_blocks_by_chip_;

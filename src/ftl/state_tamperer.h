@@ -18,7 +18,7 @@ class FtlStateTamperer {
   /// Violation class 1 — stale L2P: point `lba` at an arbitrary physical
   /// page without updating P2L, page states, or NAND. Auditing afterwards
   /// must flag a stale mapping (state / reverse-map / OOB disagreement).
-  void RemapLba(Lba lba, nand::Ppa ppa) { ftl_.l2p_[lba] = ppa; }
+  void RemapLba(Lba lba, nand::Ppa ppa) { ftl_.l2p_.Set(lba, ppa); }
 
   /// Violation class 2a — dangling recovery-queue PPA: physically erase the
   /// NAND block holding `ppa` behind the FTL's back, so every queue entry
@@ -53,7 +53,7 @@ class FtlStateTamperer {
   /// invalid page to Archived (with the counters kept consistent, so only
   /// the store cross-checks fire: no object stores this page).
   void OrphanArchivedPage(nand::Ppa ppa) {
-    ftl_.page_state_[ppa] = PageState::kArchived;
+    ftl_.page_state_.Set(ppa, PageState::kArchived);
     ++ftl_.block_counters_[ftl_.BlockIdOf(ppa)].archived;
     ++ftl_.archived_pages_;
   }

@@ -11,6 +11,10 @@
 #include "common/io.h"
 #include "common/time.h"
 
+namespace insider::nand {
+class DeferredApplier;
+}
+
 namespace insider::io {
 
 /// Device-level completion status, the NVMe-status-field analogue the engine
@@ -73,6 +77,13 @@ class DeviceTarget {
   /// processes events in non-decreasing time order, so `until` is monotone.
   /// Default: the device has no background work.
   virtual void RunBackgroundUntil(SimTime /*until*/) {}
+
+  /// Engine with EngineConfig::shard_threads > 0: offer the device a
+  /// deferred payload applier (the channel-sharded runtime); nullptr detaches
+  /// it again (the engine is going away). Devices with no NAND array — or
+  /// that choose not to shard — ignore this, which keeps them on the serial
+  /// reference path.
+  virtual void AttachDeferredApplier(nand::DeferredApplier* /*applier*/) {}
 };
 
 }  // namespace insider::io

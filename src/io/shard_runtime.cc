@@ -1,0 +1,143 @@
+#include "io/shard_runtime.h"
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+
+#include "nand/flash_array.h"
+
+namespace insider::io {
+
+ShardRuntime::ShardRuntime(std::size_t threads, std::size_t batch_size)
+    : threads_requested_(std::max<std::size_t>(1, threads)),
+      batch_size_(std::max<std::size_t>(1, batch_size)) {}
+
+ShardRuntime::~ShardRuntime() {
+  SyncAll();
+  StopWorkers();
+}
+
+void ShardRuntime::Bind(nand::FlashArray& array) {
+  // Rebinding (new device on the same engine) quiesces and rebuilds the
+  // lane/worker fabric for the new channel count.
+  SyncAll();
+  StopWorkers();
+  array_ = &array;
+  std::size_t channels = array.Geo().channels;
+  lanes_.clear();
+  lanes_.resize(channels);
+  lane_stats_.assign(channels, ShardLaneStats{});
+  std::size_t n = std::min(threads_requested_, channels);
+  workers_.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  for (auto& w : workers_) {
+    w->thread = std::thread([this, worker = w.get()] { WorkerLoop(*worker); });
+  }
+}
+
+void ShardRuntime::Enqueue(std::uint32_t channel, nand::DeferredProgram op) {
+  Lane& lane = lanes_[channel];
+  lane.pending.push_back(std::move(op));
+  ++lane_stats_[channel].ops;
+  if (lane.pending.size() >= batch_size_) FlushLane(channel);
+}
+
+void ShardRuntime::FlushLane(std::uint32_t lane_id) {
+  Lane& lane = lanes_[lane_id];
+  if (lane.pending.empty()) return;
+  Batch batch;
+  batch.lane = lane_id;
+  batch.ops = std::move(lane.pending);
+  lane.pending.clear();
+  ++lane_stats_[lane_id].batches;
+  Worker& w = WorkerFor(lane_id);
+  {
+    std::lock_guard<std::mutex> lock(w.mu);
+    ++lane.inflight_batches;
+    w.queue.push_back(std::move(batch));
+  }
+  lane.maybe_busy = true;
+  w.work_cv.notify_one();
+}
+
+void ShardRuntime::Sync(std::uint32_t channel) {
+  Lane& lane = lanes_[channel];
+  FlushLane(channel);
+  if (!lane.maybe_busy) return;  // nothing handed off since the last barrier
+  ++lane_stats_[channel].syncs;
+  Worker& w = WorkerFor(channel);
+  std::unique_lock<std::mutex> lock(w.mu);
+  w.idle_cv.wait(lock, [&] { return lane.inflight_batches == 0; });
+  lane.maybe_busy = false;
+}
+
+void ShardRuntime::SyncAll() {
+  for (std::uint32_t c = 0; c < lanes_.size(); ++c) Sync(c);
+}
+
+void ShardRuntime::WorkerLoop(Worker& worker) {
+  std::unique_lock<std::mutex> lock(worker.mu);
+  for (;;) {
+    worker.work_cv.wait(lock,
+                        [&] { return worker.stop || !worker.queue.empty(); });
+    if (worker.queue.empty()) return;  // stop requested and drained
+    Batch batch = std::move(worker.queue.front());
+    worker.queue.pop_front();
+    lock.unlock();
+    for (nand::DeferredProgram& op : batch.ops) {
+      array_->ApplyDeferred(std::move(op));
+    }
+    lock.lock();
+    Lane& lane = lanes_[batch.lane];
+    if (--lane.inflight_batches == 0) worker.idle_cv.notify_all();
+  }
+}
+
+void ShardRuntime::StopWorkers() {
+  for (auto& w : workers_) {
+    {
+      std::lock_guard<std::mutex> lock(w->mu);
+      w->stop = true;
+    }
+    w->work_cv.notify_all();
+  }
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+  workers_.clear();
+}
+
+void ParallelFor(std::size_t count, std::size_t threads,
+                 const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  // More workers than cores is pure context-switch overhead: clamp to the
+  // hardware budget.
+  threads = std::min(threads, HardwareThreads());
+  if (threads <= 1 || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  auto pump = [&] {
+    for (;;) {
+      std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      fn(i);
+    }
+  };
+  std::size_t n = std::min(threads, count);
+  std::vector<std::thread> pool;
+  pool.reserve(n - 1);
+  for (std::size_t i = 0; i + 1 < n; ++i) pool.emplace_back(pump);
+  pump();
+  for (std::thread& t : pool) t.join();
+}
+
+std::size_t HardwareThreads() {
+  std::size_t hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+}  // namespace insider::io

@@ -1,0 +1,123 @@
+// The channel-sharded execution runtime behind EngineConfig::shard_threads.
+//
+// Shard boundary: the discrete-event loop (admission, arbitration, timing,
+// FTL state) stays on the simulation thread — completion times feed the FTL
+// clock, backup timestamps, and the detector, so they are sequenced at the
+// admission barrier. What each channel shard owns is the part with no
+// feedback into simulation outcomes: applying program payloads into its
+// channel's blocks (nand::DeferredApplier) — chips partition by channel
+// (Geometry::ChannelOfChip), so lanes touch disjoint memory by
+// construction.
+//
+// Epoch-batched handoff: the simulation thread stages ops per lane and
+// hands a batch to the lane's worker when it fills (or at a sync barrier).
+// Any content read syncs the owning lane first, which is what makes the
+// sharded engine bit-identical to the serial reference — the differential
+// determinism suite pins that equivalence at 1/2/4/8 threads.
+//
+// ParallelFor is the second, embarrassingly parallel dimension: fleet runs
+// of *independent* devices (each internally deterministic), used by
+// bench/mqueue_throughput's paper-scale sweep.
+//
+// This file and shard_runtime.cc are the only places in the tree allowed to
+// name std::thread/std::mutex/std::atomic (insider_lint rule raw-thread).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "nand/deferred.h"
+
+namespace insider::nand {
+class FlashArray;
+}
+
+namespace insider::io {
+
+/// Per-channel-lane counters, maintained by the simulation thread only (so
+/// they are deterministic and safely readable without synchronization).
+struct ShardLaneStats {
+  std::uint64_t ops = 0;      ///< deferred programs enqueued on this lane
+  std::uint64_t batches = 0;  ///< epoch batches handed to the worker
+  std::uint64_t syncs = 0;    ///< lane barriers forced by content reads
+};
+
+class ShardRuntime final : public nand::DeferredApplier {
+ public:
+  /// `threads` workers serve the channel lanes round-robin (lane c -> worker
+  /// c % threads); `batch_size` is the epoch batch the simulation thread
+  /// accumulates before handing a lane's ops over.
+  explicit ShardRuntime(std::size_t threads, std::size_t batch_size = 32);
+  ~ShardRuntime() override;
+
+  ShardRuntime(const ShardRuntime&) = delete;
+  ShardRuntime& operator=(const ShardRuntime&) = delete;
+
+  // nand::DeferredApplier --------------------------------------------------
+
+  void Bind(nand::FlashArray& array) override;
+  void Enqueue(std::uint32_t channel, nand::DeferredProgram op) override;
+  void Sync(std::uint32_t channel) override;
+  void SyncAll() override;
+
+  std::size_t ThreadCount() const { return workers_.size(); }
+  std::size_t LaneCount() const { return lanes_.size(); }
+  /// Snapshot after a sync barrier; values are deterministic per workload.
+  const std::vector<ShardLaneStats>& LaneStats() const { return lane_stats_; }
+
+ private:
+  struct Batch {
+    std::uint32_t lane = 0;
+    std::vector<nand::DeferredProgram> ops;
+  };
+  struct Worker {
+    std::mutex mu;
+    std::condition_variable work_cv;  ///< batch queued or stop requested
+    std::condition_variable idle_cv;  ///< a lane's last in-flight batch done
+    std::deque<Batch> queue;          ///< guarded by mu
+    bool stop = false;                ///< guarded by mu
+    std::thread thread;
+  };
+  struct Lane {
+    std::vector<nand::DeferredProgram> pending;  ///< simulation-thread staging
+    std::uint64_t inflight_batches = 0;          ///< guarded by worker mu
+    /// Simulation-thread-only: a batch was handed off since the last sync,
+    /// so a barrier must actually take the worker's lock. False lets Sync()
+    /// skip locking entirely on idle lanes (the common case for reads of
+    /// cold channels).
+    bool maybe_busy = false;
+  };
+
+  Worker& WorkerFor(std::uint32_t lane) {
+    return *workers_[lane % workers_.size()];
+  }
+  void FlushLane(std::uint32_t lane);
+  void WorkerLoop(Worker& worker);
+  void StopWorkers();
+
+  std::size_t threads_requested_;
+  std::size_t batch_size_;
+  nand::FlashArray* array_ = nullptr;
+  std::vector<Lane> lanes_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<ShardLaneStats> lane_stats_;
+};
+
+/// Run `fn(i)` for i in [0, count) on up to `threads` workers (0/1 = run
+/// inline). Tasks must be independent; completion order is unspecified but
+/// each task runs exactly once. Used for fleet-parallel device simulation.
+void ParallelFor(std::size_t count, std::size_t threads,
+                 const std::function<void(std::size_t)>& fn);
+
+/// Hardware thread budget (std::thread::hardware_concurrency, with the
+/// 0-means-unknown quirk folded to 1). ParallelFor clamps to this; benches
+/// report it so scaling numbers are interpretable on small machines.
+std::size_t HardwareThreads();
+
+}  // namespace insider::io

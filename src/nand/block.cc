@@ -4,16 +4,35 @@
 
 namespace insider::nand {
 
+void Block::MaterializePages() {
+  // Full-vector materialization (not per-page growth) so that pointers into
+  // pages_ handed out by Read() survive later programs of the same block.
+  if (pages_.empty()) pages_.resize(pages_per_block_);
+}
+
 bool Block::Program(std::uint32_t page, PageData data) {
   if (page != write_ptr_ || IsFull()) return false;
+  MaterializePages();
   pages_[page] = std::move(data);
   ++write_ptr_;
   return true;
 }
 
+bool Block::ReserveProgram(std::uint32_t page) {
+  if (page != write_ptr_ || IsFull()) return false;
+  MaterializePages();
+  ++write_ptr_;
+  return true;
+}
+
+void Block::ApplyProgram(std::uint32_t page, PageData data) {
+  pages_[page] = std::move(data);
+}
+
 bool Block::BurnPage(std::uint32_t page) {
   if (page != write_ptr_ || IsFull()) return false;
-  if (bad_.empty()) bad_.assign(pages_.size(), false);
+  MaterializePages();
+  if (bad_.empty()) bad_.assign(pages_per_block_, false);
   pages_[page] = PageData{};
   bad_[page] = true;
   ++write_ptr_;
@@ -34,6 +53,13 @@ void Block::Erase() {
   bad_.clear();
   write_ptr_ = 0;
   ++erase_count_;
+}
+
+std::uint64_t Block::ResidentBytesEstimate() const {
+  std::uint64_t bytes = pages_.capacity() * sizeof(PageData);
+  for (const PageData& p : pages_) bytes += p.bytes.capacity();
+  bytes += bad_.capacity() / 8;
+  return bytes;
 }
 
 }  // namespace insider::nand

@@ -11,18 +11,22 @@ namespace insider::nand {
 /// A block enforces NAND's two physical rules: pages are programmed strictly
 /// in order within the block, and a page can only be reprogrammed after the
 /// whole block is erased.
+///
+/// Page storage is lazy: a freshly constructed block owns no page records at
+/// all (an empty paper-scale device has 131,072 of these), and the payload
+/// vector materializes in full on the first program so `const PageData*`
+/// handed out by Read() stays stable for the block's whole program/erase
+/// cycle.
 class Block {
  public:
   explicit Block(std::uint32_t pages_per_block)
-      : pages_(pages_per_block) {}
+      : pages_per_block_(pages_per_block) {}
 
-  std::uint32_t PagesPerBlock() const {
-    return static_cast<std::uint32_t>(pages_.size());
-  }
+  std::uint32_t PagesPerBlock() const { return pages_per_block_; }
 
   /// Next page that may legally be programmed; == PagesPerBlock() when full.
   std::uint32_t WritePointer() const { return write_ptr_; }
-  bool IsFull() const { return write_ptr_ == PagesPerBlock(); }
+  bool IsFull() const { return write_ptr_ == pages_per_block_; }
   bool IsErased() const { return write_ptr_ == 0; }
   std::uint64_t EraseCount() const { return erase_count_; }
 
@@ -32,6 +36,14 @@ class Block {
   /// nothing) on a rule violation: out-of-order program or programming a
   /// full block.
   bool Program(std::uint32_t page, PageData data);
+
+  /// Deferred-apply split of Program(): consume the write-pointer position
+  /// now (same rule checks), fill the payload later via ApplyProgram().
+  /// Between the two calls the page reads as a programmed page with default
+  /// contents — the shard runtime guarantees every content read syncs the
+  /// channel's apply lane first.
+  bool ReserveProgram(std::uint32_t page);
+  void ApplyProgram(std::uint32_t page, PageData data);
 
   /// A program attempt on the page at the write pointer failed: the page's
   /// cells are in an indeterminate state. The write pointer still advances
@@ -50,10 +62,20 @@ class Block {
 
   void Erase();
 
+  /// True once the page-record vector has been allocated (first program).
+  bool Materialized() const { return !pages_.empty(); }
+
+  /// Resident heap estimate for the footprint regression tests: page-record
+  /// vector + payload bytes + bad-page bitmap.
+  std::uint64_t ResidentBytesEstimate() const;
+
  private:
-  std::vector<PageData> pages_;
+  void MaterializePages();
+
+  std::vector<PageData> pages_;  ///< empty until the first program
   /// Lazily sized to pages_per_block on the first burn; empty = no bad pages.
   std::vector<bool> bad_;
+  std::uint32_t pages_per_block_ = 0;
   std::uint32_t write_ptr_ = 0;
   std::uint64_t erase_count_ = 0;
 };

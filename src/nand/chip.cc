@@ -2,17 +2,46 @@
 
 namespace insider::nand {
 
-Chip::Chip(std::uint32_t blocks_per_chip, std::uint32_t pages_per_block) {
-  blocks_.reserve(blocks_per_chip);
-  for (std::uint32_t i = 0; i < blocks_per_chip; ++i) {
-    blocks_.emplace_back(pages_per_block);
+Chip::Chip(std::uint32_t blocks_per_chip, std::uint32_t pages_per_block)
+    : blocks_(blocks_per_chip, nullptr),
+      pristine_(pages_per_block),
+      pages_per_block_(pages_per_block) {}
+
+Chip::~Chip() {
+  // The arena frees memory wholesale but runs no destructors; Block owns
+  // heap vectors, so destroy each materialized block explicitly.
+  for (Block* b : blocks_) {
+    if (b != nullptr) b->~Block();
   }
+}
+
+Block& Chip::BlockAt(std::uint32_t block) {
+  Block*& slot = blocks_[block];
+  if (slot == nullptr) slot = arena_.Create<Block>(pages_per_block_);
+  return *slot;
 }
 
 std::uint64_t Chip::TotalEraseCount() const {
   std::uint64_t total = 0;
-  for (const Block& b : blocks_) total += b.EraseCount();
+  for (const Block* b : blocks_) {
+    if (b != nullptr) total += b->EraseCount();
+  }
   return total;
+}
+
+std::uint64_t Chip::MaterializedBlocks() const {
+  std::uint64_t n = 0;
+  for (const Block* b : blocks_) n += (b != nullptr) ? 1 : 0;
+  return n;
+}
+
+std::uint64_t Chip::ResidentBytesEstimate() const {
+  std::uint64_t bytes = arena_.GetStats().slab_bytes +
+                        blocks_.capacity() * sizeof(Block*);
+  for (const Block* b : blocks_) {
+    if (b != nullptr) bytes += b->ResidentBytesEstimate();
+  }
+  return bytes;
 }
 
 }  // namespace insider::nand

@@ -5,17 +5,39 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/time.h"
 #include "nand/block.h"
 
 namespace insider::nand {
 
+/// Blocks materialize lazily out of a per-chip arena on first mutable
+/// access: a paper-scale chip has 2048 blocks, and an empty device holds 64
+/// such chips, so eager construction would burn both startup time and
+/// resident memory for state that reads identically to a pristine block.
+/// Const access to an unmaterialized block returns the shared pristine
+/// block, which answers every query (erased, zero erase count, no bad
+/// pages) exactly as the real block would.
 class Chip {
  public:
   Chip(std::uint32_t blocks_per_chip, std::uint32_t pages_per_block);
+  ~Chip();
 
-  Block& BlockAt(std::uint32_t block) { return blocks_[block]; }
-  const Block& BlockAt(std::uint32_t block) const { return blocks_[block]; }
+  // Movable-constructible only (vector growth); move *assignment* would
+  // need to run the destination's block destructors first, and no caller
+  // assigns chips.
+  Chip(Chip&&) noexcept = default;
+  Chip& operator=(Chip&&) = delete;
+  Chip(const Chip&) = delete;
+  Chip& operator=(const Chip&) = delete;
+
+  /// Mutable access materializes the block.
+  Block& BlockAt(std::uint32_t block);
+  /// Const access never allocates: unmaterialized blocks read as pristine.
+  const Block& BlockAt(std::uint32_t block) const {
+    const Block* b = blocks_[block];
+    return b != nullptr ? *b : pristine_;
+  }
   std::uint32_t BlockCount() const {
     return static_cast<std::uint32_t>(blocks_.size());
   }
@@ -25,8 +47,16 @@ class Chip {
 
   std::uint64_t TotalEraseCount() const;
 
+  std::uint64_t MaterializedBlocks() const;
+  /// Resident heap estimate: block arena + block-pointer directory + the
+  /// page storage owned by materialized blocks.
+  std::uint64_t ResidentBytesEstimate() const;
+
  private:
-  std::vector<Block> blocks_;
+  std::vector<Block*> blocks_;  ///< null until materialized
+  common::ArenaAllocator arena_;
+  Block pristine_;
+  std::uint32_t pages_per_block_ = 0;
   SimTime busy_until_ = 0;
 };
 

@@ -1,0 +1,55 @@
+// Deferred payload application: the seam between the NAND model and the
+// sharded runtime in src/io/shard_*.
+//
+// Everything that decides *simulation outcomes* — program timing, fault
+// sampling, counters, write pointers — happens inline on the simulation
+// thread. What a program physically *stores* (the page payload) is pure
+// data movement with no feedback into timing or FTL state, so the
+// FlashArray may hand it to a DeferredApplier: ops are enqueued per channel
+// (matching the bus that would carry them) and applied off-thread, and any
+// content *read* first syncs the owning channel's lane. With no applier
+// installed the array behaves exactly as before — that serial path is the
+// differential-testing reference.
+//
+// This header is deliberately thread-free: the NAND layer never names
+// std::thread/std::mutex (the insider_lint raw-thread rule enforces it);
+// the only implementation lives behind src/io/shard_*.
+#pragma once
+
+#include <cstdint>
+
+#include "nand/page_data.h"
+
+namespace insider::nand {
+
+class FlashArray;
+
+/// One reserved program whose payload still has to land in its block.
+struct DeferredProgram {
+  std::uint32_t chip = 0;
+  std::uint32_t block = 0;
+  std::uint32_t page = 0;
+  PageData data;
+};
+
+class DeferredApplier {
+ public:
+  virtual ~DeferredApplier() = default;
+
+  /// Called once when the array installs this applier; gives the applier the
+  /// array to apply into and the channel-lane count (array.Geo().channels).
+  virtual void Bind(FlashArray& array) = 0;
+
+  /// Queue one payload application on `channel`'s lane. Ops for one channel
+  /// apply in enqueue order; ops for different channels are unordered (they
+  /// touch disjoint chips, hence disjoint blocks).
+  virtual void Enqueue(std::uint32_t channel, DeferredProgram op) = 0;
+
+  /// Block until every op enqueued on `channel` has been applied.
+  virtual void Sync(std::uint32_t channel) = 0;
+
+  /// Block until every op on every channel has been applied.
+  virtual void SyncAll() = 0;
+};
+
+}  // namespace insider::nand

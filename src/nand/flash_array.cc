@@ -122,7 +122,11 @@ bool FlashArray::SampleFault(FaultKind kind, std::uint64_t op_index,
 NandResult FlashArray::ReadPage(Ppa ppa, SimTime now) {
   if (!geo_.ValidPpa(ppa)) return {NandStatus::kBadAddress, now, nullptr};
   std::uint32_t chip = geo_.ChipOf(ppa);
-  const Block& block = chips_[chip].BlockAt(geo_.BlockOf(ppa));
+  // Content read: deferred payloads targeting this channel must land first.
+  SyncChannelFor(chip);
+  // Const access so reads of pristine blocks never materialize them.
+  const Block& block =
+      std::as_const(chips_[chip]).BlockAt(geo_.BlockOf(ppa));
   std::uint32_t page = geo_.PageOf(ppa);
   if (block.IsProgrammed(page) && block.IsBadPage(page)) {
     // A burned page always reads uncorrectable: the failed program left its
@@ -174,7 +178,17 @@ NandResult FlashArray::ProgramPage(Ppa ppa, PageData data, SimTime now) {
                           latency_.channel_transfer, /*bus_first=*/true);
     return {NandStatus::kProgramFail, done, nullptr};
   }
-  if (!block.Program(page, std::move(data))) {
+  if (applier_ != nullptr) {
+    // Consume the write-pointer position now; the payload lands on the
+    // channel's apply lane. Timing, counters, and the write pointer — the
+    // parts other state feeds on — are identical to the inline path.
+    if (!block.ReserveProgram(page)) {
+      return {NandStatus::kProgramOutOfOrder, now, nullptr};
+    }
+    applier_->Enqueue(
+        geo_.ChannelOfChip(chip),
+        DeferredProgram{chip, geo_.BlockOf(ppa), page, std::move(data)});
+  } else if (!block.Program(page, std::move(data))) {
     return {NandStatus::kProgramOutOfOrder, now, nullptr};
   }
   ++counters_.page_programs;
@@ -187,6 +201,9 @@ NandResult FlashArray::EraseBlock(BlockAddr addr, SimTime now) {
   if (addr.chip >= geo_.TotalChips() || addr.block >= geo_.blocks_per_chip) {
     return {NandStatus::kBadAddress, now, nullptr};
   }
+  // Pending payloads for this channel must land before the block's page
+  // records reset — a late apply would resurrect bytes into an erased block.
+  SyncChannelFor(addr.chip);
   std::uint64_t attempt = counters_.block_erases + counters_.erase_fails + 1;
   if (SampleFault(FaultKind::kEraseFail, attempt, now,
                   errors_.erase_fail_prob)) {
@@ -222,6 +239,37 @@ std::uint64_t FlashArray::TotalEraseCount() const {
   std::uint64_t total = 0;
   for (const Chip& c : chips_) total += c.TotalEraseCount();
   return total;
+}
+
+const PageData* FlashArray::PeekPage(Ppa ppa) const {
+  if (!geo_.ValidPpa(ppa)) return nullptr;
+  std::uint32_t chip = geo_.ChipOf(ppa);
+  SyncChannelFor(chip);
+  const Block& block = chips_[chip].BlockAt(geo_.BlockOf(ppa));
+  return block.Read(geo_.PageOf(ppa));
+}
+
+void FlashArray::SetDeferredApplier(DeferredApplier* applier) {
+  if (applier_ != nullptr) applier_->SyncAll();
+  applier_ = applier;
+  if (applier_ != nullptr) applier_->Bind(*this);
+}
+
+void FlashArray::SyncDeferred() const {
+  if (applier_ != nullptr) applier_->SyncAll();
+}
+
+std::uint64_t FlashArray::MaterializedBlocks() const {
+  std::uint64_t n = 0;
+  for (const Chip& c : chips_) n += c.MaterializedBlocks();
+  return n;
+}
+
+std::uint64_t FlashArray::ResidentBytesEstimate() const {
+  std::uint64_t bytes = chips_.capacity() * sizeof(Chip) +
+                        channel_busy_until_.capacity() * sizeof(SimTime);
+  for (const Chip& c : chips_) bytes += c.ResidentBytesEstimate();
+  return bytes;
 }
 
 std::uint64_t FlashArray::MaxEraseCount() const {

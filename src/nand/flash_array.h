@@ -9,6 +9,7 @@
 #include "common/rng.h"
 #include "common/time.h"
 #include "nand/chip.h"
+#include "nand/deferred.h"
 #include "nand/errors.h"
 #include "nand/fault_plan.h"
 #include "nand/geometry.h"
@@ -81,15 +82,46 @@ class FlashArray {
   /// Erase one block.
   NandResult EraseBlock(BlockAddr addr, SimTime now);
 
-  /// Direct state inspection for the FTL and tests.
+  /// Direct state inspection for the FTL and tests. With a deferred applier
+  /// installed this does NOT sync the channel lane — use PeekPage() for
+  /// content reads; write-pointer/erase-count queries are always current.
   const Block& BlockAt(BlockAddr addr) const {
     return chips_[addr.chip].BlockAt(addr.block);
   }
+
+  /// Zero-time content inspection (FTL tombstone peeks, rebuild scans,
+  /// tests): syncs the page's channel lane first so deferred payloads have
+  /// landed, then reads without touching the timing model. Returns nullptr
+  /// for erased/bad/invalid addresses.
+  const PageData* PeekPage(Ppa ppa) const;
+
+  /// Install (or, with nullptr, remove) the deferred payload applier. The
+  /// outgoing applier is fully synced first, so switching modes never loses
+  /// a payload. See nand/deferred.h for the contract.
+  void SetDeferredApplier(DeferredApplier* applier);
+
+  /// Apply one deferred program's payload. Called by the applier, possibly
+  /// off-thread: touches only the reserved page's record, which nothing else
+  /// reads until the lane syncs.
+  void ApplyDeferred(DeferredProgram&& op) {
+    chips_[op.chip].BlockAt(op.block).ApplyProgram(op.page,
+                                                   std::move(op.data));
+  }
+
+  /// Flush every pending deferred payload (no-op with no applier).
+  void SyncDeferred() const;
+
   bool IsProgrammed(Ppa ppa) const;
   /// Page consumed by a failed program (unreadable until the block erases).
   bool IsBadPage(Ppa ppa) const;
   std::uint64_t TotalEraseCount() const;
   std::uint64_t MaxEraseCount() const;
+
+  /// Blocks whose page storage has materialized (empty device: 0).
+  std::uint64_t MaterializedBlocks() const;
+  /// Resident heap estimate of the whole array — what the paper-scale
+  /// footprint regression pins (empty 512 GB device: megabytes).
+  std::uint64_t ResidentBytesEstimate() const;
 
   /// Attach the observability sinks (either may be null). The tracer gets a
   /// `nand.bus` span per channel transfer window (track = channel id) and a
@@ -118,6 +150,11 @@ class FlashArray {
   bool SampleFault(FaultKind kind, std::uint64_t op_index, SimTime now,
                    double prob);
 
+  /// Sync the channel lane owning `chip` before touching page contents.
+  void SyncChannelFor(std::uint32_t chip) const {
+    if (applier_ != nullptr) applier_->Sync(geo_.ChannelOfChip(chip));
+  }
+
   Geometry geo_;
   LatencyModel latency_;
   ErrorModel errors_;
@@ -126,6 +163,7 @@ class FlashArray {
   std::vector<Chip> chips_;
   std::vector<SimTime> channel_busy_until_;
   NandCounters counters_;
+  DeferredApplier* applier_ = nullptr;
 
   obs::Tracer* tracer_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;

@@ -9,6 +9,7 @@
 
 #include <cassert>
 #include <cstdint>
+#include <string>
 
 namespace insider::nand {
 
@@ -28,6 +29,29 @@ struct Geometry {
   std::uint32_t blocks_per_chip = 64;
   std::uint32_t pages_per_block = 64;
   std::uint32_t page_size = 4096;  ///< bytes; 4-KB pages as in the paper
+
+  // Named presets ---------------------------------------------------------
+
+  /// Unit-test shape: 2x2 chips, fast to fill and GC.
+  static Geometry Toy() {
+    return Geometry{.channels = 2,
+                    .ways = 2,
+                    .blocks_per_chip = 16,
+                    .pages_per_block = 8,
+                    .page_size = 4096};
+  }
+  /// The historical default every pre-paper-scale result ran on: 8x8 chips,
+  /// 64x64 blocks/pages (16 MiB logical space per run).
+  static Geometry Seed() { return Geometry{}; }
+  /// The paper's prototype device shape: 8-channel x 8-way, 512 GiB of
+  /// 4-KB pages (64 chips x 2048 blocks x 1024 pages).
+  static Geometry PaperScale() {
+    return Geometry{.channels = 8,
+                    .ways = 8,
+                    .blocks_per_chip = 2048,
+                    .pages_per_block = 1024,
+                    .page_size = 4096};
+  }
 
   std::uint32_t TotalChips() const { return channels * ways; }
   std::uint64_t PagesPerChip() const {
@@ -77,14 +101,74 @@ struct Geometry {
 };
 
 /// Small default geometry for unit tests: 2x2 chips, fast to fill and GC.
-inline Geometry TestGeometry() {
-  Geometry g;
-  g.channels = 2;
-  g.ways = 2;
-  g.blocks_per_chip = 16;
-  g.pages_per_block = 8;
-  g.page_size = 4096;
-  return g;
+inline Geometry TestGeometry() { return Geometry::Toy(); }
+
+// Validation --------------------------------------------------------------
+//
+// Assert-free typed error reporting, mirroring ftl::RetentionConfigIssue:
+// constructors and experiment configs call ValidateGeometry() up front and
+// surface the issue instead of tripping an assert deep in PPA arithmetic.
+
+enum class GeometryIssue : std::uint8_t {
+  kNone,
+  kZeroDimension,     ///< some dimension is 0; the address space is empty
+  kPpaSpaceOverflow,  ///< TotalPages >= 2^63; dense PPA arithmetic unsafe
+  kBlockIdOverflow,   ///< TotalBlocks >= 2^32; global block ids are 32-bit
+  kCapacityOverflow,  ///< TotalPages * page_size overflows 64 bits
+};
+
+inline const char* ToString(GeometryIssue issue) {
+  switch (issue) {
+    case GeometryIssue::kNone: return "none";
+    case GeometryIssue::kZeroDimension: return "zero-dimension";
+    case GeometryIssue::kPpaSpaceOverflow: return "ppa-space-overflow";
+    case GeometryIssue::kBlockIdOverflow: return "block-id-overflow";
+    case GeometryIssue::kCapacityOverflow: return "capacity-overflow";
+  }
+  return "unknown";
+}
+
+struct GeometryError {
+  GeometryIssue issue = GeometryIssue::kNone;
+  std::string detail;  ///< human-readable specifics for logs/tests
+
+  bool ok() const { return issue == GeometryIssue::kNone; }
+};
+
+/// Check a shape before building anything on it. All intermediate products
+/// are checked against 64-bit limits *before* they are computed, so the
+/// validator itself never overflows.
+inline GeometryError ValidateGeometry(const Geometry& g) {
+  if (g.channels == 0 || g.ways == 0 || g.blocks_per_chip == 0 ||
+      g.pages_per_block == 0 || g.page_size == 0) {
+    return {GeometryIssue::kZeroDimension,
+            "all of channels/ways/blocks_per_chip/pages_per_block/page_size "
+            "must be nonzero"};
+  }
+  // u32 * u32 always fits in u64.
+  std::uint64_t chips =
+      static_cast<std::uint64_t>(g.channels) * g.ways;
+  std::uint64_t pages_per_chip =
+      static_cast<std::uint64_t>(g.blocks_per_chip) * g.pages_per_block;
+  constexpr std::uint64_t kMaxPpaSpace = std::uint64_t{1} << 63;
+  if (pages_per_chip > (kMaxPpaSpace - 1) / chips) {
+    return {GeometryIssue::kPpaSpaceOverflow,
+            "TotalPages would reach 2^63; dense PPA encoding requires "
+            "chips * blocks_per_chip * pages_per_block < 2^63"};
+  }
+  std::uint64_t total_blocks =
+      chips * g.blocks_per_chip;  // < 2^63 by the check above
+  if (total_blocks > 0xFFFF'FFFFull) {
+    return {GeometryIssue::kBlockIdOverflow,
+            "TotalBlocks must fit a 32-bit global block id (victim policies "
+            "and free-pool bookkeeping use uint32_t)"};
+  }
+  std::uint64_t total_pages = chips * pages_per_chip;
+  if (total_pages > ~std::uint64_t{0} / g.page_size) {
+    return {GeometryIssue::kCapacityOverflow,
+            "CapacityBytes (TotalPages * page_size) overflows 64 bits"};
+  }
+  return {};
 }
 
 }  // namespace insider::nand

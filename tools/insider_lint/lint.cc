@@ -42,6 +42,17 @@ bool RawOutputApplies(const std::string& path) {
   return Contains(path, "src/") && !Contains(path, "src/common/log");
 }
 
+/// Thread primitives live only in the channel-sharded execution runtime
+/// (src/io/shard_*), the arena those lanes materialize into
+/// (src/common/arena*), and the logging substrate's level atomic
+/// (src/common/log.*). Everywhere else the simulator is single-threaded by
+/// design: determinism rests on one totally-ordered event stream.
+bool RawThreadExempt(const std::string& path) {
+  return Contains(path, "src/io/shard_") ||
+         Contains(path, "src/common/arena") ||
+         Contains(path, "src/common/log");
+}
+
 bool IsHeaderPath(const std::string& path) {
   return path.size() > 2 &&
          (path.rfind(".h") == path.size() - 2 ||
@@ -89,6 +100,14 @@ const std::regex& StdioOutputRe() {
   // out: they build strings, they don't emit them.
   static const std::regex re(
       R"((?:^|[^A-Za-z0-9_])(printf|fprintf|vprintf|vfprintf|puts|fputs|fputc|putchar)\s*\()");
+  return re;
+}
+
+const std::regex& ThreadPrimitiveRe() {
+  // Longer alternatives first where one is a prefix of another. The bare
+  // `atomic` stem also catches atomic_flag / atomic_thread_fence / atomic<T>.
+  static const std::regex re(
+      R"(std::(jthread|thread|shared_mutex|recursive_mutex|timed_mutex|mutex|condition_variable_any|condition_variable|atomic))");
   return re;
 }
 
@@ -265,6 +284,15 @@ std::vector<Finding> LintSource(const std::string& path_label,
                             "route diagnostics through INSIDER_LOG "
                             "(src/common/log.h)"});
       }
+    }
+
+    if (!RawThreadExempt(path_label) &&
+        std::regex_search(line, ThreadPrimitiveRe())) {
+      findings.push_back(
+          {path_label, lineno, "raw-thread",
+           "raw thread primitive outside the sharded execution runtime "
+           "(src/io/shard_*); simulation code is single-threaded by design "
+           "— route parallel work through io::ShardRuntime/ParallelFor"});
     }
 
     std::smatch m;

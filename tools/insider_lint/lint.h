@@ -29,6 +29,15 @@
 //                     CLIs (tools/, bench/, examples/) are exempt. String
 //                     formatters (snprintf/sprintf) are not output and stay
 //                     allowed.
+//   raw-thread        std::thread / std::jthread / std::mutex (and
+//                     variants) / std::condition_variable / std::atomic
+//                     anywhere outside the sharded execution runtime
+//                     (src/io/shard_*), its arena (src/common/arena*), and
+//                     the logging substrate's level atomic
+//                     (src/common/log.*). The simulator is single-threaded
+//                     by design — determinism rests on one totally-ordered
+//                     event stream; parallel work must go through
+//                     io::ShardRuntime / io::ParallelFor.
 //   pragma-once       every header must open with #pragma once.
 //   include-cycle     quoted project includes must form a DAG.
 //

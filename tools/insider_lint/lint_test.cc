@@ -108,6 +108,38 @@ TEST(InsiderLintTest, RawOutputRuleScopesToSimulatorCode) {
           .empty());
 }
 
+TEST(InsiderLintTest, FlagsRawThreadFixture) {
+  auto findings = LintSource("testdata/bad_thread.cc",
+                             ReadFile(Testdata() / "bad_thread.cc"));
+  EXPECT_TRUE(HasRule(findings, "raw-thread")) << findings.size();
+  // mutex, condition_variable, atomic decl, thread decl, two atomic member
+  // calls: at least four distinct flagged lines.
+  EXPECT_GE(findings.size(), 4u);
+}
+
+TEST(InsiderLintTest, RawThreadRuleExemptsTheShardRuntime) {
+  const std::string threaded =
+      "std::mutex mu;\nstd::thread t;\nstd::atomic<int> n{0};\n";
+  EXPECT_TRUE(HasRule(LintSource("src/ftl/page_ftl.cc", threaded),
+                      "raw-thread"));
+  EXPECT_TRUE(HasRule(LintSource("tests/some_test.cc", threaded),
+                      "raw-thread"));
+  // The sharded runtime, its arena, and the log-level atomic are the
+  // sanctioned homes of thread primitives.
+  EXPECT_FALSE(HasRule(LintSource("src/io/shard_runtime.cc", threaded),
+                       "raw-thread"));
+  EXPECT_FALSE(HasRule(LintSource("src/common/arena.h", threaded),
+                       "raw-thread"));
+  EXPECT_FALSE(
+      HasRule(LintSource("src/common/log.cc",
+                         "std::atomic<LogLevel> g_level;\n"),
+              "raw-thread"));
+  // Prose about std::thread does not trip the rule.
+  EXPECT_FALSE(HasRule(
+      LintSource("src/nand/deferred.h", "// no std::thread here\n"),
+      "raw-thread"));
+}
+
 TEST(InsiderLintTest, LintTreeOnTestdataFiresEveryFileRule) {
   auto findings = LintTree({Testdata()});
   EXPECT_TRUE(HasRule(findings, "wall-clock"));
@@ -116,6 +148,7 @@ TEST(InsiderLintTest, LintTreeOnTestdataFiresEveryFileRule) {
   EXPECT_TRUE(HasRule(findings, "naked-timestamp"));
   EXPECT_TRUE(HasRule(findings, "pragma-once"));
   EXPECT_TRUE(HasRule(findings, "raw-output"));
+  EXPECT_TRUE(HasRule(findings, "raw-thread"));
   EXPECT_TRUE(HasRule(findings, "include-cycle"));
 }
 

@@ -1,0 +1,14 @@
+// Fixture: raw thread primitives outside src/io/shard_*. Never compiled.
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+int Violations() {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::atomic<int> counter{0};
+  std::thread worker([&] { counter.fetch_add(1); });
+  worker.join();
+  return counter.load();
+}
