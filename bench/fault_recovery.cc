@@ -5,6 +5,13 @@
 // of the device holds data. The scan is linear in programmed pages, so this
 // is the firmware's worst-case boot-after-crash latency curve.
 //
+// Parts 1b/1c — the O(Δ) answer to part 1: with checkpointing + the mapping
+// journal enabled, rebuild cost is constant validation reads plus the
+// journal tail plus the un-journaled delta, independent of fill. 1b sweeps
+// fill at a fixed tail (the fast path stays flat while the full scan grows);
+// 1c sweeps the checkpoint interval at fixed fill (cost tracks Δ, not the
+// device). Both run on Seed() and PaperScale() geometries.
+//
 // Part 2 — fault absorption under sustained load: a write-heavy mix on
 // media with realistic grown-defect rates (2e-4 program fails, 1e-4 erase
 // fails). Reports how many faults the FTL re-drove / how many blocks it
@@ -19,6 +26,7 @@
 // back their pre-attack payload (the paper's claim: all of them).
 //
 // Emits BENCH_fault.json. INSIDER_BENCH_REPS scales workload sizes.
+#include <algorithm>
 #include <cstdio>
 #include <vector>
 
@@ -88,6 +96,155 @@ void RebuildVsFill(JsonWriter& json) {
                static_cast<std::uint64_t>(r.backups_restored))
         .Field("rebuild_ms", ms)
         .EndObject();
+  }
+  json.EndArray();
+}
+
+// ---------------------------------------------------------------------------
+// Parts 1b/1c: the O(Δ) checkpointed fast path against the full scan
+// (ISSUE 8), on the seed and paper-scale geometries.
+
+struct RecoveryGeometry {
+  const char* name;
+  nand::Geometry geometry;
+  double exported_fraction;        ///< bounds the paper-scale working set
+  std::uint32_t checkpoint_blocks; ///< per buffer; sized for the snapshot
+  std::uint32_t journal_blocks;    ///< per region; bounds the crash tail
+  Lba fixed_tail;                  ///< post-checkpoint writes, fill sweep
+  Lba tail_per_interval_second;    ///< host write rate, interval sweep
+};
+
+std::vector<RecoveryGeometry> RecoveryGeometries() {
+  // Seed(): the 16 MiB default array every tier-1 suite runs on. The
+  // snapshot at 90% fill packs ~2.6 MB, so the checkpoint buffers get 16
+  // blocks (4 MB) instead of the toy default.
+  RecoveryGeometry seed{"Seed", nand::Geometry::Seed(), 0.9, 16, 8, 4096,
+                        2500};
+  // PaperScale(): the 512 GiB paper device. Filling 134M pages is not a
+  // bench-able workload, so the exported space is bounded to ~400k LBAs and
+  // "fill" is relative to that working set — the full scan is linear in
+  // *programmed* pages either way, which is the axis under test.
+  RecoveryGeometry paper{"PaperScale", nand::Geometry::PaperScale(), 0.003, 4,
+                         2, 16384, 10000};
+  return {seed, paper};
+}
+
+ftl::FtlConfig RecoveryConfig(const RecoveryGeometry& g, bool checkpointed) {
+  ftl::FtlConfig cfg;
+  cfg.geometry = g.geometry;  // default (non-zero) latency model
+  cfg.exported_fraction = g.exported_fraction;
+  cfg.checkpoint.enabled = checkpointed;
+  cfg.checkpoint.checkpoint_blocks_per_buffer = g.checkpoint_blocks;
+  cfg.checkpoint.journal_blocks_per_region = g.journal_blocks;
+  return cfg;
+}
+
+/// Fill `fill` of the exported space, pin the checkpoint horizon (when
+/// enabled), write a `tail` of fresh overwrites past it, then crash-rebuild.
+/// The tail's last sub-page record batch dies with DRAM — exactly the state
+/// a real power cut leaves — so the rebuild exercises checkpoint restore,
+/// journal replay, and the delta OOB scan together.
+ftl::PageFtl::RebuildReport FillAndRebuild(const RecoveryGeometry& g,
+                                           bool checkpointed, double fill,
+                                           Lba tail) {
+  ftl::PageFtl ftl(RecoveryConfig(g, checkpointed));
+  const Lba n = static_cast<Lba>(
+      static_cast<double>(ftl.ExportedLbas()) * fill);
+  SimTime t = Seconds(1);
+  for (Lba lba = 0; lba < n; ++lba) {
+    ftl.WritePage(lba, {lba, {}}, t);
+    t += Microseconds(20);
+  }
+  if (checkpointed) t = std::max(t, ftl.TakeCheckpoint(t));
+  for (Lba i = 0; i < tail; ++i) {
+    ftl.WritePage(i % n, {1'000'000 + i, {}}, t);
+    t += Microseconds(20);
+  }
+  return ftl.RebuildFromNand(t + Seconds(1));
+}
+
+std::uint64_t FastReads(const ftl::PageFtl::RebuildReport& r) {
+  return r.checkpoint_pages_read + r.journal_pages_read +
+         r.delta_pages_scanned;
+}
+
+void RebuildVsFillCheckpointed(JsonWriter& json) {
+  PrintHeader("fault_recovery — O(Δ) rebuild vs fill, fixed journal tail");
+  std::printf("%-12s %-6s %12s %10s %10s %9s %9s\n", "geometry", "fill",
+              "full_scan", "fast_reads", "full_ms", "fast_ms", "speedup");
+
+  json.Key("rebuild_vs_fill_checkpointed").BeginArray();
+  for (const RecoveryGeometry& g : RecoveryGeometries()) {
+    for (double fill : {0.25, 0.5, 0.75, 0.9}) {
+      ftl::PageFtl::RebuildReport full =
+          FillAndRebuild(g, false, fill, g.fixed_tail);
+      ftl::PageFtl::RebuildReport fast =
+          FillAndRebuild(g, true, fill, g.fixed_tail);
+      double full_ms = ToSeconds(full.duration) * 1e3;
+      double fast_ms = ToSeconds(fast.duration) * 1e3;
+      double speedup = fast_ms > 0.0 ? full_ms / fast_ms : 0.0;
+      std::printf("%-12s %-6.2f %12zu %10llu %10.2f %9.3f %8.1fx\n", g.name,
+                  fill, full.pages_scanned,
+                  (unsigned long long)FastReads(fast), full_ms, fast_ms,
+                  speedup);
+      json.BeginObject()
+          .Field("geometry", g.name)
+          .Field("fill", fill)
+          .Field("tail_writes", static_cast<std::uint64_t>(g.fixed_tail))
+          .Field("full_pages_scanned",
+                 static_cast<std::uint64_t>(full.pages_scanned))
+          .Field("full_ms", full_ms)
+          .Field("used_checkpoint", fast.used_checkpoint)
+          .Field("checkpoint_pages_read",
+                 static_cast<std::uint64_t>(fast.checkpoint_pages_read))
+          .Field("journal_pages_read",
+                 static_cast<std::uint64_t>(fast.journal_pages_read))
+          .Field("delta_pages_scanned",
+                 static_cast<std::uint64_t>(fast.delta_pages_scanned))
+          .Field("fast_ms", fast_ms)
+          .Field("speedup", speedup)
+          .EndObject();
+    }
+  }
+  json.EndArray();
+}
+
+void RebuildVsInterval(JsonWriter& json) {
+  PrintHeader("fault_recovery — O(Δ) rebuild vs checkpoint interval, 50% fill");
+  std::printf("%-12s %-10s %10s %10s %10s %9s\n", "geometry", "interval_s",
+              "tail", "replayed", "fast_reads", "fast_ms");
+
+  json.Key("rebuild_vs_interval").BeginArray();
+  const double fill = 0.5;
+  for (const RecoveryGeometry& g : RecoveryGeometries()) {
+    // Full-scan baseline at the same fill, once per geometry, for the ratio.
+    ftl::PageFtl::RebuildReport full = FillAndRebuild(g, false, fill, 0);
+    double full_ms = ToSeconds(full.duration) * 1e3;
+    for (double interval_s : {1.0, 2.0, 5.0, 10.0}) {
+      // The checkpoint interval bounds the journal tail: at the bench write
+      // rate, a worst-case crash (just before the next commit) lands
+      // rate × interval writes past the horizon.
+      Lba tail = static_cast<Lba>(
+          static_cast<double>(g.tail_per_interval_second) * interval_s);
+      ftl::PageFtl::RebuildReport fast = FillAndRebuild(g, true, fill, tail);
+      double fast_ms = ToSeconds(fast.duration) * 1e3;
+      std::printf("%-12s %-10.0f %10llu %10zu %10llu %9.3f\n", g.name,
+                  interval_s, (unsigned long long)tail,
+                  fast.journal_records_replayed,
+                  (unsigned long long)FastReads(fast), fast_ms);
+      json.BeginObject()
+          .Field("geometry", g.name)
+          .Field("interval_s", interval_s)
+          .Field("fill", fill)
+          .Field("tail_writes", static_cast<std::uint64_t>(tail))
+          .Field("journal_records_replayed",
+                 static_cast<std::uint64_t>(fast.journal_records_replayed))
+          .Field("used_checkpoint", fast.used_checkpoint)
+          .Field("fast_reads", FastReads(fast))
+          .Field("fast_ms", fast_ms)
+          .Field("full_ms", full_ms)
+          .EndObject();
+    }
   }
   json.EndArray();
 }
@@ -261,6 +418,8 @@ int main() {
   json.BeginObject();
   json.Field("bench", "fault_recovery").Field("reps", reps);
   insider::bench::RebuildVsFill(json);
+  insider::bench::RebuildVsFillCheckpointed(json);
+  insider::bench::RebuildVsInterval(json);
   insider::bench::FaultAbsorption(json, reps);
   insider::bench::DetectionUnderFaults(json);
   insider::bench::PowerLossTrial(json);

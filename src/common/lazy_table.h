@@ -62,6 +62,25 @@ class LazyTable {
     return slot->entries[i % kChunkEntries];
   }
 
+  /// Deep copy for checkpoint snapshots: materialized chunks are duplicated,
+  /// pristine chunks stay pristine, so a snapshot of a sparse table is as
+  /// sparse as the original.
+  LazyTable Clone() const {
+    LazyTable copy;
+    copy.size_ = size_;
+    copy.default_ = default_;
+    copy.chunks_.resize(chunks_.size());
+    for (std::size_t c = 0; c < chunks_.size(); ++c) {
+      if (chunks_[c] != nullptr) {
+        copy.chunks_[c] = std::make_unique<Chunk>(*chunks_[c]);
+      }
+    }
+    return copy;
+  }
+
+  /// Restore this table from a snapshot taken with Clone().
+  void CloneFrom(const LazyTable& other) { *this = other.Clone(); }
+
   std::uint64_t MaterializedChunks() const {
     std::uint64_t n = 0;
     for (const auto& c : chunks_) n += (c != nullptr) ? 1u : 0u;

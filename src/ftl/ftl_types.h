@@ -56,6 +56,29 @@ enum class RetentionPolicyKind {
   kWindow,  ///< paper rule: fixed time window + capacity-bounded queue
 };
 
+/// Durable-metadata (checkpoint + write-ahead mapping journal) knobs. Off by
+/// default: the seed device rebuilds by full OOB scan only, and every golden
+/// counter in the tier-1 suite assumes no metadata traffic.
+struct CheckpointConfig {
+  /// Master switch. When false, no metadata blocks are reserved and
+  /// RebuildFromNand always takes the full-scan path.
+  bool enabled = false;
+  /// Firmware-scheduler period between checkpoint flushes (Ssd wiring).
+  SimTime interval = Seconds(5);
+  /// Journal records packed per metadata page. 4 KiB page / ~40 B packed
+  /// record, held conservatively below that to leave room for the CRC/seq
+  /// page stamp.
+  std::uint32_t journal_records_per_page = 96;
+  /// Blocks per journal region (two regions, double-buffered). The journal
+  /// tail that survives a crash is bounded by this region size; overflow
+  /// before the next checkpoint forces a full-scan fallback.
+  std::uint32_t journal_blocks_per_region = 2;
+  /// Blocks per checkpoint buffer (two buffers, A/B). Must be large enough
+  /// for the modeled snapshot size; TakeCheckpoint aborts (and keeps the
+  /// previous checkpoint valid) when the snapshot doesn't fit.
+  std::uint32_t checkpoint_blocks_per_buffer = 2;
+};
+
 struct FtlConfig {
   nand::Geometry geometry;
   nand::LatencyModel latency;
@@ -108,6 +131,10 @@ struct FtlConfig {
   /// depth. Null or an empty table = exact seed behavior: every release is
   /// final and the whole device keeps only the paper-default window.
   std::shared_ptr<const version::RangePolicyTable> range_policies;
+  /// Durable-metadata recovery subsystem (DESIGN.md §13). Disabled by
+  /// default; when enabled the FTL reserves metadata blocks, journals every
+  /// mutation, and RebuildFromNand takes the O(Δ) fast path.
+  CheckpointConfig checkpoint;
 };
 
 struct FtlStats {
@@ -161,6 +188,25 @@ struct FtlStats {
   std::uint64_t range_rollbacks = 0;
   /// LBAs whose content a selective rollback changed (restored or unmapped).
   std::uint64_t range_rollback_restored = 0;
+  /// Checkpoints committed (header + snapshot + footer all durable).
+  std::uint64_t checkpoints_taken = 0;
+  /// Metadata pages programmed for checkpoint bodies (modeled media cost).
+  std::uint64_t checkpoint_pages_written = 0;
+  /// Checkpoint flushes abandoned mid-commit (power-cut probe or metadata
+  /// program fail); the previous checkpoint stays authoritative.
+  std::uint64_t checkpoint_aborts = 0;
+  /// Journal records appended by mutating FTL ops.
+  std::uint64_t journal_records_appended = 0;
+  /// Metadata pages programmed with batched journal records.
+  std::uint64_t journal_pages_flushed = 0;
+  /// Journal region filled before the next checkpoint; the next rebuild
+  /// must fall back to a full OOB scan.
+  std::uint64_t journal_overflows = 0;
+  /// Rebuilds that used checkpoint + journal replay + delta scan.
+  std::uint64_t rebuild_fast_path = 0;
+  /// Rebuilds that fell back to the full OOB scan (checkpointing disabled,
+  /// no valid checkpoint, torn journal, or overflow marker).
+  std::uint64_t rebuild_fallbacks = 0;
 
   friend bool operator==(const FtlStats&, const FtlStats&) = default;
 };

@@ -53,6 +53,8 @@ bool GcEngine::EvacuateBlock(std::uint32_t block_id, SimTime& now) {
       }
       f.page_state_.Set(src, PageState::kInvalid);
       f.p2l_.Set(src, kInvalidLba);
+      f.JournalAppend({JournalOpKind::kDrop, /*flag=*/false, 0, src,
+                       nand::kInvalidPpa, 0, now, 0});
       continue;
     }
     // Relocation preserves the version's OOB identity (lba, written_at);
@@ -88,6 +90,10 @@ bool GcEngine::EvacuateBlock(std::uint32_t block_id, SimTime& now) {
     }
     f.page_state_.Set(src, PageState::kInvalid);
     f.p2l_.Set(src, kInvalidLba);
+    // `write_seq_` is exactly the destination page's OOB sequence here: the
+    // re-drive loop journals its own kBurn consumption records.
+    f.JournalAppend({JournalOpKind::kRelocate, /*flag=*/false, 0, src, dst,
+                     f.write_seq_, now, 0});
   }
   return true;
 }
@@ -97,6 +103,29 @@ bool GcEngine::CollectVictim(std::uint32_t victim, SimTime& now) {
   const nand::Geometry& geo = f.config_.geometry;
   nand::BlockAddr addr = f.AddrOfBlockId(victim);
   if (!EvacuateBlock(victim, now)) return false;
+
+  // Erase-intent protocol: an erase destroys OOB history the rebuild scan
+  // would otherwise read back, so every record up to and including the
+  // intent must be durable *before* the block is erased. Replay compares the
+  // recorded erase count against media to decide whether the erase landed.
+  if (f.journal_.Enabled() && !f.replaying_) {
+    const JournalRecord intent{JournalOpKind::kEraseIntent, /*flag=*/false, 0,
+                               victim, nand::kInvalidPpa,
+                               f.nand_.BlockAt(addr).EraseCount(), now, 0};
+    f.JournalAppend(intent);
+    if (!f.JournalFlushAll(now)) {
+      // Region exhausted or the flush tore: a committed checkpoint clears
+      // the journal, so re-stage the intent on the fresh region and retry.
+      now = std::max(now, f.TakeCheckpoint(now));
+      f.JournalAppend(intent);
+      if (!f.JournalFlushAll(now)) {
+        // Still not durable (metadata faults). Skipping the erase keeps the
+        // O(Δ) contract; the caller falls through to forced releases, and a
+        // crash in this state rebuilds via the full-scan fallback.
+        return false;
+      }
+    }
+  }
 
   nand::NandResult er = f.nand_.EraseBlock(addr, now);
   now = er.complete_time;
@@ -134,6 +163,8 @@ bool GcEngine::DrainRetirements(SimTime& now) {
     obs::EmitInstant(f.tracer_, "ftl.retire_block", "ftl", 0, now,
                      static_cast<std::int64_t>(block_id), "block");
     f.RetireBlock(block_id);
+    f.JournalAppend({JournalOpKind::kRetireBlock, /*flag=*/false, 0, block_id,
+                     nand::kInvalidPpa, 0, now, 0});
   }
   return true;
 }
@@ -160,6 +191,8 @@ bool GcEngine::EnsureFreeSpace(SimTime& now) {
           if (!e) break;
           f.ReleaseBackup(*e, now);
           ++f.stats_.forced_releases;
+          f.JournalAppend({JournalOpKind::kForcedRelease, /*flag=*/false, 0,
+                           nand::kInvalidPpa, nand::kInvalidPpa, 0, now, 0});
         }
         continue;
       }
@@ -174,7 +207,11 @@ bool GcEngine::EnsureFreeSpace(SimTime& now) {
               f.ReleaseArchived(p);
               ++f.stats_.archived_evictions;
             });
-        if (freed > 0) continue;
+        if (freed > 0) {
+          f.JournalAppend({JournalOpKind::kStoreEvict, /*flag=*/false, 0,
+                           batch, nand::kInvalidPpa, 0, now, 0});
+          continue;
+        }
       }
       ok = f.free_block_count_ > 0;
       break;

@@ -237,6 +237,19 @@ AuditReport InvariantAuditor::Audit(const PageFtl& ftl,
   std::vector<BlockCounters> recomputed(geo.TotalBlocks());
   for (nand::Ppa ppa = 0; ppa < geo.TotalPages() && !rec.Full(); ++ppa) {
     PageState st = ftl.page_state_.Get(ppa);
+    std::uint32_t mbid = geo.ChipOf(ppa) * geo.blocks_per_chip +
+                         geo.BlockOf(ppa);
+    if (ftl.nand_.IsMetadataBlock(mbid)) {
+      // Checkpoint/journal pages carry stamps, not host data: the data-path
+      // tables must never claim them, whatever the media says.
+      rec.Check(st == PageState::kFree && ftl.p2l_.Get(ppa) == kInvalidLba,
+                Kind::kStructural, [&](InvariantViolation& v) {
+                  v.where = "metadata page " + Str(ppa);
+                  v.expected = "state Free and no p2l entry (reserved block)";
+                  v.actual = "state " + PageStateName(st);
+                });
+      continue;
+    }
     bool programmed = ftl.nand_.IsProgrammed(ppa);
     rec.Check((st == PageState::kFree) == !programmed, Kind::kBadBlockMismatch,
               [&](InvariantViolation& v) {
@@ -458,6 +471,36 @@ AuditReport InvariantAuditor::Audit(const PageFtl& ftl,
               v.expected = Str(retired_seen) + " (health table)";
               v.actual = Str(ftl.retired_blocks_);
             });
+
+  // --- B4: reserved metadata blocks stay invisible to the data path —
+  // never pooled, never a write frontier, never counted.
+  for (std::uint64_t mb : ftl.metadata_blocks_) {
+    if (rec.Full()) break;
+    std::uint32_t b = static_cast<std::uint32_t>(mb);
+    std::uint32_t chip = b / geo.blocks_per_chip;
+    bool pooled = false;
+    for (std::uint32_t fb : ftl.free_blocks_by_chip_[chip]) {
+      if (fb == b) pooled = true;
+    }
+    rec.Check(!pooled && ftl.active_block_per_chip_[chip] != b,
+              Kind::kStructural, [&](InvariantViolation& v) {
+                v.where = "metadata block " + Str(b);
+                v.expected = "outside the free pool and never a frontier";
+                v.actual = pooled ? "in chip " + Str(chip) + "'s free pool"
+                                  : "active frontier of chip " + Str(chip);
+              });
+    rec.Check(ftl.block_counters_[b].valid == 0 &&
+                  ftl.block_counters_[b].retained == 0 &&
+                  ftl.block_counters_[b].archived == 0,
+              Kind::kStructural, [&](InvariantViolation& v) {
+                v.where = "metadata block " + Str(b) + " counters";
+                v.expected = "all zero (no host data)";
+                v.actual = Str(ftl.block_counters_[b].valid) + " valid, " +
+                           Str(ftl.block_counters_[b].retained) +
+                           " retained, " +
+                           Str(ftl.block_counters_[b].archived) + " archived";
+              });
+  }
 
   return report;
 }

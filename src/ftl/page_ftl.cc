@@ -54,6 +54,97 @@ bool PageFtl::AuditHooksEnabled() { return false; }
 PageFtl::MutationAudit::~MutationAudit() { --ftl_.audit_depth_; }
 #endif
 
+PageFtl::JournalBatchScope::~JournalBatchScope() {
+  ftl_.JournalFlushBatches(now_);
+}
+
+void PageFtl::JournalAppend(const JournalRecord& rec) {
+  if (!journal_.Enabled() || replaying_) return;
+  journal_.Append(rec);
+  ++stats_.journal_records_appended;
+}
+
+void PageFtl::JournalFlushBatches(SimTime now) {
+  if (!journal_.Enabled() || replaying_) return;
+  if (journal_.PendingCount() < config_.checkpoint.journal_records_per_page) {
+    return;  // durability lags at most one page batch behind DRAM
+  }
+  SimTime complete = now;
+  journal_.Flush(now, &complete, &stats_);
+}
+
+bool PageFtl::JournalFlushAll(SimTime& now) {
+  if (!journal_.Enabled() || replaying_) return true;
+  if (journal_.PendingCount() == 0) return true;
+  SimTime complete = now;
+  bool ok = journal_.Flush(now, &complete, &stats_);
+  now = std::max(now, complete);
+  return ok;
+}
+
+bool PageFtl::FlushJournal(SimTime now) { return JournalFlushAll(now); }
+
+void PageFtl::MaybeCheckpoint(SimTime now) {
+  if (!checkpoints_.Enabled() || replaying_) return;
+  // Pre-emptive trigger: commit before the active journal region can
+  // overflow, so the O(Δ) fast path stays available under write pressure.
+  if (journal_.UsageFraction() < 0.7) return;
+  TakeCheckpoint(now);
+}
+
+SimTime PageFtl::TakeCheckpoint(SimTime now) {
+  if (!checkpoints_.Enabled() || replaying_) return now;
+  MutationAudit audit_scope(*this, "TakeCheckpoint");
+  JournalBatchScope journal_scope(*this, now);
+  SimTime complete = now;
+  if (checkpoints_.Commit(BuildSnapshot(), now, &complete, &stats_)) {
+    // The committed checkpoint supersedes every journal record: switch the
+    // journal to the new epoch's region and drop the covered records.
+    journal_.StartEpoch(checkpoints_.Epoch(), complete, &complete);
+    obs::EmitInstant(tracer_, "ftl.checkpoint", "ftl", 0, complete,
+                     static_cast<std::int64_t>(checkpoints_.Epoch()), "epoch");
+  }
+  return complete;
+}
+
+FtlSnapshot PageFtl::BuildSnapshot() const {
+  FtlSnapshot snap;
+  snap.write_seq = write_seq_;
+  snap.l2p = l2p_.Clone();
+  snap.p2l = p2l_.Clone();
+  snap.page_state = page_state_.Clone();
+  snap.block_counters = block_counters_;
+  snap.queue = queue_;
+  snap.trim_journal.reserve(trim_journal_.size());
+  for (const TrimRecord& r : trim_journal_) {
+    snap.trim_journal.emplace_back(r.time, r.lba);
+  }
+  snap.store = store_.SnapshotState();
+  snap.last_release_horizon = last_release_horizon_;
+  snap.valid_pages = valid_pages_;
+  snap.retained_pages = retained_pages_;
+  snap.archived_pages = archived_pages_;
+  return snap;
+}
+
+void PageFtl::RestoreFromSnapshot(const FtlSnapshot& snap) {
+  write_seq_ = snap.write_seq;
+  l2p_.CloneFrom(snap.l2p);
+  p2l_.CloneFrom(snap.p2l);
+  page_state_.CloneFrom(snap.page_state);
+  block_counters_ = snap.block_counters;
+  queue_ = snap.queue;
+  trim_journal_.clear();
+  for (const auto& [time, lba] : snap.trim_journal) {
+    trim_journal_.push_back({time, lba});
+  }
+  store_.RestoreState(snap.store);
+  last_release_horizon_ = snap.last_release_horizon;
+  valid_pages_ = snap.valid_pages;
+  retained_pages_ = snap.retained_pages;
+  archived_pages_ = snap.archived_pages;
+}
+
 PageFtl::PageFtl(const FtlConfig& config)
     : config_(config),
       nand_(config.geometry, config.latency, config.errors,
@@ -82,8 +173,42 @@ PageFtl::PageFtl(const FtlConfig& config)
   }
   nand_.SetFaultPlan(config_.fault_plan);
   const nand::Geometry& geo = config_.geometry;
+  std::uint64_t reserved_pages = 0;
+  if (config_.checkpoint.enabled) {
+    // Reserve the metadata stripe: two checkpoint buffers, then two journal
+    // regions, round-robined across chips from the top of each chip's block
+    // range (the i-th reserved block is chip i % chips, block index
+    // blocks_per_chip - 1 - i / chips) so metadata programs spread over the
+    // channels like data does.
+    const CheckpointConfig& ck = config_.checkpoint;
+    const std::uint32_t counts[4] = {
+        ck.checkpoint_blocks_per_buffer, ck.checkpoint_blocks_per_buffer,
+        ck.journal_blocks_per_region, ck.journal_blocks_per_region};
+    std::vector<std::uint64_t> groups[4];
+    std::uint32_t i = 0;
+    for (std::uint32_t g = 0; g < 4; ++g) {
+      for (std::uint32_t k = 0; k < counts[g]; ++k, ++i) {
+        std::uint32_t chip = i % geo.TotalChips();
+        std::uint32_t index = geo.blocks_per_chip - 1 - i / geo.TotalChips();
+        std::uint64_t id =
+            static_cast<std::uint64_t>(chip) * geo.blocks_per_chip + index;
+        groups[g].push_back(id);
+        metadata_blocks_.push_back(id);
+      }
+    }
+    assert(metadata_blocks_.size() < geo.TotalBlocks());
+    nand_.SetMetadataBlocks(metadata_blocks_);
+    checkpoints_ = CheckpointStore(&nand_, std::move(groups[0]),
+                                   std::move(groups[1]));
+    journal_ = MappingJournal(&nand_, std::move(groups[2]),
+                              std::move(groups[3]),
+                              ck.journal_records_per_page);
+    reserved_pages = static_cast<std::uint64_t>(metadata_blocks_.size()) *
+                     geo.pages_per_block;
+  }
   exported_lbas_ = static_cast<Lba>(
-      static_cast<double>(geo.TotalPages()) * config_.exported_fraction);
+      static_cast<double>(geo.TotalPages() - reserved_pages) *
+      config_.exported_fraction);
   l2p_.Assign(exported_lbas_, nand::kInvalidPpa);
   p2l_.Assign(geo.TotalPages(), kInvalidLba);
   page_state_.Assign(geo.TotalPages(), PageState::kFree);
@@ -97,10 +222,12 @@ PageFtl::PageFtl(const FtlConfig& config)
     auto& pool = free_blocks_by_chip_[chip];
     pool.reserve(geo.blocks_per_chip);
     for (std::uint32_t b = geo.blocks_per_chip; b-- > 0;) {
-      pool.push_back(chip * geo.blocks_per_chip + b);
+      std::uint32_t id = chip * geo.blocks_per_chip + b;
+      if (nand_.IsMetadataBlock(id)) continue;
+      pool.push_back(id);
     }
   }
-  free_block_count_ = geo.TotalBlocks();
+  free_block_count_ = geo.TotalBlocks() - metadata_blocks_.size();
 }
 
 void PageFtl::SetAllocationPolicy(std::unique_ptr<AllocationPolicy> policy) {
@@ -229,6 +356,10 @@ const nand::PageData* PageFtl::RawPage(nand::Ppa ppa) const {
 void PageFtl::ReleaseExpired(SimTime now) {
   if (!config_.delayed_deletion) return;
   MutationAudit audit_scope(*this, "ReleaseExpired");
+  JournalBatchScope journal_scope(*this, now);
+  const std::size_t ring_before = queue_.Size();
+  const std::size_t trims_before = trim_journal_.size();
+  const std::size_t store_before = store_.VersionCount();
   SimTime horizon = retention_->ExpiryHorizon(now);
   last_release_horizon_ = std::max(last_release_horizon_, horizon);
   queue_.ReleaseUpTo(horizon, [this, now](const BackupEntry& e) {
@@ -261,6 +392,14 @@ void PageFtl::ReleaseExpired(SimTime now) {
       MarkInvalid(ppa);
       l2p_.Set(rec.lba, nand::kInvalidPpa);
     }
+  }
+  // One record re-runs this whole pass at replay (deterministic given the
+  // replayed state); appended only when it changed something, so quiescent
+  // I/O does not bloat the journal.
+  if (queue_.Size() != ring_before || trim_journal_.size() != trims_before ||
+      store_.VersionCount() != store_before) {
+    JournalAppend({JournalOpKind::kRelease, /*flag=*/false, 0,
+                   nand::kInvalidPpa, nand::kInvalidPpa, 0, now, 0});
   }
 }
 
@@ -315,6 +454,8 @@ nand::Ppa PageFtl::ProgramWithRedrive(nand::PageData data, SimTime& now) {
                      static_cast<std::int64_t>(ppa), "burned_ppa");
     page_state_.Set(ppa, PageState::kBad);
     MarkPendingRetire(BlockIdOf(ppa));
+    JournalAppend({JournalOpKind::kBurn, /*flag=*/false, 0, ppa,
+                   nand::kInvalidPpa, write_seq_, now, 0});
   }
 }
 
@@ -361,6 +502,8 @@ FtlResult PageFtl::WritePage(Lba lba, nand::PageData data, SimTime now) {
   if (read_only_) return {FtlStatus::kReadOnly, now, {}};
   if (lba >= exported_lbas_) return {FtlStatus::kOutOfRange, now, {}};
   MutationAudit audit_scope(*this, "WritePage");
+  JournalBatchScope journal_scope(*this, now);
+  MaybeCheckpoint(now);
   ReleaseExpired(now);
   gc_.DrainRetirements(now);
   // Best-effort GC; the write only fails if no programmable page exists even
@@ -369,6 +512,7 @@ FtlResult PageFtl::WritePage(Lba lba, nand::PageData data, SimTime now) {
   gc_.EnsureFreeSpace(now);
   data.oob.lba = lba;
   data.oob.written_at = now;
+  const SimTime written_at = now;
   nand::Ppa ppa = ProgramWithRedrive(std::move(data), now);
   if (ppa == nand::kInvalidPpa) {
     // Out of frontier space. When fault-driven retirement shrank the spare
@@ -386,12 +530,15 @@ FtlResult PageFtl::WritePage(Lba lba, nand::PageData data, SimTime now) {
   ++block_counters_[BlockIdOf(ppa)].valid;
   ++valid_pages_;
   ++stats_.host_writes;
+  JournalAppend({JournalOpKind::kMap, /*flag=*/false, lba, ppa,
+                 nand::kInvalidPpa, write_seq_, written_at, now});
   return {FtlStatus::kOk, now, {}};
 }
 
 FtlResult PageFtl::ReadPage(Lba lba, SimTime now) {
   if (lba >= exported_lbas_) return {FtlStatus::kOutOfRange, now, {}};
   MutationAudit audit_scope(*this, "ReadPage");
+  JournalBatchScope journal_scope(*this, now);
   ReleaseExpired(now);
   nand::Ppa ppa = l2p_.Get(lba);
   if (ppa == nand::kInvalidPpa) return {FtlStatus::kUnmapped, now, {}};
@@ -424,6 +571,8 @@ FtlResult PageFtl::TrimPage(Lba lba, SimTime now) {
   if (read_only_) return {FtlStatus::kReadOnly, now, {}};
   if (lba >= exported_lbas_) return {FtlStatus::kOutOfRange, now, {}};
   MutationAudit audit_scope(*this, "TrimPage");
+  JournalBatchScope journal_scope(*this, now);
+  MaybeCheckpoint(now);
   ReleaseExpired(now);
   nand::Ppa old = l2p_.Get(lba);
   if (old == nand::kInvalidPpa) return {FtlStatus::kUnmapped, now, {}};
@@ -443,6 +592,7 @@ FtlResult PageFtl::TrimPage(Lba lba, SimTime now) {
     tomb.oob.lba = lba;
     tomb.oob.written_at = now;
     tomb.oob.tombstone = true;
+    const SimTime written_at = now;
     nand::Ppa tppa = ProgramWithRedrive(std::move(tomb), now);
     if (tppa != nand::kInvalidPpa) {
       old = l2p_.Get(lba);  // GC above may have relocated the current version
@@ -455,6 +605,8 @@ FtlResult PageFtl::TrimPage(Lba lba, SimTime now) {
       trim_journal_.push_back({now, lba});
       ++stats_.trim_tombstones;
       ++stats_.host_trims;
+      JournalAppend({JournalOpKind::kMap, /*flag=*/true, lba, tppa,
+                     nand::kInvalidPpa, write_seq_, written_at, now});
       return {FtlStatus::kOk, now, {}};
     }
     old = l2p_.Get(lba);
@@ -462,6 +614,8 @@ FtlResult PageFtl::TrimPage(Lba lba, SimTime now) {
   Retire(lba, old, now);
   l2p_.Set(lba, nand::kInvalidPpa);
   ++stats_.host_trims;
+  JournalAppend({JournalOpKind::kTrim, /*flag=*/false, lba, nand::kInvalidPpa,
+                 nand::kInvalidPpa, 0, now, 0});
   return {FtlStatus::kOk, now, {}};
 }
 
@@ -496,14 +650,11 @@ std::optional<nand::Ppa> PageFtl::Lookup(Lba lba) const {
   return ppa;
 }
 
-RollbackReport PageFtl::RollBack(SimTime detect_time) {
-  RollbackReport report;
-  if (!config_.delayed_deletion) return report;
-  MutationAudit audit_scope(*this, "RollBack");
-  SetReadOnly(true);
+std::size_t PageFtl::RollBackCore(SimTime detect_time,
+                                  std::vector<Lba>* touched_out) {
   SimTime horizon = detect_time - config_.retention_window;
   std::unordered_set<Lba> touched;
-  report.entries_reverted = queue_.RollBack(
+  std::size_t reverted = queue_.RollBack(
       horizon, [this, &touched](const BackupEntry& e) {
         nand::Ppa current = l2p_.Get(e.lba);
         if (current != nand::kInvalidPpa) MarkInvalid(current);
@@ -518,11 +669,34 @@ RollbackReport PageFtl::RollBack(SimTime detect_time) {
         p2l_.Set(e.old_ppa, e.lba);
         touched.insert(e.lba);
       });
+  if (touched_out != nullptr) {
+    touched_out->assign(touched.begin(), touched.end());
+  }
+  return reverted;
+}
+
+RollbackReport PageFtl::RollBack(SimTime detect_time) {
+  RollbackReport report;
+  if (!config_.delayed_deletion) return report;
+  MutationAudit audit_scope(*this, "RollBack");
+  JournalBatchScope journal_scope(*this, detect_time);
+  SetReadOnly(true);
+  std::vector<Lba> touched;
+  report.entries_reverted = RollBackCore(detect_time, &touched);
   report.mappings_restored = touched.size();
   report.duration = static_cast<SimTime>(report.entries_reverted) *
                     config_.rollback_entry_cost;
   ++stats_.rollbacks;
   stats_.rollback_entries += report.entries_reverted;
+  // A rollback writes no new pages, so neither the OOB log nor a checkpoint
+  // delta scan can reconstruct it — the journal record is its only durable
+  // trace. Flush immediately (best-effort: if the flush tears, the rebuild
+  // falls back to the pre-rollback state on both paths, and the rebuilt
+  // ring allows re-running the rollback).
+  JournalAppend({JournalOpKind::kRollback, /*flag=*/false, 0,
+                 nand::kInvalidPpa, nand::kInvalidPpa, 0, detect_time, 0});
+  SimTime flush_time = detect_time;
+  JournalFlushAll(flush_time);
   return report;
 }
 
@@ -534,6 +708,7 @@ RangeRollbackReport PageFtl::RollBackRange(Lba begin, Lba end,
   report.end = std::min<Lba>(end, exported_lbas_);
   if (!config_.delayed_deletion || begin >= report.end) return report;
   MutationAudit audit_scope(*this, "RollBackRange");
+  JournalBatchScope journal_scope(*this, now);
   const SimTime start = now;
   ReleaseExpired(now);
 
@@ -604,6 +779,8 @@ RangeRollbackReport PageFtl::RollBackRange(Lba begin, Lba end,
       // unmap is undoable through the ring) and clear the mapping.
       Retire(lba, cur, now);
       l2p_.Set(lba, nand::kInvalidPpa);
+      JournalAppend({JournalOpKind::kTrim, /*flag=*/false, lba,
+                     nand::kInvalidPpa, nand::kInvalidPpa, 0, now, 0});
       ++report.unmapped;
       if (restore_age_hist_ != nullptr) {
         restore_age_hist_->Add(static_cast<double>(now - best.written_at));
@@ -627,6 +804,7 @@ RangeRollbackReport PageFtl::RollBackRange(Lba begin, Lba end,
     data.bytes = src->bytes;
     data.oob.lba = lba;
     data.oob.written_at = now;
+    const SimTime written_at = now;
     gc_.DrainRetirements(now);
     gc_.EnsureFreeSpace(now);
     nand::Ppa fresh = ProgramWithRedrive(std::move(data), now);
@@ -641,6 +819,8 @@ RangeRollbackReport PageFtl::RollBackRange(Lba begin, Lba end,
     page_state_.Set(fresh, PageState::kValid);
     ++block_counters_[BlockIdOf(fresh)].valid;
     ++valid_pages_;
+    JournalAppend({JournalOpKind::kMap, /*flag=*/false, lba, fresh,
+                   nand::kInvalidPpa, write_seq_, written_at, now});
     ++report.restored;
     if (restore_age_hist_ != nullptr) {
       restore_age_hist_->Add(static_cast<double>(now - best.written_at));
@@ -658,6 +838,8 @@ RangeRollbackReport PageFtl::RollBackRange(Lba begin, Lba end,
 std::size_t PageFtl::BackgroundCollect(SimTime now, std::size_t max_blocks) {
   if (read_only_) return 0;
   MutationAudit audit_scope(*this, "BackgroundCollect");
+  JournalBatchScope journal_scope(*this, now);
+  MaybeCheckpoint(now);
   ReleaseExpired(now);
   gc_.DrainRetirements(now);
   return gc_.BackgroundCollect(now, max_blocks);
@@ -667,19 +849,14 @@ std::size_t PageFtl::IdleCollect(SimTime now, std::size_t max_blocks,
                                  std::uint32_t max_movable) {
   if (read_only_) return 0;
   MutationAudit audit_scope(*this, "IdleCollect");
+  JournalBatchScope journal_scope(*this, now);
+  MaybeCheckpoint(now);
   ReleaseExpired(now);
   return gc_.CollectCheap(now, max_blocks, max_movable);
 }
 
-PageFtl::RebuildReport PageFtl::RebuildFromNand(SimTime now) {
-  MutationAudit audit_scope(*this, "RebuildFromNand");
+void PageFtl::WipeVolatileState() {
   const nand::Geometry& geo = config_.geometry;
-  RebuildReport report;
-
-  // The OOB scan below reads page contents directly; with a sharded engine
-  // every deferred payload must land first.
-  nand_.SyncDeferred();
-
   // Power loss wipes everything in DRAM. The grown-bad-block table
   // (block_health_) and the degraded latch survive — firmware persists them
   // in a reserved flash region — but an alarm's read-only latch does not:
@@ -692,10 +869,12 @@ PageFtl::RebuildReport PageFtl::RebuildFromNand(SimTime now) {
   active_block_per_chip_.assign(geo.TotalChips(), kNoActiveBlock);
   free_block_count_ = 0;
   queue_.Clear();
-  // The version store's index is DRAM too. Archived pages rescan as
-  // ordinary old versions, re-enter the rebuilt ring, and re-archive in
-  // displacement order through the post-scan ReleaseExpired() — converging
-  // to the pre-crash chains (exact when no cross-page dedupe occurred).
+  // The version store's index is DRAM too. On the full-scan path archived
+  // pages rescan as ordinary old versions, re-enter the rebuilt ring, and
+  // re-archive in displacement order through the post-scan ReleaseExpired()
+  // — converging to the pre-crash chains (exact when no cross-page dedupe
+  // occurred). The checkpoint fast path restores the index — dedupe
+  // structure included — exactly.
   store_.Clear();
   trim_journal_.clear();
   pending_retire_.clear();
@@ -704,10 +883,67 @@ PageFtl::RebuildReport PageFtl::RebuildFromNand(SimTime now) {
   archived_pages_ = 0;
   write_seq_ = 0;
   read_only_ = degraded_;
-  // The release horizon is volatile firmware state too; the post-scan
-  // ReleaseExpired() below re-establishes it from the caller's clock.
+  // The release horizon is volatile firmware state too; the post-rebuild
+  // ReleaseExpired() re-establishes it from the caller's clock.
   last_release_horizon_ = std::numeric_limits<SimTime>::min();
+}
 
+void PageFtl::RecomputePendingRetire() {
+  pending_retire_.clear();
+  const nand::Geometry& geo = config_.geometry;
+  for (std::uint32_t b = 0; b < geo.TotalBlocks(); ++b) {
+    if (block_health_[b] == BlockHealth::kPendingRetire) {
+      pending_retire_.push_back(b);
+    }
+  }
+}
+
+std::size_t PageFtl::RecomputePoolsAndFrontiers() {
+  const nand::Geometry& geo = config_.geometry;
+  std::size_t probe_reads = 0;
+  for (auto& pool : free_blocks_by_chip_) pool.clear();
+  active_block_per_chip_.assign(geo.TotalChips(), kNoActiveBlock);
+  free_block_count_ = 0;
+  // Erased healthy blocks refill the free pools (descending id, matching
+  // construction order); a partially programmed healthy block is that chip's
+  // open write frontier.
+  for (std::uint32_t chip = 0; chip < geo.TotalChips(); ++chip) {
+    std::uint64_t best_seq = 0;
+    for (std::uint32_t i = geo.blocks_per_chip; i-- > 0;) {
+      std::uint32_t b = chip * geo.blocks_per_chip + i;
+      if (nand_.IsMetadataBlock(b)) continue;
+      if (block_health_[b] != BlockHealth::kHealthy) continue;
+      const nand::Block& blk = nand_.BlockAt(AddrOfBlockId(b));
+      if (blk.IsErased()) {
+        free_blocks_by_chip_[chip].push_back(b);
+        ++free_block_count_;
+      } else if (!blk.IsFull()) {
+        // At most one open frontier per chip exists; if the scan ever finds
+        // more, keep the one written most recently. The block's last
+        // readable page carries its maximum OOB sequence (programs are
+        // sequential), so one page read per candidate suffices.
+        std::uint64_t max_seq = 0;
+        for (std::uint32_t p = blk.WritePointer(); p-- > 0;) {
+          const nand::PageData* d = blk.Read(p);
+          ++probe_reads;
+          if (d != nullptr) {
+            max_seq = d->oob.seq + 1;
+            break;
+          }
+        }
+        if (active_block_per_chip_[chip] == kNoActiveBlock ||
+            max_seq > best_seq) {
+          active_block_per_chip_[chip] = b;
+          best_seq = max_seq;
+        }
+      }
+    }
+  }
+  return probe_reads;
+}
+
+void PageFtl::FullScanRebuild(RebuildReport& report, SimTime now) {
+  const nand::Geometry& geo = config_.geometry;
   // One physical version of one LBA found by the scan.
   struct Version {
     nand::Ppa ppa = nand::kInvalidPpa;
@@ -718,6 +954,7 @@ PageFtl::RebuildReport PageFtl::RebuildFromNand(SimTime now) {
   std::unordered_map<Lba, std::vector<Version>> versions;
 
   for (std::uint32_t b = 0; b < geo.TotalBlocks(); ++b) {
+    if (nand_.IsMetadataBlock(b)) continue;  // stamps only, no host data
     nand::BlockAddr addr = AddrOfBlockId(b);
     const nand::Block& blk = nand_.BlockAt(addr);
     if (block_health_[b] == BlockHealth::kRetired) {
@@ -828,34 +1065,10 @@ PageFtl::RebuildReport PageFtl::RebuildFromNand(SimTime now) {
     ++report.backups_restored;
   }
 
-  // Restore the per-chip structures: erased healthy blocks refill the free
-  // pools (descending id, matching construction order); a partially
-  // programmed healthy block is that chip's open write frontier.
-  for (std::uint32_t chip = 0; chip < geo.TotalChips(); ++chip) {
-    std::uint64_t best_seq = 0;
-    for (std::uint32_t i = geo.blocks_per_chip; i-- > 0;) {
-      std::uint32_t b = chip * geo.blocks_per_chip + i;
-      if (block_health_[b] != BlockHealth::kHealthy) continue;
-      const nand::Block& blk = nand_.BlockAt(AddrOfBlockId(b));
-      if (blk.IsErased()) {
-        free_blocks_by_chip_[chip].push_back(b);
-        ++free_block_count_;
-      } else if (!blk.IsFull()) {
-        // At most one open frontier per chip exists; if the scan ever finds
-        // more, keep the one written most recently.
-        std::uint64_t max_seq = 0;
-        for (std::uint32_t p = 0; p < blk.WritePointer(); ++p) {
-          const nand::PageData* d = blk.Read(p);
-          if (d) max_seq = std::max(max_seq, d->oob.seq + 1);
-        }
-        if (active_block_per_chip_[chip] == kNoActiveBlock ||
-            max_seq > best_seq) {
-          active_block_per_chip_[chip] = b;
-          best_seq = max_seq;
-        }
-      }
-    }
-  }
+  // Restore the per-chip pools and frontiers from media block headers (the
+  // scan already billed every programmed page, so the frontier probes cost
+  // nothing extra here).
+  RecomputePoolsAndFrontiers();
 
   // The trim journal is volatile too: rebuild it time-ordered from the
   // still-mapped tombstones the scan found.
@@ -864,6 +1077,439 @@ PageFtl::RebuildReport PageFtl::RebuildFromNand(SimTime now) {
               return a.time < b.time;
             });
   trim_journal_.assign(rebuilt_trims.begin(), rebuilt_trims.end());
+}
+
+bool PageFtl::ReplayJournalRecord(const JournalRecord& rec) {
+  const nand::Geometry& geo = config_.geometry;
+  switch (rec.kind) {
+    case JournalOpKind::kMap: {
+      if (rec.ppa == nand::kInvalidPpa || rec.lba >= exported_lbas_ ||
+          page_state_.Get(rec.ppa) != PageState::kFree) {
+        return false;
+      }
+      nand::Ppa old = l2p_.Get(rec.lba);
+      if (old != nand::kInvalidPpa) {
+        if (page_state_.Get(old) != PageState::kValid) return false;
+        Retire(rec.lba, old, rec.t2);
+      }
+      l2p_.Set(rec.lba, rec.ppa);
+      p2l_.Set(rec.ppa, rec.lba);
+      page_state_.Set(rec.ppa, PageState::kValid);
+      ++block_counters_[BlockIdOf(rec.ppa)].valid;
+      ++valid_pages_;
+      write_seq_ = std::max(write_seq_, rec.seq);
+      if (rec.flag) trim_journal_.push_back({rec.t2, rec.lba});
+      return true;
+    }
+    case JournalOpKind::kTrim: {
+      if (rec.lba >= exported_lbas_) return false;
+      nand::Ppa old = l2p_.Get(rec.lba);
+      if (old == nand::kInvalidPpa ||
+          page_state_.Get(old) != PageState::kValid) {
+        return false;  // the live op always had a mapped current version
+      }
+      Retire(rec.lba, old, rec.t1);
+      l2p_.Set(rec.lba, nand::kInvalidPpa);
+      return true;
+    }
+    case JournalOpKind::kBurn: {
+      if (rec.ppa == nand::kInvalidPpa ||
+          page_state_.Get(rec.ppa) != PageState::kFree) {
+        return false;
+      }
+      page_state_.Set(rec.ppa, PageState::kBad);
+      MarkPendingRetire(BlockIdOf(rec.ppa));  // no-op: health persisted
+      write_seq_ = std::max(write_seq_, rec.seq);
+      return true;
+    }
+    case JournalOpKind::kRelocate: {
+      nand::Ppa src = rec.ppa;
+      nand::Ppa dst = rec.ppa2;
+      if (src == nand::kInvalidPpa || dst == nand::kInvalidPpa ||
+          page_state_.Get(dst) != PageState::kFree) {
+        return false;
+      }
+      PageState st = page_state_.Get(src);
+      Lba lba = p2l_.Get(src);
+      BlockCounters& src_info = block_counters_[BlockIdOf(src)];
+      BlockCounters& dst_info = block_counters_[BlockIdOf(dst)];
+      switch (st) {
+        case PageState::kValid:
+          if (lba == kInvalidLba) return false;
+          l2p_.Set(lba, dst);
+          --src_info.valid;
+          ++dst_info.valid;
+          break;
+        case PageState::kRetained:
+          if (!queue_.Relocate(src, dst)) return false;
+          --src_info.retained;
+          ++dst_info.retained;
+          break;
+        case PageState::kArchived:
+          if (!store_.Relocate(src, dst)) return false;
+          --src_info.archived;
+          ++dst_info.archived;
+          break;
+        default:
+          return false;
+      }
+      page_state_.Set(dst, st);
+      p2l_.Set(dst, lba);
+      page_state_.Set(src, PageState::kInvalid);
+      p2l_.Set(src, kInvalidLba);
+      write_seq_ = std::max(write_seq_, rec.seq);
+      return true;
+    }
+    case JournalOpKind::kDrop: {
+      nand::Ppa src = rec.ppa;
+      if (src == nand::kInvalidPpa) return false;
+      PageState st = page_state_.Get(src);
+      Lba lba = p2l_.Get(src);
+      BlockCounters& info = block_counters_[BlockIdOf(src)];
+      if (st == PageState::kValid) {
+        if (lba != kInvalidLba) l2p_.Set(lba, nand::kInvalidPpa);
+        --info.valid;
+        --valid_pages_;
+      } else if (st == PageState::kArchived) {
+        store_.DropPpa(src);
+        --info.archived;
+        --archived_pages_;
+      } else if (st == PageState::kRetained) {
+        if (queue_.Drop(src)) {
+          --info.retained;
+          --retained_pages_;
+        }
+      } else {
+        return false;
+      }
+      page_state_.Set(src, PageState::kInvalid);
+      p2l_.Set(src, kInvalidLba);
+      return true;
+    }
+    case JournalOpKind::kEraseIntent: {
+      std::uint32_t block_id = static_cast<std::uint32_t>(rec.ppa);
+      if (block_id >= geo.TotalBlocks()) return false;
+      nand::BlockAddr addr = AddrOfBlockId(block_id);
+      if (nand_.BlockAt(addr).EraseCount() > rec.seq) {
+        // The intended erase reached media: replay its effects. The intent
+        // flush carried every evacuation record, so the block must be fully
+        // drained at this point in the replayed stream.
+        if (block_counters_[block_id].Movable() != 0) return false;
+        for (std::uint32_t p = 0; p < geo.pages_per_block; ++p) {
+          nand::Ppa ppa = geo.MakePpa(addr.chip, addr.block, p);
+          page_state_.Set(ppa, PageState::kFree);
+          p2l_.Set(ppa, kInvalidLba);
+        }
+        block_counters_[block_id] = BlockCounters{};
+        return true;
+      }
+      // Intent flushed but the erase count never moved: the erase failed and
+      // the block was retired on the spot (a crash cannot land between the
+      // flush and the erase — they are one synchronous sequence, and the
+      // power-cut probe only fires inside flushes).
+      if (block_health_[block_id] == BlockHealth::kHealthy) return false;
+      ReplayRetireEffects(block_id);
+      return true;
+    }
+    case JournalOpKind::kRetireBlock: {
+      std::uint32_t block_id = static_cast<std::uint32_t>(rec.ppa);
+      if (block_id >= geo.TotalBlocks() ||
+          block_health_[block_id] == BlockHealth::kHealthy) {
+        return false;
+      }
+      ReplayRetireEffects(block_id);
+      return true;
+    }
+    case JournalOpKind::kRelease:
+      // Re-run the whole release pass at the recorded clock; deterministic
+      // given the replayed state, and it reproduces archive/dedupe decisions
+      // and tombstone aging exactly (the PR-6 crash-exactness gap).
+      ReleaseExpired(rec.t1);
+      return true;
+    case JournalOpKind::kForcedRelease: {
+      std::optional<BackupEntry> e = queue_.PopOldest();
+      if (!e) return false;
+      ReleaseBackup(*e, rec.t1);
+      return true;
+    }
+    case JournalOpKind::kStoreEvict:
+      store_.EvictOldest(static_cast<std::size_t>(rec.ppa),
+                         [this](nand::Ppa p) { ReleaseArchived(p); });
+      return true;
+    case JournalOpKind::kRollback:
+      RollBackCore(rec.t1, nullptr);
+      return true;
+  }
+  return false;
+}
+
+void PageFtl::ReplayRetireEffects(std::uint32_t block_id) {
+  const nand::Geometry& geo = config_.geometry;
+  nand::BlockAddr addr = AddrOfBlockId(block_id);
+  const nand::Block& blk = nand_.BlockAt(addr);
+  for (std::uint32_t p = 0; p < geo.pages_per_block; ++p) {
+    nand::Ppa ppa = geo.MakePpa(addr.chip, addr.block, p);
+    page_state_.Set(ppa,
+                    blk.IsProgrammed(p) ? PageState::kBad : PageState::kFree);
+    p2l_.Set(ppa, kInvalidLba);
+  }
+  block_counters_[block_id] = BlockCounters{};  // evacuated before retiring
+}
+
+bool PageFtl::DeltaScan(RebuildReport& report) {
+  const nand::Geometry& geo = config_.geometry;
+  struct DeltaPage {
+    nand::Ppa ppa = nand::kInvalidPpa;
+    const nand::PageData* data = nullptr;
+  };
+  std::vector<DeltaPage> delta;
+  for (std::uint32_t b = 0; b < geo.TotalBlocks(); ++b) {
+    if (nand_.IsMetadataBlock(b)) continue;
+    if (block_health_[b] == BlockHealth::kRetired) continue;
+    nand::BlockAddr addr = AddrOfBlockId(b);
+    const nand::Block& blk = nand_.BlockAt(addr);
+    const std::uint32_t actual = blk.WritePointer();
+    // Replayed horizon: programs land strictly in page order and every
+    // journaled program marked its page non-free, so the count of non-free
+    // states is exactly the write pointer the replayed stream knows about.
+    std::uint32_t expected = 0;
+    for (std::uint32_t p = 0; p < geo.pages_per_block; ++p) {
+      if (page_state_.Get(geo.MakePpa(addr.chip, addr.block, p)) !=
+          PageState::kFree) {
+        ++expected;
+      }
+    }
+    if (expected > actual) return false;  // media behind DRAM: contradiction
+    for (std::uint32_t p = expected; p < actual; ++p) {
+      nand::Ppa ppa = geo.MakePpa(addr.chip, addr.block, p);
+      if (blk.IsBadPage(p)) {
+        // A burn whose record was lost with DRAM: persist the page state;
+        // the health table already knows the block.
+        page_state_.Set(ppa, PageState::kBad);
+        MarkPendingRetire(b);
+        ++report.delta_pages_scanned;
+        continue;
+      }
+      const nand::PageData* data = blk.Read(p);
+      if (data == nullptr) return false;
+      delta.push_back({ppa, data});
+      ++report.delta_pages_scanned;
+    }
+  }
+
+  // Apply the un-journaled tail in logical write order, the same ordering
+  // rule the full scan uses.
+  std::sort(delta.begin(), delta.end(),
+            [](const DeltaPage& a, const DeltaPage& b) {
+              return a.data->oob.written_at != b.data->oob.written_at
+                         ? a.data->oob.written_at < b.data->oob.written_at
+                         : a.data->oob.seq < b.data->oob.seq;
+            });
+
+  // Ring versions indexed by (lba, written_at) for ghost matching; updated
+  // as ghosts transfer so repeated relocations chain correctly.
+  std::map<std::pair<Lba, SimTime>, nand::Ppa> ring_index;
+  queue_.ForEach([&](const BackupEntry& e) {
+    const nand::PageData* d = RawPage(e.old_ppa);
+    if (d != nullptr) ring_index[{e.lba, d->oob.written_at}] = e.old_ppa;
+  });
+
+  for (const DeltaPage& dp : delta) {
+    const nand::PageOob& oob = dp.data->oob;
+    write_seq_ = std::max(write_seq_, oob.seq);
+    if (oob.lba == kInvalidLba || oob.lba >= exported_lbas_) {
+      page_state_.Set(dp.ppa, PageState::kInvalid);  // raw NAND writes
+      continue;
+    }
+    if (page_state_.Get(dp.ppa) != PageState::kFree) return false;
+
+    // GC-relocation ghosts (same version, two media copies, the erase lost
+    // to the crash): the delta copy is always the newer one — keep it, same
+    // as the full scan's ghost rule. Three places the source can live:
+    // the current mapping, the ring, the version store.
+    nand::Ppa cur = l2p_.Get(oob.lba);
+    const nand::PageData* cur_data =
+        cur == nand::kInvalidPpa ? nullptr : RawPage(cur);
+    if (cur_data != nullptr && cur_data->oob.written_at == oob.written_at &&
+        cur_data->oob.tombstone == oob.tombstone &&
+        cur_data->SamePayload(*dp.data)) {
+      if (page_state_.Get(cur) != PageState::kValid) return false;
+      page_state_.Set(cur, PageState::kInvalid);
+      p2l_.Set(cur, kInvalidLba);
+      --block_counters_[BlockIdOf(cur)].valid;
+      l2p_.Set(oob.lba, dp.ppa);
+      p2l_.Set(dp.ppa, oob.lba);
+      page_state_.Set(dp.ppa, PageState::kValid);
+      ++block_counters_[BlockIdOf(dp.ppa)].valid;
+      continue;
+    }
+    if (auto it = ring_index.find({oob.lba, oob.written_at});
+        it != ring_index.end()) {
+      nand::Ppa src = it->second;
+      const nand::PageData* src_data = RawPage(src);
+      if (src_data != nullptr &&
+          src_data->oob.tombstone == oob.tombstone &&
+          src_data->SamePayload(*dp.data)) {
+        if (page_state_.Get(src) != PageState::kRetained ||
+            !queue_.Relocate(src, dp.ppa)) {
+          return false;
+        }
+        page_state_.Set(src, PageState::kInvalid);
+        p2l_.Set(src, kInvalidLba);
+        --block_counters_[BlockIdOf(src)].retained;
+        page_state_.Set(dp.ppa, PageState::kRetained);
+        p2l_.Set(dp.ppa, oob.lba);
+        ++block_counters_[BlockIdOf(dp.ppa)].retained;
+        it->second = dp.ppa;
+        continue;
+      }
+    }
+    if (!oob.tombstone && store_.Enabled()) {
+      version::PayloadHash hash =
+          version::HashPayload(dp.data->stamp, dp.data->bytes);
+      std::optional<nand::Ppa> obj = store_.ObjectPpa(hash);
+      if (obj.has_value() &&
+          page_state_.Get(*obj) == PageState::kArchived) {
+        const nand::PageData* src_data = RawPage(*obj);
+        if (src_data != nullptr &&
+            src_data->oob.written_at == oob.written_at &&
+            src_data->SamePayload(*dp.data)) {
+          nand::Ppa src = *obj;
+          Lba tag = p2l_.Get(src);
+          if (!store_.Relocate(src, dp.ppa)) return false;
+          page_state_.Set(src, PageState::kInvalid);
+          p2l_.Set(src, kInvalidLba);
+          --block_counters_[BlockIdOf(src)].archived;
+          page_state_.Set(dp.ppa, PageState::kArchived);
+          p2l_.Set(dp.ppa, tag);
+          ++block_counters_[BlockIdOf(dp.ppa)].archived;
+          continue;
+        }
+      }
+    }
+
+    // A genuinely new version: apply it like the live overwrite did, with
+    // the displacement clock at the displacing version's write time.
+    nand::Ppa old = l2p_.Get(oob.lba);
+    if (old != nand::kInvalidPpa) {
+      if (page_state_.Get(old) != PageState::kValid) return false;
+      Retire(oob.lba, old, oob.written_at);
+    }
+    l2p_.Set(oob.lba, dp.ppa);
+    p2l_.Set(dp.ppa, oob.lba);
+    page_state_.Set(dp.ppa, PageState::kValid);
+    ++block_counters_[BlockIdOf(dp.ppa)].valid;
+    ++valid_pages_;
+    if (oob.tombstone) trim_journal_.push_back({oob.written_at, oob.lba});
+  }
+
+  // Blocks the persistent bad-block table says are out of service may have
+  // been retired *after* the checkpoint with the retire-effects records
+  // still in DRAM at the crash. The ghost matching above already moved
+  // every surviving live copy out of them; normalize what is left to the
+  // live RetireBlock semantics (programmed pages bad, the rest free). A
+  // page still claiming to be live here lost its relocation/drop record
+  // with the crash — only the full scan's from-scratch version
+  // reconstruction resolves that, so report a contradiction.
+  for (std::uint32_t b = 0; b < geo.TotalBlocks(); ++b) {
+    if (nand_.IsMetadataBlock(b)) continue;
+    if (block_health_[b] != BlockHealth::kRetired) continue;
+    nand::BlockAddr addr = AddrOfBlockId(b);
+    const nand::Block& blk = nand_.BlockAt(addr);
+    for (std::uint32_t p = 0; p < geo.pages_per_block; ++p) {
+      nand::Ppa ppa = geo.MakePpa(addr.chip, addr.block, p);
+      PageState st = page_state_.Get(ppa);
+      if (st == PageState::kValid || st == PageState::kRetained ||
+          st == PageState::kArchived) {
+        return false;
+      }
+      page_state_.Set(ppa, blk.IsProgrammed(p) ? PageState::kBad
+                                               : PageState::kFree);
+      p2l_.Set(ppa, kInvalidLba);
+    }
+    block_counters_[b] = BlockCounters{};
+  }
+  return true;
+}
+
+PageFtl::RebuildReport PageFtl::RebuildFromNand(SimTime now) {
+  MutationAudit audit_scope(*this, "RebuildFromNand");
+  JournalBatchScope journal_scope(*this, now);
+  RebuildReport report;
+
+  // The scans below read page contents directly; with a sharded engine
+  // every deferred payload must land first.
+  nand_.SyncDeferred();
+  WipeVolatileState();
+  // Un-flushed journal records were DRAM too: the crash destroyed them.
+  journal_.DropPending();
+
+  bool fast = false;
+  if (checkpoints_.Enabled()) {
+    // O(Δ) fast path: locate the newest media-valid checkpoint (constant
+    // validation reads), replay the journal tail, then OOB-scan only the
+    // pages programmed past the replayed horizon.
+    CheckpointStore::Located located = checkpoints_.LocateLatestValid();
+    report.checkpoint_pages_read =
+        static_cast<std::size_t>(located.pages_read);
+    if (located.snapshot != nullptr) {
+      MappingJournal::Tail tail = journal_.ValidTail(located.epoch);
+      report.journal_pages_read = static_cast<std::size_t>(tail.pages_read);
+      if (!tail.region_full) {
+        RestoreFromSnapshot(*located.snapshot);
+        replaying_ = true;
+        bool ok = true;
+        for (const JournalRecord& rec : tail.records) {
+          if (!ReplayJournalRecord(rec)) {
+            ok = false;
+            break;
+          }
+        }
+        replaying_ = false;
+        report.journal_records_replayed = tail.records.size();
+        RecomputePendingRetire();
+        if (ok) ok = DeltaScan(report);
+        fast = ok;
+      }
+    }
+  }
+
+  if (fast) {
+    report.used_checkpoint = true;
+    ++stats_.rebuild_fast_path;
+    std::size_t frontier_probes = RecomputePoolsAndFrontiers();
+    report.duration =
+        static_cast<SimTime>(report.checkpoint_pages_read +
+                             report.journal_pages_read +
+                             report.delta_pages_scanned + frontier_probes) *
+        config_.latency.page_read;
+    // Page-accurate proxies: the fast path never enumerates per-LBA version
+    // chains, so report the totals the restored tables imply.
+    report.mappings_restored = static_cast<std::size_t>(valid_pages_);
+    report.backups_restored = queue_.Size();
+    report.blocks_retired = retired_blocks_;
+    obs::EmitSpan(tracer_, "ftl.rebuild.replay", "ftl", 0, now,
+                  now + report.duration,
+                  static_cast<std::int64_t>(report.journal_records_replayed),
+                  "journal_records");
+    obs::EmitSpan(tracer_, "ftl.rebuild.delta_scan", "ftl", 0, now,
+                  now + report.duration,
+                  static_cast<std::int64_t>(report.delta_pages_scanned),
+                  "delta_pages");
+  } else {
+    if (checkpoints_.Enabled()) {
+      // Torn/missing checkpoint, journal-region overflow, or a replayed
+      // record that contradicts media: wipe whatever the partial replay
+      // touched and fall back to the exhaustive OOB scan.
+      report.fallback_full_scan = true;
+      ++stats_.rebuild_fallbacks;
+      WipeVolatileState();
+    }
+    FullScanRebuild(report, now);
+    obs::EmitSpan(tracer_, "ftl.rebuild.full_scan", "ftl", 0, now,
+                  now + report.duration,
+                  static_cast<std::int64_t>(report.pages_scanned), "pages");
+  }
 
   ++stats_.rebuilds;
   // Age out anything the window no longer covers (also re-releases backups
@@ -872,6 +1518,13 @@ PageFtl::RebuildReport PageFtl::RebuildFromNand(SimTime now) {
   ReleaseExpired(now);
   SimTime t = now;
   gc_.DrainRetirements(t);
+  if (checkpoints_.Enabled()) {
+    // Fresh baseline: the rebuilt state becomes the next checkpoint, so the
+    // journal restarts empty and a repeat crash rebuilds in O(Δ) again.
+    // Metadata ops draw no RNG, so the data-path fault sequence stays
+    // unperturbed for deterministic-twin comparisons.
+    TakeCheckpoint(t);
+  }
   return report;
 }
 

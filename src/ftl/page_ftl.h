@@ -38,8 +38,10 @@
 #include "common/io.h"
 #include "common/lazy_table.h"
 #include "common/time.h"
+#include "ftl/checkpoint.h"
 #include "ftl/ftl_types.h"
 #include "ftl/gc_engine.h"
+#include "ftl/mapping_journal.h"
 #include "ftl/policy.h"
 #include "ftl/recovery_queue.h"
 #include "nand/flash_array.h"
@@ -94,6 +96,19 @@ class PageFtl {
     std::size_t backups_restored = 0;   ///< recovery-queue entries rebuilt
     std::size_t blocks_retired = 0;     ///< grown bad blocks carried over
     SimTime duration = 0;               ///< modeled scan time
+    /// O(Δ) fast path taken: a valid checkpoint was restored and the journal
+    /// tail replayed; only post-horizon pages were OOB-scanned.
+    bool used_checkpoint = false;
+    /// Checkpointing is enabled but the rebuild had to fall back to the full
+    /// OOB scan (torn/missing checkpoint or journal-region overflow).
+    bool fallback_full_scan = false;
+    /// The reboot restarted the detector cold: its sliding-window state did
+    /// not survive, opening a detection blind window (set by Ssd::PowerCycle).
+    bool detector_state_lost = false;
+    std::size_t checkpoint_pages_read = 0;   ///< validation reads (constant)
+    std::size_t journal_pages_read = 0;      ///< replayed tail pages
+    std::size_t journal_records_replayed = 0;
+    std::size_t delta_pages_scanned = 0;     ///< OOB reads past the horizon
   };
 
   /// Sudden power loss followed by reboot: every volatile structure (L2P/P2L
@@ -105,6 +120,32 @@ class PageFtl {
   /// re-arms after reboot — but rollback still works because the queue is
   /// rebuilt from the same OOB scan.
   RebuildReport RebuildFromNand(SimTime now);
+
+  // Checkpointing --------------------------------------------------------
+
+  /// True when CheckpointConfig::enabled reserved metadata blocks at
+  /// construction (default off: the device behaves exactly as before).
+  bool CheckpointEnabled() const { return checkpoints_.Enabled(); }
+
+  /// Flush a full DRAM snapshot to the inactive checkpoint buffer and, on
+  /// success, start a fresh journal epoch (the committed checkpoint
+  /// supersedes every journal record). The firmware scheduler calls this on
+  /// its checkpoint interval; the FTL also triggers it pre-emptively when
+  /// the journal region fills past 70%. Returns the media completion time
+  /// (== `now` when checkpointing is disabled or the commit aborted early).
+  SimTime TakeCheckpoint(SimTime now);
+
+  /// Reserved metadata blocks (checkpoint buffers + journal regions); these
+  /// never hold host data and are excluded from GC and the free pools.
+  /// Force every pending journal record durable at `now` (the batched path
+  /// flushes only full pages). False when the flush tore — power-cut probe,
+  /// metadata fault, or region overflow. Crash harnesses use this to park
+  /// the device mid-journal-flush at the instant of death.
+  bool FlushJournal(SimTime now);
+
+  std::size_t MetadataBlockCount() const { return metadata_blocks_.size(); }
+  const MappingJournal& Journal() const { return journal_; }
+  const CheckpointStore& Checkpoints() const { return checkpoints_; }
 
   // Policy plumbing ------------------------------------------------------
 
@@ -260,9 +301,64 @@ class PageFtl {
     const char* op_;
   };
 
+  /// RAII journal hook every mutating entry point opens right next to its
+  /// MutationAudit (the insider_lint `journal-hook` rule pins the pairing).
+  /// On scope exit it flushes any full record batches accumulated by the op,
+  /// so journal durability lags a bounded number of records behind DRAM.
+  class JournalBatchScope {
+   public:
+    JournalBatchScope(PageFtl& ftl, SimTime now) : ftl_(ftl), now_(now) {}
+    ~JournalBatchScope();
+    JournalBatchScope(const JournalBatchScope&) = delete;
+    JournalBatchScope& operator=(const JournalBatchScope&) = delete;
+
+   private:
+    PageFtl& ftl_;
+    SimTime now_;
+  };
+
   std::uint32_t BlockIdOf(nand::Ppa ppa) const;
   nand::BlockAddr AddrOfBlockId(std::uint32_t block_id) const;
   bool IsActiveBlock(std::uint32_t block_id) const;
+
+  // Checkpoint / journal internals ---------------------------------------
+
+  /// Append a redo record (no-op when the journal is disabled or a rebuild
+  /// is replaying — replay must never re-journal its own effects).
+  void JournalAppend(const JournalRecord& rec);
+  /// Flush full batches (records_per_page granularity); JournalBatchScope's
+  /// destructor body.
+  void JournalFlushBatches(SimTime now);
+  /// Flush everything pending; false when the journal could not be made
+  /// durable (the GC erase-intent protocol refuses to erase on false).
+  bool JournalFlushAll(SimTime& now);
+  /// Pre-emptive checkpoint when the active journal region runs past 70%.
+  void MaybeCheckpoint(SimTime now);
+  FtlSnapshot BuildSnapshot() const;
+  void RestoreFromSnapshot(const FtlSnapshot& snap);
+  /// Apply one replayed record to DRAM state. False = the record contradicts
+  /// media (rebuild falls back to the full scan).
+  bool ReplayJournalRecord(const JournalRecord& rec);
+  /// Retire-block replay effects shared by kRetireBlock and the erase-intent
+  /// else-branch: programmed pages bad, rest free, tags cleared.
+  void ReplayRetireEffects(std::uint32_t block_id);
+  /// OOB-scan only pages programmed past the replayed horizon (per block:
+  /// positions >= the count of non-free page states). False = media
+  /// contradicts the replayed state.
+  bool DeltaScan(RebuildReport& report);
+  /// Discard every volatile structure ahead of a rebuild.
+  void WipeVolatileState();
+  /// Recompute the free pools, active frontiers, and free_block_count_ from
+  /// media block headers (both rebuild paths end here).
+  std::size_t RecomputePoolsAndFrontiers();
+  /// Rebuild pending_retire_ from the persisted health table.
+  void RecomputePendingRetire();
+  /// The pre-checkpoint rebuild: full OOB scan of every non-metadata block.
+  void FullScanRebuild(RebuildReport& report, SimTime now);
+  /// Mapping-table core of RollBack, shared with kRollback replay (no stats,
+  /// no read-only latch, no obs).
+  std::size_t RollBackCore(SimTime detect_time,
+                           std::vector<Lba>* touched_out);
 
   /// Get a programmable PPA at a write frontier: ask the allocation policy
   /// for a chip, open a fresh block there if the active one is full. Returns
@@ -368,6 +464,15 @@ class PageFtl {
   version::VersionStore store_;
   PolicyView view_;
   GcEngine gc_;
+
+  /// Reserved metadata block ids (checkpoint buffers then journal regions);
+  /// empty when CheckpointConfig::enabled is false.
+  std::vector<std::uint64_t> metadata_blocks_;
+  CheckpointStore checkpoints_;
+  MappingJournal journal_;
+  /// True while RebuildFromNand replays the journal tail: replayed ops must
+  /// not re-append records or re-trigger checkpoints.
+  bool replaying_ = false;
 
   obs::Tracer* tracer_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;

@@ -74,9 +74,12 @@ class PolicyView {
     return nand_.BlockAt(AddrOf(block_id)).EraseCount();
   }
   /// Grown bad blocks — retired or awaiting retirement — are handled by the
-  /// retirement drain, never offered to GC as victims.
+  /// retirement drain, never offered to GC as victims. Reserved metadata
+  /// blocks (checkpoint buffers / journal regions) never hold host data and
+  /// are equally off-limits.
   bool IsOutOfService(std::uint32_t block_id) const {
-    return block_health_[block_id] != BlockHealth::kHealthy;
+    return block_health_[block_id] != BlockHealth::kHealthy ||
+           nand_.IsMetadataBlock(block_id);
   }
 
   // Allocation side ------------------------------------------------------

@@ -1,6 +1,36 @@
 #include "host/power_loss.h"
 
+#include <cstring>
+
 namespace insider::host {
+
+namespace {
+
+// Park the device inside a metadata flush at the crash instant: arm the
+// NAND power-cut probe for one firing at `point`, then drive the matching
+// flush so it tears exactly there. A no-op when checkpointing is off (there
+// is no metadata flush to tear into).
+void TearMetadataFlush(Ssd& ssd, PowerLossConfig::CrashWindow window,
+                       SimTime off) {
+  if (!ssd.Ftl().CheckpointEnabled()) return;
+  const char* point = window == PowerLossConfig::CrashWindow::kTearCheckpoint
+                          ? "checkpoint.flush"
+                          : "journal.flush";
+  bool fired = false;
+  ssd.Ftl().Nand().SetPowerCutProbe([&fired, point](const char* at) {
+    if (fired || std::strcmp(at, point) != 0) return false;
+    fired = true;
+    return true;
+  });
+  if (window == PowerLossConfig::CrashWindow::kTearCheckpoint) {
+    ssd.Ftl().TakeCheckpoint(off);
+  } else {
+    ssd.Ftl().FlushJournal(off);
+  }
+  ssd.Ftl().Nand().SetPowerCutProbe(nullptr);
+}
+
+}  // namespace
 
 PowerLossReport PowerLossInjector::Replay(const std::vector<IoRequest>& trace,
                                           std::uint64_t stamp_base) {
@@ -11,6 +41,9 @@ PowerLossReport PowerLossInjector::Replay(const std::vector<IoRequest>& trace,
     while (next_crash < config_.crash_times.size() &&
            request.time >= config_.crash_times[next_crash]) {
       SimTime off = config_.crash_times[next_crash];
+      if (config_.window != PowerLossConfig::CrashWindow::kRequestBoundary) {
+        TearMetadataFlush(ssd_, config_.window, off);
+      }
       report.rebuilds.push_back(ssd_.PowerCycle(off, off + config_.outage));
       ++report.crashes;
       ++next_crash;

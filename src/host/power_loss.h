@@ -21,11 +21,22 @@
 namespace insider::host {
 
 struct PowerLossConfig {
+  /// Where within the firmware the power dies. Request boundaries model the
+  /// classic mid-workload cut; the tear modes park the device *inside* a
+  /// metadata flush at the instant of death, so the rebuild faces a torn
+  /// checkpoint buffer or a half-written journal batch.
+  enum class CrashWindow {
+    kRequestBoundary,  ///< cut between replayed requests (the default)
+    kTearCheckpoint,   ///< drive a checkpoint commit and cut mid-flush
+    kTearJournal,      ///< drive a journal flush and cut mid-batch
+  };
+
   /// Virtual times at which power is cut (ascending). Each fires once,
   /// before the first replayed request with time >= the crash time.
   std::vector<SimTime> crash_times;
   /// Extra virtual time the device stays dark before power returns.
   SimTime outage = Milliseconds(100);
+  CrashWindow window = CrashWindow::kRequestBoundary;
 };
 
 struct PowerLossReport {

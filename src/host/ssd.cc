@@ -34,6 +34,16 @@ void Ssd::InstallFirmwareTasks() {
                           return now + config_.firmware_tick;
                         });
   }
+  // Checkpoint cadence: a crash can only cost replaying the journal since
+  // the last commit, so this task bounds the rebuild delta during command
+  // gaps (the FTL also commits pre-emptively when the journal region fills).
+  if (ftl_.CheckpointEnabled()) {
+    scheduler_.Schedule("checkpoint_flush", config_.ftl.checkpoint.interval,
+                        [this](SimTime now) {
+                          ftl_.TakeCheckpoint(now);
+                          return now + config_.ftl.checkpoint.interval;
+                        });
+  }
 }
 
 void Ssd::AdvanceDetector(SimTime now) {
@@ -281,6 +291,16 @@ ftl::PageFtl::RebuildReport Ssd::PowerCycle(SimTime off_time, SimTime on_time) {
   SimTime resume = on_time > off_time ? on_time : off_time;
   clock_.AdvanceTo(resume);
   ftl::PageFtl::RebuildReport report = ftl_.RebuildFromNand(resume);
+  // The checkpoint restores mapping state, never the detection algorithm's
+  // sliding windows — those are DRAM-only by design, so every power cycle
+  // restarts the detector cold and an attack in progress must re-accumulate
+  // votes. Surface that blind spot instead of leaving it implicit.
+  if (config_.detector_enabled) {
+    report.detector_state_lost = true;
+    if (metrics_ != nullptr) {
+      metrics_->GetCounter("ssd.detector_state_loss").Inc();
+    }
+  }
   Reboot();
   if (ftl_.IsDegraded()) ftl_.SetReadOnly(true);  // Reboot cleared the latch
   MaybeArmBackgroundGc();

@@ -165,6 +165,7 @@ class Ssd final : public fs::BlockDevice {
   /// itself separately — it sits above the device.
   void AttachObs(obs::Tracer* tracer, obs::MetricsRegistry* metrics) {
     tracer_ = tracer;
+    metrics_ = metrics;
     ftl_.AttachObs(tracer, metrics);
     scheduler_.AttachObs(tracer);
   }
@@ -195,6 +196,7 @@ class Ssd final : public fs::BlockDevice {
   SimClock clock_;
   std::function<void(SimTime)> alarm_callback_;
   obs::Tracer* tracer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
   FirmwareScheduler scheduler_;
   FirmwareScheduler::TaskId detector_tick_ = FirmwareScheduler::kInvalidTask;
   bool bg_gc_armed_ = false;

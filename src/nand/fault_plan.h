@@ -26,6 +26,13 @@ enum class FaultKind : std::uint8_t {
   kProgramFail,
   kEraseFail,
   kReadUncorrectable,
+  /// Program fail on a reserved metadata page (checkpoint/journal flush).
+  /// Metadata ops keep their own attempt counter and never consult the
+  /// probabilistic error model, so scripting these does not perturb the
+  /// data-path fault indices.
+  kMetaProgramFail,
+  /// Erase fail on a reserved metadata block.
+  kMetaEraseFail,
 };
 
 struct FaultEvent {
@@ -60,6 +67,14 @@ class FaultPlan {
   }
   FaultPlan& FailReadAtOp(std::uint64_t op) {
     events_.push_back({FaultKind::kReadUncorrectable, op, 0, false});
+    return *this;
+  }
+  FaultPlan& FailMetaProgramAtOp(std::uint64_t op) {
+    events_.push_back({FaultKind::kMetaProgramFail, op, 0, false});
+    return *this;
+  }
+  FaultPlan& FailMetaEraseAtOp(std::uint64_t op) {
+    events_.push_back({FaultKind::kMetaEraseFail, op, 0, false});
     return *this;
   }
   FaultPlan& FailProgramAt(SimTime t) {

@@ -221,6 +221,61 @@ NandResult FlashArray::EraseBlock(BlockAddr addr, SimTime now) {
   return {NandStatus::kOk, done, nullptr};
 }
 
+void FlashArray::SetMetadataBlocks(std::vector<std::uint64_t> block_ids) {
+  meta_blocks_.assign(static_cast<std::size_t>(geo_.TotalBlocks()), 0);
+  for (std::uint64_t id : block_ids) {
+    if (id < meta_blocks_.size()) meta_blocks_[id] = 1;
+  }
+}
+
+NandResult FlashArray::ProgramMetaPage(Ppa ppa, PageData data, SimTime now) {
+  if (!geo_.ValidPpa(ppa)) return {NandStatus::kBadAddress, now, nullptr};
+  std::uint32_t chip = geo_.ChipOf(ppa);
+  Block& block = chips_[chip].BlockAt(geo_.BlockOf(ppa));
+  std::uint32_t page = geo_.PageOf(ppa);
+  if (block.IsFull()) return {NandStatus::kProgramToFullBlock, now, nullptr};
+  std::uint64_t attempt =
+      counters_.meta_page_programs + counters_.meta_program_fails + 1;
+  if (plan_.Consume(FaultKind::kMetaProgramFail, attempt, now)) {
+    if (!block.BurnPage(page)) {
+      return {NandStatus::kProgramOutOfOrder, now, nullptr};
+    }
+    ++counters_.meta_program_fails;
+    SimTime done = Occupy(chip, now, latency_.page_program,
+                          latency_.channel_transfer, /*bus_first=*/true);
+    return {NandStatus::kProgramFail, done, nullptr};
+  }
+  // Metadata flushes are synchronous: the deferred applier is bypassed so a
+  // committed checkpoint is readable the instant the program completes.
+  if (!block.Program(page, std::move(data))) {
+    return {NandStatus::kProgramOutOfOrder, now, nullptr};
+  }
+  ++counters_.meta_page_programs;
+  SimTime done = Occupy(chip, now, latency_.page_program,
+                        latency_.channel_transfer, /*bus_first=*/true);
+  return {NandStatus::kOk, done, nullptr};
+}
+
+NandResult FlashArray::EraseMetaBlock(BlockAddr addr, SimTime now) {
+  if (addr.chip >= geo_.TotalChips() || addr.block >= geo_.blocks_per_chip) {
+    return {NandStatus::kBadAddress, now, nullptr};
+  }
+  SyncChannelFor(addr.chip);
+  std::uint64_t attempt =
+      counters_.meta_block_erases + counters_.meta_erase_fails + 1;
+  if (plan_.Consume(FaultKind::kMetaEraseFail, attempt, now)) {
+    ++counters_.meta_erase_fails;
+    SimTime done = Occupy(addr.chip, now, latency_.block_erase, 0,
+                          /*bus_first=*/false);
+    return {NandStatus::kEraseFail, done, nullptr};
+  }
+  chips_[addr.chip].BlockAt(addr.block).Erase();
+  ++counters_.meta_block_erases;
+  SimTime done =
+      Occupy(addr.chip, now, latency_.block_erase, 0, /*bus_first=*/false);
+  return {NandStatus::kOk, done, nullptr};
+}
+
 bool FlashArray::IsProgrammed(Ppa ppa) const {
   if (!geo_.ValidPpa(ppa)) return false;
   const Block& block =

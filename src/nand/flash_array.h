@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/rng.h"
@@ -50,6 +51,13 @@ struct NandCounters {
   std::uint64_t uncorrectable_reads = 0;
   std::uint64_t program_fails = 0;      ///< failed programs (page burned)
   std::uint64_t erase_fails = 0;        ///< failed erases
+  // Reserved-metadata-block operations (checkpoint/journal flushes). Kept
+  // separate so metadata traffic never shifts the data-path op indices the
+  // scripted FaultPlan and the golden-counter tests key on.
+  std::uint64_t meta_page_programs = 0;
+  std::uint64_t meta_block_erases = 0;
+  std::uint64_t meta_program_fails = 0;
+  std::uint64_t meta_erase_fails = 0;
 
   friend bool operator==(const NandCounters&, const NandCounters&) = default;
 };
@@ -81,6 +89,37 @@ class FlashArray {
 
   /// Erase one block.
   NandResult EraseBlock(BlockAddr addr, SimTime now);
+
+  // -- Reserved metadata blocks (checkpoint / journal substrate) -----------
+  /// Mark the given global block ids (chip * blocks_per_chip + block) as
+  /// reserved metadata blocks. Purely declarative: the FTL keeps them out of
+  /// its pools; the array routes their ops through the Meta entry points.
+  void SetMetadataBlocks(std::vector<std::uint64_t> block_ids);
+  bool IsMetadataBlock(std::uint64_t block_id) const {
+    return block_id < meta_blocks_.size() && meta_blocks_[block_id] != 0;
+  }
+
+  /// Program a reserved metadata page. Identical timing to ProgramPage but:
+  /// counts under meta_page_programs, consults only the scripted plan
+  /// (FaultKind::kMetaProgramFail) — never the probabilistic model or the
+  /// shared error RNG — and bypasses the deferred applier (metadata flushes
+  /// are synchronous by design).
+  NandResult ProgramMetaPage(Ppa ppa, PageData data, SimTime now);
+
+  /// Erase a reserved metadata block (counts under meta_block_erases;
+  /// scripted FaultKind::kMetaEraseFail only).
+  NandResult EraseMetaBlock(BlockAddr addr, SimTime now);
+
+  /// Host-side crash injection *inside* a metadata flush: the probe is
+  /// consulted before each metadata-page program with the flush point name
+  /// ("checkpoint.flush" / "journal.flush"); returning true means power is
+  /// being cut now — the caller must abort the rest of the flush, leaving a
+  /// torn (detectable) metadata write.
+  using PowerCutProbe = std::function<bool(const char*)>;
+  void SetPowerCutProbe(PowerCutProbe probe) { power_cut_ = std::move(probe); }
+  bool PowerCutRequested(const char* point) const {
+    return power_cut_ != nullptr && power_cut_(point);
+  }
 
   /// Direct state inspection for the FTL and tests. With a deferred applier
   /// installed this does NOT sync the channel lane — use PeekPage() for
@@ -164,6 +203,9 @@ class FlashArray {
   std::vector<SimTime> channel_busy_until_;
   NandCounters counters_;
   DeferredApplier* applier_ = nullptr;
+  /// Indexed by global block id; 1 = reserved metadata block.
+  std::vector<std::uint8_t> meta_blocks_;
+  PowerCutProbe power_cut_;
 
   obs::Tracer* tracer_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;

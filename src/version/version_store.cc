@@ -154,6 +154,30 @@ void VersionStore::Clear() {
   RefreshGauges();
 }
 
+VersionStore::Snapshot VersionStore::SnapshotState() const {
+  Snapshot snap;
+  for (const auto& [lba, chain] : chains_) snap.chains[lba] = chain.records;
+  snap.objects = objects_;
+  snap.by_ppa = by_ppa_;
+  snap.record_count = record_count_;
+  snap.per_range_records = per_range_records_;
+  snap.next_due = next_due_;
+  return snap;
+}
+
+void VersionStore::RestoreState(const Snapshot& snapshot) {
+  chains_.clear();
+  for (const auto& [lba, records] : snapshot.chains) {
+    chains_[lba].records = records;
+  }
+  objects_ = snapshot.objects;
+  by_ppa_ = snapshot.by_ppa;
+  record_count_ = snapshot.record_count;
+  per_range_records_ = snapshot.per_range_records;
+  next_due_ = snapshot.next_due;
+  RefreshGauges();
+}
+
 const std::vector<VersionRecord>* VersionStore::ChainOf(Lba lba) const {
   auto it = chains_.find(lba);
   return it == chains_.end() ? nullptr : &it->second.records;

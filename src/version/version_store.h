@@ -8,11 +8,15 @@
 //
 // Crash story: the payload substrate is ordinary NAND pages with ordinary
 // OOB, so RebuildFromNand's scan sees archived versions like any other old
-// version. The rebuild clears this store and re-archives survivors through
-// the normal ring-release path, which converges to the pre-crash chain set
-// as long as no cross-page dedupe occurred (a deduped page's duplicates are
-// not reconstructible from OOB once their own pages are erased — documented
-// limitation, asserted as a precondition by the crash property tests).
+// version. With checkpointing enabled (DESIGN.md §13) the index itself is
+// durable — Snapshot/Restore ride the checkpoint and every archive/prune
+// is journaled, so dedupe chains and tombstone records survive a crash
+// exactly. The checkpoint-disabled fallback instead clears this store and
+// re-archives survivors through the normal ring-release path, which
+// converges to the pre-crash chain set only when no cross-page dedupe
+// occurred (a deduped page's duplicates are not reconstructible from OOB
+// once their own pages are erased — the full-rescan property tests assert
+// that precondition).
 #pragma once
 
 #include <cstddef>
@@ -144,6 +148,28 @@ class VersionStore {
 
   /// Registers the standard metric set (version.*) and keeps it updated.
   void AttachMetrics(obs::MetricsRegistry* registry, std::uint64_t page_size);
+
+  /// Point-in-time copy of the store's index for checkpointing. Holds only
+  /// DRAM metadata (chains, object directory); the payload pages themselves
+  /// live on NAND and survive power loss on their own.
+  struct Snapshot {
+    std::map<Lba, std::vector<VersionRecord>> chains;
+    std::unordered_map<PayloadHash, StoreObject> objects;
+    std::unordered_map<nand::Ppa, PayloadHash> by_ppa;
+    std::size_t record_count = 0;
+    std::vector<std::size_t> per_range_records;
+    SimTime next_due = std::numeric_limits<SimTime>::max();
+
+    /// Packed serialized size, for modeling checkpoint media cost.
+    std::uint64_t PackedBytes() const {
+      return static_cast<std::uint64_t>(objects.size()) * kPackedObjectBytes +
+             static_cast<std::uint64_t>(record_count) * kPackedRecordBytes;
+    }
+  };
+  Snapshot SnapshotState() const;
+  /// Restores the index from a snapshot. Metric handles and monotonic
+  /// counters are preserved, exactly like Clear().
+  void RestoreState(const Snapshot& snapshot);
 
  private:
   struct Chain {

@@ -1,0 +1,532 @@
+// Checkpoint + write-ahead mapping journal (DESIGN.md §13): the O(Δ)
+// power-loss rebuild. Unit layer pins the metadata substrate (torn-flush
+// detection, double-buffered commits, region overflow); FTL layer proves the
+// fast path — locate checkpoint, replay journal tail, OOB-scan only the
+// delta — rebuilds byte-equal state and falls back to the full scan whenever
+// the metadata is torn, missing, or overflowed; host layer wires the
+// periodic checkpoint task, the crash windows *inside* metadata flushes, and
+// the detector-state-loss report.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "ftl/checkpoint.h"
+#include "ftl/mapping_journal.h"
+#include "ftl/page_ftl.h"
+#include "host/power_loss.h"
+#include "host/ssd.h"
+#include "nand/geometry.h"
+#include "obs/metrics.h"
+
+namespace insider {
+namespace {
+
+nand::PageData Page(std::uint64_t stamp) {
+  nand::PageData d;
+  d.stamp = stamp;
+  return d;
+}
+
+ftl::FtlConfig CheckpointedFtl() {
+  ftl::FtlConfig c;
+  c.geometry = nand::TestGeometry();  // 4 chips, 16 blocks/chip, 8 pp/b
+  c.latency = nand::LatencyModel::Zero();
+  c.exported_fraction = 0.5;
+  c.checkpoint.enabled = true;
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// Unit layer: MappingJournal against a raw array.
+
+class JournalUnitTest : public ::testing::Test {
+ protected:
+  JournalUnitTest()
+      : nand_(nand::TestGeometry(), nand::LatencyModel::Zero()) {
+    // Two one-block regions at the top of chip 0 — enough to overflow on
+    // purpose with one record per page.
+    nand_.SetMetadataBlocks({14, 15});
+    journal_ = ftl::MappingJournal(&nand_, {14}, {15},
+                                   /*records_per_page=*/1);
+  }
+
+  static ftl::JournalRecord Map(Lba lba, nand::Ppa ppa) {
+    return {ftl::JournalOpKind::kMap, false, lba, ppa, nand::kInvalidPpa,
+            1,    0,                        0};
+  }
+
+  nand::FlashArray nand_;
+  ftl::MappingJournal journal_;
+};
+
+TEST_F(JournalUnitTest, FlushedRecordsComeBackInOrder) {
+  ftl::FtlStats stats;
+  for (Lba lba = 0; lba < 5; ++lba) journal_.Append(Map(lba, 100 + lba));
+  SimTime complete = 0;
+  ASSERT_TRUE(journal_.Flush(0, &complete, &stats));
+  EXPECT_EQ(stats.journal_pages_flushed, 5u);
+  EXPECT_EQ(journal_.PendingCount(), 0u);
+
+  ftl::MappingJournal::Tail tail = journal_.ValidTail(journal_.ActiveEpoch());
+  ASSERT_EQ(tail.records.size(), 5u);
+  for (Lba lba = 0; lba < 5; ++lba) {
+    EXPECT_EQ(tail.records[lba].lba, lba);
+    EXPECT_EQ(tail.records[lba].ppa, 100 + lba);
+  }
+  EXPECT_FALSE(tail.region_full);
+  EXPECT_GT(tail.pages_read, 0u);
+}
+
+TEST_F(JournalUnitTest, TornFlushTruncatesTheReplayableTail) {
+  ftl::FtlStats stats;
+  SimTime complete = 0;
+  journal_.Append(Map(0, 100));
+  journal_.Append(Map(1, 101));
+  ASSERT_TRUE(journal_.Flush(0, &complete, &stats));
+
+  // Power dies before the 3rd page's program: the flush reports failure and
+  // the tail stays truncated at the durable prefix.
+  nand_.SetPowerCutProbe([](const char* point) {
+    return std::strcmp(point, "journal.flush") == 0;
+  });
+  journal_.Append(Map(2, 102));
+  EXPECT_FALSE(journal_.Flush(0, &complete, &stats));
+  nand_.SetPowerCutProbe(nullptr);
+
+  ftl::MappingJournal::Tail tail = journal_.ValidTail(journal_.ActiveEpoch());
+  EXPECT_EQ(tail.records.size(), 2u);
+}
+
+TEST_F(JournalUnitTest, RegionOverflowIsReportedAndForcesFallback) {
+  ftl::FtlStats stats;
+  SimTime complete = 0;
+  // One record per page, one 8-page block per region: the 9th flush cannot
+  // land.
+  for (int i = 0; i < 8; ++i) {
+    journal_.Append(Map(static_cast<Lba>(i), static_cast<nand::Ppa>(100 + i)));
+    ASSERT_TRUE(journal_.Flush(0, &complete, &stats)) << i;
+  }
+  journal_.Append(Map(8, 108));
+  EXPECT_FALSE(journal_.Flush(0, &complete, &stats));
+  EXPECT_EQ(stats.journal_overflows, 1u);
+
+  ftl::MappingJournal::Tail tail = journal_.ValidTail(journal_.ActiveEpoch());
+  EXPECT_TRUE(tail.region_full);
+  EXPECT_EQ(tail.records.size(), 8u);
+}
+
+TEST_F(JournalUnitTest, StartEpochSwitchesRegionAndDropsCoveredRecords) {
+  ftl::FtlStats stats;
+  SimTime complete = 0;
+  journal_.Append(Map(0, 100));
+  ASSERT_TRUE(journal_.Flush(0, &complete, &stats));
+  journal_.Append(Map(1, 101));  // still pending — superseded below
+
+  journal_.StartEpoch(1, 0, &complete);
+  EXPECT_EQ(journal_.ActiveEpoch(), 1u);
+  EXPECT_EQ(journal_.PendingCount(), 0u);
+  EXPECT_EQ(journal_.UsedPages(), 0u);
+  EXPECT_TRUE(journal_.ValidTail(1).records.empty());
+}
+
+// ---------------------------------------------------------------------------
+// FTL layer: the O(Δ) fast path and its fallbacks.
+
+TEST(CheckpointRebuildTest, FastPathRebuildsExactStateFromDelta) {
+  ftl::PageFtl crashed(CheckpointedFtl());
+  ftl::PageFtl twin(CheckpointedFtl());
+  const Lba n = crashed.ExportedLbas();
+  ASSERT_GT(n, 120u);
+  EXPECT_EQ(crashed.MetadataBlockCount(), 8u);
+
+  auto both_write = [&](Lba lba, std::uint64_t stamp, SimTime t) {
+    ASSERT_TRUE(crashed.WritePage(lba, Page(stamp), t).ok());
+    ASSERT_TRUE(twin.WritePage(lba, Page(stamp), t).ok());
+  };
+
+  for (Lba lba = 0; lba < 100; ++lba) both_write(lba, 1000 + lba, Seconds(1));
+  crashed.ReleaseExpired(Seconds(15));
+  twin.ReleaseExpired(Seconds(15));
+  crashed.TakeCheckpoint(Seconds(16));
+  twin.TakeCheckpoint(Seconds(16));
+  ASSERT_EQ(crashed.Stats().checkpoints_taken, 1u);
+
+  // Post-checkpoint delta: overwrites (journaled + partly un-flushed) and
+  // trims. The rebuild must get all of it back without a full scan.
+  for (Lba lba = 0; lba < 30; ++lba) both_write(lba, 2000 + lba, Seconds(20));
+  for (Lba lba = 40; lba < 45; ++lba) {
+    ASSERT_TRUE(crashed.TrimPage(lba, Seconds(21)).ok());
+    ASSERT_TRUE(twin.TrimPage(lba, Seconds(21)).ok());
+  }
+
+  ftl::PageFtl::RebuildReport report = crashed.RebuildFromNand(Seconds(22));
+  EXPECT_TRUE(report.used_checkpoint);
+  EXPECT_FALSE(report.fallback_full_scan);
+  EXPECT_EQ(crashed.Stats().rebuild_fast_path, 1u);
+  EXPECT_EQ(crashed.Stats().rebuild_fallbacks, 0u);
+  EXPECT_GT(report.checkpoint_pages_read, 0u);
+  EXPECT_EQ(report.pages_scanned, 0u);  // never walked the whole device
+  EXPECT_EQ(crashed.CheckInvariants(), "");
+
+  for (Lba lba = 0; lba < n; ++lba) {
+    ftl::FtlResult a = crashed.ReadPage(lba, Seconds(23));
+    ftl::FtlResult b = twin.ReadPage(lba, Seconds(23));
+    ASSERT_EQ(a.status, b.status) << lba;
+    if (a.ok()) {
+      EXPECT_EQ(a.data.stamp, b.data.stamp) << lba;
+    }
+  }
+  EXPECT_EQ(crashed.RecoveryQueueSize(), twin.RecoveryQueueSize());
+  EXPECT_EQ(crashed.TrimJournalSize(), twin.TrimJournalSize());
+
+  // The rebuilt queue still honors the recovery promise.
+  crashed.SetReadOnly(true);
+  twin.SetReadOnly(true);
+  crashed.RollBack(Seconds(25));
+  twin.RollBack(Seconds(25));
+  for (Lba lba = 0; lba < n; ++lba) {
+    ftl::FtlResult a = crashed.ReadPage(lba, Seconds(26));
+    ftl::FtlResult b = twin.ReadPage(lba, Seconds(26));
+    ASSERT_EQ(a.status, b.status) << lba;
+    if (a.ok()) {
+      EXPECT_EQ(a.data.stamp, b.data.stamp) << lba;
+    }
+  }
+}
+
+TEST(CheckpointRebuildTest, FastPathReadsAreProportionalToTheDelta) {
+  ftl::PageFtl ftl(CheckpointedFtl());
+  const Lba n = ftl.ExportedLbas();
+  for (Lba lba = 0; lba < n; ++lba) {
+    ASSERT_TRUE(ftl.WritePage(lba, Page(lba), Seconds(1)).ok());
+  }
+  ftl.ReleaseExpired(Seconds(15));
+  ftl.TakeCheckpoint(Seconds(16));
+  for (Lba lba = 0; lba < 8; ++lba) {
+    ASSERT_TRUE(ftl.WritePage(lba, Page(5000 + lba), Seconds(20)).ok());
+  }
+
+  ftl::PageFtl::RebuildReport fast = ftl.RebuildFromNand(Seconds(21));
+  ASSERT_TRUE(fast.used_checkpoint);
+  std::size_t fast_reads = fast.checkpoint_pages_read +
+                           fast.journal_pages_read + fast.delta_pages_scanned;
+
+  // A device without checkpoints rebuilds the same state by visiting every
+  // programmed page. The fast path must read a small fraction of that.
+  ftl::FtlConfig plain_cfg = CheckpointedFtl();
+  plain_cfg.checkpoint.enabled = false;
+  ftl::PageFtl plain(plain_cfg);
+  for (Lba lba = 0; lba < n; ++lba) {
+    ASSERT_TRUE(plain.WritePage(lba, Page(lba), Seconds(1)).ok());
+  }
+  plain.ReleaseExpired(Seconds(15));
+  for (Lba lba = 0; lba < 8; ++lba) {
+    ASSERT_TRUE(plain.WritePage(lba, Page(5000 + lba), Seconds(20)).ok());
+  }
+  ftl::PageFtl::RebuildReport full = plain.RebuildFromNand(Seconds(21));
+  ASSERT_GT(full.pages_scanned, 0u);
+  EXPECT_LT(fast_reads, full.pages_scanned / 4)
+      << "O(Δ) path read almost as much as the full scan";
+}
+
+TEST(CheckpointRebuildTest, TornFirstCheckpointFallsBackToFullScan) {
+  ftl::PageFtl crashed(CheckpointedFtl());
+  ftl::PageFtl twin(CheckpointedFtl());
+  for (Lba lba = 0; lba < 60; ++lba) {
+    ASSERT_TRUE(crashed.WritePage(lba, Page(700 + lba), Seconds(1)).ok());
+    ASSERT_TRUE(twin.WritePage(lba, Page(700 + lba), Seconds(1)).ok());
+  }
+
+  // Power dies inside the only checkpoint commit ever attempted: no valid
+  // checkpoint exists, so the rebuild must take the exhaustive scan — and
+  // still land on the exact same state.
+  crashed.Nand().SetPowerCutProbe([](const char* point) {
+    return std::strcmp(point, "checkpoint.flush") == 0;
+  });
+  crashed.TakeCheckpoint(Seconds(2));
+  crashed.Nand().SetPowerCutProbe(nullptr);
+  ASSERT_EQ(crashed.Stats().checkpoints_taken, 0u);
+  ASSERT_EQ(crashed.Stats().checkpoint_aborts, 1u);
+
+  ftl::PageFtl::RebuildReport report = crashed.RebuildFromNand(Seconds(3));
+  EXPECT_FALSE(report.used_checkpoint);
+  EXPECT_TRUE(report.fallback_full_scan);
+  EXPECT_EQ(crashed.Stats().rebuild_fallbacks, 1u);
+  EXPECT_GT(report.pages_scanned, 0u);
+  EXPECT_EQ(crashed.CheckInvariants(), "");
+  for (Lba lba = 0; lba < 60; ++lba) {
+    ftl::FtlResult a = crashed.ReadPage(lba, Seconds(4));
+    ftl::FtlResult b = twin.ReadPage(lba, Seconds(4));
+    ASSERT_EQ(a.status, b.status) << lba;
+    if (a.ok()) {
+      EXPECT_EQ(a.data.stamp, b.data.stamp) << lba;
+    }
+  }
+}
+
+TEST(CheckpointRebuildTest, TornLaterCommitKeepsPreviousCheckpointAuthoritative) {
+  ftl::PageFtl crashed(CheckpointedFtl());
+  ftl::PageFtl twin(CheckpointedFtl());
+  auto both_write = [&](Lba lba, std::uint64_t stamp, SimTime t) {
+    ASSERT_TRUE(crashed.WritePage(lba, Page(stamp), t).ok());
+    ASSERT_TRUE(twin.WritePage(lba, Page(stamp), t).ok());
+  };
+  for (Lba lba = 0; lba < 80; ++lba) both_write(lba, 300 + lba, Seconds(1));
+  crashed.TakeCheckpoint(Seconds(2));
+  twin.TakeCheckpoint(Seconds(2));
+  for (Lba lba = 0; lba < 20; ++lba) both_write(lba, 8000 + lba, Seconds(3));
+
+  // Epoch-2 commit tears mid-flush. Epoch 1 plus its journal tail still
+  // covers everything, so the rebuild stays on the fast path.
+  crashed.Nand().SetPowerCutProbe([](const char* point) {
+    return std::strcmp(point, "checkpoint.flush") == 0;
+  });
+  crashed.TakeCheckpoint(Seconds(4));
+  crashed.Nand().SetPowerCutProbe(nullptr);
+  ASSERT_EQ(crashed.Stats().checkpoint_aborts, 1u);
+
+  ftl::PageFtl::RebuildReport report = crashed.RebuildFromNand(Seconds(5));
+  EXPECT_TRUE(report.used_checkpoint);
+  EXPECT_EQ(crashed.CheckInvariants(), "");
+  for (Lba lba = 0; lba < 80; ++lba) {
+    ftl::FtlResult a = crashed.ReadPage(lba, Seconds(6));
+    ftl::FtlResult b = twin.ReadPage(lba, Seconds(6));
+    ASSERT_EQ(a.status, b.status) << lba;
+    if (a.ok()) {
+      EXPECT_EQ(a.data.stamp, b.data.stamp) << lba;
+    }
+  }
+}
+
+TEST(CheckpointRebuildTest, MetadataProgramFaultAbortsCommitDeviceKeepsGoing) {
+  ftl::FtlConfig cfg = CheckpointedFtl();
+  cfg.fault_plan.FailMetaProgramAtOp(1);  // first checkpoint header burns
+  ftl::PageFtl ftl(cfg);
+  for (Lba lba = 0; lba < 40; ++lba) {
+    ASSERT_TRUE(ftl.WritePage(lba, Page(lba), Seconds(1)).ok());
+  }
+  ftl.TakeCheckpoint(Seconds(2));
+  EXPECT_EQ(ftl.Stats().checkpoints_taken, 0u);
+  EXPECT_EQ(ftl.Stats().checkpoint_aborts, 1u);
+  EXPECT_EQ(ftl.Nand().Counters().meta_program_fails, 1u);
+
+  // The burned metadata page perturbed nothing on the data path; the next
+  // interval's retry commits into the other buffer and the fast path works.
+  ftl.TakeCheckpoint(Seconds(3));
+  EXPECT_EQ(ftl.Stats().checkpoints_taken, 1u);
+  ftl::PageFtl::RebuildReport report = ftl.RebuildFromNand(Seconds(4));
+  EXPECT_TRUE(report.used_checkpoint);
+  EXPECT_EQ(ftl.CheckInvariants(), "");
+  for (Lba lba = 0; lba < 40; ++lba) {
+    EXPECT_EQ(ftl.ReadPage(lba, Seconds(5)).data.stamp, lba) << lba;
+  }
+}
+
+TEST(CheckpointRebuildTest, GcErasesInsideTheDeltaReplayViaEraseIntents) {
+  // Heavy overwrite churn on a small device forces foreground GC — erases,
+  // relocations, retained-page moves — all after the last checkpoint. The
+  // erase-intent protocol must keep the journal consistent with media so the
+  // fast path survives (an un-journaled erase would strand the delta scan).
+  ftl::PageFtl crashed(CheckpointedFtl());
+  ftl::PageFtl twin(CheckpointedFtl());
+  const Lba n = crashed.ExportedLbas();
+  auto both_write = [&](Lba lba, std::uint64_t stamp, SimTime t) {
+    ASSERT_TRUE(crashed.WritePage(lba, Page(stamp), t).ok());
+    ASSERT_TRUE(twin.WritePage(lba, Page(stamp), t).ok());
+  };
+
+  for (Lba lba = 0; lba < n; ++lba) both_write(lba, lba, Seconds(1));
+  crashed.ReleaseExpired(Seconds(15));
+  twin.ReleaseExpired(Seconds(15));
+  crashed.TakeCheckpoint(Seconds(16));
+  twin.TakeCheckpoint(Seconds(16));
+
+  // Churn: several full overwrite passes, each aged out so GC can reclaim.
+  std::uint64_t stamp = 10'000;
+  SimTime t = Seconds(20);
+  for (int pass = 0; pass < 4; ++pass) {
+    for (Lba lba = 0; lba < n; ++lba) both_write(lba, stamp++, t);
+    t += Seconds(15);
+    crashed.ReleaseExpired(t);
+    twin.ReleaseExpired(t);
+  }
+  ASSERT_GT(crashed.Stats().gc_erases, 0u);
+
+  ftl::PageFtl::RebuildReport report = crashed.RebuildFromNand(t);
+  EXPECT_EQ(crashed.CheckInvariants(), "");
+  // Churn may legitimately trigger pre-emptive checkpoints (journal-region
+  // pressure); wherever the horizon landed, the rebuild must be exact.
+  EXPECT_TRUE(report.used_checkpoint || report.fallback_full_scan);
+  for (Lba lba = 0; lba < n; ++lba) {
+    ftl::FtlResult a = crashed.ReadPage(lba, t + Seconds(1));
+    ftl::FtlResult b = twin.ReadPage(lba, t + Seconds(1));
+    ASSERT_EQ(a.status, b.status) << lba;
+    if (a.ok()) {
+      EXPECT_EQ(a.data.stamp, b.data.stamp) << lba;
+    }
+  }
+}
+
+TEST(CheckpointRebuildTest, DedupedVersionStoreSurvivesCrashExactly) {
+  // PR-6 limitation, now fixed: cross-page dedupe used to be a documented
+  // crash-exactness gap (the full rescan rebuilds duplicate-free chains).
+  // The checkpoint restores the store index — refcounts, shared objects —
+  // and the journal replays post-checkpoint archives, so a crashed device
+  // matches its uncrashed twin even WITH dedupe hits.
+  auto table = std::make_shared<version::RangePolicyTable>();
+  ASSERT_TRUE(table->Add({0, 64, /*keep_versions=*/8,
+                          /*keep_window=*/Seconds(120)}));
+  ftl::FtlConfig cfg = CheckpointedFtl();
+  cfg.range_policies = table;
+  ftl::PageFtl crashed(cfg);
+  ftl::PageFtl twin(cfg);
+  auto both_write = [&](Lba lba, std::uint64_t stamp, SimTime t) {
+    ASSERT_TRUE(crashed.WritePage(lba, Page(stamp), t).ok());
+    ASSERT_TRUE(twin.WritePage(lba, Page(stamp), t).ok());
+  };
+
+  // Identical payloads on many protected LBAs: archiving them dedupes to
+  // shared objects (stamp + bytes equal => same content hash).
+  for (Lba lba = 0; lba < 32; ++lba) both_write(lba, 42, Seconds(1));
+  for (Lba lba = 0; lba < 32; ++lba) both_write(lba, 43, Seconds(2));
+  crashed.ReleaseExpired(Seconds(15));
+  twin.ReleaseExpired(Seconds(15));
+  ASSERT_GT(crashed.Stats().archive_dedupe_hits, 0u);
+  ASSERT_EQ(crashed.Stats().archive_dedupe_hits,
+            twin.Stats().archive_dedupe_hits);
+  crashed.TakeCheckpoint(Seconds(16));
+  twin.TakeCheckpoint(Seconds(16));
+
+  // More dedupable overwrites after the checkpoint: journal replay re-runs
+  // the release pass, reproducing these archive decisions too.
+  for (Lba lba = 0; lba < 32; ++lba) both_write(lba, 44, Seconds(20));
+  crashed.ReleaseExpired(Seconds(35));
+  twin.ReleaseExpired(Seconds(35));
+
+  ftl::PageFtl::RebuildReport report = crashed.RebuildFromNand(Seconds(36));
+  ASSERT_TRUE(report.used_checkpoint)
+      << "dedupe exactness is a fast-path guarantee";
+  EXPECT_EQ(crashed.CheckInvariants(), "");  // V2 pins refcounts vs chains
+  EXPECT_EQ(crashed.Store().VersionCount(), twin.Store().VersionCount());
+  EXPECT_EQ(crashed.Store().ObjectCount(), twin.Store().ObjectCount());
+
+  ftl::RangeRollbackReport ra =
+      crashed.RollBackRange(0, 64, Seconds(1), Seconds(40));
+  ftl::RangeRollbackReport rb =
+      twin.RollBackRange(0, 64, Seconds(1), Seconds(40));
+  EXPECT_EQ(ra.restored, rb.restored);
+  EXPECT_EQ(ra.failed, 0u);
+  for (Lba lba = 0; lba < 64; ++lba) {
+    ftl::FtlResult a = crashed.ReadPage(lba, Seconds(41));
+    ftl::FtlResult b = twin.ReadPage(lba, Seconds(41));
+    ASSERT_EQ(a.status, b.status) << lba;
+    if (a.ok()) {
+      EXPECT_EQ(a.data.stamp, b.data.stamp) << lba;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Host layer: firmware task, crash windows, detector-state loss.
+
+host::SsdConfig CheckpointedSsd() {
+  host::SsdConfig c;
+  c.ftl.geometry = nand::TestGeometry();
+  c.ftl.latency = nand::LatencyModel::Zero();
+  c.ftl.checkpoint.enabled = true;
+  c.detector.slice_length = Seconds(1);
+  c.detector.window_slices = 10;
+  c.detector.score_threshold = 3;
+  return c;
+}
+
+core::DecisionTree SimpleTree() {
+  std::vector<core::DecisionTree::Node> nodes(3);
+  nodes[0].is_leaf = false;
+  nodes[0].feature = core::FeatureId::kOwIo;
+  nodes[0].threshold = 30.0;
+  nodes[0].left = 1;
+  nodes[0].right = 2;
+  nodes[1].is_leaf = true;
+  nodes[1].label = false;
+  nodes[2].is_leaf = true;
+  nodes[2].label = true;
+  return core::DecisionTree(std::move(nodes));
+}
+
+TEST(SsdCheckpointTest, PeriodicFirmwareTaskCommitsOnTheInterval) {
+  host::Ssd ssd(CheckpointedSsd(), SimpleTree());
+  for (Lba lba = 0; lba < 32; ++lba) {
+    ASSERT_TRUE(ssd.WriteBlockAt(lba, Page(lba), Seconds(1)).ok());
+  }
+  ssd.IdleUntil(Seconds(12));  // interval is 5 s: two commits due
+  EXPECT_GE(ssd.Ftl().Stats().checkpoints_taken, 2u);
+  EXPECT_EQ(ssd.Ftl().CheckInvariants(), "");
+}
+
+TEST(SsdCheckpointTest, PowerCycleReportsDetectorStateLoss) {
+  host::Ssd ssd(CheckpointedSsd(), SimpleTree());
+  obs::MetricsRegistry metrics;
+  ssd.AttachObs(nullptr, &metrics);
+  for (Lba lba = 0; lba < 16; ++lba) {
+    ASSERT_TRUE(ssd.WriteBlockAt(lba, Page(lba), Seconds(1)).ok());
+  }
+  ftl::PageFtl::RebuildReport report = ssd.PowerCycle(Seconds(2), Seconds(3));
+  EXPECT_TRUE(report.detector_state_lost);
+  EXPECT_EQ(metrics.GetCounter("ssd.detector_state_loss").Value(), 1u);
+
+  // A conventional-baseline device (detector off) has no state to lose.
+  host::SsdConfig plain_cfg = CheckpointedSsd();
+  plain_cfg.detector_enabled = false;
+  host::Ssd plain(plain_cfg, SimpleTree());
+  ASSERT_TRUE(plain.WriteBlockAt(0, Page(1), Seconds(1)).ok());
+  EXPECT_FALSE(plain.PowerCycle(Seconds(2), Seconds(3)).detector_state_lost);
+}
+
+class InjectorWindowTest
+    : public ::testing::TestWithParam<host::PowerLossConfig::CrashWindow> {};
+
+TEST_P(InjectorWindowTest, CrashInsideMetadataFlushStillRollsBack) {
+  host::Ssd ssd(CheckpointedSsd(), SimpleTree());
+  std::vector<IoRequest> trace;
+  for (Lba lba = 0; lba < 64; ++lba) {
+    trace.push_back(
+        {Seconds(1) + static_cast<SimTime>(lba) * 1000, lba, 1, IoMode::kWrite});
+  }
+  for (int s = 0; s < 6; ++s) {
+    SimTime t = Seconds(21 + s);
+    trace.push_back({t, 0, 40, IoMode::kRead});
+    trace.push_back({t + 1000, 0, 40, IoMode::kWrite});
+  }
+
+  host::PowerLossConfig plc;
+  plc.crash_times = {Seconds(20)};
+  plc.window = GetParam();
+  host::PowerLossInjector injector(ssd, plc);
+  host::PowerLossReport report = injector.Replay(trace, /*stamp_base=*/0);
+  ASSERT_EQ(report.crashes, 1u);
+  // (Late attack writes may bounce off the read-only latch once the alarm
+  // fires mid-trace; that is the defense working, not a request error bug.)
+
+  ssd.IdleUntil(ssd.Clock().Now() + Seconds(2));
+  ASSERT_TRUE(ssd.AlarmActive());
+  ssd.RollBackNow();
+  for (Lba lba = 0; lba < 40; ++lba) {
+    ftl::FtlResult r = ssd.Ftl().ReadPage(lba, ssd.Clock().Now());
+    ASSERT_TRUE(r.ok()) << lba;
+    EXPECT_EQ(r.data.stamp, 65536u * lba) << lba;
+  }
+  EXPECT_EQ(ssd.Ftl().CheckInvariants(), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Windows, InjectorWindowTest,
+    ::testing::Values(host::PowerLossConfig::CrashWindow::kRequestBoundary,
+                      host::PowerLossConfig::CrashWindow::kTearCheckpoint,
+                      host::PowerLossConfig::CrashWindow::kTearJournal));
+
+}  // namespace
+}  // namespace insider

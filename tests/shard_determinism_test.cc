@@ -77,6 +77,8 @@ struct RunOutput {
   std::vector<DetectorSlice> detector;
   std::vector<SpanKey> spans;
   std::vector<std::uint64_t> content_stamps;
+  bool rebuilt_fast = false;        ///< checkpointed run: fast path taken
+  std::uint64_t rebuild_reads = 0;  ///< checkpoint + journal + delta reads
 };
 
 std::vector<wl::TenantSpec> BuildTenants(std::uint64_t seed,
@@ -113,10 +115,12 @@ std::vector<wl::TenantSpec> BuildTenants(std::uint64_t seed,
 
 RunOutput RunTrace(std::size_t shard_threads, std::uint64_t seed,
                    const nand::Geometry& geometry, std::size_t queues,
-                   std::size_t commands_per_queue, bool collect_spans) {
+                   std::size_t commands_per_queue, bool collect_spans,
+                   bool checkpoint_and_cycle = false) {
   host::SsdConfig scfg;
   scfg.ftl.geometry = geometry;
   scfg.ftl.latency = nand::LatencyModel::Zero();
+  scfg.ftl.checkpoint.enabled = checkpoint_and_cycle;
   scfg.detector.slice_length = Seconds(1);
   scfg.detector.window_slices = 10;
   scfg.detector.score_threshold = 1000;  // observe scores, never latch
@@ -140,6 +144,20 @@ RunOutput RunTrace(std::size_t shard_threads, std::uint64_t seed,
   engine.PublishShardMetrics();
 
   RunOutput out;
+  if (checkpoint_and_cycle) {
+    // Pin a checkpoint horizon right after the trace (any pre-emptive
+    // commits during the run already happened identically), then cut
+    // power: the rebuild must sync the deferred lanes before touching
+    // media, restore the snapshot and replay the journal — bit-identically
+    // at every thread count.
+    ssd.Ftl().TakeCheckpoint(report.end_time + Seconds(1));
+    ftl::PageFtl::RebuildReport rebuild = ssd.PowerCycle(
+        report.end_time + Seconds(2), report.end_time + Seconds(3));
+    out.rebuilt_fast = rebuild.used_checkpoint;
+    out.rebuild_reads = rebuild.checkpoint_pages_read +
+                        rebuild.journal_pages_read +
+                        rebuild.delta_pages_scanned;
+  }
   out.ftl_stats = ssd.Ftl().Stats();
   out.dispatched = engine.Stats().dispatched;
   out.completed_ok = engine.Stats().completed_ok;
@@ -172,7 +190,8 @@ RunOutput RunTrace(std::size_t shard_threads, std::uint64_t seed,
   // Device contents: stamps read back across every tenant's region. Reads
   // go through the FTL (and therefore through the shard sync path).
   const Lba region = ssd.Ftl().ExportedLbas() / static_cast<Lba>(queues);
-  const SimTime probe_time = out.end_time + Seconds(1);
+  const SimTime probe_time =
+      out.end_time + (checkpoint_and_cycle ? Seconds(5) : Seconds(1));
   for (std::size_t q = 0; q < queues; ++q) {
     for (Lba i = 0; i < 24; ++i) {
       ftl::FtlResult r = ssd.Ftl().ReadPage(region * q + i, probe_time);
@@ -194,6 +213,8 @@ void ExpectIdentical(const RunOutput& serial, const RunOutput& sharded,
   EXPECT_EQ(serial.detector, sharded.detector) << label;
   EXPECT_EQ(serial.spans, sharded.spans) << label;
   EXPECT_EQ(serial.content_stamps, sharded.content_stamps) << label;
+  EXPECT_EQ(serial.rebuilt_fast, sharded.rebuilt_fast) << label;
+  EXPECT_EQ(serial.rebuild_reads, sharded.rebuild_reads) << label;
 }
 
 nand::Geometry MediumGeometry() {
@@ -246,6 +267,25 @@ TEST(ShardDeterminismTest, ShardRuntimeReportsLaneActivity) {
   // Every host/GC program was routed through a lane.
   EXPECT_EQ(total_ops, ssd.Ftl().Stats().host_writes +
                            ssd.Ftl().Stats().gc_page_copies);
+}
+
+TEST(ShardDeterminismTest, CheckpointedRebuildMatchesSerialUnderShards) {
+  // The O(Δ) recovery path on top of the sharded runtime (ISSUE 8): with
+  // checkpointing enabled, metadata programs ride the same deferred lanes
+  // as host writes, and RebuildFromNand's ladder — sync lanes, validate
+  // stamps, replay, delta-scan — must land on identical state at every
+  // thread count, taking the fast path everywhere or nowhere.
+  const bool audit = ftl::PageFtl::AuditHooksEnabled();
+  const std::size_t commands = audit ? 60 : 240;
+  RunOutput serial = RunTrace(0, 0x5EED'0008, MediumGeometry(), 4, commands,
+                              false, /*checkpoint_and_cycle=*/true);
+  EXPECT_TRUE(serial.rebuilt_fast);
+  for (std::size_t threads : {2u, 4u}) {
+    RunOutput sharded = RunTrace(threads, 0x5EED'0008, MediumGeometry(), 4,
+                                 commands, false, true);
+    ExpectIdentical(serial, sharded,
+                    "shard_threads=" + std::to_string(threads));
+  }
 }
 
 TEST(ShardDeterminismTest, HundredSeedPropertyRun) {

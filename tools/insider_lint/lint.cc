@@ -121,6 +121,14 @@ const std::regex& StatusTokenRe() {
   return re;
 }
 
+const std::regex& MutationAuditRe() {
+  // An *instantiation* of the audit hook (type + variable + ctor paren);
+  // declarations and the class definition don't match.
+  static const std::regex re(
+      R"(MutationAudit\s+[A-Za-z_][A-Za-z0-9_]*\s*\()");
+  return re;
+}
+
 const std::regex& Uint64DeclRe() {
   // A uint64_t (possibly qualified/const/ref) followed by the declared name.
   static const std::regex re(
@@ -293,6 +301,27 @@ std::vector<Finding> LintSource(const std::string& path_label,
            "raw thread primitive outside the sharded execution runtime "
            "(src/io/shard_*); simulation code is single-threaded by design "
            "— route parallel work through io::ShardRuntime/ParallelFor"});
+    }
+
+    if (std::regex_search(line, MutationAuditRe())) {
+      // A MutationAudit marks a mutating entry point; the journal batching
+      // scope must open in the same prologue so every redo record the op
+      // appends is batch-flushed on exit (src/ftl/mapping_journal.h) — an
+      // audited mutation whose records only ever sit in DRAM silently
+      // widens the crash delta.
+      const std::size_t lo = i >= 3 ? i - 3 : 0;
+      const std::size_t hi = std::min(lines.size() - 1, i + 3);
+      bool paired = false;
+      for (std::size_t j = lo; j <= hi && !paired; ++j) {
+        paired = Contains(lines[j], "JournalBatchScope");
+      }
+      if (!paired) {
+        findings.push_back(
+            {path_label, lineno, "journal-hook",
+             "audited mutating entry point without a JournalBatchScope; "
+             "redo records must batch-flush with the op "
+             "(src/ftl/mapping_journal.h)"});
+      }
     }
 
     std::smatch m;

@@ -140,6 +140,33 @@ TEST(InsiderLintTest, RawThreadRuleExemptsTheShardRuntime) {
       "raw-thread"));
 }
 
+TEST(InsiderLintTest, FlagsJournalHookFixture) {
+  auto findings = LintSource("testdata/bad_journal_hook.cc",
+                             ReadFile(Testdata() / "bad_journal_hook.cc"));
+  EXPECT_TRUE(HasRule(findings, "journal-hook"));
+}
+
+TEST(InsiderLintTest, JournalHookRuleAcceptsThePairedPrologue) {
+  // The idiomatic entry-point prologue: audit hook and journal batching
+  // scope opened together. Declarations and the class definition are not
+  // instantiations and never trip the rule.
+  const std::string paired =
+      "void PageFtl::TrimPage(Lba lba, SimTime now) {\n"
+      "  MutationAudit audit_scope(*this, \"TrimPage\");\n"
+      "  JournalBatchScope journal_scope(*this, now);\n"
+      "}\n";
+  EXPECT_FALSE(
+      HasRule(LintSource("src/ftl/page_ftl.cc", paired), "journal-hook"));
+  const std::string declarations =
+      "#pragma once\n"
+      "class MutationAudit {\n"
+      "  MutationAudit(const PageFtl& ftl, const char* op);\n"
+      "  ~MutationAudit();\n"
+      "  MutationAudit(const MutationAudit&) = delete;\n"
+      "};\n";
+  EXPECT_TRUE(LintSource("src/ftl/page_ftl.h", declarations).empty());
+}
+
 TEST(InsiderLintTest, LintTreeOnTestdataFiresEveryFileRule) {
   auto findings = LintTree({Testdata()});
   EXPECT_TRUE(HasRule(findings, "wall-clock"));
@@ -150,6 +177,7 @@ TEST(InsiderLintTest, LintTreeOnTestdataFiresEveryFileRule) {
   EXPECT_TRUE(HasRule(findings, "raw-output"));
   EXPECT_TRUE(HasRule(findings, "raw-thread"));
   EXPECT_TRUE(HasRule(findings, "include-cycle"));
+  EXPECT_TRUE(HasRule(findings, "journal-hook"));
 }
 
 TEST(InsiderLintTest, CommentsAndStringsDoNotTrip) {

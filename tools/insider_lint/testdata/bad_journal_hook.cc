@@ -1,0 +1,20 @@
+// Fixture: an audited mutating entry point that never opens a
+// JournalBatchScope, so the redo records it appends would sit in DRAM past
+// the batching contract and widen the crash delta. Never compiled.
+
+class PageFtl {
+ public:
+  void TrimPageBad(unsigned long long lba);
+
+ private:
+  class MutationAudit {
+   public:
+    MutationAudit(const PageFtl& ftl, const char* op);
+    ~MutationAudit();
+  };
+};
+
+void PageFtl::TrimPageBad(unsigned long long lba) {
+  MutationAudit audit_scope(*this, "TrimPageBad");
+  (void)lba;
+}
