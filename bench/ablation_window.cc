@@ -108,7 +108,7 @@ int main() {
       }
     }
     std::printf("%-10lld %12.1f %12.1f %12.2f\n",
-                static_cast<long long>(slice / 1000),
+                static_cast<long long>(RawMicros(slice) / 1000),
                 100.0 * static_cast<double>(misses) /
                     static_cast<double>(attacks),
                 100.0 * static_cast<double>(fas) / static_cast<double>(benigns),

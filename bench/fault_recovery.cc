@@ -365,7 +365,7 @@ void PowerLossTrial(JsonWriter& json) {
   const Lba victims = 512;
   std::vector<IoRequest> trace;
   for (Lba lba = 0; lba < victims; ++lba) {
-    trace.push_back({Seconds(1) + static_cast<SimTime>(lba) * Milliseconds(5),
+    trace.push_back({Seconds(1) + CostOf(lba, Milliseconds(5)),
                      lba, 1, IoMode::kWrite});
   }
   // Attack: read+overwrite sweeps of 64 blocks from t = 20 s.

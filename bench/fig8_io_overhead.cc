@@ -62,7 +62,7 @@ void BM_FtlWrite4K(benchmark::State& state) {
   SimTime t = 0;
   for (auto _ : state) {
     nand::PageData d;
-    d.stamp = static_cast<std::uint64_t>(t);
+    d.stamp = RawMicrosU64(t);
     benchmark::DoNotOptimize(ftl.WritePage(lba, std::move(d), t));
     lba = (lba + 1) % space;
     t += 2000;
@@ -95,7 +95,7 @@ void BM_InsiderFtlWrite4K(benchmark::State& state) {
   SimTime t = 0;
   for (auto _ : state) {
     nand::PageData d;
-    d.stamp = static_cast<std::uint64_t>(t);
+    d.stamp = RawMicrosU64(t);
     benchmark::DoNotOptimize(ftl.WritePage(lba, std::move(d), t));
     lba = (lba + 1) % space;
     // Virtual time paced so the retained working set (retention window x

@@ -79,7 +79,7 @@ void ThroughputSweep(JsonWriter& json) {
         t.stamp_base = q * 1'000'000ull;
         for (std::size_t i = 0; i < kCommandsPerQueue; ++i) {
           IoRequest req;
-          req.time = static_cast<SimTime>(i) * 10;
+          req.time = CostOf(i, 10);
           req.lba = region * q + rng.Below(region > 8 ? region - 8 : 1);
           req.length = 1;
           req.mode = rng.Chance(0.5) ? IoMode::kRead : IoMode::kWrite;
@@ -114,7 +114,8 @@ void ThroughputSweep(JsonWriter& json) {
       std::printf("%7zu %6zu %12.0f %12lld %12lld %9.0f %9.0f %9.0f %9.0f "
                   "%8llu %8llu\n",
                   queues, depth, report.TotalIops(),
-                  static_cast<long long>(p50), static_cast<long long>(p99),
+                  static_cast<long long>(RawMicros(p50)),
+                  static_cast<long long>(RawMicros(p99)),
                   qw.Quantile(0.50), qw.Quantile(0.99), dev.Quantile(0.50),
                   dev.Quantile(0.99), static_cast<unsigned long long>(stalls),
                   static_cast<unsigned long long>(
@@ -197,7 +198,7 @@ std::vector<wl::TenantSpec> EngineStreams(std::size_t queues,
     t.stamp_base = q * 1'000'000ull;
     for (std::size_t i = 0; i < commands_per_queue; ++i) {
       IoRequest req;
-      req.time = static_cast<SimTime>(i) * 10;
+      req.time = CostOf(i, 10);
       req.lba = region * q + rng.Below(64);
       req.length = 1;
       req.mode = rng.Chance(0.5) ? IoMode::kRead : IoMode::kWrite;

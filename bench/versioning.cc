@@ -191,7 +191,7 @@ double WriteHammerIops(bool with_policies) {
     t.stamp_base = q * 1'000'000ull;
     for (std::size_t i = 0; i < kCommandsPerQueue; ++i) {
       IoRequest req;
-      req.time = static_cast<SimTime>(i) * 10;
+      req.time = CostOf(i, 10);
       req.lba = region * q + rng.Below(region);
       req.length = 1;
       req.mode = IoMode::kWrite;

@@ -65,7 +65,7 @@ int main() {
     std::uint64_t n = 0;
     if (fsys.ReadFile(d.path, 0, buf, &n) != fs::FsStatus::kOk) break;
     for (auto& b : buf) b ^= std::byte{0x5A};  // "encrypt"
-    ssd.Clock().Advance(static_cast<SimTime>(
+    ssd.Clock().Advance(TruncateMicros(
         static_cast<double>(buf.size()) / kCryptoMbps));
     if (fsys.WriteFile(d.path, 0, buf) != fs::FsStatus::kOk) {
       std::printf("  write refused mid-file: the drive went read-only\n");

@@ -29,7 +29,7 @@ int main() {
   // 2. A user's documents: 16000 blocks (~64 MB) stamped with their LBA.
   const Lba kDocs = 16000;
   for (Lba lba = 0; lba < kDocs; ++lba) {
-    ssd.Submit({Seconds(1), lba, 1, IoMode::kWrite}, lba);
+    (void)ssd.Submit({Seconds(1), lba, 1, IoMode::kWrite}, lba);
   }
   ssd.IdleUntil(Seconds(20));  // data ages out of the recovery window
   std::printf("wrote %llu document blocks, idled to t=20s\n",
@@ -54,7 +54,7 @@ int main() {
   std::size_t served = 0;
   for (const IoRequest& r : attack.requests) {
     if (ssd.AlarmActive()) break;  // the drive has already shut the door
-    ssd.Submit(r, /*stamp_base=*/0xDEAD0000);
+    (void)ssd.Submit(r, /*stamp_base=*/0xDEAD0000);
     ++served;
   }
   ssd.IdleUntil(ssd.Clock().Now() + Seconds(1));

@@ -23,6 +23,31 @@ constexpr double ToSeconds(SimTime t) {
   return static_cast<double>(t) / static_cast<double>(kUsPerSec);
 }
 
+// Sanctioned raw-integer bridges. This header is the one place a SimTime
+// may meet a raw cast (insider_check's `simtime-cast` rule enforces it);
+// call sites use these helpers so the intent — a count times a per-op
+// cost, truncating a derived double, exporting the microsecond count to an
+// external format — is named instead of spelled as a cast.
+
+/// Total virtual cost of `count` operations at `per_op` microseconds each.
+constexpr SimTime CostOf(std::uint64_t count, SimTime per_op) {
+  return static_cast<SimTime>(count) * per_op;
+}
+
+/// Truncate a derived floating-point microsecond value to virtual time.
+constexpr SimTime TruncateMicros(double us) {
+  return static_cast<SimTime>(us);
+}
+
+/// The raw microsecond count, for serialization and external interfaces.
+constexpr std::int64_t RawMicros(SimTime t) { return t; }
+
+/// The raw microsecond count as unsigned, for size/seed-like consumers.
+/// Requires t >= 0 (virtual time never runs negative).
+constexpr std::uint64_t RawMicrosU64(SimTime t) {
+  return static_cast<std::uint64_t>(t);
+}
+
 /// A monotonically advancing virtual clock. The experiment driver owns one
 /// clock and advances it as it dispatches I/O events; components that need
 /// "now" receive the timestamp explicitly with each request, so the clock is

@@ -22,7 +22,7 @@
 
 namespace insider::ftl {
 
-enum class FtlStatus {
+enum class [[nodiscard]] FtlStatus {
   kOk,
   kReadOnly,     ///< device latched read-only after a ransomware alarm
   kUnmapped,     ///< read/trim of an LBA with no current mapping

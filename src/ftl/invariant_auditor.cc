@@ -107,7 +107,7 @@ AuditReport InvariantAuditor::Audit(const PageFtl& ftl,
 
   // The raw block peeks below bypass the per-channel sync the timed read
   // path performs; land any payloads still staged in shard lanes first.
-  ftl.nand_.SyncDeferred();
+  ftl.nand_.SyncAllLanes();
 
   // Raw OOB peek, bypassing the timed/ECC read path (the audit must not
   // perturb the deterministic error sequence). Returns nullptr for erased

@@ -684,8 +684,8 @@ RollbackReport PageFtl::RollBack(SimTime detect_time) {
   std::vector<Lba> touched;
   report.entries_reverted = RollBackCore(detect_time, &touched);
   report.mappings_restored = touched.size();
-  report.duration = static_cast<SimTime>(report.entries_reverted) *
-                    config_.rollback_entry_cost;
+  report.duration =
+      CostOf(report.entries_reverted, config_.rollback_entry_cost);
   ++stats_.rollbacks;
   stats_.rollback_entries += report.entries_reverted;
   // A rollback writes no new pages, so neither the OOB log nor a checkpoint
@@ -827,9 +827,8 @@ RangeRollbackReport PageFtl::RollBackRange(Lba begin, Lba end,
     }
   }
 
-  report.duration = (now - start) +
-                    static_cast<SimTime>(report.lbas_examined) *
-                        config_.rollback_entry_cost;
+  report.duration = (now - start) + CostOf(report.lbas_examined,
+                                           config_.rollback_entry_cost);
   ++stats_.range_rollbacks;
   stats_.range_rollback_restored += report.restored + report.unmapped;
   return report;
@@ -899,6 +898,9 @@ void PageFtl::RecomputePendingRetire() {
 }
 
 std::size_t PageFtl::RecomputePoolsAndFrontiers() {
+  // The scan below reads block contents through the raw accessor; drain
+  // any in-flight sharded payload lanes first so it sees settled media.
+  nand_.SyncAllLanes();
   const nand::Geometry& geo = config_.geometry;
   std::size_t probe_reads = 0;
   for (auto& pool : free_blocks_by_chip_) pool.clear();
@@ -943,6 +945,7 @@ std::size_t PageFtl::RecomputePoolsAndFrontiers() {
 }
 
 void PageFtl::FullScanRebuild(RebuildReport& report, SimTime now) {
+  nand_.SyncAllLanes();  // settle sharded payload lanes before raw reads
   const nand::Geometry& geo = config_.geometry;
   // One physical version of one LBA found by the scan.
   struct Version {
@@ -989,8 +992,7 @@ void PageFtl::FullScanRebuild(RebuildReport& report, SimTime now) {
           {ppa, data->oob.seq, data->oob.written_at, data});
     }
   }
-  report.duration =
-      static_cast<SimTime>(report.pages_scanned) * config_.latency.page_read;
+  report.duration = CostOf(report.pages_scanned, config_.latency.page_read);
 
   // Order each LBA's versions oldest-first by logical write time (GC copies
   // keep their version's written_at), then by program sequence.
@@ -1257,6 +1259,7 @@ void PageFtl::ReplayRetireEffects(std::uint32_t block_id) {
 }
 
 bool PageFtl::DeltaScan(RebuildReport& report) {
+  nand_.SyncAllLanes();  // settle sharded payload lanes before raw reads
   const nand::Geometry& geo = config_.geometry;
   struct DeltaPage {
     nand::Ppa ppa = nand::kInvalidPpa;
@@ -1439,7 +1442,7 @@ PageFtl::RebuildReport PageFtl::RebuildFromNand(SimTime now) {
 
   // The scans below read page contents directly; with a sharded engine
   // every deferred payload must land first.
-  nand_.SyncDeferred();
+  nand_.SyncAllLanes();
   WipeVolatileState();
   // Un-flushed journal records were DRAM too: the crash destroyed them.
   journal_.DropPending();
@@ -1479,10 +1482,9 @@ PageFtl::RebuildReport PageFtl::RebuildFromNand(SimTime now) {
     ++stats_.rebuild_fast_path;
     std::size_t frontier_probes = RecomputePoolsAndFrontiers();
     report.duration =
-        static_cast<SimTime>(report.checkpoint_pages_read +
-                             report.journal_pages_read +
-                             report.delta_pages_scanned + frontier_probes) *
-        config_.latency.page_read;
+        CostOf(report.checkpoint_pages_read + report.journal_pages_read +
+                   report.delta_pages_scanned + frontier_probes,
+               config_.latency.page_read);
     // Page-accurate proxies: the fast path never enumerates per-LBA version
     // chains, so report the totals the restored tables imply.
     report.mappings_restored = static_cast<std::size_t>(valid_pages_);

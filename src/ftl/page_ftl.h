@@ -90,7 +90,7 @@ class PageFtl {
 
   // Power-loss recovery ---------------------------------------------------
 
-  struct RebuildReport {
+  struct [[nodiscard]] RebuildReport {
     std::size_t pages_scanned = 0;      ///< programmed pages visited
     std::size_t mappings_restored = 0;  ///< LBAs with a current version
     std::size_t backups_restored = 0;   ///< recovery-queue entries rebuilt

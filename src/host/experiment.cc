@@ -320,7 +320,7 @@ ConsistencyTrialResult RunConsistencyTrial(
       if (fsys.WriteFile(dl, off, chunk_data) != fs::FsStatus::kOk) break;
       off += chunk_data.size();
       // Download pacing (network-bound).
-      ssd.Clock().Advance(static_cast<SimTime>(
+      ssd.Clock().Advance(TruncateMicros(
           static_cast<double>(chunk_data.size()) / config.writer_rate_mbps));
     }
   }
@@ -354,7 +354,7 @@ ConsistencyTrialResult RunConsistencyTrial(
         break;
       }
       // Encryption CPU time.
-      ssd.Clock().Advance(static_cast<SimTime>(
+      ssd.Clock().Advance(TruncateMicros(
           static_cast<double>(len) / config.attack_rate_mbps));
       if (fsys.WriteFile(
               f.path, off,
@@ -588,9 +588,11 @@ RangeRecoveryResult RunRangeRecovery(const core::DecisionTree& tree,
 
   std::uint64_t attack_stamp = 0xEEEE000000000000ull;
   for (const IoRequest& r : trace.requests) {
-    ssd.Submit(r, attack_stamp);
+    ftl::FtlStatus attack_status = ssd.Submit(r, attack_stamp);
     attack_stamp += r.length;
-    if (ssd.AlarmActive()) break;  // read-only latch: the attack is stopped
+    if (attack_status == ftl::FtlStatus::kReadOnly || ssd.AlarmActive()) {
+      break;  // read-only latch: the attack is stopped
+    }
   }
   result.alarm_time = ssd.FirstAlarmTime();
   result.alarm = result.alarm_time.has_value();

@@ -21,7 +21,7 @@ namespace insider::io {
 /// propagates into Completions. kReadError is the one status the engine
 /// treats as possibly transient (an uncorrectable-ECC read may succeed on a
 /// soft retry); everything else is final.
-enum class DeviceStatus : std::uint8_t {
+enum class [[nodiscard]] DeviceStatus : std::uint8_t {
   kOk,
   kInvalidAddress,  ///< LBA beyond the device's exported capacity
   kReadOnly,        ///< device latched read-only (alarm or degraded)

@@ -94,7 +94,7 @@ class IoEngine {
   /// completions (or wait) and retry — nothing was queued. `auth_key` is the
   /// range-lock credential (the key for kRangeLock/kRangeUnlock, proof of
   /// authority for writes/trims into locked ranges); 0 = unauthenticated.
-  bool TrySubmit(QueueId q, const IoRequest& request,
+  [[nodiscard]] bool TrySubmit(QueueId q, const IoRequest& request,
                  std::uint64_t stamp_base = 0, std::uint64_t auth_key = 0);
 
   /// Host side: reap the oldest posted completion of a pair, if any.

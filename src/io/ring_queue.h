@@ -25,7 +25,7 @@ class RingQueue {
   bool Full() const { return count_ == slots_.size(); }
 
   /// Enqueue; false (and no change) when the ring is full.
-  bool TryPush(T value) {
+  [[nodiscard]] bool TryPush(T value) {
     if (Full()) return false;
     slots_[(head_ + count_) % slots_.size()] = std::move(value);
     ++count_;

@@ -123,7 +123,7 @@ NandResult FlashArray::ReadPage(Ppa ppa, SimTime now) {
   if (!geo_.ValidPpa(ppa)) return {NandStatus::kBadAddress, now, nullptr};
   std::uint32_t chip = geo_.ChipOf(ppa);
   // Content read: deferred payloads targeting this channel must land first.
-  SyncChannelFor(chip);
+  SyncLane(chip);
   // Const access so reads of pristine blocks never materialize them.
   const Block& block =
       std::as_const(chips_[chip]).BlockAt(geo_.BlockOf(ppa));
@@ -203,7 +203,7 @@ NandResult FlashArray::EraseBlock(BlockAddr addr, SimTime now) {
   }
   // Pending payloads for this channel must land before the block's page
   // records reset — a late apply would resurrect bytes into an erased block.
-  SyncChannelFor(addr.chip);
+  SyncLane(addr.chip);
   std::uint64_t attempt = counters_.block_erases + counters_.erase_fails + 1;
   if (SampleFault(FaultKind::kEraseFail, attempt, now,
                   errors_.erase_fail_prob)) {
@@ -260,7 +260,7 @@ NandResult FlashArray::EraseMetaBlock(BlockAddr addr, SimTime now) {
   if (addr.chip >= geo_.TotalChips() || addr.block >= geo_.blocks_per_chip) {
     return {NandStatus::kBadAddress, now, nullptr};
   }
-  SyncChannelFor(addr.chip);
+  SyncLane(addr.chip);
   std::uint64_t attempt =
       counters_.meta_block_erases + counters_.meta_erase_fails + 1;
   if (plan_.Consume(FaultKind::kMetaEraseFail, attempt, now)) {
@@ -299,7 +299,7 @@ std::uint64_t FlashArray::TotalEraseCount() const {
 const PageData* FlashArray::PeekPage(Ppa ppa) const {
   if (!geo_.ValidPpa(ppa)) return nullptr;
   std::uint32_t chip = geo_.ChipOf(ppa);
-  SyncChannelFor(chip);
+  SyncLane(chip);
   const Block& block = chips_[chip].BlockAt(geo_.BlockOf(ppa));
   return block.Read(geo_.PageOf(ppa));
 }
@@ -310,7 +310,7 @@ void FlashArray::SetDeferredApplier(DeferredApplier* applier) {
   if (applier_ != nullptr) applier_->Bind(*this);
 }
 
-void FlashArray::SyncDeferred() const {
+void FlashArray::SyncAllLanes() const {
   if (applier_ != nullptr) applier_->SyncAll();
 }
 

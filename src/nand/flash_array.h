@@ -20,7 +20,7 @@
 
 namespace insider::nand {
 
-enum class NandStatus {
+enum class [[nodiscard]] NandStatus {
   kOk,
   kReadOfErasedPage,     ///< read targeted a page never programmed
   kProgramOutOfOrder,    ///< NAND pages must be programmed sequentially
@@ -148,7 +148,7 @@ class FlashArray {
   }
 
   /// Flush every pending deferred payload (no-op with no applier).
-  void SyncDeferred() const;
+  void SyncAllLanes() const;
 
   bool IsProgrammed(Ppa ppa) const;
   /// Page consumed by a failed program (unreadable until the block erases).
@@ -190,7 +190,7 @@ class FlashArray {
                    double prob);
 
   /// Sync the channel lane owning `chip` before touching page contents.
-  void SyncChannelFor(std::uint32_t chip) const {
+  void SyncLane(std::uint32_t chip) const {
     if (applier_ != nullptr) applier_->Sync(geo_.ChannelOfChip(chip));
   }
 

@@ -10,7 +10,7 @@ namespace {
 
 SimTime PaceUs(std::uint32_t blocks, double mbps) {
   double us = static_cast<double>(blocks) * 4096.0 / (mbps * 1e6) * 1e6;
-  return std::max<SimTime>(1, static_cast<SimTime>(us));
+  return std::max<SimTime>(1, TruncateMicros(us));
 }
 
 /// Shared emission helper: keeps the stream time-sorted and region-bounded.
@@ -56,7 +56,7 @@ class AppBuilder {
 
   void Advance(SimTime delta) { now_ += std::max<SimTime>(0, delta); }
   void AdvanceExp(double mean_us) {
-    now_ += static_cast<SimTime>(rng_.Exponential(mean_us));
+    now_ += TruncateMicros(rng_.Exponential(mean_us));
   }
 
   Lba RandomLba(std::uint64_t span_blocks) {

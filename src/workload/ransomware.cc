@@ -12,7 +12,7 @@ namespace {
 SimTime PaceUs(std::uint32_t blocks, double mbps, double slowdown) {
   double bytes = static_cast<double>(blocks) * 4096.0;
   double us = bytes / (mbps * 1e6) * 1e6 * slowdown;
-  return std::max<SimTime>(1, static_cast<SimTime>(us));
+  return std::max<SimTime>(1, TruncateMicros(us));
 }
 
 class AttackBuilder {
@@ -57,7 +57,7 @@ class AttackBuilder {
   }
 
   void InterFileGap() {
-    now_ += static_cast<SimTime>(
+    now_ += TruncateMicros(
         rng_.Exponential(static_cast<double>(profile_.per_file_overhead)) *
         profile_.slowdown);
   }

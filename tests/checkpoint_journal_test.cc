@@ -494,7 +494,7 @@ TEST_P(InjectorWindowTest, CrashInsideMetadataFlushStillRollsBack) {
   std::vector<IoRequest> trace;
   for (Lba lba = 0; lba < 64; ++lba) {
     trace.push_back(
-        {Seconds(1) + static_cast<SimTime>(lba) * 1000, lba, 1, IoMode::kWrite});
+        {Seconds(1) + CostOf(lba, 1000), lba, 1, IoMode::kWrite});
   }
   for (int s = 0; s < 6; ++s) {
     SimTime t = Seconds(21 + s);

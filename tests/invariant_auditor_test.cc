@@ -71,7 +71,7 @@ TEST(InvariantAuditorTest, HealthyRollbackAndRebuildAuditClean) {
       << InvariantAuditor::Audit(ftl).Diff();
 
   ftl.SetReadOnly(false);
-  ftl.RebuildFromNand(now);
+  (void)ftl.RebuildFromNand(now);
   AuditReport report = InvariantAuditor::Audit(ftl);
   EXPECT_TRUE(report.ok()) << report.Diff();
 }

@@ -117,10 +117,10 @@ TEST(IoEngineTest, DispatchesInVirtualTimeOrderAcrossQueues) {
   IoEngine engine(dev, TwoQueues(8));
 
   // Interleaved submit times across the two queues.
-  engine.TrySubmit(0, {1000, 10, 1, IoMode::kRead});
-  engine.TrySubmit(0, {5000, 11, 1, IoMode::kRead});
-  engine.TrySubmit(1, {2000, 20, 1, IoMode::kRead});
-  engine.TrySubmit(1, {9000, 21, 1, IoMode::kRead});
+  (void)engine.TrySubmit(0, {1000, 10, 1, IoMode::kRead});
+  (void)engine.TrySubmit(0, {5000, 11, 1, IoMode::kRead});
+  (void)engine.TrySubmit(1, {2000, 20, 1, IoMode::kRead});
+  (void)engine.TrySubmit(1, {9000, 21, 1, IoMode::kRead});
   EXPECT_EQ(engine.Drain(), 4u);
 
   ASSERT_EQ(dev.Order().size(), 4u);
@@ -189,9 +189,9 @@ TEST(IoEngineTest, FullCompletionQueueStallsOnlyThatPair) {
   cfg.per_queue = {QueueConfig{4, 1, 1}, QueueConfig{4, 4, 1}};
   IoEngine engine(dev, cfg);
 
-  engine.TrySubmit(0, {1000, 0, 1, IoMode::kRead});
-  engine.TrySubmit(0, {1000, 1, 1, IoMode::kRead});
-  engine.TrySubmit(1, {1000, 2, 1, IoMode::kRead});
+  (void)engine.TrySubmit(0, {1000, 0, 1, IoMode::kRead});
+  (void)engine.TrySubmit(0, {1000, 1, 1, IoMode::kRead});
+  (void)engine.TrySubmit(1, {1000, 2, 1, IoMode::kRead});
 
   ASSERT_TRUE(engine.Step());  // dispatch queue 0: reserves its 1 CQ slot
   ASSERT_TRUE(engine.Step());  // queue 0 stalled -> queue 1 proceeds

@@ -131,7 +131,7 @@ TEST(FtlMediaErrorTest, GcSurvivesLostPages) {
   }
   for (int i = 0; i < 3000; ++i) {
     // Spread over time so backups expire and GC churns.
-    SimTime t = Seconds(2) + static_cast<SimTime>(i) * 20'000;
+    SimTime t = Seconds(2) + CostOf(static_cast<std::uint64_t>(i), 20'000);
     ASSERT_TRUE(
         ftl.WritePage(rng.Below(n), {static_cast<std::uint64_t>(i), {}}, t)
             .ok());

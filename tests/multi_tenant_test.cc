@@ -41,7 +41,7 @@ wl::TenantSpec WriterTenant(const std::string& name, Lba base,
   t.name = name;
   t.stamp_base = stamp_base;
   for (std::size_t i = 0; i < count; ++i) {
-    t.requests.push_back({start + static_cast<SimTime>(i) * gap,
+    t.requests.push_back({start + CostOf(i, gap),
                           base + i, 1, IoMode::kWrite});
   }
   return t;

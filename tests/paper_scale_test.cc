@@ -79,8 +79,8 @@ TEST(PaperScaleTest, DetectionAndRollbackRunEndToEnd) {
   for (int s = 0; s < 5 && !ssd.AlarmActive(); ++s) {
     SimTime t = Seconds(15 + s);
     for (Lba i = 0; i < 64; ++i) {
-      ssd.Submit({t, i * stride, 1, IoMode::kRead}, 0);
-      ssd.Submit({t + 1000, i * stride, 1, IoMode::kWrite}, 9999);
+      (void)ssd.Submit({t, i * stride, 1, IoMode::kRead}, 0);
+      (void)ssd.Submit({t + 1000, i * stride, 1, IoMode::kWrite}, 9999);
     }
   }
   ssd.IdleUntil(ssd.Clock().Now() + Seconds(1));

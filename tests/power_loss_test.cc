@@ -98,12 +98,12 @@ TEST(RebuildTest, RollbackAfterCrashMatchesUncrashedTwin) {
   // Attack burst from t = 30 s; power dies mid-burst on one device only.
   for (Lba lba = 0; lba < 40; ++lba) {
     both_write(lba, 9000 + lba,
-               Seconds(30) + static_cast<SimTime>(lba) * Milliseconds(50));
+               Seconds(30) + CostOf(lba, Milliseconds(50)));
   }
-  crashed.RebuildFromNand(Seconds(33));
+  (void)crashed.RebuildFromNand(Seconds(33));
   for (Lba lba = 40; lba < 80; ++lba) {
     both_write(lba, 9000 + lba,
-               Seconds(33) + static_cast<SimTime>(lba) * Milliseconds(50));
+               Seconds(33) + CostOf(lba, Milliseconds(50)));
   }
 
   ASSERT_EQ(crashed.Stats().forced_releases, 0u);
@@ -132,7 +132,7 @@ TEST(RebuildTest, DeviceKeepsWorkingAfterRebuild) {
   for (Lba lba = 0; lba < 64; ++lba) {
     ASSERT_TRUE(ftl.WritePage(lba, Page(lba), Seconds(1)).ok());
   }
-  ftl.RebuildFromNand(Seconds(2));
+  (void)ftl.RebuildFromNand(Seconds(2));
 
   // Overwrites after the rebuild must keep producing backups (the global
   // write sequence continued past the scan maximum).
@@ -170,7 +170,7 @@ TEST(RebuildTest, TrimsInsideTheBurstRollBackIdentically) {
     ASSERT_TRUE(crashed.TrimPage(lba, Seconds(30)).ok());
     ASSERT_TRUE(twin.TrimPage(lba, Seconds(30)).ok());
   }
-  crashed.RebuildFromNand(Seconds(31));
+  (void)crashed.RebuildFromNand(Seconds(31));
   EXPECT_EQ(crashed.CheckInvariants(), "");
 
   // The tombstones replayed: trimmed LBAs are unmapped on the rebuilt
@@ -249,7 +249,7 @@ TEST(PowerLossInjectorTest, CrashBeforeAttackStillDetectsAndRollsBack) {
   std::vector<IoRequest> trace;
   for (Lba lba = 0; lba < 64; ++lba) {
     trace.push_back(
-        {Seconds(1) + static_cast<SimTime>(lba) * 1000, lba, 1, IoMode::kWrite});
+        {Seconds(1) + CostOf(lba, 1000), lba, 1, IoMode::kWrite});
   }
   std::size_t benign_requests = trace.size();
   // Attack after the crash point: read + overwrite sweeps of 40 blocks.
@@ -290,7 +290,7 @@ TEST(PowerLossInjectorTest, CrashMidAttackStillRestoresPreAttackState) {
   std::vector<IoRequest> trace;
   for (Lba lba = 0; lba < 64; ++lba) {
     trace.push_back(
-        {Seconds(1) + static_cast<SimTime>(lba) * 1000, lba, 1, IoMode::kWrite});
+        {Seconds(1) + CostOf(lba, 1000), lba, 1, IoMode::kWrite});
   }
   // Attack spans the crash at t = 23 s: backups made before the cut must be
   // honored by the rollback after it.
@@ -324,7 +324,7 @@ TEST(PowerLossInjectorTest, MultipleCrashesAreSurvivable) {
   host::Ssd ssd(SmallSsd(), SimpleTree());
   std::vector<IoRequest> trace;
   for (Lba lba = 0; lba < 48; ++lba) {
-    trace.push_back({Seconds(1) + static_cast<SimTime>(lba) * Milliseconds(100),
+    trace.push_back({Seconds(1) + CostOf(lba, Milliseconds(100)),
                      lba, 1, IoMode::kWrite});
   }
   host::PowerLossConfig plc;

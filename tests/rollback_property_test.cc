@@ -234,7 +234,7 @@ TEST_P(FaultPowerLossPropertyTest, RollbackAfterFaultsAndCrashMatchesBaseline) {
       ASSERT_EQ(clean.RecoveryQueueSize(), 0u);
     }
     if (i == crash_at) {
-      faulty.RebuildFromNand(op.t);
+      (void)faulty.RebuildFromNand(op.t);
       crashed = true;
     }
     if (op.is_write) {
@@ -543,14 +543,14 @@ TEST_P(SelectiveRollbackPropertyTest, ProtectedRangeRestoresAcrossCrashes) {
       ASSERT_GT(clean.Store().VersionCount(), 0u)
           << "the protected range never reached the store";
     }
-    if (i == crash_at) faulty.RebuildFromNand(op.t);
+    if (i == crash_at) (void)faulty.RebuildFromNand(op.t);
     ASSERT_TRUE(clean.WritePage(op.lba, {op.stamp, {}}, op.t).ok()) << i;
     ASSERT_TRUE(faulty.WritePage(op.lba, {op.stamp, {}}, op.t).ok()) << i;
   }
 
   // Second power cut after the burst: archived pages themselves must
   // survive a rebuild (rescan -> ring -> re-archive converges).
-  faulty.RebuildFromNand(Seconds(38));
+  (void)faulty.RebuildFromNand(Seconds(38));
   ASSERT_EQ(faulty.Stats().rebuilds, 2u);
 
   // Exactness preconditions.

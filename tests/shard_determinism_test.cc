@@ -97,7 +97,7 @@ std::vector<wl::TenantSpec> BuildTenants(std::uint64_t seed,
     t.is_ransomware = (q + 1 == queues);
     for (std::size_t i = 0; i < commands_per_queue; ++i) {
       IoRequest req;
-      req.time = static_cast<SimTime>(i) * 20'000;  // ~50 cmds per 1 s slice
+      req.time = CostOf(i, 20'000);  // ~50 cmds per 1 s slice
       req.lba = region * q + rng.Below(24);
       req.length = static_cast<std::uint32_t>(1 + rng.Below(2));
       if (t.is_ransomware) {

@@ -37,8 +37,8 @@ void Attack(Ssd& ssd, int slices, SimTime from = 0) {
   for (int s = 0; s < slices && !ssd.AlarmActive(); ++s) {
     SimTime t = from + Seconds(s) + 1000;
     Lba lba = static_cast<Lba>(s) * 40;
-    ssd.Submit({t, lba, 40, IoMode::kRead}, 0);
-    ssd.Submit({t + 1000, lba, 40, IoMode::kWrite}, 0);
+    (void)ssd.Submit({t, lba, 40, IoMode::kRead}, 0);
+    (void)ssd.Submit({t + 1000, lba, 40, IoMode::kWrite}, 0);
   }
   ssd.IdleUntil(ssd.Clock().Now() + Seconds(1));
 }
@@ -76,8 +76,8 @@ TEST(AlarmCallbackTest, FiresFromIdleSliceClose) {
   // Two hot slices (score 2), then the third via IdleUntil.
   for (int s = 0; s < 3; ++s) {
     SimTime t = Seconds(s) + 1000;
-    ssd.Submit({t, static_cast<Lba>(s) * 60, 40, IoMode::kRead}, 0);
-    ssd.Submit({t + 1000, static_cast<Lba>(s) * 60, 40, IoMode::kWrite}, 0);
+    (void)ssd.Submit({t, static_cast<Lba>(s) * 60, 40, IoMode::kRead}, 0);
+    (void)ssd.Submit({t + 1000, static_cast<Lba>(s) * 60, 40, IoMode::kWrite}, 0);
   }
   EXPECT_EQ(fired, 0);  // slice 2 not closed yet
   ssd.IdleUntil(Seconds(4));
@@ -88,7 +88,7 @@ TEST(AlarmCallbackTest, FiresFromIdleSliceClose) {
 TEST(DismissAlarmTest, ResumesWritesWithoutRollback) {
   Ssd ssd(SmallSsd(), OwioTree());
   // Pre-attack data.
-  ssd.Submit({Seconds(0), 350, 1, IoMode::kWrite}, 111);
+  (void)ssd.Submit({Seconds(0), 350, 1, IoMode::kWrite}, 111);
   Attack(ssd, 8, Seconds(1));
   ASSERT_TRUE(ssd.AlarmActive());
   ASSERT_TRUE(ssd.Ftl().IsReadOnly());
@@ -118,15 +118,15 @@ TEST(SsdFlowTest, FullEpisodeLifecycle) {
   // write again -> second attack -> second recovery.
   Ssd ssd(SmallSsd(), OwioTree());
   for (Lba lba = 0; lba < 64; ++lba) {
-    ssd.Submit({Seconds(1), lba, 1, IoMode::kWrite}, 1000 + lba);
+    (void)ssd.Submit({Seconds(1), lba, 1, IoMode::kWrite}, 1000 + lba);
   }
   ssd.IdleUntil(Seconds(15));
 
   // Episode 1: overwrite LBAs 0..40 in slices.
   for (int s = 0; s < 6 && !ssd.AlarmActive(); ++s) {
     SimTime t = Seconds(15 + s);
-    ssd.Submit({t, 0, 40, IoMode::kRead}, 0);
-    ssd.Submit({t + 1000, 0, 40, IoMode::kWrite}, 9999);
+    (void)ssd.Submit({t, 0, 40, IoMode::kRead}, 0);
+    (void)ssd.Submit({t + 1000, 0, 40, IoMode::kWrite}, 9999);
   }
   ssd.IdleUntil(ssd.Clock().Now() + Seconds(1));
   ASSERT_TRUE(ssd.AlarmActive());
@@ -149,8 +149,8 @@ TEST(SsdFlowTest, FullEpisodeLifecycle) {
   SimTime t3 = ssd.Clock().Now();
   for (int s = 0; s < 6 && !ssd.AlarmActive(); ++s) {
     SimTime t = t3 + Seconds(s);
-    ssd.Submit({t, 0, 40, IoMode::kRead}, 0);
-    ssd.Submit({t + 1000, 0, 40, IoMode::kWrite}, 8888);
+    (void)ssd.Submit({t, 0, 40, IoMode::kRead}, 0);
+    (void)ssd.Submit({t + 1000, 0, 40, IoMode::kWrite}, 8888);
   }
   ssd.IdleUntil(ssd.Clock().Now() + Seconds(1));
   ASSERT_TRUE(ssd.AlarmActive());
@@ -179,7 +179,7 @@ TEST(SsdFlowTest, MultiBlockSubmitStampsSequentially) {
 
 TEST(SsdFlowTest, MixedTrimSubmit) {
   Ssd ssd(SmallSsd(), OwioTree());
-  ssd.Submit({1000, 10, 4, IoMode::kWrite}, 7);
+  (void)ssd.Submit({1000, 10, 4, IoMode::kWrite}, 7);
   ASSERT_EQ(ssd.Submit({2000, 10, 4, IoMode::kTrim}, 0),
             ftl::FtlStatus::kOk);
   EXPECT_EQ(ssd.Ftl().ReadPage(11, 3000).status, ftl::FtlStatus::kUnmapped);
@@ -192,7 +192,7 @@ TEST(SsdFlowTest, WearVisibleThroughFacade) {
   Ssd ssd(SmallSsd(), OwioTree(1e18));  // never alarm
   for (int round = 0; round < 20; ++round) {
     for (Lba lba = 0; lba < 64; ++lba) {
-      ssd.Submit({Seconds(round), lba, 1, IoMode::kWrite}, lba);
+      (void)ssd.Submit({Seconds(round), lba, 1, IoMode::kWrite}, lba);
     }
   }
   EXPECT_GT(ssd.Ftl().Wear().mean_erases, 0.0);

@@ -43,7 +43,7 @@ TEST(SsdTest, SubmitWritesAndReadsBack) {
 
 TEST(SsdTest, ClockFollowsRequestTimes) {
   Ssd ssd(SmallSsd(), SimpleTree());
-  ssd.Submit({Seconds(5), 0, 1, IoMode::kWrite}, 0);
+  (void)ssd.Submit({Seconds(5), 0, 1, IoMode::kWrite}, 0);
   EXPECT_GE(ssd.Clock().Now(), Seconds(5));
 }
 
@@ -54,8 +54,8 @@ TEST(SsdTest, AlarmLatchesReadOnly) {
   for (int s = 0; s < 6 && !ssd.AlarmActive(); ++s) {
     t = Seconds(s) + 1000;
     Lba lba = static_cast<Lba>(s) * 50;
-    ssd.Submit({t, lba, 40, IoMode::kRead}, 0);
-    ssd.Submit({t + 1000, lba, 40, IoMode::kWrite}, 0);
+    (void)ssd.Submit({t, lba, 40, IoMode::kRead}, 0);
+    (void)ssd.Submit({t + 1000, lba, 40, IoMode::kWrite}, 0);
   }
   // Tick one more slice boundary so the last vote lands.
   ssd.IdleUntil(t + Seconds(2));
@@ -76,8 +76,8 @@ TEST(SsdTest, RollbackRecoversPreAttackData) {
   // Attack: read + overwrite everything with stamp 9999.
   for (int s = 0; s < 5 && !ssd.AlarmActive(); ++s) {
     SimTime t = Seconds(15 + s);
-    ssd.Submit({t, 0, 64, IoMode::kRead}, 0);
-    ssd.Submit({t + 1000, 0, 64, IoMode::kWrite}, 9999);
+    (void)ssd.Submit({t, 0, 64, IoMode::kRead}, 0);
+    (void)ssd.Submit({t + 1000, 0, 64, IoMode::kWrite}, 9999);
   }
   ssd.IdleUntil(ssd.Clock().Now() + Seconds(1));
   ASSERT_TRUE(ssd.AlarmActive());
@@ -97,8 +97,8 @@ TEST(SsdTest, RebootClearsLatchAndDetector) {
   for (int s = 0; s < 6 && !ssd.AlarmActive(); ++s) {
     SimTime t = Seconds(s) + 1000;
     Lba lba = static_cast<Lba>(s) * 50;
-    ssd.Submit({t, lba, 40, IoMode::kRead}, 0);
-    ssd.Submit({t + 1000, lba, 40, IoMode::kWrite}, 0);
+    (void)ssd.Submit({t, lba, 40, IoMode::kRead}, 0);
+    (void)ssd.Submit({t + 1000, lba, 40, IoMode::kWrite}, 0);
   }
   ssd.IdleUntil(Seconds(8));
   ASSERT_TRUE(ssd.AlarmActive());
@@ -116,8 +116,8 @@ TEST(SsdTest, DetectorDisabledNeverAlarms) {
   for (int s = 0; s < 10; ++s) {
     SimTime t = Seconds(s) + 1000;
     Lba lba = static_cast<Lba>(s) * 50;
-    ssd.Submit({t, lba, 40, IoMode::kRead}, 0);
-    ssd.Submit({t + 1000, lba, 40, IoMode::kWrite}, 0);
+    (void)ssd.Submit({t, lba, 40, IoMode::kRead}, 0);
+    (void)ssd.Submit({t + 1000, lba, 40, IoMode::kWrite}, 0);
   }
   EXPECT_FALSE(ssd.AlarmActive());
 }
@@ -172,8 +172,8 @@ TEST(SsdTest, StaleSubmitTimeClampsToDeviceClock) {
 TEST(SsdTest, StaleSubmitKeepsDetectorSliceStreamMonotone) {
   Ssd ssd(SmallSsd(), SimpleTree());
   // March the detector to slice ~6, then feed a request stamped in slice 1.
-  ssd.Submit({Seconds(6), 0, 1, IoMode::kWrite}, 0);
-  ssd.Submit({Seconds(1), 1, 1, IoMode::kWrite}, 0);
+  (void)ssd.Submit({Seconds(6), 0, 1, IoMode::kWrite}, 0);
+  (void)ssd.Submit({Seconds(1), 1, 1, IoMode::kWrite}, 0);
   ssd.IdleUntil(Seconds(10));
   SimTime prev = -1;
   double total_io = 0.0;

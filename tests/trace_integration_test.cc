@@ -59,7 +59,7 @@ void RunMqueue(MqueueRun& run, std::size_t commands_per_queue) {
     t.stamp_base = q * 1'000'000ull;
     for (std::size_t i = 0; i < commands_per_queue; ++i) {
       IoRequest req;
-      req.time = static_cast<SimTime>(i) * 10;
+      req.time = CostOf(i, 10);
       // Narrow per-queue range so reads regularly land on LBAs an earlier
       // write mapped — that is what exercises the full read span stack
       // (map lookup -> cell read -> bus) instead of early-out unmapped reads.
@@ -191,7 +191,7 @@ TEST(TraceIntegrationTest, TracingNeverPerturbsVirtualTime) {
     t.stamp_base = q * 1'000'000ull;
     for (std::size_t i = 0; i < 120; ++i) {
       IoRequest req;
-      req.time = static_cast<SimTime>(i) * 10;
+      req.time = CostOf(i, 10);
       req.lba = region * q + rng.Below(48);  // mirror RunMqueue exactly
       req.length = 1;
       req.mode = rng.Chance(0.5) ? IoMode::kRead : IoMode::kWrite;

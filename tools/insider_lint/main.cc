@@ -1,26 +1,133 @@
-// CLI entry point: `insider_lint <root>...` lints every C++ file under the
-// given roots and exits non-zero if any rule fires. CI runs it over
-// src/ tests/ bench/ examples/ from the repository root.
+// insider_check v2 CLI.
+//
+//   insider_lint [flags] <root-dir>...
+//
+// Flags:
+//   --list-rules        print every registered rule id + summary, exit 0.
+//   --rule=<id>[,<id>]  run only the named rules (repeatable; ids from
+//                       --list-rules). Unknown ids are a usage error.
+//   --sarif=<path>      additionally write the run as a SARIF 2.1.0
+//                       document to <path> ("-" for stdout). The SARIF file
+//                       is written whether or not there are findings, so CI
+//                       always has an artifact to upload.
+//
+// Exit-code contract (relied on by the ctest gates and CI):
+//   0  lint ran and found nothing;
+//   1  lint ran and produced at least one finding (they are printed to
+//      stderr, one "path:line:col: [rule] message" per line);
+//   2  usage or I/O error (bad flag, unknown rule id, no roots,
+//      unwritable --sarif path) — nothing was linted.
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "lint.h"
+#include "sarif.h"
+
+namespace {
+
+void PrintUsage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--list-rules] [--rule=<id>[,<id>...]] [--sarif=<path>] "
+      "<root-dir>...\n",
+      argv0);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: %s <root-dir>...\n", argv[0]);
+  std::vector<std::filesystem::path> roots;
+  std::set<std::string> rules;
+  std::string sarif_path;
+  bool list_rules = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg.rfind("--rule=", 0) == 0) {
+      std::string list = arg.substr(7);
+      std::size_t begin = 0;
+      while (begin <= list.size()) {
+        std::size_t comma = list.find(',', begin);
+        std::string id = list.substr(
+            begin, comma == std::string::npos ? comma : comma - begin);
+        if (!id.empty()) {
+          if (!insider::lint::IsKnownRule(id)) {
+            std::fprintf(stderr,
+                         "insider_lint: unknown rule '%s' (see --list-rules)\n",
+                         id.c_str());
+            return 2;
+          }
+          rules.insert(id);
+        }
+        if (comma == std::string::npos) break;
+        begin = comma + 1;
+      }
+      if (rules.empty()) {
+        std::fprintf(stderr, "insider_lint: --rule= names no rules\n");
+        return 2;
+      }
+    } else if (arg.rfind("--sarif=", 0) == 0) {
+      sarif_path = arg.substr(8);
+      if (sarif_path.empty()) {
+        std::fprintf(stderr, "insider_lint: --sarif= needs a path\n");
+        return 2;
+      }
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "insider_lint: unknown flag '%s'\n", arg.c_str());
+      PrintUsage(argv[0]);
+      return 2;
+    } else {
+      roots.emplace_back(arg);
+    }
+  }
+
+  if (list_rules) {
+    for (const insider::lint::RuleInfo& r : insider::lint::AllRules()) {
+      std::printf("%-20s %s\n", r.id.c_str(), r.summary.c_str());
+    }
+    return 0;
+  }
+
+  if (roots.empty()) {
+    PrintUsage(argv[0]);
     return 2;
   }
-  std::vector<std::filesystem::path> roots;
-  for (int i = 1; i < argc; ++i) roots.emplace_back(argv[i]);
 
+  insider::lint::Options options;
+  options.rules = rules;
   std::vector<insider::lint::Finding> findings =
-      insider::lint::LintTree(roots);
+      insider::lint::LintTree(roots, options);
+
   for (const insider::lint::Finding& f : findings) {
     std::fprintf(stderr, "%s\n", insider::lint::Format(f).c_str());
   }
+
+  if (!sarif_path.empty()) {
+    const std::string doc = insider::lint::ToSarif(findings);
+    if (sarif_path == "-") {
+      std::fwrite(doc.data(), 1, doc.size(), stdout);
+    } else {
+      std::ofstream out(sarif_path, std::ios::binary);
+      if (!out) {
+        std::fprintf(stderr, "insider_lint: cannot write '%s'\n",
+                     sarif_path.c_str());
+        return 2;
+      }
+      out << doc;
+      if (!out.flush()) {
+        std::fprintf(stderr, "insider_lint: short write to '%s'\n",
+                     sarif_path.c_str());
+        return 2;
+      }
+    }
+  }
+
   if (!findings.empty()) {
     std::fprintf(stderr, "insider_lint: %zu violation(s)\n", findings.size());
     return 1;

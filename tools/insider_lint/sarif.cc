@@ -1,0 +1,108 @@
+#include "sarif.h"
+
+#include <map>
+#include <sstream>
+
+namespace insider::lint {
+namespace {
+
+/// JSON string escaping (control chars, quote, backslash). The linter's
+/// messages are ASCII by construction; anything else passes through as-is,
+/// which is valid JSON for UTF-8 output.
+std::string Escape(const std::string& s) {
+  std::ostringstream out;
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\r':
+        out << "\\r";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* kHex = "0123456789abcdef";
+          out << "\\u00" << kHex[(c >> 4) & 0xF] << kHex[c & 0xF];
+        } else {
+          out << c;
+        }
+    }
+  }
+  return out.str();
+}
+
+}  // namespace
+
+std::string ToSarif(const std::vector<Finding>& findings) {
+  std::map<std::string, std::size_t> rule_index;
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/"
+         "sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"runs\": [\n"
+      << "    {\n"
+      << "      \"tool\": {\n"
+      << "        \"driver\": {\n"
+      << "          \"name\": \"insider_check\",\n"
+      << "          \"informationUri\": "
+         "\"https://example.invalid/ssd-insider/tools/insider_lint\",\n"
+      << "          \"rules\": [\n";
+  const std::vector<RuleInfo>& rules = AllRules();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    rule_index[rules[i].id] = i;
+    out << "            {\n"
+        << "              \"id\": \"" << Escape(rules[i].id) << "\",\n"
+        << "              \"shortDescription\": { \"text\": \""
+        << Escape(rules[i].summary) << "\" }\n"
+        << "            }" << (i + 1 < rules.size() ? "," : "") << "\n";
+  }
+  out << "          ]\n"
+      << "        }\n"
+      << "      },\n"
+      << "      \"results\": [\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out << "        {\n"
+        << "          \"ruleId\": \"" << Escape(f.rule) << "\",\n";
+    auto it = rule_index.find(f.rule);
+    if (it != rule_index.end()) {
+      out << "          \"ruleIndex\": " << it->second << ",\n";
+    }
+    out << "          \"level\": \"error\",\n"
+        << "          \"message\": { \"text\": \"" << Escape(f.message)
+        << "\" },\n"
+        << "          \"locations\": [\n"
+        << "            {\n"
+        << "              \"physicalLocation\": {\n"
+        << "                \"artifactLocation\": { \"uri\": \""
+        << Escape(f.file) << "\" }";
+    if (f.line != 0) {
+      out << ",\n                \"region\": { \"startLine\": " << f.line;
+      if (f.col != 0) out << ", \"startColumn\": " << f.col;
+      out << " }";
+    }
+    out << "\n              }\n"
+        << "            }\n"
+        << "          ],\n"
+        << "          \"partialFingerprints\": { \"insiderLint/v1\": \""
+        << Escape(f.fingerprint) << "\" }\n"
+        << "        }" << (i + 1 < findings.size() ? "," : "") << "\n";
+  }
+  out << "      ]\n"
+      << "    }\n"
+      << "  ]\n"
+      << "}\n";
+  return out.str();
+}
+
+}  // namespace insider::lint

@@ -1,0 +1,31 @@
+// insider_check v2 — SARIF 2.1.0 export.
+//
+// Serializes a finding list into the Static Analysis Results Interchange
+// Format so CI can upload the lint run as a code-scanning artifact. The
+// emitted document is a single run:
+//
+//   runs[0].tool.driver           name "insider_check", one reportingDescriptor
+//                                 per registered rule (AllRules());
+//   runs[0].results[*]            ruleId + ruleIndex, message.text, one
+//                                 physical location (uri, startLine,
+//                                 startColumn), level "error", and
+//                                 partialFingerprints["insiderLint/v1"] set
+//                                 to the engine's stable FNV fingerprint so
+//                                 baselining survives line renumbering.
+//
+// Whole-file findings (line 0) are emitted with only the artifact uri —
+// SARIF regions are 1-based and optional. Paths are emitted as given;
+// callers that want repo-relative uris should lint with relative roots.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace insider::lint {
+
+/// The complete SARIF 2.1.0 document for one lint run.
+std::string ToSarif(const std::vector<Finding>& findings);
+
+}  // namespace insider::lint

@@ -1,0 +1,26 @@
+// Fixture: expression statements that silently drop status returns. The
+// declarations below give the per-TU index the return types it needs, so
+// this file is self-contained for LintSource. Never compiled.
+
+enum class DeviceStatus { kOk, kError };
+enum class FtlStatus { kOk, kReadOnly };
+struct RebuildReport {
+  int pages_scanned = 0;
+};
+
+DeviceStatus Submit(int lba);
+FtlStatus Flush();
+RebuildReport RebuildFromNand();
+bool TryPush(int value);
+int PlainCount();
+
+void Driver() {
+  Submit(1);          // finding: DeviceStatus dropped on the floor
+  Flush();            // finding: FtlStatus dropped
+  RebuildFromNand();  // finding: RebuildReport dropped
+  TryPush(7);         // finding: Try* bool dropped
+  PlainCount();       // no finding: a plain int is not a status
+  (void)Submit(2);    // no finding: the sanctioned explicit discard
+  DeviceStatus kept = Submit(3);  // no finding: consumed
+  (void)kept;
+}

@@ -18,3 +18,30 @@ void PageFtl::TrimPageBad(unsigned long long lba) {
   MutationAudit audit_scope(*this, "TrimPageBad");
   (void)lba;
 }
+
+// v2 regression: the JournalBatchScope three lines away lives in a
+// DIFFERENT function, which v1's ±3-line window wrongly accepted. The
+// brace-aware pairing must still flag the audit below.
+void PageFtl::NeighbourOpensScope() {
+  JournalBatchScope batch(nullptr);
+}
+void PageFtl::TrimPageStillBad(unsigned long long lba) {
+  MutationAudit audit_scope(*this, "TrimPageStillBad");
+  (void)lba;
+}
+
+// A scope opened in a nested block dies before the audit's records flush:
+// the audit in the enclosing block must fire too.
+void PageFtl::ScopeDiesEarly(bool flush_now) {
+  if (flush_now) {
+    JournalBatchScope batch(nullptr);
+  }
+  MutationAudit audit_scope(*this, "ScopeDiesEarly");
+}
+
+// The healthy shape: scope and audit in the same block. Must NOT fire.
+void PageFtl::TrimPageGood(unsigned long long lba) {
+  JournalBatchScope batch(nullptr);
+  MutationAudit audit_scope(*this, "TrimPageGood");
+  (void)lba;
+}

@@ -1,0 +1,17 @@
+// Fixture: raw integer casts meeting SimTime outside the sanctioned
+// helpers in src/common/time.h. The double render must NOT fire (only
+// integer round-trips lose the unit discipline). Never compiled.
+
+using SimTime = long long;
+
+SimTime FromCount(unsigned n) {
+  return static_cast<SimTime>(n) * 3;  // finding: raw -> SimTime
+}
+
+long long ToRaw(SimTime now) {
+  return static_cast<long long>(now);  // finding: SimTime -> raw integer
+}
+
+double RenderSeconds(SimTime now) {
+  return static_cast<double>(now) / 1e6;  // ok: floating-point render
+}

@@ -1,0 +1,23 @@
+// Fixture: a raw NAND content read with no preceding lane drain in the
+// same function. The second function drains first and must NOT fire.
+// Lives under testdata/src/ftl/ so the path-gated rule applies. Never
+// compiled.
+
+struct Block {
+  const int* Read(unsigned page) const;
+};
+struct Nand {
+  Block& BlockAt(unsigned block);
+  void SyncAllLanes();
+};
+
+int MissingDrain(Nand& nand) {
+  const int* d = nand.BlockAt(3).Read(0);  // finding: lanes not drained
+  return d != nullptr ? *d : 0;
+}
+
+int DrainedFirst(Nand& nand) {
+  nand.SyncAllLanes();
+  const int* d = nand.BlockAt(3).Read(0);  // ok: drained above
+  return d != nullptr ? *d : 0;
+}

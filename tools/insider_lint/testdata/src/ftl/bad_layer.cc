@@ -1,0 +1,13 @@
+// Fixture: module "ftl" reaching up into "host" and sideways into
+// "workload" — the architecture DAG (DESIGN.md §14) forbids both. The
+// nand/ include is a legal downward edge and must NOT fire. Never compiled.
+#include "host/ssd.h"           // violates: ftl -> host is an upward edge
+#include "workload/apps.h"      // violates: ftl -> workload is sideways
+#include "nand/flash_array.h"   // fine: ftl may depend on nand
+#include "ftl/ftl_types.h"      // fine: self-edge
+
+namespace insider::ftl {
+
+int UsesForbiddenLayers() { return 0; }
+
+}  // namespace insider::ftl

@@ -1,0 +1,6 @@
+// Fixture: a stale suppression. The allow() below names wall-clock, but
+// nothing on its line or the next uses a wall clock, so the engine must
+// report the suppression itself. Never compiled.
+
+// insider-lint: allow(wall-clock): stale — nothing here needs it
+int Answer() { return 42; }

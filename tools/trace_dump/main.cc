@@ -165,7 +165,7 @@ int RunMqueue(const Options& opt, obs::Tracer& tracer,
     t.stamp_base = q * 1'000'000ull;
     for (std::size_t i = 0; i < opt.mqueue_commands; ++i) {
       IoRequest req;
-      req.time = static_cast<SimTime>(i) * 10;
+      req.time = CostOf(i, 10);
       req.lba = region * q + rng.Below(region > 8 ? region - 8 : 1);
       req.length = 1;
       req.mode = rng.Chance(0.5) ? IoMode::kRead : IoMode::kWrite;
