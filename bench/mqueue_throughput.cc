@@ -98,7 +98,11 @@ void ThroughputSweep(JsonWriter& json) {
       // IOPS column is identical with or without the registry attached.
       obs::MetricsRegistry metrics;
       engine.AttachObs(nullptr, &metrics);
-      wl::MultiTenantDriver driver(std::move(tenants));
+      // Uncapped samples: the percentile columns below must see every
+      // command even at high INSIDER_BENCH_REPS, not a ring-capped tail.
+      wl::MultiTenantOptions mt_opts;
+      mt_opts.sample_limit = 0;
+      wl::MultiTenantDriver driver(std::move(tenants), mt_opts);
       wl::MultiTenantReport report = driver.Run(engine);
 
       std::vector<SimTime> lat;

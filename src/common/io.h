@@ -28,6 +28,13 @@ struct IoRequest {
   Lba lba = 0;        ///< starting logical block address (4-KB units)
   std::uint32_t length = 1;  ///< number of 4-KB blocks
   IoMode mode = IoMode::kRead;
+  /// NVMe-style namespace id, the fleet-serving isolation key: the device
+  /// routes this header to the namespace's own detector instance
+  /// (core::DetectorPool). 0 = the default namespace — untagged traffic
+  /// behaves exactly as before per-namespace detection existed. Like time /
+  /// lba / length / mode, the nsid is part of the command header the
+  /// detector is allowed to see; payloads remain invisible.
+  std::uint32_t nsid = 0;
 
   friend bool operator==(const IoRequest&, const IoRequest&) = default;
 };

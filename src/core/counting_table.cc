@@ -204,6 +204,18 @@ void CountingTable::DropOlderThan(SliceIndex min_slice) {
   }
 }
 
+void CountingTable::ShrinkTo(std::size_t max_entries,
+                             std::size_t max_hash_keys) {
+  config_.max_entries = std::min(config_.max_entries, std::max<std::size_t>(
+                                                          max_entries, 1));
+  config_.max_hash_keys = std::min(
+      config_.max_hash_keys, std::max<std::size_t>(max_hash_keys, 1));
+  while (entries_.size() > config_.max_entries) EvictOldest();
+  while (index_.size() > config_.max_hash_keys && entries_.size() > 1) {
+    EvictOldest();
+  }
+}
+
 double CountingTable::AverageOverwriteRunLength() const {
   std::uint64_t sum = 0;
   std::uint64_t count = 0;

@@ -86,6 +86,13 @@ class CountingTable {
   /// Drop entries whose last activity is before `min_slice` (window slide).
   void DropOlderThan(SliceIndex min_slice);
 
+  /// Reduce the table's capacity caps in place (detector-pool DRAM pressure):
+  /// lowers max_entries/max_hash_keys to the given values (never raises them;
+  /// floors of 1 apply) and evicts least-recently-active runs until the live
+  /// state fits. The window is untouched, so surviving entries behave exactly
+  /// as before — the loss is bounded tracking capacity, not semantics.
+  void ShrinkTo(std::size_t max_entries, std::size_t max_hash_keys);
+
   /// AVGWIO numerator: mean WL over entries with at least one overwrite.
   double AverageOverwriteRunLength() const;
 

@@ -102,6 +102,22 @@ void Detector::CloseSlice() {
   if (min_slice > 0) table_.DropOlderThan(min_slice);
 }
 
+void Detector::SetHistoryLimit(std::size_t n) {
+  if (n == 0) return;  // shrink-only: pressure never widens a ring
+  if (config_.history_limit != 0 && n >= config_.history_limit) return;
+  config_.history_limit = n;
+  while (history_.size() > config_.history_limit) history_.pop_front();
+}
+
+void Detector::ShrinkTableTo(std::size_t max_entries,
+                             std::size_t max_hash_keys) {
+  table_.ShrinkTo(max_entries, max_hash_keys);
+  // Keep the advertised config in lockstep so Reset() rebuilds at the
+  // degraded capacity and cost models see the true caps.
+  config_.table.max_entries = table_.Cfg().max_entries;
+  config_.table.max_hash_keys = table_.Cfg().max_hash_keys;
+}
+
 void Detector::Reset() {
   table_ = CountingTable(TableConfigFor(config_));
   current_slice_ = 0;

@@ -83,6 +83,18 @@ class Detector {
   /// Reset all runtime state (score, tables, history); keeps the tree.
   void Reset();
 
+  // DRAM-pressure degradation (core::DetectorPool) ---------------------
+
+  /// Lower the history ring cap in place, trimming the oldest records to
+  /// fit. Introspection depth is the only loss: scores, votes, and features
+  /// are untouched. Never raises the cap; a 0 (unbounded) cap becomes `n`.
+  void SetHistoryLimit(std::size_t n);
+
+  /// Lower the counting-table capacity caps in place (see
+  /// CountingTable::ShrinkTo); least-recently-active runs are shed until the
+  /// table fits. Detection semantics over the surviving runs are unchanged.
+  void ShrinkTableTo(std::size_t max_entries, std::size_t max_hash_keys);
+
  private:
   void CloseSlice();
   FeatureVector ComputeFeatures(const SliceCounters& counters) const;

@@ -8,7 +8,7 @@ namespace insider::host {
 
 Ssd::Ssd(const SsdConfig& config, core::DecisionTree tree)
     : config_(config), ftl_(config.ftl),
-      detector_(config.detector, std::move(tree)) {
+      detectors_(config.detector, config.detector_pool, std::move(tree)) {
   InstallFirmwareTasks();
 }
 
@@ -19,9 +19,9 @@ void Ssd::InstallFirmwareTasks() {
   // just catches up and recomputes its next due from detector state.
   if (config_.detector_enabled) {
     detector_tick_ = scheduler_.Schedule(
-        "detector_tick", detector_.NextSliceEnd(), [this](SimTime now) {
+        "detector_tick", detectors_.NextSliceEnd(), [this](SimTime now) {
           AdvanceDetector(now);
-          return detector_.NextSliceEnd();
+          return detectors_.NextSliceEnd();
         });
   }
   // Retention aging: backups fall out of the recoverability window during
@@ -48,14 +48,40 @@ void Ssd::InstallFirmwareTasks() {
 
 void Ssd::AdvanceDetector(SimTime now) {
   if (!config_.detector_enabled) return;
-  bool was_active = detector_.AlarmActive();
-  detector_.AdvanceTo(now);
-  if (!was_active && detector_.AlarmActive()) {
-    obs::EmitInstant(tracer_, "ssd.alarm", "ssd", 0, now,
-                     static_cast<std::int64_t>(detector_.Score()), "score");
-    if (config_.auto_read_only) ftl_.SetReadOnly(true);
-    if (alarm_callback_) alarm_callback_(now);
-  }
+  detectors_.ForEachMutable([&](core::NamespaceId ns, core::Detector& d) {
+    bool was_active = d.AlarmActive();
+    d.AdvanceTo(now);
+    if (!was_active && d.AlarmActive()) OnAlarmRaised(ns, d, now);
+  });
+  PublishPoolMetrics();
+}
+
+void Ssd::OnAlarmRaised(core::NamespaceId ns, const core::Detector& detector,
+                        SimTime now) {
+  // The alarm instant rides the namespace's lane, so a fleet trace shows
+  // *which tenant* tripped the detector.
+  obs::EmitInstant(tracer_, "ssd.alarm", "ssd", ns, now,
+                   static_cast<std::int64_t>(detector.Score()), "score");
+  // One tenant's alarm latches the whole device: mapping rollback is a
+  // device-wide operation (the paper's recovery), so writes from every
+  // namespace must stop until the host decides.
+  if (config_.auto_read_only) ftl_.SetReadOnly(true);
+  if (alarm_callback_) alarm_callback_(now);
+}
+
+void Ssd::PublishPoolMetrics() {
+  if (metrics_ == nullptr) return;
+  std::uint64_t epoch = detectors_.StatsEpoch();
+  if (epoch == pool_epoch_published_) return;
+  pool_epoch_published_ = epoch;
+  metrics_->GetGauge("detector.pool.instances")
+      .Set(static_cast<double>(detectors_.InstanceCount()));
+  metrics_->GetGauge("detector.pool.bytes")
+      .Set(static_cast<double>(detectors_.EstimatedBytes()));
+  metrics_->GetGauge("detector.pool.evictions")
+      .Set(static_cast<double>(detectors_.Pressure().evictions));
+  metrics_->GetGauge("detector.pool.pressure_events")
+      .Set(static_cast<double>(detectors_.Pressure().events.size()));
 }
 
 void Ssd::MaybeArmBackgroundGc() {
@@ -82,14 +108,14 @@ void Ssd::DrainFirmware(SimTime until) { scheduler_.RunUntil(until); }
 
 void Ssd::Observe(const IoRequest& request) {
   if (!config_.detector_enabled) return;
-  bool was_active = detector_.AlarmActive();
-  detector_.OnRequest(request);
-  if (!was_active && detector_.AlarmActive()) {
-    obs::EmitInstant(tracer_, "ssd.alarm", "ssd", 0, request.time,
-                     static_cast<std::int64_t>(detector_.Score()), "score");
-    if (config_.auto_read_only) ftl_.SetReadOnly(true);
-    if (alarm_callback_) alarm_callback_(request.time);
-  }
+  // Route the header by namespace. With per_namespace off every nsid maps
+  // to instance 0 and this is exactly the seed single-detector path.
+  core::Detector& d = detectors_.ForNamespace(request.nsid);
+  bool was_active = d.AlarmActive();
+  d.OnRequest(request);
+  if (!was_active && d.AlarmActive()) OnAlarmRaised(request.nsid, d,
+                                                    request.time);
+  PublishPoolMetrics();
 }
 
 ftl::FtlStatus Ssd::Submit(const IoRequest& request, std::uint64_t stamp_base) {
@@ -254,14 +280,14 @@ bool Ssd::TrimBlock(std::uint64_t lba) {
   return r.ok() || r.status == ftl::FtlStatus::kUnmapped;
 }
 
-bool Ssd::AlarmActive() const { return detector_.AlarmActive(); }
+bool Ssd::AlarmActive() const { return detectors_.AnyAlarmActive(); }
 
 std::optional<SimTime> Ssd::FirstAlarmTime() const {
-  return detector_.FirstAlarmTime();
+  return detectors_.FirstAlarmTime();
 }
 
 ftl::RollbackReport Ssd::RollBackNow() {
-  SimTime detect = detector_.FirstAlarmTime().value_or(clock_.Now());
+  SimTime detect = detectors_.FirstAlarmTime().value_or(clock_.Now());
   return ftl_.RollBack(detect);
 }
 
@@ -275,10 +301,10 @@ ftl::RangeRollbackReport Ssd::RollBackRange(Lba begin, Lba end,
 
 void Ssd::Reboot() {
   ftl_.SetReadOnly(false);
-  detector_.Reset();
+  detectors_.ResetAll();
   // The pending tick's due time belongs to the pre-reset slice numbering.
   if (detector_tick_ != FirmwareScheduler::kInvalidTask) {
-    scheduler_.Reschedule(detector_tick_, detector_.NextSliceEnd());
+    scheduler_.Reschedule(detector_tick_, detectors_.NextSliceEnd());
   }
 }
 
@@ -309,9 +335,9 @@ ftl::PageFtl::RebuildReport Ssd::PowerCycle(SimTime off_time, SimTime on_time) {
 
 void Ssd::DismissAlarm() {
   ftl_.SetReadOnly(false);
-  detector_.Reset();
+  detectors_.ResetAll();
   if (detector_tick_ != FirmwareScheduler::kInvalidTask) {
-    scheduler_.Reschedule(detector_tick_, detector_.NextSliceEnd());
+    scheduler_.Reschedule(detector_tick_, detectors_.NextSliceEnd());
   }
 }
 

@@ -14,6 +14,7 @@
 #include "common/io.h"
 #include "common/time.h"
 #include "core/detector.h"
+#include "core/detector_pool.h"
 #include "fs/block_device.h"
 #include "ftl/page_ftl.h"
 #include "host/firmware_scheduler.h"
@@ -23,6 +24,10 @@ namespace insider::host {
 struct SsdConfig {
   ftl::FtlConfig ftl;
   core::DetectorConfig detector;
+  /// Fleet serving: per-namespace detector instances under a DRAM budget.
+  /// The default (per_namespace off, no budget) is a single shared instance
+  /// — detection is bit-identical to the pre-pool device.
+  core::DetectorPoolConfig detector_pool;
   /// Feed requests to the detector (off = conventional SSD baseline).
   bool detector_enabled = true;
   /// Latch the device read-only the moment the alarm fires, without waiting
@@ -168,14 +173,20 @@ class Ssd final : public fs::BlockDevice {
     metrics_ = metrics;
     ftl_.AttachObs(tracer, metrics);
     scheduler_.AttachObs(tracer);
+    PublishPoolMetrics();
   }
 
   SimClock& Clock() { return clock_; }
   const SimClock& Clock() const { return clock_; }
   ftl::PageFtl& Ftl() { return ftl_; }
   const ftl::PageFtl& Ftl() const { return ftl_; }
-  core::Detector& Detector() { return detector_; }
-  const core::Detector& Detector() const { return detector_; }
+  /// The default namespace's detector — the seed single-tenant view. With
+  /// per_namespace off this *is* the one instance every request feeds.
+  core::Detector& Detector() { return detectors_.ForNamespace(0); }
+  const core::Detector& Detector() const { return *detectors_.Peek(0); }
+  /// The whole fleet of per-namespace instances.
+  core::DetectorPool& Detectors() { return detectors_; }
+  const core::DetectorPool& Detectors() const { return detectors_; }
   const SsdConfig& Config() const { return config_; }
 
  private:
@@ -183,16 +194,23 @@ class Ssd final : public fs::BlockDevice {
   SubmitOutcome ExecuteAsync(const IoRequest& request,
                              std::uint64_t stamp_base, bool observe);
   void InstallFirmwareTasks();
-  /// Close detector slices up to `now`, propagating an alarm transition
-  /// exactly like Observe() does for request-driven closes.
+  /// Close detector slices up to `now` on every instance, propagating alarm
+  /// transitions exactly like Observe() does for request-driven closes.
   void AdvanceDetector(SimTime now);
+  /// One instance's score just crossed the threshold: emit the alarm
+  /// instant on the namespace's lane, latch read-only, fire the callback.
+  void OnAlarmRaised(core::NamespaceId ns, const core::Detector& detector,
+                     SimTime now);
+  /// Mirror the pool's counters into detector.pool.* gauges when anything
+  /// changed (cheap StatsEpoch compare on the hot path).
+  void PublishPoolMetrics();
   /// Arm the one-shot background-GC task when the free pool has dipped to
   /// the low watermark (no-op while already armed).
   void MaybeArmBackgroundGc();
 
   SsdConfig config_;
   ftl::PageFtl ftl_;
-  core::Detector detector_;
+  core::DetectorPool detectors_;
   SimClock clock_;
   std::function<void(SimTime)> alarm_callback_;
   obs::Tracer* tracer_ = nullptr;
@@ -200,6 +218,7 @@ class Ssd final : public fs::BlockDevice {
   FirmwareScheduler scheduler_;
   FirmwareScheduler::TaskId detector_tick_ = FirmwareScheduler::kInvalidTask;
   bool bg_gc_armed_ = false;
+  std::uint64_t pool_epoch_published_ = static_cast<std::uint64_t>(-1);
 };
 
 }  // namespace insider::host

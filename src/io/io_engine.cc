@@ -82,6 +82,10 @@ bool IoEngine::TrySubmit(QueueId q, const IoRequest& request,
   cmd.id = next_id_;
   cmd.queue = q;
   cmd.request = request;
+  // Namespace tagging: an untagged command inherits its queue pair's
+  // namespace; an explicitly tagged one keeps its id (tenant→queue
+  // multiplexing — many namespaces legally share one pair).
+  if (cmd.request.nsid == 0) cmd.request.nsid = pair.nsid();
   cmd.stamp_base = stamp_base;
   cmd.auth_key = auth_key;
   cmd.trace = cmd.id;

@@ -17,6 +17,12 @@ struct QueueConfig {
   std::size_t cq_depth = 0;
   /// Arbitration weight (used by weighted round-robin; ignored by plain RR).
   std::uint32_t weight = 1;
+  /// Namespace this queue pair serves (fleet serving: one namespace per
+  /// tenant/queue pair). A command submitted untagged (request.nsid == 0)
+  /// inherits this id in IoEngine::TrySubmit; an explicit request.nsid wins,
+  /// which is how hundreds of tenants can legally multiplex over fewer
+  /// queue pairs. 0 = the default namespace (no tagging).
+  std::uint32_t nsid = 0;
 };
 
 /// Per-pair lifetime counters, exposed for fairness tests and benches.
@@ -32,11 +38,13 @@ class QueuePair {
   QueuePair(QueueId id, const QueueConfig& config)
       : id_(id),
         weight_(config.weight == 0 ? 1 : config.weight),
+        nsid_(config.nsid),
         sq_(config.sq_depth),
         cq_(config.cq_depth == 0 ? config.sq_depth : config.cq_depth) {}
 
   QueueId id() const { return id_; }
   std::uint32_t weight() const { return weight_; }
+  std::uint32_t nsid() const { return nsid_; }
 
   RingQueue<Command>& sq() { return sq_; }
   const RingQueue<Command>& sq() const { return sq_; }
@@ -49,6 +57,7 @@ class QueuePair {
  private:
   QueueId id_;
   std::uint32_t weight_;
+  std::uint32_t nsid_;
   RingQueue<Command> sq_;
   RingQueue<Completion> cq_;
   QueuePairStats stats_;

@@ -141,6 +141,130 @@ TEST(MultiTenantTest, CompletionTimesMonotoneAndMatchDeviceClock) {
                      report.tenants[1].last_complete_time));
 }
 
+TEST(MultiTenantTest, MoreTenantsThanQueuePairsMultiplexes) {
+  // Regression: the driver used to assert QueueCount() >= tenant count —
+  // compiled out in release builds, where extra tenants silently drove
+  // out-of-range queue ids. Tenants now multiplex (tenant i -> pair
+  // i % queues) and completions are attributed by nsid, not queue.
+  Ssd ssd(SmallSsd(), SimpleTree());
+  SsdTarget target(ssd);
+
+  std::vector<wl::TenantSpec> tenants;
+  for (std::size_t i = 0; i < 5; ++i) {
+    tenants.push_back(WriterTenant(
+        "t" + std::to_string(i), static_cast<Lba>(40 * i), 8, 1000 * (i + 1),
+        Microseconds(1000) + CostOf(i, 100), 300));
+  }
+
+  io::EngineConfig ecfg;
+  ecfg.queue_count = 2;  // fewer pairs than tenants
+  ecfg.queue.sq_depth = 4;
+  io::IoEngine engine(target, ecfg);
+
+  wl::MultiTenantDriver driver(std::move(tenants));
+  wl::MultiTenantReport report = driver.Run(engine);
+
+  ASSERT_EQ(report.status, wl::MultiTenantStatus::kOk);
+  ASSERT_EQ(report.tenants.size(), 5u);
+  SimTime now = ssd.Clock().Now();
+  for (std::size_t i = 0; i < 5; ++i) {
+    const wl::TenantResult& t = report.tenants[i];
+    EXPECT_EQ(t.completed, 8u) << t.name;
+    EXPECT_EQ(t.errors, 0u) << t.name;
+    EXPECT_EQ(t.nsid, static_cast<std::uint32_t>(i) + 1);
+    // Ring-sharing never mixes attribution: each tenant's stamps landed on
+    // its own LBAs.
+    for (Lba b = 0; b < 8; ++b) {
+      ftl::FtlResult rd = ssd.Ftl().ReadPage(static_cast<Lba>(40 * i) + b, now);
+      ASSERT_TRUE(rd.ok());
+      EXPECT_EQ(rd.data.stamp, 1000 * (i + 1) + b);
+    }
+  }
+}
+
+TEST(MultiTenantTest, DuplicateNamespaceIsTypedRefusal) {
+  Ssd ssd(SmallSsd(), SimpleTree());
+  SsdTarget target(ssd);
+
+  std::vector<wl::TenantSpec> tenants;
+  tenants.push_back(WriterTenant("a", 0, 4, 1000, 1000, 100));
+  tenants.push_back(WriterTenant("b", 100, 4, 2000, 1000, 100));
+  tenants[0].nsid = 7;
+  tenants[1].nsid = 7;  // collision: completions would be unattributable
+
+  io::EngineConfig ecfg;
+  ecfg.queue_count = 2;
+  io::IoEngine engine(target, ecfg);
+
+  wl::MultiTenantDriver driver(std::move(tenants));
+  wl::MultiTenantReport report = driver.Run(engine);
+
+  EXPECT_EQ(report.status, wl::MultiTenantStatus::kDuplicateNamespace);
+  EXPECT_STREQ(wl::MultiTenantStatusName(report.status),
+               "duplicate-namespace");
+  // Refused up front: nothing was submitted, the report is a zero span.
+  EXPECT_EQ(report.total_dispatched, 0u);
+  EXPECT_EQ(report.end_time, report.first_submit_time);
+  for (const wl::TenantResult& t : report.tenants) {
+    EXPECT_EQ(t.submitted, 0u) << t.name;
+  }
+}
+
+TEST(MultiTenantTest, SampleRingCapKeepsRunningStatsExact) {
+  SsdConfig cfg = SmallSsd();
+  cfg.ftl.latency = nand::LatencyModel{};  // nonzero latencies to aggregate
+  Ssd ssd(cfg, SimpleTree());
+  SsdTarget target(ssd);
+
+  std::vector<wl::TenantSpec> tenants;
+  tenants.push_back(WriterTenant("w", 0, 24, 0, 1000, 50));
+
+  io::EngineConfig ecfg;
+  ecfg.queue_count = 1;
+  ecfg.queue.sq_depth = 8;
+  io::IoEngine engine(target, ecfg);
+
+  wl::MultiTenantOptions opts;
+  opts.sample_limit = 6;
+  wl::MultiTenantDriver driver(std::move(tenants), opts);
+  wl::MultiTenantReport report = driver.Run(engine);
+
+  const wl::TenantResult& t = report.tenants[0];
+  EXPECT_EQ(t.completed, 24u);
+  // The rings keep only the newest samples...
+  EXPECT_EQ(t.latencies.size(), 6u);
+  EXPECT_EQ(t.complete_times.size(), 6u);
+  EXPECT_EQ(t.samples_dropped, 18u);
+  // ...but the streaming aggregate saw every completion.
+  EXPECT_EQ(t.latency_us.Count(), 24u);
+  // The surviving window is the tail: its newest entry is the last
+  // completion the run produced.
+  EXPECT_EQ(t.complete_times.back(), t.last_complete_time);
+}
+
+TEST(MultiTenantTest, EmptyRunPinsEndTimeToZeroSpan) {
+  Ssd ssd(SmallSsd(), SimpleTree());
+  SsdTarget target(ssd);
+
+  std::vector<wl::TenantSpec> tenants;
+  wl::TenantSpec idle;
+  idle.name = "idle";  // a tenant with no requests at all
+  tenants.push_back(idle);
+
+  io::EngineConfig ecfg;
+  ecfg.queue_count = 1;
+  io::IoEngine engine(target, ecfg);
+
+  wl::MultiTenantDriver driver(std::move(tenants));
+  wl::MultiTenantReport report = driver.Run(engine);
+
+  // Regression: end_time stayed 0 while first_submit_time defaulted past
+  // it, so the unsigned span underflowed and TotalIops reported garbage.
+  EXPECT_EQ(report.status, wl::MultiTenantStatus::kOk);
+  EXPECT_EQ(report.end_time, report.first_submit_time);
+  EXPECT_EQ(report.TotalIops(), 0.0);
+}
+
 TEST(MultiTenantTest, InterleavedRansomwareStillRaisesAlarm) {
   InterleavedConfig cfg;
   cfg.benign_tenants = 3;

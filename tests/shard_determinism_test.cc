@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -46,8 +47,8 @@ core::DecisionTree SimpleTree() {
 struct TenantTrace {
   std::string name;
   std::vector<std::uint64_t> completed;
-  std::vector<SimTime> complete_times;
-  std::vector<SimTime> latencies;
+  std::deque<SimTime> complete_times;
+  std::deque<SimTime> latencies;
   std::uint64_t stalls = 0;
 
   friend bool operator==(const TenantTrace&, const TenantTrace&) = default;
